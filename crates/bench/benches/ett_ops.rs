@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the single-writer Euler Tour Tree:
+//! link/cut restructuring cost and the lock-free `connected` query, the
+//! building blocks whose `O(log N)` behaviour the higher-level results rest
+//! on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_ett::EulerForest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build_random_forest(n: usize, seed: u64) -> (EulerForest, Vec<(u32, u32)>) {
+    let forest = EulerForest::with_seed(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for v in 1..n as u32 {
+        let parent = rng.gen_range(0..v);
+        forest.link(parent, v);
+        edges.push((parent, v));
+    }
+    (forest, edges)
+}
+
+fn bench_connected(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ett_connected");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let (forest, _) = build_random_forest(n, 42);
+        let mut rng = StdRng::seed_from_u64(7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                std::hint::black_box(forest.connected(u, v))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_link_cut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ett_link_cut");
+    for &n in &[1_000usize, 10_000] {
+        let (forest, edges) = build_random_forest(n, 1);
+        let mut rng = StdRng::seed_from_u64(11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                // Cut a random spanning edge and immediately re-link it: one
+                // full split + merge per iteration.
+                let (u, v) = edges[rng.gen_range(0..edges.len())];
+                forest.cut(u, v);
+                forest.link(u, v);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_prepare_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ett_prepared_cut");
+    let n = 10_000;
+    let (forest, edges) = build_random_forest(n, 3);
+    let mut rng = StdRng::seed_from_u64(13);
+    group.bench_function("prepare_then_relink", |b| {
+        b.iter(|| {
+            let (u, v) = edges[rng.gen_range(0..edges.len())];
+            let _prepared = forest.prepare_cut(u, v);
+            // Simulate "replacement found": relink the same edge.
+            forest.link(u, v);
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_connected, bench_link_cut, bench_prepare_commit
+}
+criterion_main!(benches);

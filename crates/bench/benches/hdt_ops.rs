@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks for the HDT dynamic connectivity core:
+//! single-threaded add/remove/query latency, including spanning-edge
+//! removals that exercise the replacement search and level promotions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_graph::generators;
+use dynconn::Hdt;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_add_remove_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hdt_add_remove");
+    for &n in &[1_000usize, 10_000] {
+        let graph = generators::erdos_renyi_nm(n, n * 4, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let hdt = Hdt::new(n);
+            for e in graph.edges() {
+                hdt.add_edge_locked(e.u(), e.v());
+            }
+            let mut rng = StdRng::seed_from_u64(17);
+            b.iter(|| {
+                let e = graph.edge(rng.gen_range(0..graph.num_edges()));
+                hdt.remove_edge_locked(e.u(), e.v());
+                hdt.add_edge_locked(e.u(), e.v());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_connected_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hdt_connected");
+    let n = 10_000;
+    let graph = generators::erdos_renyi_nm(n, n * 2, 6);
+    let hdt = Hdt::new(n);
+    for e in graph.edges() {
+        hdt.add_edge_locked(e.u(), e.v());
+    }
+    let mut rng = StdRng::seed_from_u64(19);
+    group.bench_function("lock_free", |b| {
+        b.iter(|| {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            std::hint::black_box(hdt.connected(u, v))
+        })
+    });
+    group.bench_function("root_comparison", |b| {
+        b.iter(|| {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            std::hint::black_box(hdt.connected_locked(u, v))
+        })
+    });
+    group.finish();
+}
+
+fn bench_spanning_removal(c: &mut Criterion) {
+    // Dense graph: spanning removals must find replacements (promotions).
+    let mut group = c.benchmark_group("hdt_spanning_removal_with_replacement");
+    let n = 2_000;
+    let graph = generators::erdos_renyi_nm(n, n * 8, 7);
+    group.bench_function("dense_graph", |b| {
+        let hdt = Hdt::new(n);
+        for e in graph.edges() {
+            hdt.add_edge_locked(e.u(), e.v());
+        }
+        let mut rng = StdRng::seed_from_u64(23);
+        b.iter(|| {
+            // Remove and re-add a random edge; roughly 1/8 of them are
+            // spanning and trigger the replacement machinery.
+            let e = graph.edge(rng.gen_range(0..graph.num_edges()));
+            hdt.remove_edge_locked(e.u(), e.v());
+            hdt.add_edge_locked(e.u(), e.v());
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_add_remove_cycle, bench_connected_query, bench_spanning_removal
+}
+criterion_main!(benches);

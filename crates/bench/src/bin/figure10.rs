@@ -1,0 +1,17 @@
+//! Reproduces Figure 10: the decremental scenario (every edge of the graph
+//! is removed concurrently from a fully loaded structure).
+use dc_bench::runner::{run_figure, variant_sets, Measure};
+use dc_bench::{BenchConfig, Scenario};
+
+fn main() {
+    let config = BenchConfig::from_env();
+    run_figure(
+        "figure10",
+        "Figure 10 — decremental scenario (throughput, ops/ms)",
+        Scenario::Decremental,
+        &variant_sets::incremental_decremental(),
+        Measure::Throughput,
+        true,
+        &config,
+    );
+}

@@ -1,0 +1,16 @@
+//! Reproduces Figure 11: the active time rate in the incremental scenario.
+use dc_bench::runner::{run_figure, variant_sets, Measure};
+use dc_bench::{BenchConfig, Scenario};
+
+fn main() {
+    let config = BenchConfig::from_env();
+    run_figure(
+        "figure11",
+        "Figure 11 — active time rate, incremental scenario (%)",
+        Scenario::Incremental,
+        &variant_sets::active_time_incremental(),
+        Measure::ActiveTime,
+        false,
+        &config,
+    );
+}

@@ -1,0 +1,16 @@
+//! Reproduces Figure 12: the active time rate in the decremental scenario.
+use dc_bench::runner::{run_figure, variant_sets, Measure};
+use dc_bench::{BenchConfig, Scenario};
+
+fn main() {
+    let config = BenchConfig::from_env();
+    run_figure(
+        "figure12",
+        "Figure 12 — active time rate, decremental scenario (%)",
+        Scenario::Decremental,
+        &variant_sets::active_time_incremental(),
+        Measure::ActiveTime,
+        false,
+        &config,
+    );
+}

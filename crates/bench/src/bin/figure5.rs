@@ -1,0 +1,18 @@
+//! Reproduces Figure 5: the random-subset scenario with 80% connectivity
+//! checks, 10% additions and 10% removals, for all thirteen variants over
+//! the small graphs (thread sweep) and the large graphs (max parallelism).
+use dc_bench::runner::{run_figure, variant_sets, Measure};
+use dc_bench::{BenchConfig, Scenario};
+
+fn main() {
+    let config = BenchConfig::from_env();
+    run_figure(
+        "figure5",
+        "Figure 5 — random scenario, 80% reads (throughput, ops/ms)",
+        Scenario::RandomSubset { read_percent: 80 },
+        &variant_sets::throughput_all(),
+        Measure::Throughput,
+        true,
+        &config,
+    );
+}

@@ -1,0 +1,17 @@
+//! Reproduces Figure 6: the random-subset scenario with 99% connectivity
+//! checks for all thirteen variants.
+use dc_bench::runner::{run_figure, variant_sets, Measure};
+use dc_bench::{BenchConfig, Scenario};
+
+fn main() {
+    let config = BenchConfig::from_env();
+    run_figure(
+        "figure6",
+        "Figure 6 — random scenario, 99% reads (throughput, ops/ms)",
+        Scenario::RandomSubset { read_percent: 99 },
+        &variant_sets::throughput_all(),
+        Measure::Throughput,
+        true,
+        &config,
+    );
+}

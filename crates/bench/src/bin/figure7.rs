@@ -1,0 +1,17 @@
+//! Reproduces Figure 7: the active time rate (time not spent waiting for
+//! locks) in the random scenario with 80% reads.
+use dc_bench::runner::{run_figure, variant_sets, Measure};
+use dc_bench::{BenchConfig, Scenario};
+
+fn main() {
+    let config = BenchConfig::from_env();
+    run_figure(
+        "figure7",
+        "Figure 7 — active time rate, random scenario, 80% reads (%)",
+        Scenario::RandomSubset { read_percent: 80 },
+        &variant_sets::active_time_random(),
+        Measure::ActiveTime,
+        false,
+        &config,
+    );
+}

@@ -1,0 +1,17 @@
+//! Reproduces Figure 8: the active time rate in the random scenario with
+//! 99% reads.
+use dc_bench::runner::{run_figure, variant_sets, Measure};
+use dc_bench::{BenchConfig, Scenario};
+
+fn main() {
+    let config = BenchConfig::from_env();
+    run_figure(
+        "figure8",
+        "Figure 8 — active time rate, random scenario, 99% reads (%)",
+        Scenario::RandomSubset { read_percent: 99 },
+        &variant_sets::active_time_random(),
+        Measure::ActiveTime,
+        false,
+        &config,
+    );
+}

@@ -1,0 +1,17 @@
+//! Reproduces Figure 9: the incremental scenario (the whole graph is added
+//! concurrently to an empty structure).
+use dc_bench::runner::{run_figure, variant_sets, Measure};
+use dc_bench::{BenchConfig, Scenario};
+
+fn main() {
+    let config = BenchConfig::from_env();
+    run_figure(
+        "figure9",
+        "Figure 9 — incremental scenario (throughput, ops/ms)",
+        Scenario::Incremental,
+        &variant_sets::incremental_decremental(),
+        Measure::Throughput,
+        true,
+        &config,
+    );
+}

@@ -1,0 +1,55 @@
+//! Reproduces the paper's headline claim (Section 1 / abstract): the most
+//! efficient variant improves on coarse-grained locking by up to ~6x on
+//! realistic scenarios and up to ~30x when connectivity queries dominate.
+//!
+//! This binary measures the speedup of the full algorithm (variants 9 and
+//! 10) over the coarse-grained baseline (variant 1) across the small graphs
+//! at the highest measured thread count, for the 80%- and 99%-read random
+//! scenarios, and prints the per-graph factors plus the average and maximum.
+
+use dc_bench::{run_throughput, BenchConfig, Scenario, Workload};
+use dc_graph::GraphSpec;
+use dynconn::Variant;
+
+fn main() {
+    let config = BenchConfig::from_env();
+    let threads = *config.thread_counts.last().unwrap_or(&1);
+    let catalog = config.catalog();
+    for read_percent in [80u32, 99u32] {
+        println!("== Speedup over (1) coarse-grained, random scenario, {read_percent}% reads, {threads} threads ==");
+        println!(
+            "{:<28}{:>16}{:>16}{:>18}",
+            "graph", "(9) vs (1)", "(10) vs (1)", "best variant"
+        );
+        let mut best_factors = Vec::new();
+        for &spec in GraphSpec::table1() {
+            let graph = catalog.build(spec);
+            let workload = Workload::generate(
+                &graph,
+                Scenario::RandomSubset { read_percent },
+                threads,
+                config.ops_per_thread,
+                config.seed,
+            );
+            let measure = |variant: Variant| {
+                let structure = variant.build(graph.num_vertices());
+                run_throughput(structure.as_ref(), &workload).ops_per_ms
+            };
+            let base = measure(Variant::CoarseGrained).max(1e-9);
+            let ours_fine = measure(Variant::OurAlgorithm);
+            let ours_coarse = measure(Variant::OurAlgorithmCoarse);
+            let best = ours_fine.max(ours_coarse);
+            best_factors.push(best / base);
+            println!(
+                "{:<28}{:>15.2}x{:>15.2}x{:>17.2}x",
+                spec.name(),
+                ours_fine / base,
+                ours_coarse / base,
+                best / base
+            );
+        }
+        let avg: f64 = best_factors.iter().sum::<f64>() / best_factors.len() as f64;
+        let max = best_factors.iter().cloned().fold(0.0, f64::max);
+        println!("average speedup: {avg:.2}x   maximum speedup: {max:.2}x\n");
+    }
+}

@@ -1,0 +1,30 @@
+//! Benchmark harness for the SPAA '21 evaluation.
+//!
+//! The paper's evaluation (Section 5) measures operation throughput of the
+//! thirteen algorithm variants under three workloads over eight small and
+//! four large graphs, plus the "active time rate" (time not spent waiting for
+//! locks) and workload statistics.  This crate provides:
+//!
+//! * the three workload generators — random-subset, incremental and
+//!   decremental scenarios ([`scenario`]);
+//! * a multi-threaded throughput harness with warm-up, lock-wait accounting
+//!   and ops/ms reporting ([`throughput`]);
+//! * the statistics collector behind Tables 3 and 4 ([`stats`]);
+//! * a small reporting layer that renders the per-figure result tables and
+//!   JSON dumps ([`report`]);
+//! * one binary per figure/table of the paper (see `src/bin/`), all driven by
+//!   the same [`config::BenchConfig`] so they scale down gracefully on small
+//!   machines.
+
+pub mod config;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod stats;
+pub mod throughput;
+
+pub use config::BenchConfig;
+pub use report::FigureData;
+pub use runner::{run_figure, Measure};
+pub use scenario::{Operation, Scenario, Workload};
+pub use throughput::{run_throughput, ThroughputResult};

@@ -1,0 +1,104 @@
+//! Plain-text and JSON reporting for the figure/table binaries.
+//!
+//! The paper presents its results as line plots (throughput or active-time
+//! rate vs. thread count, one line per algorithm variant) and bar charts
+//! (large graphs at maximum parallelism).  The binaries in `src/bin/` print
+//! the same data as aligned text tables — one row per thread count, one
+//! column per variant — which is the form the series can be compared in
+//! without a plotting stack, and optionally dump machine-readable JSON for
+//! external plotting.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One measured series: variant name -> value per x-axis point.
+#[derive(Debug, Default, Serialize)]
+pub struct FigureData {
+    /// Figure title (e.g. "Figure 5 — random scenario, 80% reads").
+    pub title: String,
+    /// The x axis (thread counts), shared by all series.
+    pub x_axis: Vec<usize>,
+    /// Per-graph data: graph name -> (variant name -> series of values).
+    pub graphs: BTreeMap<String, BTreeMap<String, Vec<f64>>>,
+}
+
+impl FigureData {
+    /// Creates an empty figure with the given title and x axis.
+    pub fn new(title: impl Into<String>, x_axis: Vec<usize>) -> Self {
+        FigureData {
+            title: title.into(),
+            x_axis,
+            graphs: BTreeMap::new(),
+        }
+    }
+
+    /// Records one measured value.
+    pub fn record(&mut self, graph: &str, variant: &str, value: f64) {
+        self.graphs
+            .entry(graph.to_string())
+            .or_default()
+            .entry(variant.to_string())
+            .or_default()
+            .push(value);
+    }
+
+    /// Renders the figure as aligned text tables (one per graph).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        for (graph, series) in &self.graphs {
+            out.push_str(&format!("\n-- Graph: {graph} --\n"));
+            // Header.
+            out.push_str(&format!("{:<44}", "variant \\ threads"));
+            for x in &self.x_axis {
+                out.push_str(&format!("{x:>12}"));
+            }
+            out.push('\n');
+            for (variant, values) in series {
+                out.push_str(&format!("{variant:<44}"));
+                for v in values {
+                    out.push_str(&format!("{v:>12.1}"));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Serializes the figure to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure data serializes")
+    }
+
+    /// Writes the JSON dump next to the current directory under
+    /// `target/figures/<name>.json` and returns the path.
+    pub fn write_json(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::path::Path::new("target").join("figures");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_render() {
+        let mut fig = FigureData::new("Figure X", vec![1, 2, 4]);
+        fig.record("USA roads", "(1) coarse-grained", 10.0);
+        fig.record("USA roads", "(1) coarse-grained", 18.0);
+        fig.record("USA roads", "(1) coarse-grained", 30.0);
+        fig.record("USA roads", "(9) our algorithm", 12.0);
+        let text = fig.render_text();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("USA roads"));
+        assert!(text.contains("(1) coarse-grained"));
+        assert!(text.contains("30.0"));
+        let json = fig.to_json();
+        assert!(json.contains("\"x_axis\""));
+        assert!(json.contains("our algorithm"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Workload generators for the three benchmark scenarios of Section 5.1.
+//!
+//! * **Random subset** — the structure starts with a random half of the
+//!   graph's edges; threads then execute a random mix of connectivity
+//!   queries, edge additions and edge removals over randomly chosen graph
+//!   edges, with equal add/remove percentages so the edge count stays
+//!   roughly constant.
+//! * **Incremental** — threads concurrently insert the whole graph into an
+//!   initially empty structure.
+//! * **Decremental** — threads concurrently delete every edge from a
+//!   structure initialized with the whole graph.
+
+use dc_graph::{Edge, Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One benchmark operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operation {
+    /// `add_edge(u, v)`.
+    Add(VertexId, VertexId),
+    /// `remove_edge(u, v)`.
+    Remove(VertexId, VertexId),
+    /// `connected(u, v)`.
+    Query(VertexId, VertexId),
+}
+
+/// Which scenario to generate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Scenario {
+    /// The random-subset scenario with the given percentage of reads
+    /// (additions and removals split the remainder equally).
+    RandomSubset {
+        /// Percentage (0–100) of `connected` operations.
+        read_percent: u32,
+    },
+    /// Insert the whole graph into an empty structure.
+    Incremental,
+    /// Delete the whole graph from a fully loaded structure.
+    Decremental,
+}
+
+impl Scenario {
+    /// A short name used in reports.
+    pub fn name(&self) -> String {
+        match self {
+            Scenario::RandomSubset { read_percent } => {
+                format!("random ({read_percent}% reads)")
+            }
+            Scenario::Incremental => "incremental".to_string(),
+            Scenario::Decremental => "decremental".to_string(),
+        }
+    }
+}
+
+/// A fully generated workload: the edges to preload and one operation stream
+/// per thread.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Edges inserted before the measurement starts.
+    pub preload: Vec<Edge>,
+    /// One operation stream per thread.
+    pub per_thread: Vec<Vec<Operation>>,
+    /// The scenario this workload was generated for.
+    pub scenario: Scenario,
+}
+
+impl Workload {
+    /// Total number of operations across all threads.
+    pub fn total_operations(&self) -> usize {
+        self.per_thread.iter().map(|ops| ops.len()).sum()
+    }
+
+    /// Generates the workload for `scenario` on `graph`.
+    ///
+    /// `threads` streams of (roughly) `ops_per_thread` operations are
+    /// produced; for the incremental and decremental scenarios the graph's
+    /// edges are partitioned across the threads instead, so every edge is
+    /// added (respectively removed) exactly once.
+    pub fn generate(
+        graph: &Graph,
+        scenario: Scenario,
+        threads: usize,
+        ops_per_thread: usize,
+        seed: u64,
+    ) -> Workload {
+        assert!(threads >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match scenario {
+            Scenario::RandomSubset { read_percent } => {
+                assert!(read_percent <= 100);
+                // Preload a random half of the edges.
+                let mut edges: Vec<Edge> = graph.edges().to_vec();
+                edges.shuffle(&mut rng);
+                let preload: Vec<Edge> = edges[..edges.len() / 2].to_vec();
+                let n = graph.num_vertices() as VertexId;
+                let per_thread = (0..threads)
+                    .map(|t| {
+                        let mut trng = StdRng::seed_from_u64(seed ^ (t as u64 + 1) * 0x9E37);
+                        (0..ops_per_thread)
+                            .map(|_| {
+                                let roll = trng.gen_range(0..100);
+                                if roll < read_percent {
+                                    let u = trng.gen_range(0..n);
+                                    let v = trng.gen_range(0..n);
+                                    Operation::Query(u, v.min(n - 1))
+                                } else {
+                                    let e = graph.edge(trng.gen_range(0..graph.num_edges()));
+                                    if roll % 2 == 0 {
+                                        Operation::Add(e.u(), e.v())
+                                    } else {
+                                        Operation::Remove(e.u(), e.v())
+                                    }
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                Workload {
+                    preload,
+                    per_thread,
+                    scenario,
+                }
+            }
+            Scenario::Incremental => {
+                let mut edges: Vec<Edge> = graph.edges().to_vec();
+                edges.shuffle(&mut rng);
+                let per_thread = partition(&edges, threads)
+                    .into_iter()
+                    .map(|chunk| {
+                        chunk
+                            .into_iter()
+                            .map(|e| Operation::Add(e.u(), e.v()))
+                            .collect()
+                    })
+                    .collect();
+                Workload {
+                    preload: Vec::new(),
+                    per_thread,
+                    scenario,
+                }
+            }
+            Scenario::Decremental => {
+                let mut edges: Vec<Edge> = graph.edges().to_vec();
+                edges.shuffle(&mut rng);
+                let per_thread = partition(&edges, threads)
+                    .into_iter()
+                    .map(|chunk| {
+                        chunk
+                            .into_iter()
+                            .map(|e| Operation::Remove(e.u(), e.v()))
+                            .collect()
+                    })
+                    .collect();
+                Workload {
+                    preload: graph.edges().to_vec(),
+                    per_thread,
+                    scenario,
+                }
+            }
+        }
+    }
+}
+
+fn partition(edges: &[Edge], threads: usize) -> Vec<Vec<Edge>> {
+    let mut chunks = vec![Vec::new(); threads];
+    for (i, &e) in edges.iter().enumerate() {
+        chunks[i % threads].push(e);
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_graph::generators;
+
+    fn graph() -> Graph {
+        generators::erdos_renyi_nm(200, 500, 3)
+    }
+
+    #[test]
+    fn random_subset_respects_read_percentage() {
+        let w = Workload::generate(
+            &graph(),
+            Scenario::RandomSubset { read_percent: 80 },
+            2,
+            10_000,
+            1,
+        );
+        assert_eq!(w.preload.len(), 250);
+        assert_eq!(w.per_thread.len(), 2);
+        let all: Vec<&Operation> = w.per_thread.iter().flatten().collect();
+        let reads = all
+            .iter()
+            .filter(|op| matches!(op, Operation::Query(_, _)))
+            .count();
+        let frac = reads as f64 / all.len() as f64;
+        assert!((frac - 0.8).abs() < 0.02, "read fraction {frac}");
+        // Adds and removes are balanced.
+        let adds = all.iter().filter(|op| matches!(op, Operation::Add(_, _))).count();
+        let removes = all
+            .iter()
+            .filter(|op| matches!(op, Operation::Remove(_, _)))
+            .count();
+        let ratio = adds as f64 / removes.max(1) as f64;
+        assert!(ratio > 0.8 && ratio < 1.25, "add/remove ratio {ratio}");
+    }
+
+    #[test]
+    fn incremental_covers_every_edge_exactly_once() {
+        let g = graph();
+        let w = Workload::generate(&g, Scenario::Incremental, 3, 0, 1);
+        assert!(w.preload.is_empty());
+        assert_eq!(w.total_operations(), g.num_edges());
+        let mut seen = std::collections::HashSet::new();
+        for op in w.per_thread.iter().flatten() {
+            match op {
+                Operation::Add(u, v) => assert!(seen.insert(Edge::new(*u, *v))),
+                _ => panic!("incremental workload must only contain additions"),
+            }
+        }
+        assert_eq!(seen.len(), g.num_edges());
+    }
+
+    #[test]
+    fn decremental_preloads_everything_and_removes_it() {
+        let g = graph();
+        let w = Workload::generate(&g, Scenario::Decremental, 4, 0, 1);
+        assert_eq!(w.preload.len(), g.num_edges());
+        assert_eq!(w.total_operations(), g.num_edges());
+        assert!(w
+            .per_thread
+            .iter()
+            .flatten()
+            .all(|op| matches!(op, Operation::Remove(_, _))));
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let g = graph();
+        let a = Workload::generate(&g, Scenario::RandomSubset { read_percent: 50 }, 2, 100, 9);
+        let b = Workload::generate(&g, Scenario::RandomSubset { read_percent: 50 }, 2, 100, 9);
+        assert_eq!(a.per_thread, b.per_thread);
+        assert_eq!(a.preload, b.preload);
+    }
+}

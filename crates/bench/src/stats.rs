@@ -1,0 +1,99 @@
+//! Workload statistics (Tables 3 and 4 of the paper).
+//!
+//! Table 3 reports, per graph, the percentage of edge additions and removals
+//! that are non-spanning and the relative size of the largest connected
+//! component during the random-subset scenario; Table 4 reports the
+//! non-spanning rates of the incremental and decremental scenarios.  As in
+//! the paper, the statistics are collected on a *sequential* execution of the
+//! workload (the rates do not change with the thread count).
+
+use crate::scenario::{Operation, Scenario, Workload};
+use dc_graph::Graph;
+use dynconn::locking::GlobalLocking;
+use dynconn::variants::LockedVariant;
+use dynconn::{DynamicConnectivity, RecomputeOracle};
+
+/// The statistics row for one graph.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioStats {
+    /// Percentage of edge additions that did not change the spanning forest.
+    pub non_spanning_addition_percent: f64,
+    /// Percentage of edge removals that removed a non-spanning edge.
+    pub non_spanning_removal_percent: f64,
+    /// Largest connected component observed at the end of the run, divided
+    /// by the number of vertices (in percent).
+    pub largest_component_percent: f64,
+}
+
+/// Runs `scenario` sequentially on `graph` and collects the statistics of
+/// Table 3 / Table 4.
+pub fn collect_stats(graph: &Graph, scenario: Scenario, ops: usize, seed: u64) -> ScenarioStats {
+    let workload = Workload::generate(graph, scenario, 1, ops, seed);
+    let structure = LockedVariant::new(graph.num_vertices(), GlobalLocking::new(), true);
+    let mirror = RecomputeOracle::new(graph.num_vertices());
+    for edge in &workload.preload {
+        structure.add_edge(edge.u(), edge.v());
+        mirror.add_edge(edge.u(), edge.v());
+    }
+    for op in workload.per_thread[0].iter() {
+        match *op {
+            Operation::Add(u, v) => {
+                structure.add_edge(u, v);
+                mirror.add_edge(u, v);
+            }
+            Operation::Remove(u, v) => {
+                structure.remove_edge(u, v);
+                mirror.remove_edge(u, v);
+            }
+            Operation::Query(u, v) => {
+                let _ = structure.connected(u, v);
+            }
+        }
+    }
+    let stats = structure.hdt().stats();
+    ScenarioStats {
+        non_spanning_addition_percent: stats.non_spanning_addition_rate(),
+        non_spanning_removal_percent: stats.non_spanning_removal_rate(),
+        largest_component_percent: 100.0 * mirror.largest_component_fraction(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_graph::generators;
+
+    #[test]
+    fn dense_graph_has_high_non_spanning_rates() {
+        // |E| = |V| * sqrt(|V|)-ish density: essentially every addition is
+        // non-spanning (paper Table 3 reports 100%).
+        let g = generators::erdos_renyi_nm(400, 6_000, 11);
+        let stats = collect_stats(&g, Scenario::RandomSubset { read_percent: 0 }, 4_000, 3);
+        assert!(
+            stats.non_spanning_addition_percent > 85.0,
+            "dense graph: {stats:?}"
+        );
+        assert!(stats.largest_component_percent > 90.0);
+    }
+
+    #[test]
+    fn sparse_graph_has_low_non_spanning_rates() {
+        // |E| = |V|: the paper reports ~0.1% non-spanning additions and a
+        // largest component below 1%.
+        let g = generators::erdos_renyi_nm(2_000, 2_000, 13);
+        let stats = collect_stats(&g, Scenario::RandomSubset { read_percent: 0 }, 4_000, 3);
+        assert!(
+            stats.non_spanning_addition_percent < 30.0,
+            "sparse graph: {stats:?}"
+        );
+        assert!(stats.non_spanning_addition_percent < stats.largest_component_percent + 100.0);
+    }
+
+    #[test]
+    fn incremental_stats_only_report_additions() {
+        let g = generators::erdos_renyi_nm(300, 2_000, 5);
+        let stats = collect_stats(&g, Scenario::Incremental, 0, 3);
+        assert!(stats.non_spanning_addition_percent > 50.0);
+        assert_eq!(stats.non_spanning_removal_percent, 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! The public dynamic connectivity interface shared by every algorithm
+//! variant.
+
+/// A concurrent, linearizable dynamic connectivity structure over a fixed
+/// vertex set `0..n` (paper Section 1):
+///
+/// * [`DynamicConnectivity::add_edge`] inserts an undirected edge,
+/// * [`DynamicConnectivity::remove_edge`] deletes it,
+/// * [`DynamicConnectivity::connected`] answers whether two vertices are in
+///   the same connected component.
+///
+/// All methods take `&self` and may be called concurrently from any number
+/// of threads; each implementation provides its own synchronization (that is
+/// exactly what distinguishes the paper's thirteen evaluated variants).
+pub trait DynamicConnectivity: Send + Sync {
+    /// Adds the undirected edge `(u, v)`. Adding an edge that is already
+    /// present (or a self-loop) is a no-op.
+    fn add_edge(&self, u: u32, v: u32);
+
+    /// Removes the undirected edge `(u, v)`. Removing an absent edge is a
+    /// no-op.
+    fn remove_edge(&self, u: u32, v: u32);
+
+    /// Returns `true` if `u` and `v` are currently in the same connected
+    /// component.
+    fn connected(&self, u: u32, v: u32) -> bool;
+
+    /// Number of vertices of the underlying graph.
+    fn num_vertices(&self) -> usize;
+}

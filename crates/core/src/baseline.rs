@@ -1,0 +1,228 @@
+//! Baseline structures used as correctness oracles and as reference points
+//! in the benchmarks.
+//!
+//! * [`UnionFind`] — the classic disjoint-set structure: the natural baseline
+//!   for the *incremental* scenario (no deletions) and a component-counting
+//!   helper for statistics.
+//! * [`RecomputeOracle`] — a trivially correct (and trivially slow) dynamic
+//!   connectivity implementation that stores the edge set behind a mutex and
+//!   answers queries by BFS; every other implementation is tested against it.
+
+use crate::api::DynamicConnectivity;
+use dc_graph::Edge;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+
+/// Disjoint-set union with path compression and union by rank.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Finds the representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: u32) -> u32 {
+        let p = self.parent[x as usize];
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent[x as usize] = root;
+        root
+    }
+
+    /// Unions the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+}
+
+/// A correct-by-construction dynamic connectivity structure: a mutex-guarded
+/// edge set answering queries by breadth-first search. Used as the oracle in
+/// integration and stress tests.
+pub struct RecomputeOracle {
+    n: usize,
+    edges: Mutex<HashSet<Edge>>,
+}
+
+impl RecomputeOracle {
+    /// Creates the oracle over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        RecomputeOracle {
+            n,
+            edges: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Number of edges currently stored.
+    pub fn num_edges(&self) -> usize {
+        self.edges.lock().len()
+    }
+
+    /// Size of the largest connected component divided by `n`.
+    pub fn largest_component_fraction(&self) -> f64 {
+        let edges = self.edges.lock();
+        let mut adj = vec![Vec::new(); self.n];
+        for e in edges.iter() {
+            adj[e.u() as usize].push(e.v());
+            adj[e.v() as usize].push(e.u());
+        }
+        let mut visited = vec![false; self.n];
+        let mut best = 0usize;
+        for start in 0..self.n {
+            if visited[start] {
+                continue;
+            }
+            let mut size = 0usize;
+            let mut queue = std::collections::VecDeque::new();
+            visited[start] = true;
+            queue.push_back(start as u32);
+            while let Some(x) = queue.pop_front() {
+                size += 1;
+                for &y in &adj[x as usize] {
+                    if !visited[y as usize] {
+                        visited[y as usize] = true;
+                        queue.push_back(y);
+                    }
+                }
+            }
+            best = best.max(size);
+        }
+        best as f64 / self.n.max(1) as f64
+    }
+}
+
+impl DynamicConnectivity for RecomputeOracle {
+    fn add_edge(&self, u: u32, v: u32) {
+        if u == v {
+            return;
+        }
+        self.edges.lock().insert(Edge::new(u, v));
+    }
+
+    fn remove_edge(&self, u: u32, v: u32) {
+        if u == v {
+            return;
+        }
+        self.edges.lock().remove(&Edge::new(u, v));
+    }
+
+    fn connected(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return true;
+        }
+        let edges = self.edges.lock();
+        let mut adj = vec![Vec::new(); self.n];
+        for e in edges.iter() {
+            adj[e.u() as usize].push(e.v());
+            adj[e.v() as usize].push(e.u());
+        }
+        let mut visited = vec![false; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[u as usize] = true;
+        queue.push_back(u);
+        while let Some(x) = queue.pop_front() {
+            if x == v {
+                return true;
+            }
+            for &y in &adj[x as usize] {
+                if !visited[y as usize] {
+                    visited[y as usize] = true;
+                    queue.push_back(y);
+                }
+            }
+        }
+        false
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basic() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already joined");
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 4));
+        assert_eq!(uf.num_components(), 3);
+    }
+
+    #[test]
+    fn oracle_add_remove_connectivity() {
+        let oracle = RecomputeOracle::new(4);
+        assert!(!oracle.connected(0, 3));
+        oracle.add_edge(0, 1);
+        oracle.add_edge(1, 2);
+        oracle.add_edge(2, 3);
+        assert!(oracle.connected(0, 3));
+        assert_eq!(oracle.num_edges(), 3);
+        oracle.remove_edge(1, 2);
+        assert!(!oracle.connected(0, 3));
+        assert!((oracle.largest_component_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_find_agrees_with_oracle_incrementally() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = 32;
+        let mut uf = UnionFind::new(n);
+        let oracle = RecomputeOracle::new(n);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                uf.union(u, v);
+                oracle.add_edge(u, v);
+            }
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            assert_eq!(uf.connected(a, b), oracle.connected(a, b));
+        }
+    }
+}

@@ -1,0 +1,993 @@
+//! The Holm–de Lichtenberg–Thorup (HDT) dynamic connectivity core, built on
+//! single-writer concurrent Euler Tour Trees.
+//!
+//! One [`Hdt`] instance holds the complete level structure of the classic
+//! sequential algorithm (paper Section 4.1):
+//!
+//! * one Euler Tour Tree forest per level, `F_0 ⊇ F_1 ⊇ … ⊇ F_lmax`, where
+//!   the level-0 forest is the one concurrent readers query;
+//! * per-vertex, per-level multisets of adjacent non-spanning edges plus the
+//!   corresponding subtree summary flags inside the ETT nodes;
+//! * per-vertex, per-level sets of adjacent *exact-level* spanning edges,
+//!   used to promote tree edges during a replacement search;
+//! * the edge-state map (status + level + ABA tag) shared with the lock-free
+//!   non-spanning-edge protocol;
+//! * the published-removal side table used by that protocol's conflict
+//!   handshake.
+//!
+//! All structural methods require the caller to be the unique writer for the
+//! affected component(s) — a global lock (coarse-grained variants), the
+//! per-component locks of [`Hdt::lock_components`] (fine-grained variants),
+//! or the combining executor.  The only methods that are safe to call with
+//! no synchronization at all are [`Hdt::connected`] and the read-only
+//! accessors, plus the specific lock-free entry points used by the
+//! non-blocking variants in [`crate::nonblocking`].
+
+use crate::state::{EdgeState, RemovalOp, Status};
+use dc_ett::{EulerForest, Mark, NodeRef};
+use dc_graph::Edge;
+use dc_sync::{ConcurrentMultiSet, ShardedMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default number of replacement candidates examined before the scan starts
+/// promoting non-replacement edges to the next level (the sampling heuristic
+/// of Iyer et al. that the paper enables for every algorithm).
+pub const DEFAULT_SAMPLING_LIMIT: usize = 16;
+
+/// Operation counters backing the Table 3 / Table 4 statistics.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    /// Total completed edge additions.
+    pub additions: AtomicU64,
+    /// Additions that did not change the spanning forest.
+    pub non_spanning_additions: AtomicU64,
+    /// Total completed edge removals.
+    pub removals: AtomicU64,
+    /// Removals of non-spanning edges.
+    pub non_spanning_removals: AtomicU64,
+    /// Spanning-edge removals for which a replacement edge was found.
+    pub replacements_found: AtomicU64,
+}
+
+/// A point-in-time copy of [`OpStats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    /// Total completed edge additions.
+    pub additions: u64,
+    /// Additions that did not change the spanning forest.
+    pub non_spanning_additions: u64,
+    /// Total completed edge removals.
+    pub removals: u64,
+    /// Removals of non-spanning edges.
+    pub non_spanning_removals: u64,
+    /// Spanning-edge removals that found a replacement.
+    pub replacements_found: u64,
+}
+
+impl StatsSnapshot {
+    /// Percentage of additions that were non-spanning.
+    pub fn non_spanning_addition_rate(&self) -> f64 {
+        if self.additions == 0 {
+            0.0
+        } else {
+            100.0 * self.non_spanning_additions as f64 / self.additions as f64
+        }
+    }
+
+    /// Percentage of removals that were non-spanning.
+    pub fn non_spanning_removal_rate(&self) -> f64 {
+        if self.removals == 0 {
+            0.0
+        } else {
+            100.0 * self.non_spanning_removals as f64 / self.removals as f64
+        }
+    }
+}
+
+/// Handle to the component locks acquired by [`Hdt::lock_components`].
+#[derive(Debug, Clone, Copy)]
+pub struct LockedComponents {
+    roots: [NodeRef; 2],
+    count: usize,
+    shared: bool,
+}
+
+/// The HDT dynamic connectivity core; see the module documentation.
+pub struct Hdt {
+    n: usize,
+    levels: Vec<EulerForest>,
+    /// `nontree_adj[level][vertex]`: adjacent non-spanning edges of `level`.
+    nontree_adj: Vec<Vec<ConcurrentMultiSet<Edge>>>,
+    /// `tree_adj[level][vertex]`: adjacent spanning edges of exactly `level`.
+    tree_adj: Vec<Vec<ConcurrentMultiSet<Edge>>>,
+    /// Status + level + tag per edge (absence = removed / never added).
+    pub(crate) states: ShardedMap<Edge, EdgeState>,
+    /// In-flight spanning-edge removals, keyed by the component's level-0
+    /// root (the representative concurrent readers observe).
+    pub(crate) removal_ops: ShardedMap<NodeRef, Arc<RemovalOp>>,
+    sampling_limit: usize,
+    stats: OpStats,
+}
+
+impl Hdt {
+    /// Creates an empty structure over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self::with_sampling(n, DEFAULT_SAMPLING_LIMIT)
+    }
+
+    /// Creates an empty structure with an explicit sampling budget for the
+    /// replacement search (0 disables the heuristic).
+    pub fn with_sampling(n: usize, sampling_limit: usize) -> Self {
+        assert!(n >= 1, "the structure needs at least one vertex");
+        let lmax = (n.max(2) as f64).log2().floor() as usize;
+        let num_levels = lmax + 2; // levels 0..=lmax plus one spill level
+        let levels = (0..num_levels)
+            .map(|i| EulerForest::with_seed(n, 0xDC0DE ^ (i as u64) << 32))
+            .collect();
+        let make_adj = || {
+            (0..num_levels)
+                .map(|_| (0..n).map(|_| ConcurrentMultiSet::new()).collect())
+                .collect()
+        };
+        Hdt {
+            n,
+            levels,
+            nontree_adj: make_adj(),
+            tree_adj: make_adj(),
+            states: ShardedMap::new(),
+            removal_ops: ShardedMap::new(),
+            sampling_limit,
+            stats: OpStats::default(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of levels in the level structure.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The level-`i` spanning forest (the level-0 forest is the one queries
+    /// read).
+    pub fn forest(&self, level: usize) -> &EulerForest {
+        &self.levels[level]
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            additions: self.stats.additions.load(Ordering::Relaxed),
+            non_spanning_additions: self.stats.non_spanning_additions.load(Ordering::Relaxed),
+            removals: self.stats.removals.load(Ordering::Relaxed),
+            non_spanning_removals: self.stats.non_spanning_removals.load(Ordering::Relaxed),
+            replacements_found: self.stats.replacements_found.load(Ordering::Relaxed),
+        }
+    }
+
+    // ----- queries -----------------------------------------------------------
+
+    /// Lock-free linearizable connectivity query (paper Listing 1 applied to
+    /// the level-0 forest). Safe to call from any thread at any time.
+    pub fn connected(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return true;
+        }
+        self.levels[0].connected(u, v)
+    }
+
+    /// Connectivity query by plain root comparison; valid only while the
+    /// caller holds locks covering both components.
+    pub fn connected_locked(&self, u: u32, v: u32) -> bool {
+        u == v || self.levels[0].same_tree_locked(u, v)
+    }
+
+    /// Size of the component of `u` (writer-side; requires the component to
+    /// be quiescent or locked).
+    pub fn component_size(&self, u: u32) -> usize {
+        self.levels[0].component_size(u) as usize
+    }
+
+    /// Returns `true` if the edge is currently present in the graph.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        matches!(
+            self.states.get(&Edge::new(u, v)),
+            Some(st) if st.status != Status::Initial
+        )
+    }
+
+    // ----- per-component locking (paper Listing 2) ---------------------------
+
+    fn lock_components_inner(&self, u: u32, v: u32, shared: bool) -> LockedComponents {
+        let forest = &self.levels[0];
+        loop {
+            let u_root = forest.find_root_node(u);
+            let v_root = forest.find_root_node(v);
+            // Always acquire in the same global order to avoid deadlock.
+            let (first, second) = if u_root.0 <= v_root.0 {
+                (u_root, v_root)
+            } else {
+                (v_root, u_root)
+            };
+            let lock = |r: NodeRef| {
+                if shared {
+                    forest.node(r).lock.read_lock()
+                } else {
+                    forest.node(r).lock.lock()
+                }
+            };
+            let unlock = |r: NodeRef| {
+                if shared {
+                    forest.node(r).lock.read_unlock()
+                } else {
+                    forest.node(r).lock.unlock()
+                }
+            };
+            lock(first);
+            if second != first {
+                lock(second);
+            }
+            // Re-check that we locked the current representatives.
+            let still_roots = forest.node(u_root).parent().is_none()
+                && forest.node(v_root).parent().is_none();
+            let still_current =
+                forest.find_root_node(u) == u_root && forest.find_root_node(v) == v_root;
+            if still_roots && still_current {
+                let count = if second != first { 2 } else { 1 };
+                return LockedComponents {
+                    roots: [first, second],
+                    count,
+                    shared,
+                };
+            }
+            unlock(first);
+            if second != first {
+                unlock(second);
+            }
+        }
+    }
+
+    /// Acquires the per-component locks for the components of `u` and `v`
+    /// (one lock if they are in the same component), following the retry
+    /// protocol of paper Listing 2.
+    pub fn lock_components(&self, u: u32, v: u32) -> LockedComponents {
+        self.lock_components_inner(u, v, false)
+    }
+
+    /// Shared-mode variant used by the fine-grained readers-writer algorithm
+    /// for queries.
+    pub fn lock_components_shared(&self, u: u32, v: u32) -> LockedComponents {
+        self.lock_components_inner(u, v, true)
+    }
+
+    /// Releases locks acquired by [`Hdt::lock_components`] /
+    /// [`Hdt::lock_components_shared`].
+    pub fn unlock_components(&self, locked: LockedComponents) {
+        let forest = &self.levels[0];
+        for i in 0..locked.count {
+            let node = forest.node(locked.roots[i]);
+            if locked.shared {
+                node.lock.read_unlock();
+            } else {
+                node.lock.unlock();
+            }
+        }
+    }
+
+    /// Runs `f` with the components of `u` and `v` exclusively locked.
+    pub fn with_components_locked<R>(&self, u: u32, v: u32, f: impl FnOnce() -> R) -> R {
+        let locked = self.lock_components(u, v);
+        let result = f();
+        self.unlock_components(locked);
+        result
+    }
+
+    // ----- structural operations (caller provides synchronization) ----------
+
+    /// Adds edge `(u, v)`. Returns `false` if it was already present.
+    ///
+    /// The caller must hold synchronization covering both endpoints'
+    /// components (a global lock or [`Hdt::lock_components`]).
+    pub fn add_edge_locked(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        let edge = Edge::new(u, v);
+        if self.has_edge(u, v) {
+            return false;
+        }
+        self.stats.additions.fetch_add(1, Ordering::Relaxed);
+        if self.connected_locked(u, v) {
+            self.stats
+                .non_spanning_additions
+                .fetch_add(1, Ordering::Relaxed);
+            self.add_nonspanning_info(0, edge);
+            self.states
+                .insert(edge, EdgeState::new(Status::NonSpanning, 0));
+        } else {
+            self.make_spanning(edge, 0);
+            self.states.insert(edge, EdgeState::new(Status::Spanning, 0));
+        }
+        true
+    }
+
+    /// Removes edge `(u, v)`. Returns `false` if it was not present.
+    ///
+    /// Same synchronization contract as [`Hdt::add_edge_locked`].
+    pub fn remove_edge_locked(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        let edge = Edge::new(u, v);
+        let state = match self.states.get(&edge) {
+            Some(st) if st.status != Status::Initial => st,
+            _ => return false,
+        };
+        self.stats.removals.fetch_add(1, Ordering::Relaxed);
+        match state.status {
+            Status::NonSpanning => {
+                self.stats
+                    .non_spanning_removals
+                    .fetch_add(1, Ordering::Relaxed);
+                self.remove_nonspanning_info(state.level as usize, edge);
+                self.states.remove(&edge);
+            }
+            Status::Spanning | Status::InProgress => {
+                self.remove_spanning_edge(edge, state.level as usize);
+                self.states.remove(&edge);
+            }
+            Status::Initial => unreachable!(),
+        }
+        true
+    }
+
+    /// Publishes a removal marker for the component whose level-0 root is
+    /// `root` (used by the lock-free protocol's conflict handshake).
+    pub(crate) fn publish_removal(&self, root: NodeRef, op: Arc<RemovalOp>) {
+        self.removal_ops.insert(root, op);
+    }
+
+    /// Removes a previously published removal marker.
+    pub(crate) fn unpublish_removal(&self, root: NodeRef) {
+        self.removal_ops.remove(&root);
+    }
+
+    /// Returns the removal marker currently published for `root`, if any.
+    pub(crate) fn published_removal(&self, root: NodeRef) -> Option<Arc<RemovalOp>> {
+        self.removal_ops.get(&root)
+    }
+
+    /// Records a completed addition in the statistics counters (used by the
+    /// non-blocking fast paths which bypass [`Hdt::add_edge_locked`]).
+    pub(crate) fn record_addition(&self, non_spanning: bool) {
+        self.stats.additions.fetch_add(1, Ordering::Relaxed);
+        if non_spanning {
+            self.stats
+                .non_spanning_additions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a completed removal in the statistics counters.
+    pub(crate) fn record_removal(&self, non_spanning: bool) {
+        self.stats.removals.fetch_add(1, Ordering::Relaxed);
+        if non_spanning {
+            self.stats
+                .non_spanning_removals
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Completes an announced addition under the component locks: the
+    /// blocking fallback of the non-blocking protocol (paper Listing 8,
+    /// `blocking_add_edge`). `initial` is the `Initial` state the caller
+    /// announced; if the stored state differs, someone else already finished
+    /// the insertion and this call is a no-op.
+    pub(crate) fn blocking_add_edge(&self, edge: Edge, initial: EdgeState) {
+        let (u, v) = edge.endpoints();
+        match self.states.get(&edge) {
+            Some(st) if st == initial => {}
+            _ => return,
+        }
+        if self.connected_locked(u, v) {
+            // Non-spanning insertion; publish info before the state change so
+            // a concurrent replacement search can always find the edge.
+            self.add_nonspanning_info(0, edge);
+            if self
+                .states
+                .compare_exchange(&edge, &initial, initial.with(Status::NonSpanning, 0))
+                .is_ok()
+            {
+                self.record_addition(true);
+            } else {
+                self.remove_nonspanning_info(0, edge);
+            }
+        } else {
+            self.states
+                .insert(edge, initial.with(Status::InProgress, 0));
+            self.make_spanning(edge, 0);
+            self.states.insert(edge, initial.with(Status::Spanning, 0));
+            self.record_addition(false);
+        }
+    }
+
+    // ----- internal helpers ---------------------------------------------------
+
+    /// Inserts the adjacency information of a non-spanning edge at `level`
+    /// and raises the subtree flags (paper Listing 6, `add_info`). Lock-free.
+    pub(crate) fn add_nonspanning_info(&self, level: usize, edge: Edge) {
+        let forest = &self.levels[level];
+        for v in [edge.u(), edge.v()] {
+            self.nontree_adj[level][v as usize].add(edge);
+            forest.mark_path_upward(v, Mark::NonSpanning);
+        }
+    }
+
+    /// Removes one copy of the adjacency information of a non-spanning edge
+    /// at `level` (paper Listing 6, `remove_info`). Lock-free; flags are only
+    /// lowered with the re-check dance so racing insertions are never lost.
+    pub(crate) fn remove_nonspanning_info(&self, level: usize, edge: Edge) {
+        let forest = &self.levels[level];
+        for v in [edge.u(), edge.v()] {
+            let set = &self.nontree_adj[level][v as usize];
+            set.remove(&edge);
+            if set.is_empty() {
+                forest.set_vertex_self_mark(v, Mark::NonSpanning, false);
+                if !set.is_empty() {
+                    // A concurrent insertion raced with the clearing; restore.
+                    forest.set_vertex_self_mark(v, Mark::NonSpanning, true);
+                }
+            }
+        }
+    }
+
+    /// Makes `edge` a spanning edge at `level`: links it into forests
+    /// `0..=level`, records it in the exact-level spanning adjacency and
+    /// raises the spanning subtree flags. Caller must hold the locks.
+    fn make_spanning(&self, edge: Edge, level: usize) {
+        let (u, v) = edge.endpoints();
+        for forest in &self.levels[..=level] {
+            forest.link(u, v);
+        }
+        let forest = &self.levels[level];
+        for x in [u, v] {
+            self.tree_adj[level][x as usize].add(edge);
+            forest.mark_path_upward(x, Mark::Spanning);
+        }
+    }
+
+    fn remove_tree_adj(&self, level: usize, edge: Edge) {
+        let forest = &self.levels[level];
+        for x in [edge.u(), edge.v()] {
+            let set = &self.tree_adj[level][x as usize];
+            set.remove(&edge);
+            if set.is_empty() {
+                forest.set_vertex_self_mark(x, Mark::Spanning, false);
+            }
+        }
+    }
+
+    /// Removes a spanning edge of the given level: cuts it out of every
+    /// forest that contains it, searches for a replacement level by level
+    /// (promoting edges along the way), and either reconnects the trees with
+    /// the replacement or commits the split (paper Section 4.1 plus the
+    /// prepared-cut trick that keeps readers from ever observing a transient
+    /// split when a replacement exists).
+    fn remove_spanning_edge(&self, edge: Edge, level: usize) {
+        let (u, v) = edge.endpoints();
+        // Announce the removal for the conflict handshake with concurrent
+        // non-blocking additions (see `crate::nonblocking`): the marker is
+        // keyed by the component representative readers observe, and it stays
+        // published for the whole replacement search.
+        let component_root = self.levels[0].component_root(u);
+        self.publish_removal(
+            component_root,
+            Arc::new(RemovalOp {
+                edge: edge.endpoints(),
+            }),
+        );
+        self.remove_tree_adj(level, edge);
+        // Cut the edge from every forest that contains it. Levels >= 1 are
+        // invisible to readers and are cut outright; level 0 is only
+        // *prepared* so concurrent readers keep seeing one component until we
+        // know whether a replacement exists.
+        if level >= 1 {
+            for forest in self.levels[1..=level].iter().rev() {
+                forest.cut(u, v);
+            }
+        }
+        let prepared = self.levels[0].prepare_cut(u, v);
+
+        let mut replacement: Option<(Edge, usize)> = None;
+        for lvl in (0..=level).rev() {
+            let forest = &self.levels[lvl];
+            let ru = forest.component_root(u);
+            let rv = forest.component_root(v);
+            debug_assert_ne!(ru, rv, "forest {lvl} still connected after the cut");
+            let small_root = if forest.tree_size(ru) <= forest.tree_size(rv) {
+                ru
+            } else {
+                rv
+            };
+            // 1. Promote exact-level spanning edges of the smaller side.
+            self.promote_spanning_edges(lvl, small_root);
+            // 2. Scan the smaller side's non-spanning edges for a replacement.
+            let mut sampling_budget = self.sampling_limit;
+            if let Some(found) = self.scan_for_replacement(lvl, small_root, &mut sampling_budget) {
+                replacement = Some((found, lvl));
+                break;
+            }
+        }
+
+        match replacement {
+            Some((found, lvl)) => {
+                self.stats.replacements_found.fetch_add(1, Ordering::Relaxed);
+                // The scan already moved the edge's state to `Spanning(lvl)`.
+                self.remove_nonspanning_info(lvl, found);
+                let (fu, fv) = found.endpoints();
+                for forest in &self.levels[..=lvl] {
+                    forest.link(fu, fv);
+                }
+                let forest = &self.levels[lvl];
+                for x in [fu, fv] {
+                    self.tree_adj[lvl][x as usize].add(found);
+                    forest.mark_path_upward(x, Mark::Spanning);
+                }
+            }
+            None => {
+                self.levels[0].commit_cut(&prepared);
+            }
+        }
+        self.unpublish_removal(component_root);
+    }
+
+    /// Promotes every spanning edge of exactly `level` inside the subtree of
+    /// `node` (in the level-`level` forest) to `level + 1`, guided by the
+    /// spanning subtree flags.
+    fn promote_spanning_edges(&self, level: usize, node: NodeRef) {
+        let forest = &self.levels[level];
+        if !forest.subtree_has_mark(node, Mark::Spanning) {
+            return;
+        }
+        let n = forest.node(node);
+        if let Some(vertex) = n.vertex() {
+            let set = &self.tree_adj[level][vertex as usize];
+            for edge in set.snapshot() {
+                // The edge may have been promoted already through its other
+                // endpoint; the state map is the source of truth.
+                let state = match self.states.get(&edge) {
+                    Some(st) if st.status == Status::Spanning && st.level as usize == level => st,
+                    _ => {
+                        set.remove(&edge);
+                        continue;
+                    }
+                };
+                let next_level = level + 1;
+                assert!(
+                    next_level < self.levels.len(),
+                    "level structure overflow: component-size invariant violated"
+                );
+                let (eu, ev) = edge.endpoints();
+                // Move the exact-level adjacency up one level.
+                self.remove_tree_adj(level, edge);
+                self.levels[next_level].link(eu, ev);
+                let upper = &self.levels[next_level];
+                for x in [eu, ev] {
+                    self.tree_adj[next_level][x as usize].add(edge);
+                    upper.mark_path_upward(x, Mark::Spanning);
+                }
+                self.states
+                    .insert(edge, state.with(Status::Spanning, next_level as u8));
+            }
+            if set.is_empty() {
+                forest.set_vertex_self_mark(vertex, Mark::Spanning, false);
+            }
+        }
+        for child in [n.left(), n.right()] {
+            if child.is_some() {
+                self.promote_spanning_edges(level, child);
+            }
+        }
+        forest.recalculate_mark(node, Mark::Spanning);
+    }
+
+    /// Scans the non-spanning edges of exactly `level` adjacent to the
+    /// subtree of `node`, promoting non-replacement edges (after the sampling
+    /// budget is exhausted) and returning the first replacement found.
+    ///
+    /// When a replacement is found its state has already been advanced to
+    /// `Spanning(level)`; the caller links it into the forests.
+    fn scan_for_replacement(
+        &self,
+        level: usize,
+        node: NodeRef,
+        sampling_budget: &mut usize,
+    ) -> Option<Edge> {
+        let forest = &self.levels[level];
+        if !forest.subtree_has_mark(node, Mark::NonSpanning) {
+            return None;
+        }
+        let n = forest.node(node);
+        let mut found = None;
+        if let Some(vertex) = n.vertex() {
+            found = self.scan_vertex(level, vertex, sampling_budget);
+        }
+        if found.is_none() {
+            for child in [n.left(), n.right()] {
+                if child.is_some() {
+                    found = self.scan_for_replacement(level, child, sampling_budget);
+                    if found.is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+        if found.is_none() {
+            forest.recalculate_mark(node, Mark::NonSpanning);
+        }
+        found
+    }
+
+    /// Returns `true` if `edge` reconnects the two pieces of the level-`lvl`
+    /// forest (exact, writer-side check — valid under the component lock).
+    fn crosses(&self, level: usize, edge: Edge) -> bool {
+        let forest = &self.levels[level];
+        forest.component_root(edge.u()) != forest.component_root(edge.v())
+    }
+
+    fn scan_vertex(
+        &self,
+        level: usize,
+        vertex: u32,
+        sampling_budget: &mut usize,
+    ) -> Option<Edge> {
+        let set = &self.nontree_adj[level][vertex as usize];
+        for edge in set.snapshot() {
+            let state = match self.states.get(&edge) {
+                Some(st) => st,
+                None => continue, // removed concurrently; its copy will be cleaned by its owner
+            };
+            match state.status {
+                Status::Initial => {
+                    // A lock-free addition is in flight (level is always 0 for
+                    // Initial edges). Help it complete (paper Listing 10).
+                    debug_assert_eq!(level, 0);
+                    if self.crosses(level, edge) {
+                        if self
+                            .states
+                            .compare_exchange(&edge, &state, state.with(Status::Spanning, level as u8))
+                            .is_ok()
+                        {
+                            return Some(edge);
+                        }
+                    } else {
+                        // Help finish the addition as a non-spanning edge:
+                        // publish a second info copy first (the original
+                        // adder retracts its own copy when its CAS fails), so
+                        // the edge is never visible as NonSpanning without
+                        // adjacency information.
+                        self.add_nonspanning_info(level, edge);
+                        if self
+                            .states
+                            .compare_exchange(
+                                &edge,
+                                &state,
+                                state.with(Status::NonSpanning, level as u8),
+                            )
+                            .is_err()
+                        {
+                            self.remove_nonspanning_info(level, edge);
+                        }
+                    }
+                }
+                Status::NonSpanning if state.level as usize == level => {
+                    if self.crosses(level, edge) {
+                        if self
+                            .states
+                            .compare_exchange(&edge, &state, state.with(Status::Spanning, level as u8))
+                            .is_ok()
+                        {
+                            return Some(edge);
+                        }
+                    } else if *sampling_budget > 0 {
+                        // Sampling fast path: examine without promoting.
+                        *sampling_budget -= 1;
+                    } else {
+                        // Promote the edge to the next level (it cannot be a
+                        // replacement now and will stay non-spanning there).
+                        let next_level = level + 1;
+                        assert!(next_level < self.levels.len(), "level structure overflow");
+                        self.add_nonspanning_info(next_level, edge);
+                        if self
+                            .states
+                            .compare_exchange(
+                                &edge,
+                                &state,
+                                state.with(Status::NonSpanning, next_level as u8),
+                            )
+                            .is_ok()
+                        {
+                            self.remove_nonspanning_info(level, edge);
+                        } else {
+                            self.remove_nonspanning_info(next_level, edge);
+                        }
+                    }
+                }
+                _ => {
+                    // Spanning, InProgress or stale-level copies: skip.
+                }
+            }
+        }
+        None
+    }
+
+    /// Validates the full structure (intended for tests): every forest's
+    /// internal invariants, the consistency of the state map with the
+    /// spanning forests, and the HDT level invariants.
+    pub fn validate(&self) {
+        for forest in &self.levels {
+            forest.validate();
+        }
+        self.states.for_each(|edge, state| {
+            let (u, v) = edge.endpoints();
+            match state.status {
+                Status::Spanning => {
+                    for (lvl, forest) in self.levels.iter().enumerate() {
+                        if lvl <= state.level as usize {
+                            assert!(
+                                forest.has_tree_edge(u, v),
+                                "spanning edge {edge:?} missing from forest {lvl}"
+                            );
+                        } else {
+                            assert!(
+                                !forest.has_tree_edge(u, v),
+                                "spanning edge {edge:?} present above its level"
+                            );
+                        }
+                    }
+                }
+                Status::NonSpanning => {
+                    let lvl = state.level as usize;
+                    assert!(
+                        self.levels[0].same_tree_locked(u, v),
+                        "non-spanning edge {edge:?} crosses components"
+                    );
+                    assert!(
+                        self.nontree_adj[lvl][u as usize].contains(edge)
+                            && self.nontree_adj[lvl][v as usize].contains(edge),
+                        "non-spanning edge {edge:?} missing adjacency info at level {lvl}"
+                    );
+                    for forest in &self.levels {
+                        assert!(!forest.has_tree_edge(u, v));
+                    }
+                }
+                Status::Initial | Status::InProgress => {}
+            }
+        });
+        // Level-structure invariant: components at level i have at most
+        // n / 2^i vertices.
+        for (lvl, forest) in self.levels.iter().enumerate() {
+            let bound = (self.n as f64 / 2f64.powi(lvl as i32)).ceil() as u32;
+            for v in 0..self.n as u32 {
+                assert!(
+                    forest.component_size(v) <= bound.max(1),
+                    "component of {v} at level {lvl} exceeds n/2^{lvl}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_structure_answers_queries() {
+        let hdt = Hdt::new(8);
+        assert!(hdt.connected(3, 3));
+        assert!(!hdt.connected(0, 7));
+        assert_eq!(hdt.component_size(4), 1);
+        assert!(!hdt.has_edge(0, 1));
+        hdt.validate();
+    }
+
+    #[test]
+    fn add_and_remove_single_edge() {
+        let hdt = Hdt::new(4);
+        assert!(hdt.add_edge_locked(0, 1));
+        assert!(!hdt.add_edge_locked(0, 1), "duplicate add must be rejected");
+        assert!(hdt.connected(0, 1));
+        assert!(hdt.has_edge(1, 0));
+        hdt.validate();
+        assert!(hdt.remove_edge_locked(0, 1));
+        assert!(!hdt.remove_edge_locked(0, 1));
+        assert!(!hdt.connected(0, 1));
+        hdt.validate();
+    }
+
+    #[test]
+    fn non_spanning_edge_removal_keeps_connectivity() {
+        let hdt = Hdt::new(4);
+        hdt.add_edge_locked(0, 1);
+        hdt.add_edge_locked(1, 2);
+        hdt.add_edge_locked(0, 2); // closes a cycle: non-spanning
+        let stats = hdt.stats();
+        assert_eq!(stats.non_spanning_additions, 1);
+        hdt.validate();
+        assert!(hdt.remove_edge_locked(0, 2));
+        assert!(hdt.connected(0, 2), "removing a cycle edge keeps connectivity");
+        hdt.validate();
+    }
+
+    #[test]
+    fn spanning_edge_removal_finds_replacement() {
+        let hdt = Hdt::new(4);
+        hdt.add_edge_locked(0, 1); // spanning
+        hdt.add_edge_locked(1, 2); // spanning
+        hdt.add_edge_locked(0, 2); // non-spanning (cycle)
+        assert!(hdt.remove_edge_locked(0, 1));
+        assert!(
+            hdt.connected(0, 1),
+            "the non-spanning edge (0,2) must replace the removed spanning edge"
+        );
+        assert_eq!(hdt.stats().replacements_found, 1);
+        hdt.validate();
+        assert!(hdt.remove_edge_locked(1, 2));
+        assert!(hdt.connected(0, 2));
+        assert!(hdt.connected(1, 2) == false || hdt.connected(1, 2));
+        hdt.validate();
+    }
+
+    #[test]
+    fn spanning_edge_removal_without_replacement_splits() {
+        let hdt = Hdt::new(6);
+        for v in 0..5 {
+            hdt.add_edge_locked(v, v + 1);
+        }
+        assert!(hdt.remove_edge_locked(2, 3));
+        assert!(!hdt.connected(0, 5));
+        assert!(hdt.connected(0, 2));
+        assert!(hdt.connected(3, 5));
+        hdt.validate();
+    }
+
+    #[test]
+    fn dense_component_survives_many_spanning_removals() {
+        // Complete graph on 8 vertices: any spanning edge removal must find a
+        // replacement, possibly promoting edges through several levels.
+        let n = 8u32;
+        let hdt = Hdt::new(n as usize);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                hdt.add_edge_locked(u, v);
+            }
+        }
+        hdt.validate();
+        // Remove edges one by one in arbitrary order; connectivity must hold
+        // until fewer than n-1 edges remain ... we only remove half of them.
+        let mut removed = 0;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if (u + v) % 2 == 0 && removed < 14 {
+                    assert!(hdt.remove_edge_locked(u, v));
+                    removed += 1;
+                    assert!(hdt.connected(0, n - 1));
+                }
+            }
+        }
+        hdt.validate();
+    }
+
+    #[test]
+    fn lock_components_locks_current_roots() {
+        let hdt = Hdt::new(6);
+        hdt.add_edge_locked(0, 1);
+        hdt.add_edge_locked(2, 3);
+        let locked = hdt.lock_components(0, 2);
+        assert_eq!(locked.count, 2);
+        // Same-component locking takes a single lock.
+        hdt.unlock_components(locked);
+        let locked = hdt.lock_components(0, 1);
+        assert_eq!(locked.count, 1);
+        hdt.unlock_components(locked);
+        // with_components_locked releases on exit.
+        let answer = hdt.with_components_locked(0, 3, || hdt.connected_locked(0, 3));
+        assert!(!answer);
+        let locked = hdt.lock_components(0, 3);
+        hdt.unlock_components(locked);
+    }
+
+    #[test]
+    fn stats_snapshot_rates() {
+        let hdt = Hdt::new(5);
+        hdt.add_edge_locked(0, 1);
+        hdt.add_edge_locked(1, 2);
+        hdt.add_edge_locked(0, 2);
+        hdt.remove_edge_locked(0, 2);
+        hdt.remove_edge_locked(0, 1);
+        let stats = hdt.stats();
+        assert_eq!(stats.additions, 3);
+        assert_eq!(stats.non_spanning_additions, 1);
+        assert_eq!(stats.removals, 2);
+        assert_eq!(stats.non_spanning_removals, 1);
+        assert!((stats.non_spanning_addition_rate() - 100.0 / 3.0).abs() < 1e-9);
+        assert!((stats.non_spanning_removal_rate() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn randomized_against_bfs_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = 24usize;
+        let hdt = Hdt::new(n);
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut present: Vec<(u32, u32)> = Vec::new();
+        let mut edge_set = std::collections::HashSet::new();
+        let connected_model = |edges: &std::collections::HashSet<(u32, u32)>, a: u32, b: u32| {
+            if a == b {
+                return true;
+            }
+            let mut visited = std::collections::HashSet::new();
+            let mut queue = std::collections::VecDeque::new();
+            visited.insert(a);
+            queue.push_back(a);
+            while let Some(x) = queue.pop_front() {
+                if x == b {
+                    return true;
+                }
+                for &(p, q) in edges.iter() {
+                    let next = if p == x {
+                        Some(q)
+                    } else if q == x {
+                        Some(p)
+                    } else {
+                        None
+                    };
+                    if let Some(y) = next {
+                        if visited.insert(y) {
+                            queue.push_back(y);
+                        }
+                    }
+                }
+            }
+            false
+        };
+        for step in 0..4000 {
+            let op = rng.gen_range(0..100);
+            if op < 45 || present.is_empty() {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                if u != v && !edge_set.contains(&(u.min(v), u.max(v))) {
+                    hdt.add_edge_locked(u, v);
+                    edge_set.insert((u.min(v), u.max(v)));
+                    present.push((u.min(v), u.max(v)));
+                }
+            } else if op < 80 {
+                let idx = rng.gen_range(0..present.len());
+                let (u, v) = present.swap_remove(idx);
+                edge_set.remove(&(u, v));
+                assert!(hdt.remove_edge_locked(u, v));
+            } else {
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                assert_eq!(
+                    hdt.connected(a, b),
+                    connected_model(&edge_set, a, b),
+                    "connectivity mismatch at step {step} for ({a}, {b})"
+                );
+            }
+            if step % 1000 == 999 {
+                hdt.validate();
+            }
+        }
+        hdt.validate();
+    }
+}

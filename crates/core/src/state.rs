@@ -1,0 +1,133 @@
+//! Edge status state machine (paper Section 4.4 and Appendix C).
+//!
+//! Every edge known to the structure has a [`EdgeState`] stored in a
+//! concurrent map keyed by the normalized edge: its [`Status`] plus the level
+//! it currently occupies in the Holm–de Lichtenberg–Thorup level structure.
+//! The lock-free non-spanning-edge protocol advances edges through the state
+//! machine with compare-and-swap operations on these values; a random tag is
+//! embedded in every state so that re-inserting an edge never produces a
+//! value equal to one observed before removal (the ABA guard the paper
+//! obtains by pairing `INITIAL` with random bits).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The status part of an edge state (paper Figures 4 and 13).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// Freshly announced by an `add_edge`; not yet part of the structure.
+    Initial,
+    /// In the graph but not in the spanning forest; removal is non-blocking.
+    NonSpanning,
+    /// In the spanning forest; updates must run under component locks.
+    Spanning,
+    /// Being inserted into the spanning forest by some thread right now.
+    InProgress,
+}
+
+/// Status + level + ABA tag of an edge. The `Removed` status of the paper is
+/// represented by absence from the state map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeState {
+    /// Current status.
+    pub status: Status,
+    /// Level of the edge in the HDT level structure (`0..=log2 n`).
+    pub level: u8,
+    /// Random tag distinguishing distinct insertions of the same edge.
+    pub tag: u64,
+}
+
+static TAG_COUNTER: AtomicU64 = AtomicU64::new(0x9E37_79B9);
+
+fn fresh_tag() -> u64 {
+    // SplitMix64 over a global counter: unique enough for ABA protection and
+    // free of thread-local RNG setup cost on the hot path.
+    let x = TAG_COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl EdgeState {
+    /// A fresh `Initial` state with a new tag.
+    pub fn initial() -> Self {
+        EdgeState {
+            status: Status::Initial,
+            level: 0,
+            tag: fresh_tag(),
+        }
+    }
+
+    /// Derives a new state with the given status and level, keeping the tag.
+    pub fn with(self, status: Status, level: u8) -> Self {
+        EdgeState {
+            status,
+            level,
+            tag: self.tag,
+        }
+    }
+
+    /// Convenience constructor for a state with an explicit status/level and
+    /// a fresh tag.
+    pub fn new(status: Status, level: u8) -> Self {
+        EdgeState {
+            status,
+            level,
+            tag: fresh_tag(),
+        }
+    }
+
+    /// `true` if the edge is currently a spanning-forest edge or about to
+    /// become one, which means its removal must take locks.
+    pub fn requires_locked_removal(&self) -> bool {
+        matches!(self.status, Status::Spanning | Status::InProgress)
+    }
+}
+
+/// Marker describing an in-flight spanning-edge removal, published in a side
+/// table keyed by the component's level-0 root while the removal holds the
+/// component lock.
+///
+/// A concurrent non-blocking `add_edge` that observes this marker for the
+/// component of its endpoints falls back to the blocking path, which closes
+/// the race of Theorem 4.1: either the removal's replacement scan sees the
+/// edge's already-published adjacency information (and helps complete the
+/// addition, possibly using the edge as the replacement), or the addition
+/// observes the marker and waits for the removal to finish.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RemovalOp {
+    /// The spanning edge being removed.
+    pub edge: (u32, u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_states_have_distinct_tags() {
+        let a = EdgeState::initial();
+        let b = EdgeState::initial();
+        assert_eq!(a.status, Status::Initial);
+        assert_ne!(a.tag, b.tag, "ABA tags must differ between insertions");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn with_preserves_tag() {
+        let a = EdgeState::initial();
+        let b = a.with(Status::NonSpanning, 3);
+        assert_eq!(b.tag, a.tag);
+        assert_eq!(b.status, Status::NonSpanning);
+        assert_eq!(b.level, 3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn locked_removal_classification() {
+        assert!(EdgeState::new(Status::Spanning, 0).requires_locked_removal());
+        assert!(EdgeState::new(Status::InProgress, 0).requires_locked_removal());
+        assert!(!EdgeState::new(Status::NonSpanning, 2).requires_locked_removal());
+        assert!(!EdgeState::new(Status::Initial, 0).requires_locked_removal());
+    }
+}

@@ -1,0 +1,282 @@
+//! A concurrent, append-only node arena.
+//!
+//! The single-writer Euler Tour Tree stores its nodes in an arena and
+//! addresses them with dense `u32` indices ([`NodeRef`]).  Readers traverse
+//! parent pointers while writers restructure the trees, so the arena has to
+//! satisfy two requirements that a plain `Vec<Node>` cannot:
+//!
+//! 1. **Stable addresses.** Growing the arena must never move existing nodes,
+//!    because a concurrent reader may be dereferencing them at that very
+//!    moment.  Nodes therefore live in fixed-size chunks that are allocated
+//!    once and never reallocated; the chunk directory is a fixed array of
+//!    `AtomicPtr`s.
+//! 2. **No reuse while readers may still traverse a retired node.** The
+//!    paper's implementation runs on the JVM and leans on garbage collection:
+//!    a reader holding a stale reference keeps the node alive.  This arena
+//!    reproduces that guarantee by simply never recycling slots — a retired
+//!    Euler-tour edge node stays allocated (and safe to read) until the whole
+//!    forest is dropped.  See `DESIGN.md` §4 for the substitution rationale.
+//!
+//! Allocation is thread-safe (several writers operating on disjoint
+//! components may allocate edge nodes concurrently in the fine-grained
+//! variants).
+
+use crate::node::Node;
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+
+/// Index of a node inside the arena. `NodeRef::NONE` is the null reference.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef(pub u32);
+
+impl NodeRef {
+    /// The null node reference.
+    pub const NONE: NodeRef = NodeRef(u32::MAX);
+
+    /// Returns `true` if this is the null reference.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self == Self::NONE
+    }
+
+    /// Returns `true` if this is a real node reference.
+    #[inline]
+    pub fn is_some(self) -> bool {
+        self != Self::NONE
+    }
+
+    /// Converts to `Option<NodeRef>`, mapping `NONE` to `None`.
+    #[inline]
+    pub fn some(self) -> Option<NodeRef> {
+        if self.is_none() {
+            None
+        } else {
+            Some(self)
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_none() {
+            write!(f, "NodeRef(NONE)")
+        } else {
+            write!(f, "NodeRef({})", self.0)
+        }
+    }
+}
+
+/// Number of nodes per chunk (16 Ki nodes).
+const CHUNK_BITS: u32 = 14;
+const CHUNK_SIZE: usize = 1 << CHUNK_BITS;
+const CHUNK_MASK: usize = CHUNK_SIZE - 1;
+/// Maximum number of chunks (allows up to ~67M nodes).
+const MAX_CHUNKS: usize = 4096;
+
+/// The chunked node arena. See the module documentation.
+pub struct Arena {
+    chunks: Box<[AtomicPtr<Node>]>,
+    len: AtomicU32,
+}
+
+impl Arena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        let chunks = (0..MAX_CHUNKS)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Arena {
+            chunks,
+            len: AtomicU32::new(0),
+        }
+    }
+
+    /// Number of nodes allocated so far.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire) as usize
+    }
+
+    /// Returns `true` if no node has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn chunk_ptr(&self, chunk_idx: usize) -> *mut Node {
+        self.chunks[chunk_idx].load(Ordering::Acquire)
+    }
+
+    fn ensure_chunk(&self, chunk_idx: usize) -> *mut Node {
+        assert!(
+            chunk_idx < MAX_CHUNKS,
+            "arena exhausted: more than {} nodes requested",
+            MAX_CHUNKS * CHUNK_SIZE
+        );
+        let existing = self.chunk_ptr(chunk_idx);
+        if !existing.is_null() {
+            return existing;
+        }
+        // Allocate a chunk of default-initialized nodes and try to install it.
+        let mut fresh: Vec<Node> = Vec::with_capacity(CHUNK_SIZE);
+        fresh.resize_with(CHUNK_SIZE, Node::new_unlinked);
+        let boxed: Box<[Node]> = fresh.into_boxed_slice();
+        let ptr = Box::into_raw(boxed) as *mut Node;
+        match self.chunks[chunk_idx].compare_exchange(
+            std::ptr::null_mut(),
+            ptr,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => ptr,
+            Err(winner) => {
+                // Another allocator won the race; free ours and use theirs.
+                // SAFETY: `ptr` came from `Box::into_raw` of a `CHUNK_SIZE`
+                // slice above and was never published.
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                        ptr, CHUNK_SIZE,
+                    )));
+                }
+                winner
+            }
+        }
+    }
+
+    /// Allocates a fresh node slot and returns its reference.
+    ///
+    /// The returned node is in the "unlinked" state (no parent, no children,
+    /// zero priority); the caller initializes its fields before publishing
+    /// the reference to other threads.
+    pub fn alloc(&self) -> NodeRef {
+        let idx = self.len.fetch_add(1, Ordering::AcqRel);
+        assert!(idx != u32::MAX, "arena index space exhausted");
+        let chunk_idx = (idx >> CHUNK_BITS) as usize;
+        // Make sure the chunk that holds `idx` exists. Another thread may be
+        // allocating it right now; `ensure_chunk` handles the race.
+        self.ensure_chunk(chunk_idx);
+        NodeRef(idx)
+    }
+
+    /// Returns a shared reference to the node at `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` is `NONE` or out of bounds.
+    #[inline]
+    pub fn node(&self, r: NodeRef) -> &Node {
+        assert!(r.is_some(), "dereferenced NodeRef::NONE");
+        let idx = r.0 as usize;
+        debug_assert!(idx < self.len(), "node index {idx} out of bounds");
+        let chunk_idx = idx >> CHUNK_BITS;
+        let ptr = self.chunk_ptr(chunk_idx);
+        assert!(!ptr.is_null(), "node chunk {chunk_idx} not allocated");
+        // SAFETY: chunks are never freed or moved while the arena is alive,
+        // every slot below `len` has been default-initialized by
+        // `ensure_chunk`, and `Node` only contains atomics / interior-mutable
+        // fields, so shared access from any thread is sound.
+        unsafe { &*ptr.add(idx & CHUNK_MASK) }
+    }
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        for chunk in self.chunks.iter() {
+            let ptr = chunk.load(Ordering::Acquire);
+            if !ptr.is_null() {
+                // SAFETY: the pointer was produced by `Box::into_raw` of a
+                // `CHUNK_SIZE` boxed slice in `ensure_chunk`.
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                        ptr, CHUNK_SIZE,
+                    )));
+                }
+            }
+        }
+    }
+}
+
+// SAFETY: all shared state is accessed through atomics or `Node`'s
+// interior-mutable fields.
+unsafe impl Send for Arena {}
+unsafe impl Sync for Arena {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn noderef_none_behaviour() {
+        assert!(NodeRef::NONE.is_none());
+        assert!(!NodeRef::NONE.is_some());
+        assert_eq!(NodeRef::NONE.some(), None);
+        assert_eq!(NodeRef(3).some(), Some(NodeRef(3)));
+    }
+
+    #[test]
+    fn alloc_returns_dense_indices() {
+        let arena = Arena::new();
+        assert!(arena.is_empty());
+        let a = arena.alloc();
+        let b = arena.alloc();
+        let c = arena.alloc();
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+        assert_eq!(arena.len(), 3);
+    }
+
+    #[test]
+    fn nodes_are_distinct_and_addressable() {
+        let arena = Arena::new();
+        let refs: Vec<NodeRef> = (0..100).map(|_| arena.alloc()).collect();
+        for (i, &r) in refs.iter().enumerate() {
+            arena.node(r).set_priority(i as u64);
+        }
+        for (i, &r) in refs.iter().enumerate() {
+            assert_eq!(arena.node(r).priority(), i as u64);
+        }
+    }
+
+    #[test]
+    fn allocation_crosses_chunk_boundary() {
+        let arena = Arena::new();
+        let count = CHUNK_SIZE + 10;
+        let refs: Vec<NodeRef> = (0..count).map(|_| arena.alloc()).collect();
+        assert_eq!(arena.len(), count);
+        // Touch the first and last to make sure both chunks are live.
+        arena.node(refs[0]).set_priority(7);
+        arena.node(refs[count - 1]).set_priority(9);
+        assert_eq!(arena.node(refs[0]).priority(), 7);
+        assert_eq!(arena.node(refs[count - 1]).priority(), 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dereferencing_none_panics() {
+        let arena = Arena::new();
+        let _ = arena.node(NodeRef::NONE);
+    }
+
+    #[test]
+    fn concurrent_allocation_yields_unique_slots() {
+        let arena = Arc::new(Arena::new());
+        let threads = 4;
+        let per_thread = 5000;
+        let mut all: Vec<u32> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let arena = Arc::clone(&arena);
+                    s.spawn(move || (0..per_thread).map(|_| arena.alloc().0).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), threads * per_thread);
+        assert_eq!(arena.len(), threads * per_thread);
+    }
+}

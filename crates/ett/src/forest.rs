@@ -1,0 +1,585 @@
+//! The single-writer, multi-reader concurrent Euler Tour Tree forest.
+//!
+//! An [`EulerForest`] maintains one Euler tour per spanning tree of a forest
+//! over `n` vertices, each tour stored in a Cartesian tree (treap).  It is
+//! the data structure of Section 3 of the paper:
+//!
+//! * [`EulerForest::connected`] / [`EulerForest::find_root`] are lock-free
+//!   and may be called from any number of threads at any time
+//!   (Listing 1 of the paper).
+//! * Structural operations ([`EulerForest::link`], [`EulerForest::cut`],
+//!   [`EulerForest::prepare_cut`] / [`EulerForest::commit_cut`]) follow the
+//!   single-writer discipline: for any given component, at most one thread
+//!   may be running a structural operation at a time.  The dynamic
+//!   connectivity layer enforces this with a global lock (coarse-grained
+//!   variants) or per-component locks (fine-grained variants).
+//!
+//! Structural operations are split into a *logical* part — one store that
+//! readers observe as the linearization point — and a *physical* part that
+//! restructures the treaps while preserving, at every instant, the invariant
+//! that every node reaches its component's current representative by
+//! following parent pointers (see `crate::treap` for the mechanics).
+
+use crate::arena::{Arena, NodeRef};
+use crate::node::{Mark, Node};
+use dc_sync::ShardedMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Normalizes an undirected edge key.
+#[inline]
+fn norm(u: u32, v: u32) -> (u32, u32) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// A spanning-edge cut that has been physically prepared but not yet
+/// logically applied.
+///
+/// Between [`EulerForest::prepare_cut`] and [`EulerForest::commit_cut`] the
+/// two would-be trees are fully restructured, yet concurrent readers still
+/// observe a single connected component: the root of the detached piece keeps
+/// a stale parent pointer into the retained piece.  The dynamic connectivity
+/// layer runs its replacement search in this window; if a replacement edge is
+/// found it simply links the pieces back together (readers never notice),
+/// otherwise it commits the cut with a single parent-pointer store.
+#[derive(Clone, Copy, Debug)]
+pub struct PreparedCut {
+    /// Root of the piece that contains the old component representative.
+    pub retained_root: NodeRef,
+    /// Root of the piece that becomes a separate component when committed.
+    pub detached_root: NodeRef,
+    /// Number of vertices in the retained piece.
+    pub retained_size: u32,
+    /// Number of vertices in the detached piece.
+    pub detached_size: u32,
+}
+
+impl PreparedCut {
+    /// Returns `(smaller_root, smaller_size)` of the two prepared pieces —
+    /// the side the HDT replacement search scans and promotes.
+    pub fn smaller_piece(&self) -> (NodeRef, u32) {
+        if self.detached_size <= self.retained_size {
+            (self.detached_root, self.detached_size)
+        } else {
+            (self.retained_root, self.retained_size)
+        }
+    }
+}
+
+/// The Euler Tour Tree forest; see the module documentation.
+pub struct EulerForest {
+    arena: Arena,
+    vertex_nodes: Vec<NodeRef>,
+    /// Normalized tree edge -> (min->max tour node, max->min tour node).
+    edge_nodes: ShardedMap<(u32, u32), (NodeRef, NodeRef)>,
+    prio_state: AtomicU64,
+}
+
+impl EulerForest {
+    /// Creates a forest of `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Self::with_seed(n, 0x5EED_0F_DC0DE)
+    }
+
+    /// Creates a forest of `n` isolated vertices with an explicit priority
+    /// seed (useful for deterministic tests).
+    pub fn with_seed(n: usize, seed: u64) -> Self {
+        let forest = EulerForest {
+            arena: Arena::new(),
+            vertex_nodes: Vec::new(),
+            edge_nodes: ShardedMap::new(),
+            prio_state: AtomicU64::new(seed | 1),
+        };
+        let mut forest = forest;
+        let mut nodes = Vec::with_capacity(n);
+        for v in 0..n {
+            let r = forest.arena.alloc();
+            let node = forest.arena.node(r);
+            node.set_endpoints(v as u32, v as u32);
+            // Vertex nodes draw priorities from the upper band so a tour's
+            // treap root is always a vertex node.
+            node.set_priority(forest.next_priority() | (1 << 63));
+            node.set_size(1);
+            node.set_is_root(true);
+            node.set_parent(NodeRef::NONE);
+            nodes.push(r);
+        }
+        forest.vertex_nodes = nodes;
+        forest
+    }
+
+    fn next_priority(&self) -> u64 {
+        // SplitMix64 over an atomic counter: thread-safe, cheap, and
+        // deterministic for a fixed seed.
+        let x = self.prio_state.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) & !(1 << 63)
+    }
+
+    /// Number of vertices in the forest.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_nodes.len()
+    }
+
+    /// Shared access to a node. This is an advanced accessor used by the
+    /// dynamic connectivity layer for per-component locks, subtree traversal
+    /// and mark maintenance.
+    #[inline]
+    pub fn node(&self, r: NodeRef) -> &Node {
+        self.arena.node(r)
+    }
+
+    /// The permanent tour node of vertex `v`.
+    #[inline]
+    pub fn vertex_node_ref(&self, v: u32) -> NodeRef {
+        self.vertex_nodes[v as usize]
+    }
+
+    /// Returns `true` if the spanning edge `(u, v)` is currently in the
+    /// forest.
+    pub fn has_tree_edge(&self, u: u32, v: u32) -> bool {
+        self.edge_nodes.contains_key(&norm(u, v))
+    }
+
+    // ----- lock-free read operations (Listing 1) ---------------------------
+
+    /// Follows parent links from `v`'s node to the current root and returns
+    /// the root together with its version (paper Listing 1, `find_root`).
+    ///
+    /// Safe to call concurrently with structural operations.
+    pub fn find_root(&self, v: u32) -> (NodeRef, u64) {
+        let mut cur = self.vertex_node_ref(v);
+        loop {
+            let parent = self.node(cur).parent();
+            if parent.is_none() {
+                break;
+            }
+            cur = parent;
+        }
+        (cur, self.node(cur).version())
+    }
+
+    /// The current root node of `v`'s component (without the version).
+    pub fn find_root_node(&self, v: u32) -> NodeRef {
+        self.find_root(v).0
+    }
+
+    /// Linearizable, non-blocking connectivity check (paper Listing 1).
+    pub fn connected(&self, u: u32, v: u32) -> bool {
+        loop {
+            let (u_root, u_version) = self.find_root(u);
+            let (v_root, v_version) = self.find_root(v);
+            // Has the component of `u` changed while we looked at `v`?
+            if self.find_root(u) != (u_root, u_version) {
+                continue;
+            }
+            if u_root != v_root {
+                // `u` and `v` are likely in different components; re-check
+                // that both roots were snapshotted atomically.
+                if self.find_root(v) != (v_root, v_version) {
+                    continue;
+                }
+                if self.find_root(u) != (u_root, u_version) {
+                    continue;
+                }
+            }
+            return u_root == v_root;
+        }
+    }
+
+    /// Root comparison for callers that already hold the locks covering both
+    /// components (no retry protocol needed).
+    pub fn same_tree_locked(&self, u: u32, v: u32) -> bool {
+        self.writer_root(self.vertex_node_ref(u)) == self.writer_root(self.vertex_node_ref(v))
+    }
+
+    /// Writer-side component representative of vertex `v` (follows exact
+    /// parent pointers, valid only under the component's lock).
+    pub fn component_root(&self, v: u32) -> NodeRef {
+        self.writer_root(self.vertex_node_ref(v))
+    }
+
+    /// Number of vertices in the tree rooted at `root`.
+    pub fn tree_size(&self, root: NodeRef) -> u32 {
+        self.node(root).size()
+    }
+
+    /// Number of vertices in the component containing `v` (writer-side).
+    pub fn component_size(&self, v: u32) -> u32 {
+        self.tree_size(self.component_root(v))
+    }
+
+    // ----- structural operations (single writer per component) -------------
+
+    fn new_edge_node(&self, from: u32, to: u32, initial_parent: NodeRef) -> NodeRef {
+        let r = self.arena.alloc();
+        let node = self.arena.node(r);
+        node.set_endpoints(from, to);
+        // Edge nodes live in the lower priority band: they can never become a
+        // component's treap root, so the common root of a merge is always the
+        // pre-determined higher-priority old root (see `crate::node`).
+        node.set_priority(self.next_priority());
+        node.set_size(0);
+        node.set_left(NodeRef::NONE);
+        node.set_right(NodeRef::NONE);
+        node.set_is_root(true);
+        // Never expose a second sink: before the node is attached anywhere it
+        // already points at the component representative.
+        node.set_parent(initial_parent);
+        r
+    }
+
+    /// Adds the spanning edge `(u, v)`, merging the two Euler tours.
+    ///
+    /// # Contract
+    /// `u` and `v` must currently be in different trees, and the caller must
+    /// hold whatever synchronization makes it the unique writer for both
+    /// components.
+    pub fn link(&self, u: u32, v: u32) {
+        debug_assert!(u != v, "self-loops cannot be spanning edges");
+        let ru = self.component_root(u);
+        let rv = self.component_root(v);
+        assert_ne!(ru, rv, "link({u}, {v}): endpoints already in the same tree");
+
+        // Update the root versions before any structural change (readers use
+        // them to detect racing modifications).
+        self.node(ru).bump_version();
+        self.node(rv).bump_version();
+
+        // The common root after the merge is the higher-priority old root.
+        let (hi, lo) = if self.prio_key(ru) > self.prio_key(rv) {
+            (ru, rv)
+        } else {
+            (rv, ru)
+        };
+
+        // Logical merge — the linearization point of the edge addition: from
+        // here on every node of both trees reaches `hi`.
+        self.node(lo).set_parent(hi);
+
+        // Physical merge: rotate both tours to start at the edge endpoints
+        // and concatenate them with the two new Euler-tour edge nodes.
+        let tu = self.reroot(u);
+        let tv = self.reroot(v);
+        let e_uv = self.new_edge_node(u, v, hi);
+        let e_vu = self.new_edge_node(v, u, hi);
+        let (key_u, _key_v) = (norm(u, v).0, norm(u, v).1);
+        let stored = if key_u == u { (e_uv, e_vu) } else { (e_vu, e_uv) };
+        let prev = self.edge_nodes.insert(norm(u, v), stored);
+        debug_assert!(prev.is_none(), "duplicate spanning edge ({u}, {v})");
+
+        let t = self.merge_roots(tu, e_uv);
+        let t = self.merge_roots(t, tv);
+        let t = self.merge_roots(t, e_vu);
+        debug_assert_eq!(t, hi, "merged tour root must be the higher-priority old root");
+    }
+
+    /// Physically splits the tour of spanning edge `(u, v)` into the two
+    /// would-be trees without logically disconnecting them.
+    ///
+    /// # Contract
+    /// `(u, v)` must be a spanning edge and the caller must be the unique
+    /// writer for its component.
+    pub fn prepare_cut(&self, u: u32, v: u32) -> PreparedCut {
+        let key = norm(u, v);
+        let (fwd, bwd) = self
+            .edge_nodes
+            .remove(&key)
+            .unwrap_or_else(|| panic!("cut({u}, {v}): not a spanning edge"));
+        let old_root = self.writer_root(fwd);
+        self.node(old_root).bump_version();
+
+        // Split the tour around the two directed edge nodes. `fwd` is the
+        // min->max node; it may appear before or after `bwd` in the tour.
+        let (prefix, from_fwd) = self.split_before(fwd);
+        let bwd_in_prefix = prefix.is_some() && self.piece_of(bwd, prefix, from_fwd) == prefix;
+
+        let (t_outer, t_inner) = if bwd_in_prefix {
+            // Tour = [A, bwd, M, fwd, C]: the subtree segment M lies between
+            // `bwd` and `fwd`.
+            let (_fwd_single, c) = self.split_after(fwd);
+            let (a, _from_bwd) = self.split_before(bwd);
+            let (_bwd_single, m) = self.split_after(bwd);
+            debug_assert_eq!(_fwd_single, fwd);
+            debug_assert_eq!(_bwd_single, bwd);
+            (self.merge_roots(a, c), m)
+        } else {
+            // Tour = [A, fwd, M, bwd, C].
+            let (_fwd_single, rest) = self.split_after(fwd);
+            debug_assert_eq!(_fwd_single, fwd);
+            let (m, _from_bwd) = self.split_before(bwd);
+            let (_bwd_single, c) = self.split_after(bwd);
+            debug_assert_eq!(_bwd_single, bwd);
+            let _ = rest;
+            (self.merge_roots(prefix, c), m)
+        };
+
+        debug_assert!(t_outer.is_some() && t_inner.is_some());
+        let (retained_root, detached_root) = if t_outer == old_root {
+            (t_outer, t_inner)
+        } else {
+            debug_assert_eq!(t_inner, old_root);
+            (t_inner, t_outer)
+        };
+        PreparedCut {
+            retained_root,
+            detached_root,
+            retained_size: self.node(retained_root).size(),
+            detached_size: self.node(detached_root).size(),
+        }
+    }
+
+    /// Logically applies a prepared cut: after this single store, readers
+    /// observe two components. This is the linearization point of a spanning
+    /// edge removal without replacement.
+    pub fn commit_cut(&self, cut: &PreparedCut) {
+        let detached = self.node(cut.detached_root);
+        // The detached root becomes a component representative; give it a
+        // fresh version first so readers that race with the very next
+        // modification of the new component still detect the change.
+        detached.bump_version();
+        detached.set_parent(NodeRef::NONE);
+    }
+
+    /// Removes the spanning edge `(u, v)` and splits the tree
+    /// (`prepare_cut` + `commit_cut`). Returns the prepared-cut description.
+    pub fn cut(&self, u: u32, v: u32) -> PreparedCut {
+        let cut = self.prepare_cut(u, v);
+        self.commit_cut(&cut);
+        cut
+    }
+
+    // ----- subtree marks (non-spanning / spanning edge summaries) ----------
+
+    /// Sets the self-contribution of `mark` on vertex `v`'s node.
+    pub fn set_vertex_self_mark(&self, v: u32, mark: Mark, value: bool) {
+        self.node(self.vertex_node_ref(v)).set_self_mark(mark, value);
+    }
+
+    /// Reads the self-contribution of `mark` on vertex `v`'s node.
+    pub fn vertex_self_mark(&self, v: u32, mark: Mark) -> bool {
+        self.node(self.vertex_node_ref(v)).self_mark(mark)
+    }
+
+    /// Marks vertex `v` as having adjacent edges of kind `mark` and raises
+    /// the aggregate flag on every node from `v` up to the current root
+    /// (paper Listing 6, `set_flags_up`). Lock-free: may race with
+    /// restructuring; the conservative direction (extra `true`s) is always
+    /// safe and `recalculate_mark` repairs them under the lock.
+    pub fn mark_path_upward(&self, v: u32, mark: Mark) {
+        let start = self.vertex_node_ref(v);
+        self.node(start).set_self_mark(mark, true);
+        let mut cur = start;
+        loop {
+            let node = self.node(cur);
+            node.set_agg_mark(mark, true);
+            let parent = node.parent();
+            if parent.is_none() {
+                break;
+            }
+            cur = parent;
+        }
+    }
+
+    fn should_have_mark(&self, r: NodeRef, mark: Mark) -> bool {
+        let node = self.node(r);
+        if node.self_mark(mark) {
+            return true;
+        }
+        [node.left(), node.right()]
+            .into_iter()
+            .any(|c| c.is_some() && self.node(c).agg_mark(mark))
+    }
+
+    /// Recomputes the aggregate flag of `r` from its self-mark and children,
+    /// with the re-check of paper Listing 6 / Lemma C.1 so a racing lock-free
+    /// insertion is never lost. Must be called under the component's lock.
+    pub fn recalculate_mark(&self, r: NodeRef, mark: Mark) {
+        let should = self.should_have_mark(r, mark);
+        self.node(r).set_agg_mark(mark, should);
+        if !should && self.should_have_mark(r, mark) {
+            // A concurrent insertion slipped in between the computation and
+            // the store; restore the conservative value.
+            self.node(r).set_agg_mark(mark, true);
+        }
+    }
+
+    /// Reads the aggregate flag of `r`.
+    pub fn subtree_has_mark(&self, r: NodeRef, mark: Mark) -> bool {
+        self.node(r).agg_mark(mark)
+    }
+
+    // ----- traversal & validation helpers -----------------------------------
+
+    /// Collects the vertices of the tree rooted at `root` in tour order
+    /// (writer-side; used by tests and by level promotions).
+    pub fn tree_vertices(&self, root: NodeRef) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_in_order(root, &mut |r| {
+            if let Some(v) = self.node(r).vertex() {
+                out.push(v);
+            }
+        });
+        out
+    }
+
+    /// Collects the full Euler tour (node endpoints) of the tree rooted at
+    /// `root`, in order. Vertex nodes appear as `(v, v)`.
+    pub fn tour(&self, root: NodeRef) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        self.for_each_in_order(root, &mut |r| out.push(self.node(r).endpoints()));
+        out
+    }
+
+    /// Exhaustively validates the tree rooted at `root`: exact parent
+    /// pointers, the treap heap property, subtree sizes, and Euler-tour
+    /// well-formedness. Panics on violation. Intended for tests.
+    pub fn validate_tree(&self, root: NodeRef) {
+        assert!(self.node(root).is_root(), "root lacks is_root flag");
+        let mut tour: Vec<NodeRef> = Vec::new();
+        self.for_each_in_order(root, &mut |r| tour.push(r));
+        // Structural invariants.
+        let mut vertex_count = 0u32;
+        for &r in &tour {
+            let node = self.node(r);
+            if node.vertex().is_some() {
+                vertex_count += 1;
+            }
+            for child in [node.left(), node.right()] {
+                if child.is_some() {
+                    assert_eq!(
+                        self.node(child).parent(),
+                        r,
+                        "child {child:?} of {r:?} has wrong parent"
+                    );
+                    assert!(
+                        self.prio_key(child) < self.prio_key(r),
+                        "heap property violated between {r:?} and {child:?}"
+                    );
+                }
+            }
+            let mut expect = u32::from(node.vertex().is_some());
+            for child in [node.left(), node.right()] {
+                if child.is_some() {
+                    expect += self.node(child).size();
+                }
+            }
+            assert_eq!(node.size(), expect, "subtree size of {r:?} is stale");
+        }
+        assert_eq!(self.node(root).size(), vertex_count, "root size mismatch");
+
+        // Euler-tour well-formedness. Tours are *cyclic* sequences (any
+        // rotation is a legal linearization), so the checks below are phrased
+        // cyclically: every vertex appears exactly once, every tree edge
+        // contributes exactly two oppositely-directed nodes, no two edges'
+        // node pairs cross, and the vertices enclosed by an edge's pair are
+        // exactly one side of the tree split by that edge.
+        let mut seen = std::collections::HashSet::new();
+        let mut edge_positions: std::collections::HashMap<(u32, u32), Vec<usize>> =
+            std::collections::HashMap::new();
+        let mut vertex_position: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
+        for (i, &r) in tour.iter().enumerate() {
+            let node = self.node(r);
+            match node.vertex() {
+                Some(v) => {
+                    assert!(seen.insert(v), "vertex {v} appears twice in the tour");
+                    vertex_position.insert(v, i);
+                }
+                None => {
+                    let (a, b) = node.endpoints();
+                    edge_positions.entry(norm(a, b)).or_default().push(i);
+                }
+            }
+        }
+        let edges: Vec<(u32, u32)> = edge_positions.keys().copied().collect();
+        for (&edge, positions) in &edge_positions {
+            assert_eq!(
+                positions.len(),
+                2,
+                "tree edge {edge:?} must contribute exactly two tour nodes"
+            );
+            let (a, b) = (
+                self.node(tour[positions[0]]).endpoints(),
+                self.node(tour[positions[1]]).endpoints(),
+            );
+            assert_eq!(a, (b.1, b.0), "the two nodes of {edge:?} must be opposite");
+        }
+        // Non-crossing (cyclic nesting): for any two edges, the pair of one
+        // must not interleave with the pair of the other.
+        for i in 0..edges.len() {
+            for j in (i + 1)..edges.len() {
+                let (e1, e2) = (&edge_positions[&edges[i]], &edge_positions[&edges[j]]);
+                let inside = |x: usize| x > e1[0] && x < e1[1];
+                assert_eq!(
+                    inside(e2[0]),
+                    inside(e2[1]),
+                    "edge pairs {:?} and {:?} cross in the tour",
+                    edges[i],
+                    edges[j]
+                );
+            }
+        }
+        // Side correctness: vertices strictly between an edge's two nodes are
+        // exactly one side of the tree with that edge removed.
+        let mut adjacency: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
+        for &(a, b) in &edges {
+            adjacency.entry(a).or_default().push(b);
+            adjacency.entry(b).or_default().push(a);
+        }
+        for &(a, b) in &edges {
+            let positions = &edge_positions[&(a, b)];
+            let inside: std::collections::HashSet<u32> = vertex_position
+                .iter()
+                .filter(|&(_, &p)| p > positions[0] && p < positions[1])
+                .map(|(&v, _)| v)
+                .collect();
+            // BFS one side of the tree without using edge (a, b).
+            let start = if inside.contains(&a) { a } else { b };
+            let mut side = std::collections::HashSet::new();
+            let mut queue = std::collections::VecDeque::new();
+            side.insert(start);
+            queue.push_back(start);
+            while let Some(x) = queue.pop_front() {
+                for &y in adjacency.get(&x).into_iter().flatten() {
+                    if (x == a && y == b) || (x == b && y == a) {
+                        continue;
+                    }
+                    if side.insert(y) {
+                        queue.push_back(y);
+                    }
+                }
+            }
+            assert_eq!(
+                inside, side,
+                "vertices enclosed by edge ({a}, {b}) do not form one side of the tree"
+            );
+        }
+    }
+
+    /// Validates every tree of the forest (writer-side, quiescent use only).
+    pub fn validate(&self) {
+        let mut seen_roots = std::collections::HashSet::new();
+        for v in 0..self.vertex_nodes.len() as u32 {
+            let root = self.component_root(v);
+            if seen_roots.insert(root) {
+                self.validate_tree(root);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for EulerForest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EulerForest")
+            .field("vertices", &self.num_vertices())
+            .field("tree_edges", &self.edge_nodes.len())
+            .finish()
+    }
+}

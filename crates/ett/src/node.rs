@@ -1,0 +1,300 @@
+//! The Euler Tour Tree node.
+//!
+//! Nodes form a Cartesian tree (treap) over the Euler tour of each spanning
+//! tree.  Every field a concurrent reader may touch (`parent`, `version`) is
+//! accessed with sequentially-consistent atomics; fields only the owning
+//! writer touches (children, subtree size, flags) use relaxed atomics so the
+//! node remains `Sync` without an `UnsafeCell`.
+//!
+//! Vertex nodes are permanent; Euler-tour *edge* nodes are created on
+//! `link` and retired on `cut` (their slots are never reused, see
+//! [`crate::arena`]).
+//!
+//! Priorities live in two disjoint bands: vertex nodes draw from the upper
+//! half of the `u64` range and edge nodes from the lower half.  This
+//! guarantees that the treap root of any Euler tour is always a vertex node,
+//! which in turn guarantees the invariants the single-writer protocol relies
+//! on: the node that represents a component (its treap root) can never be a
+//! node that a `cut` is about to retire, and the pre-determined common root
+//! of a `link` is always the higher-priority old root (paper, Section 3,
+//! "Atomic Merge and Split").
+
+use crate::arena::NodeRef;
+use dc_sync::RawRwLock;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// Which subtree-summary flag to address (paper Listing 5: the
+/// `has_non_spanning_edges` / `has_spanning_edges` pair).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mark {
+    /// "Some vertex in this subtree has adjacent non-spanning edges at this
+    /// level."
+    NonSpanning = 0,
+    /// "Some vertex in this subtree has adjacent spanning edges of exactly
+    /// this level."
+    Spanning = 1,
+}
+
+/// A treap node; see the module documentation.
+pub struct Node {
+    /// Parent link followed by concurrent readers (SeqCst).
+    parent: AtomicU32,
+    /// Root version, bumped before every merge/split of this component
+    /// (meaningful only while the node is a root).
+    version: AtomicU64,
+    /// Left / right children (writer-only).
+    left: AtomicU32,
+    right: AtomicU32,
+    /// Immutable-after-init heap priority.
+    priority: AtomicU64,
+    /// Number of *vertex* nodes in this subtree (writer-only).
+    size: AtomicU32,
+    /// Graph endpoints: for a vertex node `a == b == v`; for the Euler-tour
+    /// node of directed edge `u -> v`, `a == u`, `b == v`.
+    a: AtomicU32,
+    b: AtomicU32,
+    /// Writer-side "this node is currently a treap root" flag, used to bound
+    /// upward walks while stale parent pointers are in place mid-operation.
+    is_root: AtomicBool,
+    /// Per-vertex self contributions to the subtree marks.
+    self_marks: [AtomicBool; 2],
+    /// Subtree aggregates of the marks (self || children), possibly
+    /// conservatively stale-true (see `recalculate_mark`).
+    agg_marks: [AtomicBool; 2],
+    /// Per-component lock used by the fine-grained algorithm (only ever
+    /// taken on level-0 roots). Exclusive mode for updates; the fine-grained
+    /// readers-writer variant additionally takes it in shared mode for
+    /// queries.
+    pub lock: RawRwLock,
+}
+
+impl Node {
+    /// Creates a fully unlinked node (used by the arena to pre-initialize
+    /// chunk slots).
+    pub fn new_unlinked() -> Self {
+        Node {
+            parent: AtomicU32::new(NodeRef::NONE.0),
+            version: AtomicU64::new(0),
+            left: AtomicU32::new(NodeRef::NONE.0),
+            right: AtomicU32::new(NodeRef::NONE.0),
+            priority: AtomicU64::new(0),
+            size: AtomicU32::new(0),
+            a: AtomicU32::new(u32::MAX),
+            b: AtomicU32::new(u32::MAX),
+            is_root: AtomicBool::new(false),
+            self_marks: [AtomicBool::new(false), AtomicBool::new(false)],
+            agg_marks: [AtomicBool::new(false), AtomicBool::new(false)],
+            lock: RawRwLock::new(),
+        }
+    }
+
+    // ----- reader-visible fields -------------------------------------------
+
+    /// Reads the parent link (used by concurrent readers).
+    #[inline]
+    pub fn parent(&self) -> NodeRef {
+        NodeRef(self.parent.load(Ordering::SeqCst))
+    }
+
+    /// Writes the parent link (writer only).
+    #[inline]
+    pub fn set_parent(&self, p: NodeRef) {
+        self.parent.store(p.0, Ordering::SeqCst);
+    }
+
+    /// Reads the root version.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    /// Bumps the root version (writer only, before a merge/split).
+    #[inline]
+    pub fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::SeqCst);
+    }
+
+    // ----- writer-only structural fields -----------------------------------
+
+    /// Left child.
+    #[inline]
+    pub fn left(&self) -> NodeRef {
+        NodeRef(self.left.load(Ordering::Relaxed))
+    }
+
+    /// Right child.
+    #[inline]
+    pub fn right(&self) -> NodeRef {
+        NodeRef(self.right.load(Ordering::Relaxed))
+    }
+
+    /// Sets the left child.
+    #[inline]
+    pub fn set_left(&self, c: NodeRef) {
+        self.left.store(c.0, Ordering::Relaxed);
+    }
+
+    /// Sets the right child.
+    #[inline]
+    pub fn set_right(&self, c: NodeRef) {
+        self.right.store(c.0, Ordering::Relaxed);
+    }
+
+    /// Heap priority.
+    #[inline]
+    pub fn priority(&self) -> u64 {
+        self.priority.load(Ordering::Relaxed)
+    }
+
+    /// Sets the priority (initialization only).
+    #[inline]
+    pub fn set_priority(&self, p: u64) {
+        self.priority.store(p, Ordering::Relaxed);
+    }
+
+    /// Number of vertex nodes in this subtree.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.size.load(Ordering::Relaxed)
+    }
+
+    /// Sets the subtree vertex count.
+    #[inline]
+    pub fn set_size(&self, s: u32) {
+        self.size.store(s, Ordering::Relaxed);
+    }
+
+    /// The stored endpoints `(a, b)`.
+    #[inline]
+    pub fn endpoints(&self) -> (u32, u32) {
+        (self.a.load(Ordering::Relaxed), self.b.load(Ordering::Relaxed))
+    }
+
+    /// Initializes the stored endpoints.
+    #[inline]
+    pub fn set_endpoints(&self, a: u32, b: u32) {
+        self.a.store(a, Ordering::Relaxed);
+        self.b.store(b, Ordering::Relaxed);
+    }
+
+    /// If this is a vertex node, returns its vertex id.
+    #[inline]
+    pub fn vertex(&self) -> Option<u32> {
+        let (a, b) = self.endpoints();
+        if a == b && a != u32::MAX {
+            Some(a)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if this node represents a directed Euler-tour edge.
+    #[inline]
+    pub fn is_edge_node(&self) -> bool {
+        let (a, b) = self.endpoints();
+        a != b
+    }
+
+    /// Writer-side root flag.
+    #[inline]
+    pub fn is_root(&self) -> bool {
+        self.is_root.load(Ordering::Relaxed)
+    }
+
+    /// Sets the writer-side root flag.
+    #[inline]
+    pub fn set_is_root(&self, v: bool) {
+        self.is_root.store(v, Ordering::Relaxed);
+    }
+
+    // ----- subtree marks ----------------------------------------------------
+
+    /// Reads the self-contribution of `mark` ("this vertex has adjacent
+    /// edges of the relevant kind").
+    #[inline]
+    pub fn self_mark(&self, mark: Mark) -> bool {
+        self.self_marks[mark as usize].load(Ordering::Relaxed)
+    }
+
+    /// Sets the self-contribution of `mark`.
+    #[inline]
+    pub fn set_self_mark(&self, mark: Mark, v: bool) {
+        self.self_marks[mark as usize].store(v, Ordering::Relaxed);
+    }
+
+    /// Reads the subtree aggregate of `mark`.
+    #[inline]
+    pub fn agg_mark(&self, mark: Mark) -> bool {
+        self.agg_marks[mark as usize].load(Ordering::Relaxed)
+    }
+
+    /// Sets the subtree aggregate of `mark`.
+    #[inline]
+    pub fn set_agg_mark(&self, mark: Mark, v: bool) {
+        self.agg_marks[mark as usize].store(v, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlinked_node_defaults() {
+        let n = Node::new_unlinked();
+        assert!(n.parent().is_none());
+        assert!(n.left().is_none());
+        assert!(n.right().is_none());
+        assert_eq!(n.version(), 0);
+        assert_eq!(n.size(), 0);
+        assert!(!n.is_root());
+        assert_eq!(n.vertex(), None);
+        assert!(!n.is_edge_node());
+    }
+
+    #[test]
+    fn vertex_and_edge_node_classification() {
+        let n = Node::new_unlinked();
+        n.set_endpoints(5, 5);
+        assert_eq!(n.vertex(), Some(5));
+        assert!(!n.is_edge_node());
+
+        let e = Node::new_unlinked();
+        e.set_endpoints(3, 9);
+        assert_eq!(e.vertex(), None);
+        assert!(e.is_edge_node());
+        assert_eq!(e.endpoints(), (3, 9));
+    }
+
+    #[test]
+    fn version_bumps_monotonically() {
+        let n = Node::new_unlinked();
+        n.bump_version();
+        n.bump_version();
+        assert_eq!(n.version(), 2);
+    }
+
+    #[test]
+    fn marks_are_independent() {
+        let n = Node::new_unlinked();
+        n.set_self_mark(Mark::NonSpanning, true);
+        assert!(n.self_mark(Mark::NonSpanning));
+        assert!(!n.self_mark(Mark::Spanning));
+        n.set_agg_mark(Mark::Spanning, true);
+        assert!(n.agg_mark(Mark::Spanning));
+        assert!(!n.agg_mark(Mark::NonSpanning));
+    }
+
+    #[test]
+    fn parent_and_children_roundtrip() {
+        let n = Node::new_unlinked();
+        n.set_parent(NodeRef(10));
+        n.set_left(NodeRef(11));
+        n.set_right(NodeRef(12));
+        assert_eq!(n.parent(), NodeRef(10));
+        assert_eq!(n.left(), NodeRef(11));
+        assert_eq!(n.right(), NodeRef(12));
+        n.set_parent(NodeRef::NONE);
+        assert!(n.parent().is_none());
+    }
+}

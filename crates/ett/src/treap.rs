@@ -1,0 +1,237 @@
+//! Writer-side treap primitives.
+//!
+//! These are the low-level Cartesian-tree operations the single-writer Euler
+//! Tour Tree is built from.  They are ordinary treap `merge` / `split`
+//! algorithms with two extra rules that make the intermediate states safe for
+//! concurrent readers (paper Section 3, "Atomic Merge and Split"):
+//!
+//! 1. **No parent link is ever cleared here.** A split leaves the root of the
+//!    piece that is "cut off" with its old (now stale) parent pointer, so a
+//!    reader walking upward still reaches the component's representative.
+//!    The only `parent := null` store in the whole library is the explicit
+//!    logical-split write in [`crate::forest::EulerForest::commit_cut`].
+//! 2. **Every attachment sets the child's parent.** Whenever a child pointer
+//!    is written, the child's parent pointer is updated in the same step, so
+//!    parent pointers of non-root nodes are always exact and always point to
+//!    a strictly higher-priority node — which keeps the parent graph acyclic
+//!    and upward walks terminating.
+//!
+//! Because stale parent pointers exist only at current treap roots, the
+//! writer cannot use `parent == null` to find roots mid-operation; it uses
+//! the writer-private `is_root` flag instead, which these primitives keep up
+//! to date.
+
+use crate::arena::NodeRef;
+use crate::forest::EulerForest;
+use crate::node::Mark;
+
+impl EulerForest {
+    /// Total order on node priorities (two random-band `u64`s, ties broken by
+    /// arena index so the order is strict).
+    #[inline]
+    pub(crate) fn prio_key(&self, r: NodeRef) -> (u64, u32) {
+        (self.node(r).priority(), r.0)
+    }
+
+    /// Recomputes the subtree vertex count of `r` and conservatively raises
+    /// (never clears) its aggregate marks from its children and its own
+    /// self-marks. Clearing happens only in [`EulerForest::recalculate_mark`],
+    /// under a component lock.
+    pub(crate) fn update_aggregates(&self, r: NodeRef) {
+        let node = self.node(r);
+        let mut size: u32 = u32::from(node.vertex().is_some());
+        let mut non_spanning = node.self_mark(Mark::NonSpanning);
+        let mut spanning = node.self_mark(Mark::Spanning);
+        for child in [node.left(), node.right()] {
+            if child.is_some() {
+                let c = self.node(child);
+                size += c.size();
+                non_spanning |= c.agg_mark(Mark::NonSpanning);
+                spanning |= c.agg_mark(Mark::Spanning);
+            }
+        }
+        node.set_size(size);
+        if non_spanning {
+            node.set_agg_mark(Mark::NonSpanning, true);
+        }
+        if spanning {
+            node.set_agg_mark(Mark::Spanning, true);
+        }
+    }
+
+    #[inline]
+    fn attach_left(&self, parent: NodeRef, child: NodeRef) {
+        self.node(parent).set_left(child);
+        if child.is_some() {
+            self.node(child).set_parent(parent);
+        }
+    }
+
+    #[inline]
+    fn attach_right(&self, parent: NodeRef, child: NodeRef) {
+        self.node(parent).set_right(child);
+        if child.is_some() {
+            self.node(child).set_parent(parent);
+        }
+    }
+
+    /// Recursive treap merge of the sequences rooted at `a` and `b`
+    /// (`a` precedes `b`). Does not adjust `is_root` flags.
+    fn merge_rec(&self, a: NodeRef, b: NodeRef) -> NodeRef {
+        if a.is_none() {
+            return b;
+        }
+        if b.is_none() {
+            return a;
+        }
+        if self.prio_key(a) > self.prio_key(b) {
+            let merged = self.merge_rec(self.node(a).right(), b);
+            self.attach_right(a, merged);
+            self.update_aggregates(a);
+            a
+        } else {
+            let merged = self.merge_rec(a, self.node(b).left());
+            self.attach_left(b, merged);
+            self.update_aggregates(b);
+            b
+        }
+    }
+
+    /// Merges two treaps whose roots are `a` and `b` (either may be `NONE`),
+    /// keeping the writer-side `is_root` bookkeeping consistent.
+    ///
+    /// The sequence of `a` precedes the sequence of `b` in the result.
+    pub(crate) fn merge_roots(&self, a: NodeRef, b: NodeRef) -> NodeRef {
+        if a.is_none() {
+            return b;
+        }
+        if b.is_none() {
+            return a;
+        }
+        debug_assert!(self.node(a).is_root(), "merge_roots: `a` is not a root");
+        debug_assert!(self.node(b).is_root(), "merge_roots: `b` is not a root");
+        let root = self.merge_rec(a, b);
+        let other = if root == a { b } else { a };
+        self.node(other).set_is_root(false);
+        self.node(root).set_is_root(true);
+        root
+    }
+
+    /// Splits the treap containing `x` into `(before, from_x)`: everything
+    /// strictly before `x` in the Euler sequence, and `x` together with
+    /// everything after it. Either piece may be `NONE`.
+    pub(crate) fn split_before(&self, x: NodeRef) -> (NodeRef, NodeRef) {
+        let xn = self.node(x);
+        let mut left_piece = xn.left();
+        xn.set_left(NodeRef::NONE);
+        self.update_aggregates(x);
+        let mut right_piece = x;
+        let mut cur = x;
+        while !self.node(cur).is_root() {
+            let p = self.node(cur).parent();
+            debug_assert!(p.is_some(), "non-root node with a null parent");
+            let pn = self.node(p);
+            if pn.right() == cur {
+                // `p` and its left subtree precede `x`.
+                self.attach_right(p, left_piece);
+                self.update_aggregates(p);
+                left_piece = p;
+            } else {
+                debug_assert_eq!(pn.left(), cur, "parent/child links out of sync");
+                self.attach_left(p, right_piece);
+                self.update_aggregates(p);
+                right_piece = p;
+            }
+            cur = p;
+        }
+        if left_piece.is_some() {
+            self.node(left_piece).set_is_root(true);
+        }
+        if right_piece.is_some() {
+            self.node(right_piece).set_is_root(true);
+        }
+        (left_piece, right_piece)
+    }
+
+    /// Splits the treap containing `x` into `(up_to_x, after_x)`: everything
+    /// up to and including `x`, and everything after it.
+    pub(crate) fn split_after(&self, x: NodeRef) -> (NodeRef, NodeRef) {
+        let xn = self.node(x);
+        let mut right_piece = xn.right();
+        xn.set_right(NodeRef::NONE);
+        self.update_aggregates(x);
+        let mut left_piece = x;
+        let mut cur = x;
+        while !self.node(cur).is_root() {
+            let p = self.node(cur).parent();
+            debug_assert!(p.is_some(), "non-root node with a null parent");
+            let pn = self.node(p);
+            if pn.left() == cur {
+                // `p` and its right subtree come after `x`.
+                self.attach_left(p, right_piece);
+                self.update_aggregates(p);
+                right_piece = p;
+            } else {
+                debug_assert_eq!(pn.right(), cur, "parent/child links out of sync");
+                self.attach_right(p, left_piece);
+                self.update_aggregates(p);
+                left_piece = p;
+            }
+            cur = p;
+        }
+        if left_piece.is_some() {
+            self.node(left_piece).set_is_root(true);
+        }
+        if right_piece.is_some() {
+            self.node(right_piece).set_is_root(true);
+        }
+        (left_piece, right_piece)
+    }
+
+    /// Writer-side root of the treap containing `x`: follows exact parent
+    /// pointers until the `is_root` flag. (Reader-side root finding walks
+    /// until `parent == null` instead; see [`EulerForest::find_root`].)
+    pub(crate) fn writer_root(&self, x: NodeRef) -> NodeRef {
+        let mut cur = x;
+        while !self.node(cur).is_root() {
+            let p = self.node(cur).parent();
+            debug_assert!(p.is_some(), "non-root node with a null parent");
+            cur = p;
+        }
+        cur
+    }
+
+    /// Returns which of the two piece roots the node `x` currently belongs
+    /// to. Both `a` and `b` must be current treap roots.
+    pub(crate) fn piece_of(&self, x: NodeRef, a: NodeRef, b: NodeRef) -> NodeRef {
+        let root = self.writer_root(x);
+        debug_assert!(root == a || root == b, "node belongs to neither piece");
+        if root == a {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Rotates the Euler tour of the tree containing vertex `v` so that `v`'s
+    /// node becomes the first element, and returns the treap root.
+    pub(crate) fn reroot(&self, v: u32) -> NodeRef {
+        let vn = self.vertex_node_ref(v);
+        let (before, from_v) = self.split_before(vn);
+        if before.is_none() {
+            return from_v;
+        }
+        self.merge_roots(from_v, before)
+    }
+
+    /// In-order traversal of the treap rooted at `root`, calling `f` for each
+    /// node reference (writer-side helper used by validation and tests).
+    pub(crate) fn for_each_in_order(&self, root: NodeRef, f: &mut impl FnMut(NodeRef)) {
+        if root.is_none() {
+            return;
+        }
+        self.for_each_in_order(self.node(root).left(), f);
+        f(root);
+        self.for_each_in_order(self.node(root).right(), f);
+    }
+}

@@ -1,0 +1,228 @@
+//! Concurrency tests for the single-writer Euler Tour Tree: lock-free
+//! readers run `connected` / `find_root` while a writer restructures the
+//! forest, and every invariant the paper's linearizability argument promises
+//! is asserted from the readers' side.
+
+use dc_ett::EulerForest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Readers must never observe two vertices of a *permanently linked* pair as
+/// disconnected, no matter what the writer does elsewhere. This is the
+/// Appendix-A failure mode (a non-linearizable `false`) exercised under a
+/// hostile schedule: the writer repeatedly removes and re-adds edges that sit
+/// on the path between the probed vertices.
+#[test]
+fn readers_never_see_connected_pair_split_by_unrelated_churn() {
+    let n = 64u32;
+    let forest = Arc::new(EulerForest::new(n as usize));
+    // Backbone path 0-1-2-...-15 stays in place for the whole test.
+    for v in 0..15 {
+        forest.link(v, v + 1);
+    }
+    // The writer churns edges among vertices 16..64, plus a dedicated edge
+    // (15, 16) that hangs a churning subtree off the backbone.
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        // Readers: vertices 0 and 15 are connected for the entire duration.
+        for reader_id in 0..3u64 {
+            let forest = Arc::clone(&forest);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(reader_id);
+                let mut checks = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let a = rng.gen_range(0..15u32);
+                    let b = rng.gen_range(0..15u32);
+                    assert!(
+                        forest.connected(a, b),
+                        "backbone pair ({a}, {b}) reported disconnected"
+                    );
+                    // Vertices in the churn zone must never appear connected
+                    // to the backbone unless the bridge edge exists; we only
+                    // assert the direction that is stable: vertex 63 is never
+                    // linked to anything in this test.
+                    assert!(
+                        !forest.connected(0, 63),
+                        "vertex 63 must stay isolated from the backbone"
+                    );
+                    checks += 1;
+                }
+                assert!(checks > 0);
+            });
+        }
+        // Writer: churn a star around vertex 16..40 and a bridge (15, 16).
+        let forest_w = Arc::clone(&forest);
+        let stop_w = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xBEEF);
+            for _ in 0..2_000 {
+                // Attach / detach the bridge and a small random tree.
+                forest_w.link(15, 16);
+                let mut attached = vec![16u32];
+                for v in 17..40u32 {
+                    let parent = attached[rng.gen_range(0..attached.len())];
+                    forest_w.link(parent, v);
+                    attached.push(v);
+                }
+                // Tear it all down again (reverse order keeps edges spanning).
+                for v in (17..40u32).rev() {
+                    let parent_edge = attached.iter().position(|&x| x == v).unwrap();
+                    let _ = parent_edge;
+                    // Cut whichever tree edge connects v to the rest: it is
+                    // the one recorded at link time; re-derive by probing.
+                    for p in attached.iter().copied() {
+                        if p != v && forest_w.has_tree_edge(p, v) {
+                            forest_w.cut(p, v);
+                            break;
+                        }
+                    }
+                }
+                forest_w.cut(15, 16);
+            }
+            stop_w.store(true, Ordering::Relaxed);
+        });
+    });
+    forest.validate();
+}
+
+/// Two vertices joined and separated repeatedly: readers may see either
+/// state, but `connected` must agree with itself when the writer is inactive
+/// at the probed pair's boundary — verified by checking the returned value is
+/// always one of the two legal snapshots (true when the bridge exists for the
+/// entire check window, false when it is absent for the entire window).
+#[test]
+fn readers_observe_only_legal_states_of_a_toggling_bridge() {
+    let forest = Arc::new(EulerForest::new(32));
+    // Two fixed cliques' spanning paths.
+    for v in 0..7 {
+        forest.link(v, v + 1);
+    }
+    for v in 8..15 {
+        forest.link(v, v + 1);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let forest = Arc::clone(&forest);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    // Intra-side pairs are always connected; the bridge pair
+                    // (0, 15) toggles, so any boolean is legal for it — we
+                    // only require the call to terminate and not panic.
+                    assert!(forest.connected(2, 6));
+                    assert!(forest.connected(9, 14));
+                    let _ = forest.connected(0, 15);
+                    assert!(!forest.connected(0, 31));
+                }
+            });
+        }
+        let forest_w = Arc::clone(&forest);
+        let stop_w = Arc::clone(&stop);
+        s.spawn(move || {
+            for _ in 0..20_000 {
+                forest_w.link(3, 12);
+                forest_w.cut(3, 12);
+            }
+            stop_w.store(true, Ordering::Relaxed);
+        });
+    });
+    assert!(!forest.connected(0, 15));
+    forest.validate();
+}
+
+/// A prepared-but-uncommitted cut must be invisible to concurrent readers
+/// even while they hammer the affected component.
+#[test]
+fn prepared_cut_is_invisible_to_concurrent_readers() {
+    let forest = Arc::new(EulerForest::new(16));
+    for v in 0..15 {
+        forest.link(v, v + 1);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let forest = Arc::clone(&forest);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    assert!(forest.connected(0, 15), "prepared cut leaked to readers");
+                }
+            });
+        }
+        let forest_w = Arc::clone(&forest);
+        let stop_w = Arc::clone(&stop);
+        s.spawn(move || {
+            for i in 0..2_000u32 {
+                let cut_at = 3 + (i % 9);
+                let cut = forest_w.prepare_cut(cut_at, cut_at + 1);
+                // Simulate a replacement search that always succeeds: relink
+                // the same endpoints, never committing the cut.
+                std::hint::black_box(&cut);
+                forest_w.link(cut_at, cut_at + 1);
+            }
+            stop_w.store(true, Ordering::Relaxed);
+        });
+    });
+    assert!(forest.connected(0, 15));
+    forest.validate();
+}
+
+/// Version bumps guarantee that a reader racing with modifications retries
+/// rather than returning a stale answer; this test checks the *liveness*
+/// side: readers always terminate (no livelock) while the writer performs a
+/// long stream of operations, and throughput of successful reads is non-zero.
+#[test]
+fn readers_terminate_under_continuous_writes() {
+    let n = 128;
+    let forest = Arc::new(EulerForest::new(n));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let forest = Arc::clone(&forest);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(t);
+                    let mut completed = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let a = rng.gen_range(0..n as u32);
+                        let b = rng.gen_range(0..n as u32);
+                        let _ = forest.connected(a, b);
+                        completed += 1;
+                    }
+                    completed
+                })
+            })
+            .collect();
+        let forest_w = Arc::clone(&forest);
+        let stop_w = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut edges: Vec<(u32, u32)> = Vec::new();
+            for _ in 0..30_000 {
+                if edges.is_empty() || rng.gen_bool(0.55) {
+                    let u = rng.gen_range(0..n as u32);
+                    let v = rng.gen_range(0..n as u32);
+                    if u != v && !forest_w.connected(u, v) {
+                        forest_w.link(u, v);
+                        edges.push((u, v));
+                    }
+                } else {
+                    let i = rng.gen_range(0..edges.len());
+                    let (u, v) = edges.swap_remove(i);
+                    forest_w.cut(u, v);
+                }
+            }
+            stop_w.store(true, Ordering::Relaxed);
+        });
+        for h in handles {
+            let completed = h.join().unwrap();
+            assert!(completed > 0, "reader made no progress");
+        }
+    });
+    forest.validate();
+}

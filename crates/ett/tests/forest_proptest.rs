@@ -1,0 +1,173 @@
+//! Property-based tests: the Euler Tour Tree forest must agree with a naive
+//! edge-set + BFS model under arbitrary sequences of link/cut operations, and
+//! its internal structure must stay valid after every operation.
+
+use dc_ett::EulerForest;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const N: u32 = 24;
+
+/// An abstract operation over a forest of `N` vertices. `Link`/`Cut` carry
+/// arbitrary vertex pairs; the interpreter below turns them into *valid*
+/// forest operations (link only when disconnected, cut only existing tree
+/// edges) so that every generated sequence is executable.
+#[derive(Clone, Debug)]
+enum Op {
+    Link(u32, u32),
+    Cut(usize),
+    Check(u32, u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..N, 0..N).prop_map(|(a, b)| Op::Link(a, b)),
+        any::<usize>().prop_map(Op::Cut),
+        (0..N, 0..N).prop_map(|(a, b)| Op::Check(a, b)),
+    ]
+}
+
+struct Model {
+    edges: HashSet<(u32, u32)>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            edges: HashSet::new(),
+        }
+    }
+    fn connected(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return true;
+        }
+        let mut visited = HashSet::new();
+        let mut queue = std::collections::VecDeque::new();
+        visited.insert(u);
+        queue.push_back(u);
+        while let Some(x) = queue.pop_front() {
+            if x == v {
+                return true;
+            }
+            for &(a, b) in &self.edges {
+                let next = if a == x {
+                    Some(b)
+                } else if b == x {
+                    Some(a)
+                } else {
+                    None
+                };
+                if let Some(y) = next {
+                    if visited.insert(y) {
+                        queue.push_back(y);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Connectivity answers always match the model, for arbitrary valid
+    /// operation sequences.
+    #[test]
+    fn ett_matches_bfs_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let forest = EulerForest::new(N as usize);
+        let mut model = Model::new();
+        let mut tree_edges: Vec<(u32, u32)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Link(u, v) => {
+                    if u != v && !model.connected(u, v) {
+                        prop_assert!(!forest.connected(u, v));
+                        forest.link(u, v);
+                        model.edges.insert((u, v));
+                        tree_edges.push((u, v));
+                    }
+                }
+                Op::Cut(i) => {
+                    if !tree_edges.is_empty() {
+                        let (u, v) = tree_edges.swap_remove(i % tree_edges.len());
+                        forest.cut(u, v);
+                        model.edges.remove(&(u, v));
+                    }
+                }
+                Op::Check(u, v) => {
+                    prop_assert_eq!(forest.connected(u, v), model.connected(u, v));
+                }
+            }
+        }
+        // Final exhaustive cross-check plus structural validation.
+        for u in 0..N {
+            for v in (u + 1)..N {
+                prop_assert_eq!(forest.connected(u, v), model.connected(u, v));
+            }
+        }
+        forest.validate();
+    }
+
+    /// Component sizes reported by the forest match the model after any
+    /// sequence of operations.
+    #[test]
+    fn ett_component_sizes_match_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let forest = EulerForest::new(N as usize);
+        let mut model = Model::new();
+        let mut tree_edges: Vec<(u32, u32)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Link(u, v) => {
+                    if u != v && !model.connected(u, v) {
+                        forest.link(u, v);
+                        model.edges.insert((u, v));
+                        tree_edges.push((u, v));
+                    }
+                }
+                Op::Cut(i) => {
+                    if !tree_edges.is_empty() {
+                        let (u, v) = tree_edges.swap_remove(i % tree_edges.len());
+                        forest.cut(u, v);
+                        model.edges.remove(&(u, v));
+                    }
+                }
+                Op::Check(_, _) => {}
+            }
+        }
+        for probe in 0..N {
+            let model_size = (0..N).filter(|&x| model.connected(probe, x)).count() as u32;
+            prop_assert_eq!(forest.component_size(probe), model_size);
+        }
+    }
+
+    /// A prepared (uncommitted) cut never changes the answers readers see.
+    #[test]
+    fn prepared_cut_preserves_reader_view(
+        ops in proptest::collection::vec((0..N, 0..N), 1..60),
+        cut_choice in any::<usize>(),
+    ) {
+        let forest = EulerForest::new(N as usize);
+        let mut tree_edges: Vec<(u32, u32)> = Vec::new();
+        for (u, v) in ops {
+            if u != v && !forest.connected(u, v) {
+                forest.link(u, v);
+                tree_edges.push((u, v));
+            }
+        }
+        prop_assume!(!tree_edges.is_empty());
+        let before: Vec<bool> = (0..N)
+            .flat_map(|u| (0..N).map(move |v| (u, v)))
+            .map(|(u, v)| forest.connected(u, v))
+            .collect();
+        let (u, v) = tree_edges[cut_choice % tree_edges.len()];
+        let cut = forest.prepare_cut(u, v);
+        let during: Vec<bool> = (0..N)
+            .flat_map(|u| (0..N).map(move |v| (u, v)))
+            .map(|(u, v)| forest.connected(u, v))
+            .collect();
+        prop_assert_eq!(&before, &during, "prepared cut changed reader-visible connectivity");
+        forest.commit_cut(&cut);
+        prop_assert!(!forest.connected(u, v));
+    }
+}

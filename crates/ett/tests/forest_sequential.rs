@@ -1,0 +1,319 @@
+//! Sequential correctness tests for the Euler Tour Tree forest: every
+//! structural operation is checked against a naive union-find / edge-set
+//! model and the internal structural validator.
+
+use dc_ett::EulerForest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A naive dynamic forest model: adjacency sets + BFS connectivity.
+struct ForestModel {
+    n: usize,
+    edges: HashSet<(u32, u32)>,
+}
+
+impl ForestModel {
+    fn new(n: usize) -> Self {
+        ForestModel {
+            n,
+            edges: HashSet::new(),
+        }
+    }
+
+    fn norm(u: u32, v: u32) -> (u32, u32) {
+        if u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    fn link(&mut self, u: u32, v: u32) {
+        assert!(self.edges.insert(Self::norm(u, v)));
+    }
+
+    fn cut(&mut self, u: u32, v: u32) {
+        assert!(self.edges.remove(&Self::norm(u, v)));
+    }
+
+    fn connected(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return true;
+        }
+        let mut adj = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        let mut visited = vec![false; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[u as usize] = true;
+        queue.push_back(u);
+        while let Some(x) = queue.pop_front() {
+            if x == v {
+                return true;
+            }
+            for &y in &adj[x as usize] {
+                if !visited[y as usize] {
+                    visited[y as usize] = true;
+                    queue.push_back(y);
+                }
+            }
+        }
+        false
+    }
+
+    fn component_size(&self, u: u32) -> u32 {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        let mut visited = vec![false; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[u as usize] = true;
+        queue.push_back(u);
+        let mut size = 0;
+        while let Some(x) = queue.pop_front() {
+            size += 1;
+            for &y in &adj[x as usize] {
+                if !visited[y as usize] {
+                    visited[y as usize] = true;
+                    queue.push_back(y);
+                }
+            }
+        }
+        size
+    }
+}
+
+#[test]
+fn isolated_vertices_are_disconnected() {
+    let f = EulerForest::new(5);
+    for u in 0..5 {
+        for v in 0..5 {
+            assert_eq!(f.connected(u, v), u == v);
+        }
+        assert_eq!(f.component_size(u), 1);
+    }
+    f.validate();
+}
+
+#[test]
+fn single_link_and_cut() {
+    let f = EulerForest::new(3);
+    f.link(0, 1);
+    assert!(f.connected(0, 1));
+    assert!(!f.connected(0, 2));
+    assert!(f.has_tree_edge(0, 1));
+    assert!(f.has_tree_edge(1, 0));
+    assert_eq!(f.component_size(0), 2);
+    f.validate();
+
+    f.cut(0, 1);
+    assert!(!f.connected(0, 1));
+    assert!(!f.has_tree_edge(0, 1));
+    assert_eq!(f.component_size(0), 1);
+    f.validate();
+}
+
+#[test]
+fn path_graph_connectivity_and_sizes() {
+    let n = 64;
+    let f = EulerForest::new(n);
+    for v in 0..(n as u32 - 1) {
+        f.link(v, v + 1);
+    }
+    assert!(f.connected(0, n as u32 - 1));
+    assert_eq!(f.component_size(17), n as u32);
+    f.validate();
+
+    // Cut in the middle.
+    f.cut(31, 32);
+    assert!(!f.connected(0, 63));
+    assert!(f.connected(0, 31));
+    assert!(f.connected(32, 63));
+    assert_eq!(f.component_size(0), 32);
+    assert_eq!(f.component_size(63), 32);
+    f.validate();
+}
+
+#[test]
+fn star_graph_cut_leaves() {
+    let n = 33;
+    let f = EulerForest::new(n);
+    for v in 1..n as u32 {
+        f.link(0, v);
+    }
+    assert_eq!(f.component_size(0), n as u32);
+    f.validate();
+    for v in 1..n as u32 {
+        f.cut(0, v);
+        assert!(!f.connected(0, v));
+        assert_eq!(f.component_size(v), 1);
+    }
+    assert_eq!(f.component_size(0), 1);
+    f.validate();
+}
+
+#[test]
+fn relink_after_cut_in_any_order() {
+    let f = EulerForest::new(6);
+    // Build two triangles' spanning paths and join them.
+    f.link(0, 1);
+    f.link(1, 2);
+    f.link(3, 4);
+    f.link(4, 5);
+    assert!(!f.connected(0, 5));
+    f.link(2, 3);
+    assert!(f.connected(0, 5));
+    f.validate();
+    f.cut(2, 3);
+    assert!(!f.connected(0, 5));
+    // Re-link through different endpoints.
+    f.link(0, 5);
+    assert!(f.connected(2, 4));
+    f.validate();
+}
+
+#[test]
+fn prepared_cut_keeps_component_until_commit() {
+    let f = EulerForest::new(8);
+    for v in 0..7 {
+        f.link(v, v + 1);
+    }
+    let cut = f.prepare_cut(3, 4);
+    // Physically split, logically still one component for readers.
+    assert!(f.connected(0, 7), "readers must not observe a prepared cut");
+    assert!(f.connected(3, 4));
+    assert_eq!(cut.retained_size + cut.detached_size, 8);
+    // Commit: now the split is visible.
+    f.commit_cut(&cut);
+    assert!(!f.connected(0, 7));
+    assert!(f.connected(0, 3));
+    assert!(f.connected(4, 7));
+    f.validate();
+}
+
+#[test]
+fn prepared_cut_can_be_relinked_with_replacement() {
+    // Components: 0-1-2-3 in a line. Cut (1,2) but "find a replacement"
+    // (0,3) and link it instead of committing; connectivity never changes.
+    let f = EulerForest::new(4);
+    f.link(0, 1);
+    f.link(1, 2);
+    f.link(2, 3);
+    let _cut = f.prepare_cut(1, 2);
+    assert!(f.connected(0, 3));
+    // Replacement link between the two prepared pieces.
+    f.link(0, 3);
+    assert!(f.connected(0, 3));
+    assert!(f.connected(1, 2), "still connected through the replacement");
+    f.validate();
+    // Now actually disconnect by cutting both remaining edges.
+    f.cut(0, 3);
+    assert!(f.connected(1, 0));
+    assert!(f.connected(2, 3));
+    assert!(!f.connected(1, 2));
+    f.validate();
+}
+
+#[test]
+fn smaller_piece_helper_is_consistent() {
+    let f = EulerForest::new(10);
+    for v in 0..9 {
+        f.link(v, v + 1);
+    }
+    let cut = f.prepare_cut(6, 7);
+    let (small_root, small_size) = cut.smaller_piece();
+    assert_eq!(small_size, 3);
+    assert_eq!(small_size, f.tree_size(small_root));
+    f.commit_cut(&cut);
+    f.validate();
+}
+
+#[test]
+fn tour_is_well_formed_for_random_trees() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for trial in 0..20 {
+        let n = 30;
+        let f = EulerForest::with_seed(n, 1000 + trial);
+        // Random spanning tree by attaching each vertex to a random earlier one.
+        for v in 1..n as u32 {
+            let parent = rng.gen_range(0..v);
+            f.link(parent, v);
+        }
+        assert_eq!(f.component_size(0), n as u32);
+        f.validate();
+        let root = f.component_root(0);
+        let tour = f.tour(root);
+        // Tour length: n vertex nodes + 2 * (n - 1) edge nodes.
+        assert_eq!(tour.len(), n + 2 * (n - 1));
+        let mut vertices = f.tree_vertices(root);
+        vertices.sort_unstable();
+        assert_eq!(vertices, (0..n as u32).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn randomized_link_cut_agrees_with_model() {
+    let n = 40usize;
+    let mut rng = StdRng::seed_from_u64(7);
+    let f = EulerForest::new(n);
+    let mut model = ForestModel::new(n);
+    let mut tree_edges: Vec<(u32, u32)> = Vec::new();
+
+    for step in 0..3000 {
+        let add = tree_edges.is_empty() || rng.gen_bool(0.55);
+        if add {
+            // Pick two random vertices in different components.
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v && !f.connected(u, v) {
+                assert!(!model.connected(u, v), "ETT and model disagree before link");
+                f.link(u, v);
+                model.link(u, v);
+                tree_edges.push((u, v));
+            }
+        } else {
+            let idx = rng.gen_range(0..tree_edges.len());
+            let (u, v) = tree_edges.swap_remove(idx);
+            f.cut(u, v);
+            model.cut(u, v);
+        }
+        // Spot-check connectivity and sizes.
+        for _ in 0..5 {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            assert_eq!(
+                f.connected(a, b),
+                model.connected(a, b),
+                "connectivity mismatch at step {step} for ({a}, {b})"
+            );
+        }
+        let probe = rng.gen_range(0..n as u32);
+        assert_eq!(f.component_size(probe), model.component_size(probe));
+        if step % 500 == 0 {
+            f.validate();
+        }
+    }
+    f.validate();
+}
+
+#[test]
+#[should_panic]
+fn linking_within_a_component_panics() {
+    let f = EulerForest::new(3);
+    f.link(0, 1);
+    f.link(1, 2);
+    f.link(0, 2); // would create a cycle in the spanning forest
+}
+
+#[test]
+#[should_panic]
+fn cutting_a_non_tree_edge_panics() {
+    let f = EulerForest::new(3);
+    f.link(0, 1);
+    f.cut(1, 2);
+}

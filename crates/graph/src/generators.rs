@@ -1,0 +1,303 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on real graphs (USA roads, Twitter, Stanford web,
+//! LiveJournal) plus Erdős–Rényi and Kronecker graphs.  The real datasets are
+//! multi-hundred-megabyte downloads that are not available in this
+//! environment, so this module provides generators that reproduce their
+//! *structural regimes* (see `DESIGN.md`, substitution table):
+//!
+//! * [`road_network`] — a jittered 2-D grid with a small fraction of removed
+//!   edges: sparse (`|E| ≈ 1.2 |V|`), planar, single connected component,
+//!   large diameter. Stand-in for the Colorado / full-USA road graphs.
+//! * [`preferential_attachment`] — a Barabási–Albert power-law graph: dense,
+//!   heavy-tailed degrees, one giant component. Stand-in for the Twitter,
+//!   Stanford-web and LiveJournal graphs.
+//! * [`erdos_renyi_nm`] — uniform random graph with an exact edge budget, used
+//!   for the paper's `|E| = |V|`, `2|V|`, `|V| log |V|`, `|V| sqrt |V|`
+//!   density points.
+//! * [`random_components`] — an Erdős–Rényi graph partitioned into `k`
+//!   equally-sized components ("Random, 10 components").
+//! * [`rmat`] — an RMAT/Kronecker-style recursive-matrix graph ("Kron").
+
+use crate::types::{Edge, Graph, VertexId};
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Generates an Erdős–Rényi style random graph with exactly `m` distinct
+/// edges over `n` vertices (the G(n, m) model used by the paper's
+/// "Random, |E| = …" graphs).
+///
+/// # Panics
+/// Panics if `m` exceeds the number of distinct vertex pairs.
+pub fn erdos_renyi_nm(n: usize, m: usize, seed: u64) -> Graph {
+    let max_edges = n * (n - 1) / 2;
+    assert!(
+        m <= max_edges,
+        "requested {m} edges but only {max_edges} distinct pairs exist"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::new(0, n as VertexId);
+    let mut seen = HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = dist.sample(&mut rng);
+        let v = dist.sample(&mut rng);
+        if u == v {
+            continue;
+        }
+        let e = Edge::new(u, v);
+        if seen.insert(e) {
+            edges.push((e.u(), e.v()));
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// Generates a random graph consisting of `k` disjoint Erdős–Rényi components
+/// of (roughly) equal size, with `m` edges in total
+/// (the paper's "Random, 10 components" dataset).
+pub fn random_components(n: usize, m: usize, k: usize, seed: u64) -> Graph {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let comp_size = n / k;
+    let mut seen = HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(64).max(1_000_000);
+    while edges.len() < m && attempts < max_attempts {
+        attempts += 1;
+        // Pick a component, then two vertices within it. The final component
+        // may be slightly larger if k does not divide n.
+        let c = rng.gen_range(0..k);
+        let lo = c * comp_size;
+        let hi = if c + 1 == k { n } else { lo + comp_size };
+        if hi - lo < 2 {
+            continue;
+        }
+        let u = rng.gen_range(lo..hi) as VertexId;
+        let v = rng.gen_range(lo..hi) as VertexId;
+        if u == v {
+            continue;
+        }
+        let e = Edge::new(u, v);
+        if seen.insert(e) {
+            edges.push((e.u(), e.v()));
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// Generates a road-network-like graph: a `rows x cols` 2-D grid where each
+/// grid edge is kept with probability `keep_prob`, plus a spanning backbone
+/// that keeps the graph connected when `connected` is requested.
+///
+/// Road networks are sparse (≈1.2 edges per vertex for Colorado), planar and
+/// have a huge diameter; removing a few random edges disconnects them quickly,
+/// which is the property the paper highlights for the fine-grained variants.
+pub fn road_network(rows: usize, cols: usize, keep_prob: f64, connected: bool, seed: u64) -> Graph {
+    assert!(rows >= 1 && cols >= 1);
+    let n = rows * cols;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && rng.gen_bool(keep_prob) {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows && rng.gen_bool(keep_prob) {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    if connected {
+        // A "highway" backbone: every row fully connected horizontally plus a
+        // vertical spine along the first column, so the graph has a single
+        // component like the USA-roads dataset while staying planar and
+        // sparse.
+        for r in 0..rows {
+            for c in 0..cols.saturating_sub(1) {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, 0), id(r + 1, 0)));
+            }
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// Generates a Barabási–Albert preferential-attachment graph: each new vertex
+/// attaches to `m_per_vertex` existing vertices chosen proportionally to their
+/// degree. Produces a power-law degree distribution and a single giant
+/// component, the regime of the paper's social/web graphs.
+pub fn preferential_attachment(n: usize, m_per_vertex: usize, seed: u64) -> Graph {
+    assert!(n >= 2 && m_per_vertex >= 1);
+    let m0 = (m_per_vertex + 1).min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // `targets` holds one entry per edge endpoint so sampling uniformly from
+    // it is sampling proportional to degree.
+    let mut targets: Vec<VertexId> = Vec::with_capacity(2 * n * m_per_vertex);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * m_per_vertex);
+    // Seed clique over the first m0 vertices.
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            edges.push((u as VertexId, v as VertexId));
+            targets.push(u as VertexId);
+            targets.push(v as VertexId);
+        }
+    }
+    for u in m0..n {
+        // A Vec keeps attachment order deterministic for a fixed seed (a
+        // HashSet would make the generated edge order depend on hasher state).
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(m_per_vertex);
+        let mut guard = 0;
+        while chosen.len() < m_per_vertex && guard < 16 * m_per_vertex {
+            guard += 1;
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t as usize != u && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push((u as VertexId, t));
+            targets.push(u as VertexId);
+            targets.push(t);
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// Generates an RMAT (recursive-matrix) graph, the generator behind the
+/// Graph500/Kronecker datasets ("Kron" in Table 2). `scale` gives
+/// `n = 2^scale` vertices and `m` is the target edge count; `(a, b, c)` are
+/// the usual quadrant probabilities (the fourth is `1 - a - b - c`).
+pub fn rmat(scale: u32, m: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
+    assert!(a + b + c < 1.0 + 1e-9, "quadrant probabilities must sum to <= 1");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(32).max(1_000_000);
+    while edges.len() < m && attempts < max_attempts {
+        attempts += 1;
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u == v || u >= n || v >= n {
+            continue;
+        }
+        let e = Edge::new(u as VertexId, v as VertexId);
+        if seen.insert(e) {
+            edges.push((e.u(), e.v()));
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// A convenience RMAT parameterization with the standard Graph500 quadrant
+/// probabilities (0.57, 0.19, 0.19).
+pub fn kronecker(scale: u32, edge_factor: usize, seed: u64) -> Graph {
+    let n = 1usize << scale;
+    rmat(scale, n * edge_factor, 0.57, 0.19, 0.19, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_exact_edge_count() {
+        let g = erdos_renyi_nm(1000, 2000, 42);
+        assert_eq!(g.num_vertices(), 1000);
+        assert_eq!(g.num_edges(), 2000);
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic_for_seed() {
+        let a = erdos_renyi_nm(500, 800, 7);
+        let b = erdos_renyi_nm(500, 800, 7);
+        assert_eq!(a.edges(), b.edges());
+        let c = erdos_renyi_nm(500, 800, 8);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    #[should_panic]
+    fn erdos_renyi_rejects_impossible_density() {
+        let _ = erdos_renyi_nm(4, 100, 1);
+    }
+
+    #[test]
+    fn random_components_has_k_or_more_components() {
+        let g = random_components(1000, 3000, 10, 3);
+        // Components can only split further (isolated vertices), never merge
+        // across the k blocks.
+        assert!(g.connected_components() >= 10);
+        // No edge crosses a block boundary.
+        let block = |x: VertexId| (x as usize) / 100;
+        for e in g.edges() {
+            assert_eq!(block(e.u()), block(e.v()));
+        }
+    }
+
+    #[test]
+    fn road_network_is_sparse_and_connected() {
+        let g = road_network(50, 50, 0.4, true, 11);
+        assert_eq!(g.num_vertices(), 2500);
+        assert_eq!(g.connected_components(), 1);
+        assert!(g.density() < 2.5, "road networks must stay sparse");
+    }
+
+    #[test]
+    fn road_network_disconnected_variant() {
+        let g = road_network(30, 30, 0.3, false, 11);
+        assert!(g.connected_components() > 1);
+    }
+
+    #[test]
+    fn preferential_attachment_is_dense_and_giant() {
+        let g = preferential_attachment(2000, 8, 5);
+        assert!(g.density() > 4.0);
+        assert!(g.largest_component_fraction() > 0.99);
+        // Power-law-ish: the max degree should far exceed the average.
+        let adj = g.adjacency();
+        let max_deg = adj.iter().map(|a| a.len()).max().unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(max_deg as f64 > 4.0 * avg);
+    }
+
+    #[test]
+    fn rmat_generates_requested_scale() {
+        let g = kronecker(10, 8, 17);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() > 4000);
+    }
+
+    #[test]
+    fn rmat_degree_skew() {
+        let g = kronecker(11, 16, 17);
+        let adj = g.adjacency();
+        let max_deg = adj.iter().map(|a| a.len()).max().unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            max_deg as f64 > 5.0 * avg,
+            "Kronecker graphs should have heavily skewed degrees (max {max_deg}, avg {avg})"
+        );
+    }
+}

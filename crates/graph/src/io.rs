@@ -1,0 +1,237 @@
+//! Loaders and writers for the on-disk graph formats used by the paper's
+//! datasets: plain whitespace edge lists (SNAP) and the DIMACS shortest-path
+//! challenge format (USA roads).
+//!
+//! The reproduction's benchmarks default to the synthetic catalog, but every
+//! benchmark binary accepts a `--graph-file` argument so the original
+//! datasets can be dropped in unchanged when they are available.
+
+use crate::types::{Graph, VertexId};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors produced while parsing a graph file.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number and contents.
+    Malformed { line: usize, content: String },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, content } => {
+                write!(f, "malformed line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parses a SNAP-style whitespace edge list.
+///
+/// * Lines starting with `#` or `%` are comments.
+/// * Each remaining line holds two vertex identifiers; identifiers are
+///   arbitrary integers and are remapped to a dense `0..n` range.
+/// * Self-loops and duplicate edges are removed (the paper's preprocessing).
+pub fn parse_edge_list<R: Read>(reader: R) -> Result<Graph, ParseError> {
+    let reader = BufReader::new(reader);
+    let mut remap: HashMap<u64, VertexId> = HashMap::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let intern = |raw: u64, remap: &mut HashMap<u64, VertexId>| -> VertexId {
+        let next = remap.len() as VertexId;
+        *remap.entry(raw).or_insert(next)
+    };
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (a, b) = match (parts.next(), parts.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(ParseError::Malformed {
+                    line: idx + 1,
+                    content: line.clone(),
+                })
+            }
+        };
+        let (a, b) = match (a.parse::<u64>(), b.parse::<u64>()) {
+            (Ok(a), Ok(b)) => (a, b),
+            _ => {
+                return Err(ParseError::Malformed {
+                    line: idx + 1,
+                    content: line.clone(),
+                })
+            }
+        };
+        let u = intern(a, &mut remap);
+        let v = intern(b, &mut remap);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    Ok(Graph::from_edges(remap.len(), edges))
+}
+
+/// Parses the DIMACS shortest-path challenge format used by the USA-roads
+/// datasets: `c` comment lines, one `p sp <n> <m>` problem line and `a <u>
+/// <v> <w>` arc lines (1-based vertex ids, weights ignored).
+pub fn parse_dimacs<R: Read>(reader: R) -> Result<Graph, ParseError> {
+    let reader = BufReader::new(reader);
+    let mut n = 0usize;
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                // "p sp <n> <m>"
+                let _kind = parts.next();
+                n = parts
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or_else(|| ParseError::Malformed {
+                        line: idx + 1,
+                        content: line.clone(),
+                    })?;
+            }
+            Some("a") | Some("e") => {
+                let u = parts.next().and_then(|s| s.parse::<u64>().ok());
+                let v = parts.next().and_then(|s| s.parse::<u64>().ok());
+                match (u, v) {
+                    (Some(u), Some(v)) if u >= 1 && v >= 1 => {
+                        if u != v {
+                            edges.push(((u - 1) as VertexId, (v - 1) as VertexId));
+                        }
+                    }
+                    _ => {
+                        return Err(ParseError::Malformed {
+                            line: idx + 1,
+                            content: line.clone(),
+                        })
+                    }
+                }
+            }
+            _ => {
+                return Err(ParseError::Malformed {
+                    line: idx + 1,
+                    content: line.clone(),
+                })
+            }
+        }
+    }
+    let max_seen = edges
+        .iter()
+        .map(|&(u, v)| u.max(v) as usize + 1)
+        .max()
+        .unwrap_or(0);
+    Ok(Graph::from_edges(n.max(max_seen), edges))
+}
+
+/// Loads a graph from a file, choosing the parser from the extension:
+/// `.gr` / `.dimacs` use [`parse_dimacs`], everything else uses
+/// [`parse_edge_list`].
+pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<Graph, ParseError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("gr") | Some("dimacs") => parse_dimacs(file),
+        _ => parse_edge_list(file),
+    }
+}
+
+/// Writes a graph as a whitespace edge list (one `u v` pair per line).
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> io::Result<()> {
+    writeln!(
+        writer,
+        "# vertices: {} edges: {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for e in graph.edges() {
+        writeln!(writer, "{} {}", e.u(), e.v())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_edge_list() {
+        let input = "# a comment\n0 1\n1 2\n\n2 0\n";
+        let g = parse_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn parse_edge_list_remaps_sparse_ids() {
+        let input = "1000 2000\n2000 500000\n";
+        let g = parse_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn parse_edge_list_drops_self_loops_and_duplicates() {
+        let input = "0 0\n0 1\n1 0\n";
+        let g = parse_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_edge_list_rejects_garbage() {
+        let input = "0 1\nnot an edge\n";
+        assert!(parse_edge_list(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn parse_dimacs_roads_format() {
+        let input = "c USA roads sample\np sp 4 3\na 1 2 100\na 2 3 50\na 3 4 10\n";
+        let g = parse_dimacs(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.connected_components(), 1);
+    }
+
+    #[test]
+    fn parse_dimacs_dedups_reverse_arcs() {
+        // DIMACS road files list both arc directions; they must collapse to
+        // one undirected edge.
+        let input = "p sp 2 2\na 1 2 5\na 2 1 5\n";
+        let g = parse_dimacs(input.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn roundtrip_write_then_parse() {
+        let g = crate::generators::erdos_renyi_nm(100, 200, 1);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = parse_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        // Isolated vertices do not survive an edge-list round trip.
+        assert!(g2.num_vertices() <= g.num_vertices());
+        assert_eq!(g2.connected_components(), g2.connected_components());
+    }
+}

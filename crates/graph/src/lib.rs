@@ -1,0 +1,26 @@
+//! Graph representation, synthetic generators and loaders used by the
+//! concurrent dynamic connectivity reproduction.
+//!
+//! The evaluation of the SPAA '21 paper runs on a mix of real-world graphs
+//! (USA roads, Twitter, Stanford web, LiveJournal, …) and synthetic graphs
+//! (Erdős–Rényi at several densities, a Kronecker graph, a multi-component
+//! random graph).  This crate provides:
+//!
+//! * a compact, cheap-to-clone [`Graph`] edge-list representation
+//!   ([`types`]),
+//! * generators that reproduce the *structural regimes* of the paper's
+//!   datasets — sparse planar road networks, dense power-law social graphs,
+//!   Erdős–Rényi at the paper's density points, RMAT/Kronecker graphs and
+//!   multi-component graphs ([`generators`]),
+//! * a catalog mirroring Table 1 and Table 2 of the paper at configurable
+//!   scale ([`catalog`]),
+//! * plain edge-list / DIMACS loaders and writers so the real datasets can be
+//!   dropped in when available ([`io`]).
+
+pub mod catalog;
+pub mod generators;
+pub mod io;
+pub mod types;
+
+pub use catalog::{GraphSpec, ScaledCatalog};
+pub use types::{Edge, Graph, VertexId};

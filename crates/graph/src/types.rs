@@ -1,0 +1,308 @@
+//! Core graph types: vertices, normalized undirected edges and the static
+//! edge-list [`Graph`] container that workloads are generated from.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// A vertex identifier. Vertices are dense integers in `0..n`.
+pub type VertexId = u32;
+
+/// An undirected edge, stored in normalized form (`u <= v`).
+///
+/// Dynamic connectivity treats the graph as undirected and without
+/// multi-edges, so normalizing at construction time makes edges directly
+/// usable as hash-map keys and removes an entire class of "same edge written
+/// two ways" bugs from the concurrent edge-status machinery.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    u: VertexId,
+    v: VertexId,
+}
+
+impl Edge {
+    /// Creates a normalized edge between `u` and `v`.
+    ///
+    /// # Panics
+    /// Panics if `u == v`; self-loops never affect connectivity and the paper
+    /// removes them from every dataset, so constructing one is a logic error.
+    #[inline]
+    pub fn new(u: VertexId, v: VertexId) -> Self {
+        assert_ne!(u, v, "self-loops are not supported");
+        if u <= v {
+            Edge { u, v }
+        } else {
+            Edge { u: v, v: u }
+        }
+    }
+
+    /// The smaller endpoint.
+    #[inline]
+    pub fn u(&self) -> VertexId {
+        self.u
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub fn v(&self) -> VertexId {
+        self.v
+    }
+
+    /// Both endpoints as a tuple `(u, v)` with `u <= v`.
+    #[inline]
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        (self.u, self.v)
+    }
+
+    /// Returns the endpoint opposite to `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, x: VertexId) -> VertexId {
+        if x == self.u {
+            self.v
+        } else {
+            assert_eq!(x, self.v, "vertex {x} is not an endpoint of {self:?}");
+            self.u
+        }
+    }
+
+    /// Returns `true` if `x` is one of the endpoints.
+    #[inline]
+    pub fn touches(&self, x: VertexId) -> bool {
+        x == self.u || x == self.v
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}-{})", self.u, self.v)
+    }
+}
+
+impl From<(VertexId, VertexId)> for Edge {
+    fn from((u, v): (VertexId, VertexId)) -> Self {
+        Edge::new(u, v)
+    }
+}
+
+/// A static undirected graph stored as a deduplicated edge list.
+///
+/// The benchmarks and workload generators only need the vertex count and an
+/// indexable list of unique edges; adjacency structure is built lazily where
+/// needed (e.g. for the BFS oracle).
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    vertices: usize,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Creates an empty graph with `vertices` vertices and no edges.
+    pub fn empty(vertices: usize) -> Self {
+        Graph {
+            vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds a graph from an iterator of `(u, v)` pairs.
+    ///
+    /// Self-loops are dropped and duplicate edges (in either orientation) are
+    /// deduplicated, mirroring the paper's preprocessing ("we remove loops and
+    /// multi-edges from the graphs").
+    pub fn from_edges<I>(vertices: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut seen = HashSet::new();
+        let mut list = Vec::new();
+        for (u, v) in edges {
+            if u == v {
+                continue;
+            }
+            assert!(
+                (u as usize) < vertices && (v as usize) < vertices,
+                "edge ({u}, {v}) out of range for {vertices} vertices"
+            );
+            let e = Edge::new(u, v);
+            if seen.insert(e) {
+                list.push(e);
+            }
+        }
+        Graph {
+            vertices,
+            edges: list,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vertices
+    }
+
+    /// Number of (unique, undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Returns edge `i`.
+    #[inline]
+    pub fn edge(&self, i: usize) -> Edge {
+        self.edges[i]
+    }
+
+    /// Average density `|E| / |V|` (the quantity the paper uses to separate
+    /// "sparse" road-like graphs from "dense" social graphs).
+    pub fn density(&self) -> f64 {
+        if self.vertices == 0 {
+            0.0
+        } else {
+            self.edges.len() as f64 / self.vertices as f64
+        }
+    }
+
+    /// Builds an adjacency-list view of the graph.
+    pub fn adjacency(&self) -> Vec<Vec<VertexId>> {
+        let mut adj = vec![Vec::new(); self.vertices];
+        for e in &self.edges {
+            adj[e.u() as usize].push(e.v());
+            adj[e.v() as usize].push(e.u());
+        }
+        adj
+    }
+
+    /// Number of connected components (computed by BFS; intended for tests,
+    /// dataset descriptions and the Table 3 statistics, not for hot paths).
+    pub fn connected_components(&self) -> usize {
+        let adj = self.adjacency();
+        let mut visited = vec![false; self.vertices];
+        let mut components = 0;
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..self.vertices {
+            if visited[start] {
+                continue;
+            }
+            components += 1;
+            visited[start] = true;
+            queue.push_back(start as VertexId);
+            while let Some(x) = queue.pop_front() {
+                for &y in &adj[x as usize] {
+                    if !visited[y as usize] {
+                        visited[y as usize] = true;
+                        queue.push_back(y);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Size of the largest connected component, as a fraction of `|V|`.
+    pub fn largest_component_fraction(&self) -> f64 {
+        if self.vertices == 0 {
+            return 0.0;
+        }
+        let adj = self.adjacency();
+        let mut visited = vec![false; self.vertices];
+        let mut best = 0usize;
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..self.vertices {
+            if visited[start] {
+                continue;
+            }
+            let mut size = 1usize;
+            visited[start] = true;
+            queue.push_back(start as VertexId);
+            while let Some(x) = queue.pop_front() {
+                for &y in &adj[x as usize] {
+                    if !visited[y as usize] {
+                        visited[y as usize] = true;
+                        size += 1;
+                        queue.push_back(y);
+                    }
+                }
+            }
+            best = best.max(size);
+        }
+        best as f64 / self.vertices as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_is_normalized() {
+        assert_eq!(Edge::new(3, 1), Edge::new(1, 3));
+        assert_eq!(Edge::new(1, 3).endpoints(), (1, 3));
+        assert_eq!(Edge::new(3, 1).u(), 1);
+        assert_eq!(Edge::new(3, 1).v(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_panics() {
+        let _ = Edge::new(2, 2);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(4, 9);
+        assert_eq!(e.other(4), 9);
+        assert_eq!(e.other(9), 4);
+        assert!(e.touches(4) && e.touches(9) && !e.touches(5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_other_panics_for_non_endpoint() {
+        let _ = Edge::new(4, 9).other(5);
+    }
+
+    #[test]
+    fn graph_dedup_and_loops() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 0), (2, 2), (1, 2), (1, 2)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.connected_components(), 2); // {0,1,2} and {3}
+    }
+
+    #[test]
+    fn graph_component_stats() {
+        let g = Graph::from_edges(6, vec![(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(g.connected_components(), 3);
+        let frac = g.largest_component_fraction();
+        assert!((frac - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn graph_density() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!((g.density() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let _ = Graph::from_edges(3, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (3, 4)]);
+        let adj = g.adjacency();
+        assert!(adj[0].contains(&1) && adj[1].contains(&0));
+        assert!(adj[3].contains(&4) && adj[4].contains(&3));
+        assert!(adj[2].len() == 1);
+    }
+}

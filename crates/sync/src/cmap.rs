@@ -1,0 +1,335 @@
+//! A lock-striped concurrent hash map with atomic read-modify-write
+//! operations.
+//!
+//! The full dynamic connectivity algorithm (paper Appendix C) keeps every
+//! edge's `(status, level)` state in a `ConcurrentHashMap<Edge, State>` and
+//! drives the lock-free protocol through CAS operations on the stored values.
+//! This map provides exactly that interface: `get`, `insert`,
+//! `put_if_absent`, `compare_exchange`, `remove`, and `remove_if`, each
+//! linearizable because every key maps to a single shard protected by its own
+//! mutex; critical sections are a handful of instructions.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+
+/// A fast, non-cryptographic hasher (FxHash-style multiply-xor) used to pick
+/// shards and to hash keys inside shards. Edge keys are small integer pairs,
+/// for which SipHash is needlessly slow.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+struct Shard<K, V> {
+    map: Mutex<HashMap<K, V, FxBuildHasher>>,
+}
+
+/// A sharded (lock-striped) concurrent hash map.
+///
+/// All operations are linearizable: each key belongs to exactly one shard and
+/// every operation on that key runs under the shard's mutex.
+pub struct ShardedMap<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    mask: usize,
+    hasher: FxBuildHasher,
+}
+
+impl<K, V> ShardedMap<K, V>
+where
+    K: Hash + Eq + Clone,
+    V: Clone + PartialEq,
+{
+    /// Creates a map with a default shard count suitable for moderate
+    /// parallelism.
+    pub fn new() -> Self {
+        Self::with_shards(64)
+    }
+
+    /// Creates a map with `shards` shards (rounded up to a power of two).
+    pub fn with_shards(shards: usize) -> Self {
+        let count = shards.next_power_of_two().max(1);
+        let shards = (0..count)
+            .map(|_| Shard {
+                map: Mutex::new(HashMap::with_hasher(FxBuildHasher::default())),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardedMap {
+            shards,
+            mask: count - 1,
+            hasher: FxBuildHasher::default(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: &K) -> &Shard<K, V> {
+        let mut h = self.hasher.build_hasher();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & self.mask]
+    }
+
+    /// Returns a clone of the value stored for `key`, if any.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).map.lock().get(key).cloned()
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shard(key).map.lock().contains_key(key)
+    }
+
+    /// Inserts `value` for `key`, returning the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard(&key).map.lock().insert(key, value)
+    }
+
+    /// Atomically inserts `value` only if `key` is absent.
+    ///
+    /// Returns `None` if the insert happened, or the currently stored value
+    /// (like `ConcurrentHashMap.putIfAbsent`).
+    pub fn put_if_absent(&self, key: K, value: V) -> Option<V> {
+        let shard = self.shard(&key);
+        let mut map = shard.map.lock();
+        match map.get(&key) {
+            Some(existing) => Some(existing.clone()),
+            None => {
+                map.insert(key, value);
+                None
+            }
+        }
+    }
+
+    /// Atomically replaces the value for `key` with `new` if the current
+    /// value equals `expected`.
+    ///
+    /// Returns `Ok(())` on success, or `Err(current)` with the value actually
+    /// stored (`None` if the key is absent).
+    pub fn compare_exchange(&self, key: &K, expected: &V, new: V) -> Result<(), Option<V>> {
+        let shard = self.shard(key);
+        let mut map = shard.map.lock();
+        match map.get_mut(key) {
+            Some(current) if current == expected => {
+                *current = new;
+                Ok(())
+            }
+            Some(current) => Err(Some(current.clone())),
+            None => Err(None),
+        }
+    }
+
+    /// Atomically removes `key` if its value equals `expected`.
+    ///
+    /// Returns `Ok(())` on success, or `Err(current)` otherwise.
+    pub fn remove_if(&self, key: &K, expected: &V) -> Result<(), Option<V>> {
+        let shard = self.shard(key);
+        let mut map = shard.map.lock();
+        match map.get(key) {
+            Some(current) if current == expected => {
+                map.remove(key);
+                Ok(())
+            }
+            Some(current) => Err(Some(current.clone())),
+            None => Err(None),
+        }
+    }
+
+    /// Removes `key`, returning its previous value.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard(key).map.lock().remove(key)
+    }
+
+    /// Number of stored entries (sums shard sizes; approximate under
+    /// concurrent mutation, exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.lock().len()).sum()
+    }
+
+    /// Returns `true` if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Applies `f` to every `(key, value)` pair. Shards are visited one at a
+    /// time, so the view is per-shard consistent but not a global snapshot.
+    pub fn for_each<F: FnMut(&K, &V)>(&self, mut f: F) {
+        for shard in self.shards.iter() {
+            let map = shard.map.lock();
+            for (k, v) in map.iter() {
+                f(k, v);
+            }
+        }
+    }
+}
+
+impl<K, V> Default for ShardedMap<K, V>
+where
+    K: Hash + Eq + Clone,
+    V: Clone + PartialEq,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_insert_get_remove() {
+        let m: ShardedMap<u32, String> = ShardedMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, "a".into()), None);
+        assert_eq!(m.insert(1, "b".into()), Some("a".into()));
+        assert_eq!(m.get(&1), Some("b".into()));
+        assert!(m.contains_key(&1));
+        assert_eq!(m.remove(&1), Some("b".into()));
+        assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn put_if_absent_semantics() {
+        let m: ShardedMap<u32, u32> = ShardedMap::new();
+        assert_eq!(m.put_if_absent(5, 10), None);
+        assert_eq!(m.put_if_absent(5, 20), Some(10));
+        assert_eq!(m.get(&5), Some(10));
+    }
+
+    #[test]
+    fn compare_exchange_success_and_failure() {
+        let m: ShardedMap<u32, u32> = ShardedMap::new();
+        m.insert(1, 100);
+        assert_eq!(m.compare_exchange(&1, &100, 200), Ok(()));
+        assert_eq!(m.get(&1), Some(200));
+        assert_eq!(m.compare_exchange(&1, &100, 300), Err(Some(200)));
+        assert_eq!(m.compare_exchange(&2, &100, 300), Err(None));
+    }
+
+    #[test]
+    fn remove_if_semantics() {
+        let m: ShardedMap<u32, u32> = ShardedMap::new();
+        m.insert(7, 1);
+        assert_eq!(m.remove_if(&7, &2), Err(Some(1)));
+        assert_eq!(m.remove_if(&7, &1), Ok(()));
+        assert_eq!(m.remove_if(&7, &1), Err(None));
+    }
+
+    #[test]
+    fn for_each_and_len() {
+        let m: ShardedMap<u32, u32> = ShardedMap::with_shards(4);
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 100);
+        let mut sum = 0u64;
+        m.for_each(|_, v| sum += *v as u64);
+        assert_eq!(sum, (0..100u64).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn concurrent_cas_counter_is_exact() {
+        // N threads CAS-increment the same key; the final value must equal the
+        // total number of successful increments (no lost updates).
+        let m: Arc<ShardedMap<u32, u64>> = Arc::new(ShardedMap::new());
+        m.insert(0, 0);
+        let threads = 4;
+        let per_thread = 1000;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        loop {
+                            let cur = m.get(&0).unwrap();
+                            if m.compare_exchange(&0, &cur, cur + 1).is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(m.get(&0), Some((threads * per_thread) as u64));
+    }
+
+    #[test]
+    fn concurrent_distinct_keys() {
+        let m: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        m.insert(t * 10_000 + i, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 2000);
+    }
+
+    #[test]
+    fn fx_hasher_spreads_small_keys() {
+        // Shard selection must not collapse consecutive integer keys onto a
+        // single shard.
+        let m: ShardedMap<u32, u32> = ShardedMap::with_shards(16);
+        for i in 0..1000 {
+            m.insert(i, i);
+        }
+        let mut nonempty = 0;
+        for shard in m.shards.iter() {
+            if !shard.map.lock().is_empty() {
+                nonempty += 1;
+            }
+        }
+        assert!(nonempty >= 8, "only {nonempty} of 16 shards used");
+    }
+}

@@ -1,0 +1,388 @@
+//! A generic flat-combining / parallel-combining executor.
+//!
+//! *Flat combining* (Hendler et al., SPAA '10) funnels the operations of all
+//! threads through a single *combiner*: every thread publishes its operation
+//! in a per-thread slot, and whichever thread grabs the combiner lock applies
+//! all published operations against the sequential data structure before
+//! releasing it.  *Parallel combining* (Aksenov et al., OPODIS '18) extends
+//! the idea for read-dominated workloads: the combiner lets the waiting
+//! readers execute their own read-only operations in parallel (while it
+//! refrains from mutating the structure), then applies the writes
+//! sequentially.
+//!
+//! The paper uses both techniques as baselines (variants 12 and 13 of the
+//! evaluation).  This module implements them generically over any
+//! [`CombiningTarget`], so the dynamic connectivity crate can wrap its
+//! sequential HDT structure without further synchronization code.
+
+use crate::spinlock::RawSpinLock;
+use crate::waitstats;
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// A sequential data structure that can be driven by the combining executor.
+pub trait CombiningTarget {
+    /// Operation request type.
+    type Op: Send;
+    /// Operation result type.
+    type Res: Send;
+
+    /// Returns `true` if `op` is read-only (eligible for the parallel read
+    /// phase of parallel combining).
+    fn is_read(op: &Self::Op) -> bool;
+
+    /// Applies a (possibly mutating) operation.
+    fn apply_mut(&mut self, op: Self::Op) -> Self::Res;
+
+    /// Applies a read-only operation through a shared reference.
+    ///
+    /// Only called for operations for which [`CombiningTarget::is_read`]
+    /// returned `true`, and only while no mutating operation is running.
+    fn apply_read(&self, op: Self::Op) -> Self::Res;
+}
+
+/// Selects how the executor schedules published operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CombiningMode {
+    /// Classic flat combining: the combiner applies every operation itself.
+    FlatCombining,
+    /// Parallel combining: read-only operations are executed in parallel by
+    /// the threads that submitted them; writes are applied by the combiner.
+    ParallelReads,
+}
+
+const SLOT_EMPTY: u8 = 0;
+const SLOT_PENDING: u8 = 1;
+const SLOT_READ_PHASE: u8 = 2;
+const SLOT_DONE: u8 = 3;
+
+struct Slot<T: CombiningTarget> {
+    state: AtomicU8,
+    op: UnsafeCell<Option<T::Op>>,
+    res: UnsafeCell<Option<T::Res>>,
+}
+
+impl<T: CombiningTarget> Slot<T> {
+    fn new() -> Self {
+        Slot {
+            state: AtomicU8::new(SLOT_EMPTY),
+            op: UnsafeCell::new(None),
+            res: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// The combining executor. See the module documentation.
+pub struct CombiningExecutor<T: CombiningTarget> {
+    id: usize,
+    mode: CombiningMode,
+    target: UnsafeCell<T>,
+    combiner: RawSpinLock,
+    slots: Box<[Slot<T>]>,
+    registered: AtomicUsize,
+}
+
+// SAFETY: the target is only accessed mutably while the combiner lock is
+// held; slot op/res cells are written by their owning thread before the
+// PENDING release-store and read by the combiner after an acquire-load (and
+// vice versa for results), so all cross-thread accesses are ordered.
+unsafe impl<T: CombiningTarget + Send + Sync> Sync for CombiningExecutor<T> {}
+unsafe impl<T: CombiningTarget + Send> Send for CombiningExecutor<T> {}
+
+static EXECUTOR_IDS: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    /// Maps executor id -> this thread's slot index.
+    static THREAD_SLOTS: std::cell::RefCell<HashMap<usize, usize>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+impl<T: CombiningTarget> CombiningExecutor<T> {
+    /// Default maximum number of participating threads.
+    pub const DEFAULT_SLOTS: usize = 256;
+
+    /// Creates an executor around `target` with the given scheduling mode.
+    pub fn new(target: T, mode: CombiningMode) -> Self {
+        Self::with_capacity(target, mode, Self::DEFAULT_SLOTS)
+    }
+
+    /// Creates an executor with space for at most `capacity` threads.
+    pub fn with_capacity(target: T, mode: CombiningMode, capacity: usize) -> Self {
+        let slots = (0..capacity.max(1)).map(|_| Slot::new()).collect::<Vec<_>>();
+        CombiningExecutor {
+            id: EXECUTOR_IDS.fetch_add(1, Ordering::Relaxed),
+            mode,
+            target: UnsafeCell::new(target),
+            combiner: RawSpinLock::new(),
+            slots: slots.into_boxed_slice(),
+            registered: AtomicUsize::new(0),
+        }
+    }
+
+    /// The scheduling mode of this executor.
+    pub fn mode(&self) -> CombiningMode {
+        self.mode
+    }
+
+    /// Consumes the executor and returns the wrapped structure.
+    pub fn into_inner(self) -> T {
+        self.target.into_inner()
+    }
+
+    /// Runs `f` on the wrapped structure while holding the combiner lock
+    /// (useful for initialization and for collecting statistics).
+    pub fn with_exclusive<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.combiner.lock();
+        // SAFETY: combiner lock held, so no other thread touches the target.
+        let result = f(unsafe { &mut *self.target.get() });
+        self.combiner.unlock();
+        result
+    }
+
+    fn slot_index(&self) -> usize {
+        THREAD_SLOTS.with(|slots| {
+            let mut slots = slots.borrow_mut();
+            *slots.entry(self.id).or_insert_with(|| {
+                let idx = self.registered.fetch_add(1, Ordering::Relaxed);
+                assert!(
+                    idx < self.slots.len(),
+                    "more than {} threads used a CombiningExecutor",
+                    self.slots.len()
+                );
+                idx
+            })
+        })
+    }
+
+    /// Executes `op`, possibly by combining it with other threads'
+    /// operations, and returns its result.
+    pub fn execute(&self, op: T::Op) -> T::Res {
+        let idx = self.slot_index();
+        let slot = &self.slots[idx];
+        let is_read = T::is_read(&op);
+        // Publish the request.
+        // SAFETY: this thread owns the slot and its state is EMPTY, so no
+        // other thread reads `op` until the release-store below.
+        unsafe { *slot.op.get() = Some(op) };
+        slot.state.store(SLOT_PENDING, Ordering::Release);
+
+        let mut wait_timer = Some(waitstats::WaitTimer::start());
+        loop {
+            match slot.state.load(Ordering::Acquire) {
+                SLOT_DONE => {
+                    if let Some(timer) = wait_timer.take() {
+                        timer.finish();
+                    }
+                    // SAFETY: DONE means the combiner finished writing `res`
+                    // (release) and will not touch the slot again.
+                    let res = unsafe { (*slot.res.get()).take() };
+                    slot.state.store(SLOT_EMPTY, Ordering::Release);
+                    return res.expect("combiner marked DONE without a result");
+                }
+                SLOT_READ_PHASE if is_read => {
+                    // Parallel combining read phase: run our own read.
+                    if let Some(timer) = wait_timer.take() {
+                        timer.finish();
+                    }
+                    // SAFETY: the combiner guarantees no mutation is running
+                    // during the read phase, so a shared reference is sound;
+                    // the op was written by this thread.
+                    let op = unsafe { (*slot.op.get()).take() }.expect("read-phase slot without op");
+                    let res = unsafe { (*self.target.get()).apply_read(op) };
+                    unsafe { *slot.res.get() = Some(res) };
+                    slot.state.store(SLOT_DONE, Ordering::Release);
+                    // Loop around; the DONE branch picks the result up.
+                }
+                _ => {
+                    if self.combiner.try_lock() {
+                        self.combine(idx);
+                        self.combiner.unlock();
+                    } else {
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies all currently published operations. Must be called with the
+    /// combiner lock held; `self_idx` is the combiner's own slot, whose
+    /// operation is always executed by the combiner itself in phase 2 (it
+    /// cannot participate in the parallel read phase — the combiner would be
+    /// waiting for itself).
+    fn combine(&self, self_idx: usize) {
+        // Phase 1 (ParallelReads only): hand read operations back to their
+        // owners and wait for them to finish, without mutating the target.
+        if self.mode == CombiningMode::ParallelReads {
+            let mut read_slots: Vec<usize> = Vec::new();
+            for (i, slot) in self.slots.iter().enumerate() {
+                if i == self_idx {
+                    continue;
+                }
+                if slot.state.load(Ordering::Acquire) == SLOT_PENDING {
+                    // SAFETY: PENDING was released by the owner after writing
+                    // the op, and only the combiner inspects it now.
+                    let is_read = unsafe { (*slot.op.get()).as_ref() }
+                        .map(|op| T::is_read(op))
+                        .unwrap_or(false);
+                    if is_read {
+                        slot.state.store(SLOT_READ_PHASE, Ordering::Release);
+                        read_slots.push(i);
+                    }
+                }
+            }
+            // Wait for the parallel readers; the target must stay immutable
+            // until every one of them has finished.
+            for &i in &read_slots {
+                while self.slots[i].state.load(Ordering::Acquire) == SLOT_READ_PHASE {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+
+        // Phase 2: apply the remaining published operations sequentially.
+        for slot in self.slots.iter() {
+            if slot.state.load(Ordering::Acquire) == SLOT_PENDING {
+                // SAFETY: see above; the combiner lock is held, so mutable
+                // access to the target is exclusive.
+                let op = unsafe { (*slot.op.get()).take() };
+                if let Some(op) = op {
+                    let target = unsafe { &mut *self.target.get() };
+                    let res = if self.mode == CombiningMode::FlatCombining && T::is_read(&op) {
+                        // Reads do not need `&mut`, but the combiner applies
+                        // them inline either way in classic flat combining.
+                        target.apply_read(op)
+                    } else {
+                        target.apply_mut(op)
+                    };
+                    unsafe { *slot.res.get() = Some(res) };
+                    slot.state.store(SLOT_DONE, Ordering::Release);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A toy sequential structure: a set of integers with add/contains/len.
+    #[derive(Default)]
+    struct IntSet {
+        values: std::collections::BTreeSet<u64>,
+    }
+
+    enum SetOp {
+        Add(u64),
+        Contains(u64),
+        Len,
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum SetRes {
+        Added(bool),
+        Found(bool),
+        Count(usize),
+    }
+
+    impl CombiningTarget for IntSet {
+        type Op = SetOp;
+        type Res = SetRes;
+
+        fn is_read(op: &SetOp) -> bool {
+            matches!(op, SetOp::Contains(_) | SetOp::Len)
+        }
+
+        fn apply_mut(&mut self, op: SetOp) -> SetRes {
+            match op {
+                SetOp::Add(x) => SetRes::Added(self.values.insert(x)),
+                SetOp::Contains(x) => SetRes::Found(self.values.contains(&x)),
+                SetOp::Len => SetRes::Count(self.values.len()),
+            }
+        }
+
+        fn apply_read(&self, op: SetOp) -> SetRes {
+            match op {
+                SetOp::Contains(x) => SetRes::Found(self.values.contains(&x)),
+                SetOp::Len => SetRes::Count(self.values.len()),
+                SetOp::Add(_) => unreachable!("Add is not a read operation"),
+            }
+        }
+    }
+
+    fn run_mixed_workload(mode: CombiningMode) {
+        let exec = Arc::new(CombiningExecutor::new(IntSet::default(), mode));
+        let threads = 4u64;
+        let per_thread = 500u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let exec = Arc::clone(&exec);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let key = t * per_thread + i;
+                        assert_eq!(exec.execute(SetOp::Add(key)), SetRes::Added(true));
+                        assert_eq!(exec.execute(SetOp::Contains(key)), SetRes::Found(true));
+                    }
+                });
+            }
+        });
+        let total = exec.execute(SetOp::Len);
+        assert_eq!(total, SetRes::Count((threads * per_thread) as usize));
+    }
+
+    #[test]
+    fn flat_combining_mixed_workload() {
+        run_mixed_workload(CombiningMode::FlatCombining);
+    }
+
+    #[test]
+    fn parallel_combining_mixed_workload() {
+        run_mixed_workload(CombiningMode::ParallelReads);
+    }
+
+    #[test]
+    fn single_thread_operations_work() {
+        let exec = CombiningExecutor::new(IntSet::default(), CombiningMode::FlatCombining);
+        assert_eq!(exec.execute(SetOp::Add(1)), SetRes::Added(true));
+        assert_eq!(exec.execute(SetOp::Add(1)), SetRes::Added(false));
+        assert_eq!(exec.execute(SetOp::Contains(1)), SetRes::Found(true));
+        assert_eq!(exec.execute(SetOp::Contains(2)), SetRes::Found(false));
+        assert_eq!(exec.execute(SetOp::Len), SetRes::Count(1));
+    }
+
+    #[test]
+    fn with_exclusive_provides_mutable_access() {
+        let exec = CombiningExecutor::new(IntSet::default(), CombiningMode::ParallelReads);
+        exec.with_exclusive(|set| {
+            set.values.insert(99);
+        });
+        assert_eq!(exec.execute(SetOp::Contains(99)), SetRes::Found(true));
+        assert_eq!(exec.into_inner().values.len(), 1);
+    }
+
+    #[test]
+    fn read_heavy_parallel_combining_is_consistent() {
+        let exec = Arc::new(CombiningExecutor::new(IntSet::default(), CombiningMode::ParallelReads));
+        for i in 0..100 {
+            exec.execute(SetOp::Add(i));
+        }
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let exec = Arc::clone(&exec);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        assert_eq!(exec.execute(SetOp::Contains(i)), SetRes::Found(true));
+                        assert_eq!(
+                            exec.execute(SetOp::Contains(i + 1000)),
+                            SetRes::Found(false)
+                        );
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,36 @@
+//! Concurrency substrates used by the concurrent dynamic connectivity
+//! algorithms.
+//!
+//! The paper's algorithm (SPAA '21) relies on a handful of concurrent
+//! building blocks that its Kotlin implementation takes from the JVM
+//! ecosystem.  This crate provides from-scratch Rust equivalents:
+//!
+//! * [`cmap::ShardedMap`] — a lock-striped concurrent hash map with
+//!   linearizable `compare_exchange`, used for the edge-status table
+//!   (`ConcurrentHashMap<Edge, State>` in the paper's Listing 5).
+//! * [`multiset::ConcurrentMultiSet`] — a concurrent multiset with snapshot
+//!   iteration, used for per-node non-spanning adjacency sets.
+//! * [`combining`] — a generic flat-combining / parallel-combining executor
+//!   (variants 12 and 13 of the evaluation).
+//! * [`spinlock::RawSpinLock`] — a word-sized raw lock with explicit
+//!   `lock`/`unlock`, used for per-component locks stored inside Euler Tour
+//!   Tree nodes (fine-grained locking, Listing 2).
+//! * [`elision::ElisionLock`] — the lock-elision ("HTM") substitution; see
+//!   `DESIGN.md` §4.
+//! * [`waitstats`] — global lock-wait accounting used to reproduce the
+//!   "active time rate" plots (Figures 7, 8, 11, 12).
+
+pub mod cmap;
+pub mod combining;
+pub mod elision;
+pub mod multiset;
+pub mod rwspinlock;
+pub mod spinlock;
+pub mod waitstats;
+
+pub use cmap::ShardedMap;
+pub use combining::{CombiningExecutor, CombiningMode, CombiningTarget};
+pub use elision::ElisionLock;
+pub use multiset::ConcurrentMultiSet;
+pub use rwspinlock::RawRwLock;
+pub use spinlock::RawSpinLock;

@@ -1,0 +1,200 @@
+//! A concurrent multiset with snapshot iteration.
+//!
+//! The full algorithm (paper Appendix C) stores the non-spanning edges
+//! adjacent to each Euler-Tour-Tree node in a "concurrent lock-free multiset,
+//! which allows iterating over its elements".  It is a multiset rather than a
+//! set because the optimistic insertion protocol may briefly leave more than
+//! one copy of the same edge in the structure.
+//!
+//! This implementation keeps a count per element behind a single short-held
+//! mutex (the per-node sets are tiny — a handful of adjacent edges), and
+//! iteration works over a snapshot so a replacement search never observes a
+//! torn view.  The operations match the interface the paper requires:
+//! `add`, `remove` (one copy), `contains`, `len`, and snapshot iteration.
+
+use crate::cmap::FxBuildHasher;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A concurrent multiset; see the module documentation.
+pub struct ConcurrentMultiSet<T> {
+    inner: Mutex<HashMap<T, usize, FxBuildHasher>>,
+}
+
+impl<T> ConcurrentMultiSet<T>
+where
+    T: Hash + Eq + Clone,
+{
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        ConcurrentMultiSet {
+            inner: Mutex::new(HashMap::with_hasher(FxBuildHasher::default())),
+        }
+    }
+
+    /// Adds one copy of `value`.
+    pub fn add(&self, value: T) {
+        let mut map = self.inner.lock();
+        *map.entry(value).or_insert(0) += 1;
+    }
+
+    /// Removes one copy of `value`. Returns `true` if a copy was present.
+    pub fn remove(&self, value: &T) -> bool {
+        let mut map = self.inner.lock();
+        match map.get_mut(value) {
+            Some(count) => {
+                *count -= 1;
+                if *count == 0 {
+                    map.remove(value);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns `true` if at least one copy of `value` is present.
+    pub fn contains(&self, value: &T) -> bool {
+        self.inner.lock().contains_key(value)
+    }
+
+    /// Number of copies of `value`.
+    pub fn count(&self, value: &T) -> usize {
+        self.inner.lock().get(value).copied().unwrap_or(0)
+    }
+
+    /// Total number of stored copies.
+    pub fn len(&self) -> usize {
+        self.inner.lock().values().sum()
+    }
+
+    /// Returns `true` if the multiset holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Number of *distinct* elements.
+    pub fn distinct_len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Takes a snapshot of the distinct elements currently present.
+    ///
+    /// The replacement search iterates over this snapshot; elements added
+    /// concurrently may or may not appear, exactly like iterating a
+    /// concurrent collection on the JVM.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.inner.lock().keys().cloned().collect()
+    }
+
+    /// Removes every copy of every element, returning the previous distinct
+    /// elements.
+    pub fn drain(&self) -> Vec<T> {
+        let mut map = self.inner.lock();
+        let out = map.keys().cloned().collect();
+        map.clear();
+        out
+    }
+}
+
+impl<T> Default for ConcurrentMultiSet<T>
+where
+    T: Hash + Eq + Clone,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for ConcurrentMultiSet<T>
+where
+    T: Hash + Eq + Clone + std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentMultiSet")
+            .field("distinct", &self.distinct_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn add_remove_counts() {
+        let s = ConcurrentMultiSet::new();
+        assert!(s.is_empty());
+        s.add(7u32);
+        s.add(7);
+        s.add(9);
+        assert_eq!(s.count(&7), 2);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.distinct_len(), 2);
+        assert!(s.remove(&7));
+        assert_eq!(s.count(&7), 1);
+        assert!(s.remove(&7));
+        assert!(!s.contains(&7));
+        assert!(!s.remove(&7));
+        assert!(s.contains(&9));
+    }
+
+    #[test]
+    fn snapshot_contains_distinct_elements() {
+        let s = ConcurrentMultiSet::new();
+        for i in 0..10u32 {
+            s.add(i);
+            s.add(i);
+        }
+        let mut snap = s.snapshot();
+        snap.sort_unstable();
+        assert_eq!(snap, (0..10u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_empties_the_set() {
+        let s = ConcurrentMultiSet::new();
+        s.add(1u8);
+        s.add(2);
+        let drained = s.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_adds_and_removes_balance() {
+        let s: Arc<ConcurrentMultiSet<u64>> = Arc::new(ConcurrentMultiSet::new());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        s.add(t * 1_000_000 + i);
+                    }
+                    for i in 0..1000u64 {
+                        assert!(s.remove(&(t * 1_000_000 + i)));
+                    }
+                });
+            }
+        });
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_duplicate_adds_keep_exact_counts() {
+        let s: Arc<ConcurrentMultiSet<u32>> = Arc::new(ConcurrentMultiSet::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        s.add(42);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.count(&42), 2000);
+    }
+}

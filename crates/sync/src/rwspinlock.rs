@@ -1,0 +1,229 @@
+//! A word-sized raw readers-writer lock with explicit lock/unlock.
+//!
+//! Variant 7 of the paper's evaluation replaces the per-component exclusive
+//! locks of the fine-grained algorithm with readers-writer locks so that
+//! connectivity queries on the same component can proceed in parallel.  Like
+//! [`crate::spinlock::RawSpinLock`], acquisition and release happen at
+//! different call sites, so the lock exposes raw `read_lock` / `read_unlock`
+//! / `lock` / `unlock` operations rather than RAII guards.
+//!
+//! The implementation is a single atomic word: the high bit is the writer
+//! flag, the low bits count readers.  Writers wait for the reader count to
+//! drain; readers wait while the writer bit is set.  Waiting time is reported
+//! to [`crate::waitstats`] for the active-time-rate plots.
+
+use crate::waitstats;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+const WRITER: u32 = 1 << 31;
+
+/// A raw readers-writer spinlock. See the module documentation.
+#[derive(Default)]
+pub struct RawRwLock {
+    state: AtomicU32,
+}
+
+impl RawRwLock {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        RawRwLock {
+            state: AtomicU32::new(0),
+        }
+    }
+
+    /// Attempts to acquire the lock exclusively without blocking.
+    #[inline]
+    pub fn try_lock(&self) -> bool {
+        self.state
+            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Acquires the lock exclusively (writer mode).
+    pub fn lock(&self) {
+        if self.try_lock() {
+            return;
+        }
+        let timer = waitstats::WaitTimer::start();
+        let mut spins = 0u32;
+        loop {
+            while self.state.load(Ordering::Relaxed) != 0 {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            if self.try_lock() {
+                break;
+            }
+        }
+        timer.finish();
+    }
+
+    /// Releases an exclusive acquisition.
+    #[inline]
+    pub fn unlock(&self) {
+        debug_assert_eq!(
+            self.state.load(Ordering::Relaxed) & WRITER,
+            WRITER,
+            "unlock without a writer"
+        );
+        self.state.store(0, Ordering::Release);
+    }
+
+    /// Attempts to acquire the lock in shared (reader) mode without blocking.
+    #[inline]
+    pub fn try_read_lock(&self) -> bool {
+        let cur = self.state.load(Ordering::Relaxed);
+        cur & WRITER == 0
+            && self
+                .state
+                .compare_exchange(cur, cur + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// Acquires the lock in shared (reader) mode.
+    pub fn read_lock(&self) {
+        if self.try_read_lock() {
+            return;
+        }
+        let timer = waitstats::WaitTimer::start();
+        let mut spins = 0u32;
+        loop {
+            let cur = self.state.load(Ordering::Relaxed);
+            if cur & WRITER == 0 {
+                if self
+                    .state
+                    .compare_exchange(cur, cur + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    break;
+                }
+            } else {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        timer.finish();
+    }
+
+    /// Releases a shared acquisition.
+    #[inline]
+    pub fn read_unlock(&self) {
+        let prev = self.state.fetch_sub(1, Ordering::Release);
+        debug_assert!(prev & !WRITER > 0, "read_unlock without readers");
+    }
+
+    /// Returns `true` if the lock is currently held exclusively.
+    #[inline]
+    pub fn is_write_locked(&self) -> bool {
+        self.state.load(Ordering::Relaxed) & WRITER != 0
+    }
+
+    /// Returns the current number of shared holders.
+    #[inline]
+    pub fn reader_count(&self) -> u32 {
+        self.state.load(Ordering::Relaxed) & !WRITER
+    }
+}
+
+impl std::fmt::Debug for RawRwLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RawRwLock")
+            .field("writer", &self.is_write_locked())
+            .field("readers", &self.reader_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn exclusive_roundtrip() {
+        let l = RawRwLock::new();
+        l.lock();
+        assert!(l.is_write_locked());
+        assert!(!l.try_lock());
+        assert!(!l.try_read_lock());
+        l.unlock();
+        assert!(!l.is_write_locked());
+    }
+
+    #[test]
+    fn shared_acquisitions_stack() {
+        let l = RawRwLock::new();
+        l.read_lock();
+        l.read_lock();
+        assert_eq!(l.reader_count(), 2);
+        assert!(!l.try_lock(), "writer must wait for readers");
+        l.read_unlock();
+        l.read_unlock();
+        assert!(l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    fn writers_exclude_each_other_under_contention() {
+        let lock = Arc::new(RawRwLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        lock.lock();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.unlock();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 20_000);
+    }
+
+    #[test]
+    fn readers_run_alongside_readers_and_exclude_writers() {
+        let lock = Arc::new(RawRwLock::new());
+        let shared = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            // Writers increment in two non-atomic steps; readers must never
+            // observe an odd value.
+            for _ in 0..2 {
+                let lock = Arc::clone(&lock);
+                let shared = Arc::clone(&shared);
+                s.spawn(move || {
+                    for _ in 0..2_000 {
+                        lock.lock();
+                        shared.fetch_add(1, Ordering::Relaxed);
+                        shared.fetch_add(1, Ordering::Relaxed);
+                        lock.unlock();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let lock = Arc::clone(&lock);
+                let shared = Arc::clone(&shared);
+                s.spawn(move || {
+                    for _ in 0..2_000 {
+                        lock.read_lock();
+                        assert_eq!(shared.load(Ordering::Relaxed) % 2, 0);
+                        lock.read_unlock();
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.load(Ordering::Relaxed), 8_000);
+    }
+}

@@ -1,0 +1,145 @@
+//! Global lock-wait accounting.
+//!
+//! Figures 7, 8, 11 and 12 of the paper plot the *active time rate*: the
+//! fraction of total thread time spent doing graph processing rather than
+//! waiting for locks.  To reproduce those plots, every blocking acquisition in
+//! the library (spinlocks, elision locks and the coarse-grained mutex
+//! wrappers) reports the time it spent waiting to this module.
+//!
+//! Accounting is disabled by default (a single relaxed atomic load on the
+//! fast path) and enabled by the benchmark harness around a measurement
+//! interval.  Counters are global because at most one measured data-structure
+//! instance runs at a time in the harness, mirroring how the paper's JMH
+//! benchmarks collected the statistic.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TOTAL_WAIT_NANOS: AtomicU64 = AtomicU64::new(0);
+static WAIT_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Enables or disables wait-time accounting.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::SeqCst);
+}
+
+/// Returns `true` if accounting is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Resets the accumulated counters to zero.
+pub fn reset() {
+    TOTAL_WAIT_NANOS.store(0, Ordering::SeqCst);
+    WAIT_EVENTS.store(0, Ordering::SeqCst);
+}
+
+/// Total nanoseconds all threads spent blocked on instrumented locks since
+/// the last [`reset`].
+pub fn total_wait_nanos() -> u64 {
+    TOTAL_WAIT_NANOS.load(Ordering::SeqCst)
+}
+
+/// Number of blocking acquisitions recorded since the last [`reset`].
+pub fn wait_events() -> u64 {
+    WAIT_EVENTS.load(Ordering::SeqCst)
+}
+
+/// Records `nanos` of lock waiting directly (used by wrappers that measure
+/// the wait themselves).
+pub fn record_wait_nanos(nanos: u64) {
+    if enabled() && nanos > 0 {
+        TOTAL_WAIT_NANOS.fetch_add(nanos, Ordering::Relaxed);
+        WAIT_EVENTS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Measures one blocking wait. Construct with [`WaitTimer::start`] right
+/// before blocking and call [`WaitTimer::finish`] once the lock is held.
+pub struct WaitTimer {
+    start: Option<Instant>,
+}
+
+impl WaitTimer {
+    /// Starts a timer (a no-op when accounting is disabled).
+    #[inline]
+    pub fn start() -> Self {
+        WaitTimer {
+            start: if enabled() { Some(Instant::now()) } else { None },
+        }
+    }
+
+    /// Stops the timer and adds the elapsed time to the global counters.
+    #[inline]
+    pub fn finish(self) {
+        if let Some(start) = self.start {
+            record_wait_nanos(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Computes the active-time rate (in percent) given the total wall-clock
+/// thread-time of a measurement interval: `100 * (1 - wait / total)`.
+pub fn active_time_rate_percent(total_thread_nanos: u64) -> f64 {
+    if total_thread_nanos == 0 {
+        return 100.0;
+    }
+    let wait = total_wait_nanos().min(total_thread_nanos);
+    100.0 * (1.0 - wait as f64 / total_thread_nanos as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    // The counters are global, so the tests that exercise them must not run
+    // concurrently with each other.
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_accounting_records_nothing() {
+        let _g = TEST_GUARD.lock();
+        set_enabled(false);
+        reset();
+        record_wait_nanos(1000);
+        let t = WaitTimer::start();
+        t.finish();
+        assert_eq!(total_wait_nanos(), 0);
+        assert_eq!(wait_events(), 0);
+    }
+
+    #[test]
+    fn enabled_accounting_accumulates() {
+        let _g = TEST_GUARD.lock();
+        set_enabled(true);
+        reset();
+        record_wait_nanos(500);
+        record_wait_nanos(700);
+        assert_eq!(total_wait_nanos(), 1200);
+        assert_eq!(wait_events(), 2);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn active_time_rate_formula() {
+        let _g = TEST_GUARD.lock();
+        set_enabled(true);
+        reset();
+        record_wait_nanos(25);
+        assert!((active_time_rate_percent(100) - 75.0).abs() < 1e-9);
+        // Waiting longer than the interval clamps at 0%.
+        record_wait_nanos(1000);
+        assert!(active_time_rate_percent(100) >= 0.0);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn zero_total_time_reports_full_activity() {
+        let _g = TEST_GUARD.lock();
+        reset();
+        assert_eq!(active_time_rate_percent(0), 100.0);
+    }
+}

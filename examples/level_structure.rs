@@ -1,0 +1,76 @@
+//! Inspect the Holm–de Lichtenberg–Thorup level structure.
+//!
+//! Loads a random graph into the raw `Hdt` core, churns it, and prints the
+//! per-level picture the paper's Section 4.1 describes: how many of the
+//! graph's edges are spanning at each level, the largest component per level,
+//! and the paper's `n / 2^i` component-size bound.
+//!
+//! Run with: `cargo run --release --example level_structure`
+
+use dc_graph::generators;
+use dynconn::Hdt;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let graph = generators::erdos_renyi_nm(2_000, 8_000, 42);
+    let n = graph.num_vertices();
+    println!(
+        "graph: {} vertices, {} edges ({} components)",
+        n,
+        graph.num_edges(),
+        graph.connected_components()
+    );
+
+    let hdt = Hdt::new(n);
+    for e in graph.edges() {
+        hdt.with_components_locked(e.u(), e.v(), || {
+            hdt.add_edge_locked(e.u(), e.v());
+        });
+    }
+
+    // Churn: delete and re-insert random edges so replacement searches promote
+    // edges to higher levels (a freshly loaded structure keeps everything at
+    // level 0).
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..20_000 {
+        let e = graph.edge(rng.gen_range(0..graph.num_edges()));
+        hdt.with_components_locked(e.u(), e.v(), || {
+            if rng.gen_bool(0.5) {
+                hdt.remove_edge_locked(e.u(), e.v());
+            } else {
+                hdt.add_edge_locked(e.u(), e.v());
+            }
+        });
+    }
+    hdt.validate();
+
+    println!("\nlevel structure after churn ({} levels):", hdt.num_levels());
+    println!("{:>5} {:>16} {:>18} {:>14}", "level", "spanning edges", "largest component", "bound n/2^i");
+    for level in 0..hdt.num_levels() {
+        let forest = hdt.forest(level);
+        let spanning = graph
+            .edges()
+            .iter()
+            .filter(|e| forest.has_tree_edge(e.u(), e.v()))
+            .count();
+        let largest = (0..n as u32)
+            .step_by(17)
+            .map(|v| forest.component_size(v))
+            .max()
+            .unwrap_or(1);
+        let bound = (n >> level).max(1);
+        println!("{level:>5} {spanning:>16} {largest:>18} {bound:>14}");
+        if spanning == 0 && level > 0 {
+            println!("      (no spanning edges above level {level}; stopping)");
+            break;
+        }
+    }
+
+    let stats = hdt.stats();
+    println!(
+        "\noperation statistics: {:.1}% non-spanning additions, {:.1}% non-spanning removals",
+        stats.non_spanning_addition_rate(),
+        stats.non_spanning_removal_rate()
+    );
+}

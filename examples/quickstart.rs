@@ -1,0 +1,59 @@
+//! Quickstart: build the paper's full algorithm, mutate the graph from one
+//! thread while other threads run lock-free connectivity queries.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use concurrent_dynamic_connectivity::Variant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    let n = 1_000u32;
+    // Variant 9 = fine-grained locking + non-blocking reads + lock-free
+    // non-spanning edge updates (the paper's "our algorithm").
+    let dc = Arc::new(Variant::OurAlgorithm.build(n as usize));
+
+    // A stable backbone path 0-1-2-...-99 that is never modified.
+    for v in 0..99 {
+        dc.add_edge(v, v + 1);
+    }
+    println!("backbone built: 0 and 99 connected = {}", dc.connected(0, 99));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        // Reader threads: lock-free connectivity checks.
+        for _ in 0..3 {
+            let dc = Arc::clone(&dc);
+            let stop = Arc::clone(&stop);
+            let queries = Arc::clone(&queries);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    assert!(dc.connected(0, 99), "backbone must stay connected");
+                    assert!(!dc.connected(0, n - 1), "vertex n-1 is never linked");
+                    queries.fetch_add(2, Ordering::Relaxed);
+                }
+            });
+        }
+        // Writer thread: churn edges hanging off the backbone.
+        let dc_w = Arc::clone(&dc);
+        let stop_w = Arc::clone(&stop);
+        s.spawn(move || {
+            for round in 0..2_000u32 {
+                let base = 100 + (round % 800);
+                dc_w.add_edge(50, base);
+                dc_w.add_edge(base, base + 1);
+                dc_w.remove_edge(base, base + 1);
+                dc_w.remove_edge(50, base);
+            }
+            stop_w.store(true, Ordering::Relaxed);
+        });
+    });
+
+    println!(
+        "done: {} concurrent queries answered while the writer churned 8000 updates",
+        queries.load(Ordering::Relaxed)
+    );
+    println!("final check: 0-99 connected = {}", dc.connected(0, 99));
+}

@@ -1,0 +1,84 @@
+//! Road-network scenario: incremental construction and decremental teardown
+//! of a sparse planar road graph (the regime of the paper's USA-roads
+//! datasets), asking reachability questions along the way.
+//!
+//! Sparse graphs are the opposite regime from `social_network.rs`: almost
+//! every edge is a spanning edge, so updates go through the locks and the
+//! interesting effect is how quickly the graph falls apart into many
+//! components once edges start disappearing — which is exactly why the
+//! paper's fine-grained locking pays off here.
+//!
+//! Run with: `cargo run --release --example road_network`
+
+use concurrent_dynamic_connectivity::graph::generators;
+use concurrent_dynamic_connectivity::{DynamicConnectivity, Variant};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let side = 120usize;
+    let graph = Arc::new(generators::road_network(side, side, 0.35, true, 99));
+    let n = graph.num_vertices();
+    println!(
+        "road network: {} intersections, {} road segments, {} component(s)",
+        n,
+        graph.num_edges(),
+        graph.connected_components()
+    );
+
+    let dc: Arc<dyn DynamicConnectivity> = Arc::from(Variant::OurAlgorithm.build(n));
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .max(2);
+
+    // Incremental phase: several "survey crews" add road segments in parallel.
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let dc = Arc::clone(&dc);
+            let graph = Arc::clone(&graph);
+            s.spawn(move || {
+                for (i, e) in graph.edges().iter().enumerate() {
+                    if i % threads == t {
+                        dc.add_edge(e.u(), e.v());
+                    }
+                }
+            });
+        }
+    });
+    println!(
+        "incremental: inserted {} segments in {:.1} ms; corner-to-corner reachable: {}",
+        graph.num_edges(),
+        start.elapsed().as_secs_f64() * 1e3,
+        dc.connected(0, (n - 1) as u32)
+    );
+
+    // Decremental phase: storm damage removes every other segment.
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let dc = Arc::clone(&dc);
+            let graph = Arc::clone(&graph);
+            s.spawn(move || {
+                for (i, e) in graph.edges().iter().enumerate() {
+                    if i % 2 == 0 && (i / 2) % threads == t {
+                        dc.remove_edge(e.u(), e.v());
+                    }
+                }
+            });
+        }
+    });
+    println!(
+        "decremental: removed {} segments in {:.1} ms; corner-to-corner reachable: {}",
+        graph.num_edges() / 2,
+        start.elapsed().as_secs_f64() * 1e3,
+        dc.connected(0, (n - 1) as u32)
+    );
+
+    // A few point-to-point reachability queries after the damage.
+    for (a, b) in [(0u32, (side * side / 2) as u32), (5, 4000), (100, 10_000)] {
+        let b = b.min((n - 1) as u32);
+        println!("  reachable({a:>6}, {b:>6}) = {}", dc.connected(a, b));
+    }
+}

@@ -1,0 +1,110 @@
+//! A sliding-window link-failure monitor.
+//!
+//! Models the paper's motivating communication-network scenario: a router
+//! network whose links flap (fail and recover) over time, while monitoring
+//! probes continuously ask "can data-centre A still reach data-centre B?".
+//! Probes vastly outnumber link events, which is exactly the read-dominated
+//! regime where the paper's non-blocking `connected` shines.
+//!
+//! Run with: `cargo run --release --example streaming_monitor`
+
+use concurrent_dynamic_connectivity::{DynamicConnectivity, Variant};
+use dc_graph::generators;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    // A road-grid-like backbone: 40x40 grid with most links present.
+    let topology = generators::road_network(40, 40, 0.85, true, 7);
+    let n = topology.num_vertices();
+    println!(
+        "topology: {} routers, {} links, density {:.2}",
+        n,
+        topology.num_edges(),
+        topology.density()
+    );
+
+    let dc: Arc<dyn DynamicConnectivity> = Arc::from(Variant::OurAlgorithm.build(n));
+    for link in topology.edges() {
+        dc.add_edge(link.u(), link.v());
+    }
+
+    // The monitored pairs: opposite corners and a few random long-range pairs.
+    let monitored: Vec<(u32, u32)> = vec![
+        (0, (n - 1) as u32),
+        (39, (n - 40) as u32),
+        (20, (n - 21) as u32),
+        (800, 801),
+    ];
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let probes = Arc::new(AtomicU64::new(0));
+    let alarms = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        // Monitoring probes: lock-free connectivity checks.
+        for _ in 0..3 {
+            let dc = Arc::clone(&dc);
+            let stop = Arc::clone(&stop);
+            let probes = Arc::clone(&probes);
+            let alarms = Arc::clone(&alarms);
+            let monitored = monitored.clone();
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for &(a, b) in &monitored {
+                        if !dc.connected(a, b) {
+                            alarms.fetch_add(1, Ordering::Relaxed);
+                        }
+                        probes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+
+        // The event stream: links flap in a sliding window. Each round takes
+        // a window of links down and brings the previous window back up.
+        let dc_w = Arc::clone(&dc);
+        let stop_w = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xF1A9);
+            let links = topology.edges();
+            let window = 64;
+            let mut down: Vec<usize> = Vec::new();
+            for round in 0..200 {
+                // Recover the links that failed last round.
+                for &i in &down {
+                    let l = links[i];
+                    dc_w.add_edge(l.u(), l.v());
+                }
+                down.clear();
+                // Fail a fresh window of random links.
+                for _ in 0..window {
+                    let i = rng.gen_range(0..links.len());
+                    let l = links[i];
+                    dc_w.remove_edge(l.u(), l.v());
+                    down.push(i);
+                }
+                if round % 50 == 0 {
+                    println!("round {round}: {} links currently down", down.len());
+                }
+            }
+            // Final recovery.
+            for &i in &down {
+                let l = links[i];
+                dc_w.add_edge(l.u(), l.v());
+            }
+            stop_w.store(true, Ordering::Relaxed);
+        });
+    });
+
+    println!(
+        "monitoring finished: {} probes, {} reachability alarms",
+        probes.load(Ordering::Relaxed),
+        alarms.load(Ordering::Relaxed)
+    );
+    for &(a, b) in &monitored {
+        println!("  pair ({a:>4}, {b:>4}) reachable after recovery: {}", dc.connected(a, b));
+    }
+}

@@ -1,0 +1,72 @@
+//! Variant shootout: runs the paper's random-subset workload (80% reads) on
+//! one dense graph for every one of the thirteen algorithm variants and
+//! prints a ranking — a miniature, single-binary version of Figure 5.
+//!
+//! Run with: `cargo run --release --example variant_shootout`
+
+use concurrent_dynamic_connectivity::graph::generators;
+use concurrent_dynamic_connectivity::{DynamicConnectivity, Variant};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let n = 5_000;
+    let graph = Arc::new(generators::erdos_renyi_nm(n, n * 8, 21));
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .max(2);
+    let ops_per_thread = 20_000usize;
+    println!(
+        "random scenario, 80% reads on Erdős–Rényi graph |V|={n}, |E|={}, {threads} threads",
+        graph.num_edges()
+    );
+
+    let mut results: Vec<(f64, &'static str)> = Vec::new();
+    for &variant in Variant::all() {
+        let dc: Arc<dyn DynamicConnectivity> = Arc::from(variant.build(n));
+        // Preload half of the edges.
+        for (i, e) in graph.edges().iter().enumerate() {
+            if i % 2 == 0 {
+                dc.add_edge(e.u(), e.v());
+            }
+        }
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let dc = Arc::clone(&dc);
+                let graph = Arc::clone(&graph);
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(t as u64 ^ 0xABCD);
+                    for _ in 0..ops_per_thread {
+                        let roll = rng.gen_range(0..100);
+                        if roll < 80 {
+                            let a = rng.gen_range(0..n as u32);
+                            let b = rng.gen_range(0..n as u32);
+                            std::hint::black_box(dc.connected(a, b));
+                        } else {
+                            let e = graph.edge(rng.gen_range(0..graph.num_edges()));
+                            if roll % 2 == 0 {
+                                dc.add_edge(e.u(), e.v());
+                            } else {
+                                dc.remove_edge(e.u(), e.v());
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let ops_per_ms =
+            (threads * ops_per_thread) as f64 / (start.elapsed().as_secs_f64() * 1e3);
+        println!("{:<44}{:>10.0} ops/ms", variant.name(), ops_per_ms);
+        results.push((ops_per_ms, variant.name()));
+    }
+
+    results.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    println!("\nranking:");
+    for (rank, (score, name)) in results.iter().enumerate() {
+        println!("  {:>2}. {:<44}{score:>10.0} ops/ms", rank + 1, name);
+    }
+}

@@ -1,0 +1,38 @@
+//! # concurrent-dynamic-connectivity
+//!
+//! A Rust reproduction of *"A Scalable Concurrent Algorithm for Dynamic
+//! Connectivity"* (Alexander Fedorov, Nikita Koval, Dan Alistarh — SPAA '21,
+//! arXiv:2105.08098).
+//!
+//! This facade crate re-exports the workspace members so downstream users can
+//! depend on a single crate:
+//!
+//! * [`graph`] — graph types, synthetic generators and dataset loaders;
+//! * [`sync`] — the concurrency substrates (sharded map, combining executor,
+//!   raw locks, wait-time accounting);
+//! * [`ett`] — the single-writer, multi-reader concurrent Euler Tour Tree
+//!   (paper Section 3);
+//! * [`dynconn`] — the HDT-based dynamic connectivity core and all thirteen
+//!   algorithm variants of the paper's evaluation (paper Section 4).
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! ```
+//! use concurrent_dynamic_connectivity::{DynamicConnectivity, Variant};
+//!
+//! let dc = Variant::OurAlgorithm.build(16);
+//! dc.add_edge(0, 1);
+//! dc.add_edge(1, 2);
+//! assert!(dc.connected(0, 2));
+//! dc.remove_edge(0, 1);
+//! assert!(!dc.connected(0, 2));
+//! ```
+
+pub use dc_ett as ett;
+pub use dc_graph as graph;
+pub use dc_sync as sync;
+pub use dynconn;
+
+pub use dc_ett::EulerForest;
+pub use dc_graph::{Edge, Graph};
+pub use dynconn::{DynamicConnectivity, Hdt, RecomputeOracle, Variant};

@@ -1,0 +1,211 @@
+//! End-to-end tests that drive the benchmark harness's own workloads
+//! (Section 5.1 scenarios) through the algorithm variants and compare the
+//! result against reference computations.
+//!
+//! These tests close the loop between `dc-graph` (graph generation),
+//! `dc-bench` (workload generation and the throughput runner) and `dynconn`
+//! (the structures being measured): the same code paths the figures use are
+//! exercised here with assertions instead of timers.
+
+use concurrent_dynamic_connectivity::{DynamicConnectivity, Variant};
+use dc_bench::scenario::{Operation, Scenario, Workload};
+use dc_bench::stats::collect_stats;
+use dc_bench::throughput::run_throughput;
+use dc_graph::generators;
+use dynconn::{RecomputeOracle, UnionFind};
+
+/// Applying a random-subset workload *sequentially* to a variant and to the
+/// BFS oracle must yield identical answers for every query in the stream.
+#[test]
+fn random_subset_workload_matches_oracle_sequentially() {
+    let graph = generators::erdos_renyi_nm(120, 300, 21);
+    let workload = Workload::generate(&graph, Scenario::RandomSubset { read_percent: 50 }, 1, 1_500, 5);
+
+    for variant in [Variant::CoarseGrained, Variant::OurAlgorithm, Variant::FineNonBlockingReads] {
+        let dc = variant.build(graph.num_vertices());
+        let oracle = RecomputeOracle::new(graph.num_vertices());
+        for e in &workload.preload {
+            dc.add_edge(e.u(), e.v());
+            oracle.add_edge(e.u(), e.v());
+        }
+        for (i, op) in workload.per_thread[0].iter().enumerate() {
+            match *op {
+                Operation::Add(u, v) => {
+                    dc.add_edge(u, v);
+                    oracle.add_edge(u, v);
+                }
+                Operation::Remove(u, v) => {
+                    dc.remove_edge(u, v);
+                    oracle.remove_edge(u, v);
+                }
+                Operation::Query(u, v) => {
+                    assert_eq!(
+                        dc.connected(u, v),
+                        oracle.connected(u, v),
+                        "{}: query {i} diverged",
+                        variant.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// After a concurrent incremental run the component structure must equal the
+/// graph's true component structure (computed with union-find), for every
+/// variant family.
+#[test]
+fn incremental_scenario_reproduces_graph_components() {
+    let graph = generators::random_components(150, 360, 5, 33);
+    let workload = Workload::generate(&graph, Scenario::Incremental, 3, 0, 7);
+
+    // Reference: union-find over the full edge set.
+    let mut uf = UnionFind::new(graph.num_vertices());
+    for e in graph.edges() {
+        uf.union(e.u(), e.v());
+    }
+
+    for variant in [
+        Variant::CoarseGrained,
+        Variant::FineGrained,
+        Variant::OurAlgorithm,
+        Variant::FlatCombiningNonBlockingReads,
+    ] {
+        let dc = variant.build(graph.num_vertices());
+        let result = run_throughput(dc.as_ref(), &workload);
+        assert_eq!(result.operations, graph.num_edges());
+        // Spot-check component equality on a deterministic sample of pairs.
+        for i in 0..graph.num_vertices() as u32 {
+            let j = (i * 37 + 11) % graph.num_vertices() as u32;
+            assert_eq!(
+                dc.connected(i, j),
+                uf.connected(i, j),
+                "{}: pair ({i}, {j}) disagrees with union-find after incremental run",
+                variant.name()
+            );
+        }
+    }
+}
+
+/// After a concurrent decremental run every edge has been removed, so every
+/// distinct pair must be disconnected.
+#[test]
+fn decremental_scenario_ends_fully_disconnected() {
+    let graph = generators::erdos_renyi_nm(100, 260, 44);
+    let workload = Workload::generate(&graph, Scenario::Decremental, 3, 0, 9);
+
+    for variant in [Variant::CoarseGrained, Variant::OurAlgorithm, Variant::FineNonBlockingReads] {
+        let dc = variant.build(graph.num_vertices());
+        let result = run_throughput(dc.as_ref(), &workload);
+        assert_eq!(result.operations, graph.num_edges());
+        for i in (0..graph.num_vertices() as u32).step_by(7) {
+            let j = (i + 13) % graph.num_vertices() as u32;
+            if i != j {
+                assert!(
+                    !dc.connected(i, j),
+                    "{}: pair ({i}, {j}) still connected after removing every edge",
+                    variant.name()
+                );
+            }
+        }
+    }
+}
+
+/// A concurrent random-subset run must preserve the global invariant that the
+/// structure only ever contains edges of the underlying graph: vertices in
+/// different components *of the full graph* can never be reported connected.
+#[test]
+fn random_subset_respects_full_graph_component_boundaries() {
+    let graph = generators::random_components(120, 300, 4, 55);
+    let mut uf = UnionFind::new(graph.num_vertices());
+    for e in graph.edges() {
+        uf.union(e.u(), e.v());
+    }
+    let workload = Workload::generate(&graph, Scenario::RandomSubset { read_percent: 60 }, 3, 800, 13);
+
+    for variant in [Variant::OurAlgorithm, Variant::FineGrained, Variant::ParallelCombining] {
+        let dc = variant.build(graph.num_vertices());
+        let _ = run_throughput(dc.as_ref(), &workload);
+        for i in 0..graph.num_vertices() as u32 {
+            let j = (i * 31 + 7) % graph.num_vertices() as u32;
+            if !uf.connected(i, j) {
+                assert!(
+                    !dc.connected(i, j),
+                    "{}: ({i}, {j}) are in different full-graph components yet reported connected",
+                    variant.name()
+                );
+            }
+        }
+    }
+}
+
+/// The Table 3 statistics collector must reproduce the qualitative split the
+/// paper reports: dense graphs have high non-spanning rates and one giant
+/// component, sparse graphs have low non-spanning rates and fragmented
+/// components, and the multi-component graph caps its largest component at
+/// roughly 1/k of the vertices.
+#[test]
+fn table3_statistics_reproduce_the_papers_qualitative_split() {
+    let ops = 3_000;
+
+    // Dense: |E| = |V| log |V| shape.
+    let dense = generators::erdos_renyi_nm(300, 2_500, 3);
+    let dense_stats = collect_stats(&dense, Scenario::RandomSubset { read_percent: 0 }, ops, 1);
+
+    // Sparse: |E| = |V| shape.
+    let sparse = generators::erdos_renyi_nm(1_500, 1_500, 3);
+    let sparse_stats = collect_stats(&sparse, Scenario::RandomSubset { read_percent: 0 }, ops, 1);
+
+    // 10 balanced components.
+    let comps = generators::random_components(1_000, 4_000, 10, 3);
+    let comps_stats = collect_stats(&comps, Scenario::RandomSubset { read_percent: 0 }, ops, 1);
+
+    assert!(
+        dense_stats.non_spanning_addition_percent > sparse_stats.non_spanning_addition_percent + 20.0,
+        "dense {dense_stats:?} vs sparse {sparse_stats:?}"
+    );
+    assert!(
+        dense_stats.largest_component_percent > 90.0,
+        "dense graph should be one giant component: {dense_stats:?}"
+    );
+    assert!(
+        sparse_stats.largest_component_percent < 50.0,
+        "half-loaded sparse graph must stay fragmented: {sparse_stats:?}"
+    );
+    assert!(
+        comps_stats.largest_component_percent < 30.0,
+        "10-component graph cannot grow a giant component: {comps_stats:?}"
+    );
+}
+
+/// Incremental statistics (Table 4): denser graphs have a higher share of
+/// non-spanning additions, and the decremental scenario mirrors the same
+/// rates by symmetry of the workload construction.
+#[test]
+fn table4_incremental_rates_grow_with_density() {
+    let sparse = generators::erdos_renyi_nm(800, 800, 9);
+    let dense = generators::erdos_renyi_nm(200, 2_400, 9);
+    let s = collect_stats(&sparse, Scenario::Incremental, 0, 2);
+    let d = collect_stats(&dense, Scenario::Incremental, 0, 2);
+    assert!(
+        d.non_spanning_addition_percent > s.non_spanning_addition_percent + 20.0,
+        "dense {d:?} vs sparse {s:?}"
+    );
+}
+
+/// The throughput runner reports sane numbers: all operations accounted for,
+/// non-zero throughput, and an active-time rate within [0, 100].
+#[test]
+fn throughput_runner_accounting_is_consistent() {
+    let graph = generators::road_network(12, 12, 0.6, true, 17);
+    let workload = Workload::generate(&graph, Scenario::RandomSubset { read_percent: 80 }, 2, 600, 23);
+    for variant in [Variant::CoarseGrained, Variant::OurAlgorithm] {
+        let dc = variant.build(graph.num_vertices());
+        let r = run_throughput(dc.as_ref(), &workload);
+        assert_eq!(r.threads, 2);
+        assert_eq!(r.operations, 1_200);
+        assert!(r.ops_per_ms > 0.0);
+        assert!(r.millis > 0.0);
+        assert!((0.0..=100.0).contains(&r.active_time_percent));
+    }
+}
