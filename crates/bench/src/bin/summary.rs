@@ -7,12 +7,20 @@
 //! at the highest measured thread count, for the 80%- and 99%-read random
 //! scenarios, and prints the per-graph factors plus the average and maximum.
 
+use dc_bench::runner::run_adjacency_baseline;
 use dc_bench::{run_throughput, BenchConfig, Scenario, Workload};
 use dc_graph::GraphSpec;
 use dynconn::Variant;
 
 fn main() {
     let config = BenchConfig::from_env();
+    if std::env::var("DC_BENCH_ADJACENCY_ONLY")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        emit_adjacency_baseline(&config);
+        return;
+    }
     let threads = *config.thread_counts.last().unwrap_or(&1);
     let catalog = config.catalog();
     for read_percent in [80u32, 99u32] {
@@ -51,5 +59,62 @@ fn main() {
         let avg: f64 = best_factors.iter().sum::<f64>() / best_factors.len() as f64;
         let max = best_factors.iter().cloned().fold(0.0, f64::max);
         println!("average speedup: {avg:.2}x   maximum speedup: {max:.2}x\n");
+    }
+    emit_adjacency_baseline(&config);
+}
+
+/// Measures the adjacency-layer perf baseline (random-subset 50% reads,
+/// incremental, decremental — at 1 and 8 threads) and writes the
+/// machine-readable `BENCH_adjacency.json` so future PRs can track the
+/// trajectory of the hot adjacency paths.
+fn emit_adjacency_baseline(config: &BenchConfig) {
+    let catalog = config.catalog();
+    let graph = catalog.build(GraphSpec::RandomDense);
+    // The tracked baseline is 1 and 8 threads; an explicit DC_BENCH_THREADS
+    // overrides it like everywhere else in the harness.
+    let threads: Vec<usize> = if std::env::var("DC_BENCH_THREADS").is_ok() {
+        config.thread_counts.clone()
+    } else {
+        vec![1, 8]
+    };
+    let baseline = run_adjacency_baseline(
+        &graph,
+        GraphSpec::RandomDense.name(),
+        &threads,
+        config.ops_per_thread,
+        config.seed,
+    );
+    println!("== Adjacency-layer baseline ({}) ==", baseline.graph);
+    println!(
+        "{:<24}{:>9}{:>16}{:>16}",
+        "scenario", "threads", "coarse ops/s", "ours ops/s"
+    );
+    let mut keys: Vec<(String, usize)> = baseline
+        .cells
+        .iter()
+        .map(|c| (c.scenario.clone(), c.threads))
+        .collect();
+    keys.dedup();
+    for (scenario, threads) in keys {
+        let get = |variant: &str| {
+            baseline
+                .cells
+                .iter()
+                .find(|c| c.scenario == scenario && c.threads == threads && c.variant == variant)
+                .map(|c| c.ops_per_sec)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{:<24}{:>9}{:>16.0}{:>16.0}",
+            scenario,
+            threads,
+            get("coarse"),
+            get("ours")
+        );
+    }
+    let path = "BENCH_adjacency.json";
+    match std::fs::write(path, baseline.to_json()) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
     }
 }

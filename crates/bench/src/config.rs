@@ -36,7 +36,9 @@ impl BenchConfig {
     ///   `DC_BENCH_OPS`, `DC_BENCH_THREADS` (comma-separated) override
     ///   individual knobs.
     pub fn from_env() -> Self {
-        let quick = std::env::var("DC_BENCH_QUICK").map(|v| v != "0").unwrap_or(false);
+        let quick = std::env::var("DC_BENCH_QUICK")
+            .map(|v| v != "0")
+            .unwrap_or(false);
         let hw_threads = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);

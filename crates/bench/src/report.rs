@@ -8,11 +8,10 @@
 //! without a plotting stack, and optionally dump machine-readable JSON for
 //! external plotting.
 
-use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// One measured series: variant name -> value per x-axis point.
-#[derive(Debug, Default, Serialize)]
+#[derive(Debug, Default)]
 pub struct FigureData {
     /// Figure title (e.g. "Figure 5 — random scenario, 80% reads").
     pub title: String,
@@ -65,9 +64,34 @@ impl FigureData {
         out
     }
 
-    /// Serializes the figure to pretty JSON.
+    /// Serializes the figure to pretty JSON (hand-rolled; the offline build
+    /// has no serde, and the shape is three levels of maps over numbers).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure data serializes")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        let xs: Vec<String> = self.x_axis.iter().map(|x| x.to_string()).collect();
+        out.push_str(&format!("  \"x_axis\": [{}],\n", xs.join(", ")));
+        out.push_str("  \"graphs\": {");
+        for (gi, (graph, series)) in self.graphs.iter().enumerate() {
+            if gi > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {{", json_string(graph)));
+            for (si, (variant, values)) in series.iter().enumerate() {
+                if si > 0 {
+                    out.push(',');
+                }
+                let vals: Vec<String> = values.iter().map(|v| json_number(*v)).collect();
+                out.push_str(&format!(
+                    "\n      {}: [{}]",
+                    json_string(variant),
+                    vals.join(", ")
+                ));
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  }\n}");
+        out
     }
 
     /// Writes the JSON dump next to the current directory under
@@ -78,6 +102,38 @@ impl FigureData {
         let path = dir.join(format!("{name}.json"));
         std::fs::write(&path, self.to_json())?;
         Ok(path)
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (finite; NaN/inf degrade to 0).
+pub fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{:.1}", v)
+        } else {
+            format!("{}", v)
+        }
+    } else {
+        "0".to_string()
     }
 }
 

@@ -97,10 +97,10 @@ impl Workload {
                 let n = graph.num_vertices() as VertexId;
                 let per_thread = (0..threads)
                     .map(|t| {
-                        let mut trng = StdRng::seed_from_u64(seed ^ (t as u64 + 1) * 0x9E37);
+                        let mut trng = StdRng::seed_from_u64(seed ^ ((t as u64 + 1) * 0x9E37));
                         (0..ops_per_thread)
                             .map(|_| {
-                                let roll = trng.gen_range(0..100);
+                                let roll = trng.gen_range(0..100u32);
                                 if roll < read_percent {
                                     let u = trng.gen_range(0..n);
                                     let v = trng.gen_range(0..n);
@@ -199,7 +199,10 @@ mod tests {
         let frac = reads as f64 / all.len() as f64;
         assert!((frac - 0.8).abs() < 0.02, "read fraction {frac}");
         // Adds and removes are balanced.
-        let adds = all.iter().filter(|op| matches!(op, Operation::Add(_, _))).count();
+        let adds = all
+            .iter()
+            .filter(|op| matches!(op, Operation::Add(_, _)))
+            .count();
         let removes = all
             .iter()
             .filter(|op| matches!(op, Operation::Remove(_, _)))

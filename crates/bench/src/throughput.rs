@@ -30,7 +30,10 @@ pub struct ThroughputResult {
 
 /// Preloads `workload.preload` into `structure` and runs the per-thread
 /// operation streams concurrently, returning the measured throughput.
-pub fn run_throughput(structure: &dyn DynamicConnectivity, workload: &Workload) -> ThroughputResult {
+pub fn run_throughput(
+    structure: &dyn DynamicConnectivity,
+    workload: &Workload,
+) -> ThroughputResult {
     for edge in &workload.preload {
         structure.add_edge(edge.u(), edge.v());
     }

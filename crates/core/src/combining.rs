@@ -156,14 +156,21 @@ mod tests {
         dc.add_edge(1, 2);
         dc.add_edge(0, 2);
         dc.remove_edge(0, 1);
-        assert!(dc.connected(0, 1), "replacement must keep the cycle connected");
+        assert!(
+            dc.connected(0, 1),
+            "replacement must keep the cycle connected"
+        );
         dc.hdt().validate();
     }
 
     #[test]
     fn combined_updates_from_multiple_threads() {
         use std::sync::Arc;
-        let dc = Arc::new(CombiningVariant::new(64, CombiningMode::ParallelReads, false));
+        let dc = Arc::new(CombiningVariant::new(
+            64,
+            CombiningMode::ParallelReads,
+            false,
+        ));
         std::thread::scope(|s| {
             for t in 0..4u32 {
                 let dc = Arc::clone(&dc);

@@ -22,13 +22,47 @@
 //! no synchronization at all are [`Hdt::connected`] and the read-only
 //! accessors, plus the specific lock-free entry points used by the
 //! non-blocking variants in [`crate::nonblocking`].
+//!
+//! # Adjacency layout and memory model
+//!
+//! The per-vertex, per-level adjacency multisets live in two flat
+//! [`AdjacencyStore`]s (`nontree_adj` for non-spanning edges, `tree_adj`
+//! for exact-level spanning edges), each indexed by `level * n + vertex`:
+//!
+//! * **Construction is O(1) allocations for adjacency.** The stores allocate
+//!   only a page spine and a stripe array; the slot pages behind the
+//!   `(level, vertex)` pairs materialize on first write, so adjacency memory
+//!   scales with the number of *touched* pairs rather than with `n log n`.
+//!   Level forests above 0 are equally lazy (`OnceLock` per level), so
+//!   `Hdt::new(n)` allocates one forest of `n` vertices and nothing per
+//!   upper level.
+//! * **Slots are inline small sets.** Up to four distinct edges are stored
+//!   in place (the common case: Table 3's per-vertex degrees are tiny);
+//!   higher-degree slots spill into a private open-addressed table.
+//! * **The hot paths never clone snapshots.** The replacement search
+//!   ([`Hdt::remove_edge_locked`] → `scan_for_replacement`) streams each
+//!   slot through the store's fixed chunk buffer; promotions drain slots
+//!   with `pop`.  Iteration is best-effort under concurrent mutation exactly
+//!   like the JVM concurrent sets the paper builds on: edges present
+//!   throughout the scan are visited at least once (the store restarts a
+//!   slot walk if the slot is reorganized mid-visit), concurrently
+//!   added/removed edges may or may not appear, and the published-removal
+//!   handshake in [`crate::nonblocking`] covers the added-but-missed case.
+//! * **Synchronization.** Slot operations serialize on striped spinlocks
+//!   inside the stores; visitor callbacks run with the stripe released.  The
+//!   single-writer discipline above still governs which thread may perform
+//!   structural mutations — the stores only make the *individual slot
+//!   operations* atomic (which is what the lock-free non-spanning protocol
+//!   needs for its `add_nonspanning_info` / `remove_nonspanning_info`
+//!   publications).
 
 use crate::state::{EdgeState, RemovalOp, Status};
 use dc_ett::{EulerForest, Mark, NodeRef};
 use dc_graph::Edge;
-use dc_sync::{ConcurrentMultiSet, ShardedMap};
+use dc_sync::{AdjacencyStore, ShardedMap};
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Default number of replacement candidates examined before the scan starts
 /// promoting non-replacement edges to the next level (the sampling heuristic
@@ -96,11 +130,14 @@ pub struct LockedComponents {
 /// The HDT dynamic connectivity core; see the module documentation.
 pub struct Hdt {
     n: usize,
-    levels: Vec<EulerForest>,
-    /// `nontree_adj[level][vertex]`: adjacent non-spanning edges of `level`.
-    nontree_adj: Vec<Vec<ConcurrentMultiSet<Edge>>>,
-    /// `tree_adj[level][vertex]`: adjacent spanning edges of exactly `level`.
-    tree_adj: Vec<Vec<ConcurrentMultiSet<Edge>>>,
+    /// Per-level spanning forests. Level 0 is materialized at construction
+    /// (it answers every query); levels `>= 1` are only built when the first
+    /// promotion reaches them, so `Hdt::new` is O(n) instead of O(n log n).
+    levels: Vec<OnceLock<EulerForest>>,
+    /// Adjacent non-spanning edges, slot `(level, vertex)`.
+    nontree_adj: AdjacencyStore<Edge>,
+    /// Adjacent spanning edges of exactly `level`, slot `(level, vertex)`.
+    tree_adj: AdjacencyStore<Edge>,
     /// Status + level + tag per edge (absence = removed / never added).
     pub(crate) states: ShardedMap<Edge, EdgeState>,
     /// In-flight spanning-edge removals, keyed by the component's level-0
@@ -122,24 +159,27 @@ impl Hdt {
         assert!(n >= 1, "the structure needs at least one vertex");
         let lmax = (n.max(2) as f64).log2().floor() as usize;
         let num_levels = lmax + 2; // levels 0..=lmax plus one spill level
-        let levels = (0..num_levels)
-            .map(|i| EulerForest::with_seed(n, 0xDC0DE ^ (i as u64) << 32))
-            .collect();
-        let make_adj = || {
-            (0..num_levels)
-                .map(|_| (0..n).map(|_| ConcurrentMultiSet::new()).collect())
-                .collect()
-        };
+        let levels: Vec<OnceLock<EulerForest>> = (0..num_levels).map(|_| OnceLock::new()).collect();
+        // Queries read the level-0 forest with no synchronization, so it is
+        // the one level built eagerly.
+        levels[0]
+            .set(EulerForest::with_seed(n, Self::forest_seed(0)))
+            .unwrap_or_else(|_| unreachable!("level 0 initialized twice"));
         Hdt {
             n,
             levels,
-            nontree_adj: make_adj(),
-            tree_adj: make_adj(),
+            nontree_adj: AdjacencyStore::new(num_levels, n),
+            tree_adj: AdjacencyStore::new(num_levels, n),
             states: ShardedMap::new(),
             removal_ops: ShardedMap::new(),
             sampling_limit,
             stats: OpStats::default(),
         }
+    }
+
+    #[inline]
+    fn forest_seed(level: usize) -> u64 {
+        0xDC0DE ^ (level as u64) << 32
     }
 
     /// Number of vertices.
@@ -153,9 +193,24 @@ impl Hdt {
     }
 
     /// The level-`i` spanning forest (the level-0 forest is the one queries
-    /// read).
+    /// read). Forests above level 0 materialize on first access.
     pub fn forest(&self, level: usize) -> &EulerForest {
-        &self.levels[level]
+        self.levels[level].get_or_init(|| EulerForest::with_seed(self.n, Self::forest_seed(level)))
+    }
+
+    /// Number of level forests that have been materialized so far.
+    pub fn materialized_forest_levels(&self) -> usize {
+        self.levels.iter().filter(|l| l.get().is_some()).count()
+    }
+
+    /// The non-spanning adjacency store (tests and diagnostics).
+    pub fn nontree_store(&self) -> &AdjacencyStore<Edge> {
+        &self.nontree_adj
+    }
+
+    /// The exact-level spanning adjacency store (tests and diagnostics).
+    pub fn tree_store(&self) -> &AdjacencyStore<Edge> {
+        &self.tree_adj
     }
 
     /// Snapshot of the operation counters.
@@ -177,19 +232,19 @@ impl Hdt {
         if u == v {
             return true;
         }
-        self.levels[0].connected(u, v)
+        self.forest(0).connected(u, v)
     }
 
     /// Connectivity query by plain root comparison; valid only while the
     /// caller holds locks covering both components.
     pub fn connected_locked(&self, u: u32, v: u32) -> bool {
-        u == v || self.levels[0].same_tree_locked(u, v)
+        u == v || self.forest(0).same_tree_locked(u, v)
     }
 
     /// Size of the component of `u` (writer-side; requires the component to
     /// be quiescent or locked).
     pub fn component_size(&self, u: u32) -> usize {
-        self.levels[0].component_size(u) as usize
+        self.forest(0).component_size(u) as usize
     }
 
     /// Returns `true` if the edge is currently present in the graph.
@@ -206,7 +261,7 @@ impl Hdt {
     // ----- per-component locking (paper Listing 2) ---------------------------
 
     fn lock_components_inner(&self, u: u32, v: u32, shared: bool) -> LockedComponents {
-        let forest = &self.levels[0];
+        let forest = self.forest(0);
         loop {
             let u_root = forest.find_root_node(u);
             let v_root = forest.find_root_node(v);
@@ -235,8 +290,8 @@ impl Hdt {
                 lock(second);
             }
             // Re-check that we locked the current representatives.
-            let still_roots = forest.node(u_root).parent().is_none()
-                && forest.node(v_root).parent().is_none();
+            let still_roots =
+                forest.node(u_root).parent().is_none() && forest.node(v_root).parent().is_none();
             let still_current =
                 forest.find_root_node(u) == u_root && forest.find_root_node(v) == v_root;
             if still_roots && still_current {
@@ -270,7 +325,7 @@ impl Hdt {
     /// Releases locks acquired by [`Hdt::lock_components`] /
     /// [`Hdt::lock_components_shared`].
     pub fn unlock_components(&self, locked: LockedComponents) {
-        let forest = &self.levels[0];
+        let forest = self.forest(0);
         for i in 0..locked.count {
             let node = forest.node(locked.roots[i]);
             if locked.shared {
@@ -313,7 +368,8 @@ impl Hdt {
                 .insert(edge, EdgeState::new(Status::NonSpanning, 0));
         } else {
             self.make_spanning(edge, 0);
-            self.states.insert(edge, EdgeState::new(Status::Spanning, 0));
+            self.states
+                .insert(edge, EdgeState::new(Status::Spanning, 0));
         }
         true
     }
@@ -423,9 +479,9 @@ impl Hdt {
     /// Inserts the adjacency information of a non-spanning edge at `level`
     /// and raises the subtree flags (paper Listing 6, `add_info`). Lock-free.
     pub(crate) fn add_nonspanning_info(&self, level: usize, edge: Edge) {
-        let forest = &self.levels[level];
+        let forest = self.forest(level);
         for v in [edge.u(), edge.v()] {
-            self.nontree_adj[level][v as usize].add(edge);
+            self.nontree_adj.add(level, v, edge);
             forest.mark_path_upward(v, Mark::NonSpanning);
         }
     }
@@ -434,13 +490,12 @@ impl Hdt {
     /// at `level` (paper Listing 6, `remove_info`). Lock-free; flags are only
     /// lowered with the re-check dance so racing insertions are never lost.
     pub(crate) fn remove_nonspanning_info(&self, level: usize, edge: Edge) {
-        let forest = &self.levels[level];
+        let forest = self.forest(level);
         for v in [edge.u(), edge.v()] {
-            let set = &self.nontree_adj[level][v as usize];
-            set.remove(&edge);
-            if set.is_empty() {
+            self.nontree_adj.remove(level, v, &edge);
+            if self.nontree_adj.is_empty(level, v) {
                 forest.set_vertex_self_mark(v, Mark::NonSpanning, false);
-                if !set.is_empty() {
+                if !self.nontree_adj.is_empty(level, v) {
                     // A concurrent insertion raced with the clearing; restore.
                     forest.set_vertex_self_mark(v, Mark::NonSpanning, true);
                 }
@@ -453,22 +508,21 @@ impl Hdt {
     /// raises the spanning subtree flags. Caller must hold the locks.
     fn make_spanning(&self, edge: Edge, level: usize) {
         let (u, v) = edge.endpoints();
-        for forest in &self.levels[..=level] {
-            forest.link(u, v);
+        for lvl in 0..=level {
+            self.forest(lvl).link(u, v);
         }
-        let forest = &self.levels[level];
+        let forest = self.forest(level);
         for x in [u, v] {
-            self.tree_adj[level][x as usize].add(edge);
+            self.tree_adj.add(level, x, edge);
             forest.mark_path_upward(x, Mark::Spanning);
         }
     }
 
     fn remove_tree_adj(&self, level: usize, edge: Edge) {
-        let forest = &self.levels[level];
+        let forest = self.forest(level);
         for x in [edge.u(), edge.v()] {
-            let set = &self.tree_adj[level][x as usize];
-            set.remove(&edge);
-            if set.is_empty() {
+            self.tree_adj.remove(level, x, &edge);
+            if self.tree_adj.is_empty(level, x) {
                 forest.set_vertex_self_mark(x, Mark::Spanning, false);
             }
         }
@@ -486,7 +540,7 @@ impl Hdt {
         // non-blocking additions (see `crate::nonblocking`): the marker is
         // keyed by the component representative readers observe, and it stays
         // published for the whole replacement search.
-        let component_root = self.levels[0].component_root(u);
+        let component_root = self.forest(0).component_root(u);
         self.publish_removal(
             component_root,
             Arc::new(RemovalOp {
@@ -499,15 +553,15 @@ impl Hdt {
         // *prepared* so concurrent readers keep seeing one component until we
         // know whether a replacement exists.
         if level >= 1 {
-            for forest in self.levels[1..=level].iter().rev() {
-                forest.cut(u, v);
+            for lvl in (1..=level).rev() {
+                self.forest(lvl).cut(u, v);
             }
         }
-        let prepared = self.levels[0].prepare_cut(u, v);
+        let prepared = self.forest(0).prepare_cut(u, v);
 
         let mut replacement: Option<(Edge, usize)> = None;
         for lvl in (0..=level).rev() {
-            let forest = &self.levels[lvl];
+            let forest = self.forest(lvl);
             let ru = forest.component_root(u);
             let rv = forest.component_root(v);
             debug_assert_ne!(ru, rv, "forest {lvl} still connected after the cut");
@@ -528,21 +582,23 @@ impl Hdt {
 
         match replacement {
             Some((found, lvl)) => {
-                self.stats.replacements_found.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .replacements_found
+                    .fetch_add(1, Ordering::Relaxed);
                 // The scan already moved the edge's state to `Spanning(lvl)`.
                 self.remove_nonspanning_info(lvl, found);
                 let (fu, fv) = found.endpoints();
-                for forest in &self.levels[..=lvl] {
-                    forest.link(fu, fv);
+                for l in 0..=lvl {
+                    self.forest(l).link(fu, fv);
                 }
-                let forest = &self.levels[lvl];
+                let forest = self.forest(lvl);
                 for x in [fu, fv] {
-                    self.tree_adj[lvl][x as usize].add(found);
+                    self.tree_adj.add(lvl, x, found);
                     forest.mark_path_upward(x, Mark::Spanning);
                 }
             }
             None => {
-                self.levels[0].commit_cut(&prepared);
+                self.forest(0).commit_cut(&prepared);
             }
         }
         self.unpublish_removal(component_root);
@@ -552,22 +608,22 @@ impl Hdt {
     /// `node` (in the level-`level` forest) to `level + 1`, guided by the
     /// spanning subtree flags.
     fn promote_spanning_edges(&self, level: usize, node: NodeRef) {
-        let forest = &self.levels[level];
+        let forest = self.forest(level);
         if !forest.subtree_has_mark(node, Mark::Spanning) {
             return;
         }
         let n = forest.node(node);
         if let Some(vertex) = n.vertex() {
-            let set = &self.tree_adj[level][vertex as usize];
-            for edge in set.snapshot() {
+            // Promotion is a drain: every copy in this slot either moves up
+            // one level or is a stale duplicate to discard, so `pop` removes
+            // entries one at a time with no snapshot allocation.
+            while let Some(edge) = self.tree_adj.pop(level, vertex) {
                 // The edge may have been promoted already through its other
-                // endpoint; the state map is the source of truth.
+                // endpoint; the state map is the source of truth (a stale
+                // copy is simply dropped — `pop` already removed it).
                 let state = match self.states.get(&edge) {
                     Some(st) if st.status == Status::Spanning && st.level as usize == level => st,
-                    _ => {
-                        set.remove(&edge);
-                        continue;
-                    }
+                    _ => continue,
                 };
                 let next_level = level + 1;
                 assert!(
@@ -575,18 +631,20 @@ impl Hdt {
                     "level structure overflow: component-size invariant violated"
                 );
                 let (eu, ev) = edge.endpoints();
-                // Move the exact-level adjacency up one level.
+                // Move the exact-level adjacency up one level (our own copy
+                // is already popped; this clears the other endpoint's copy
+                // and lowers emptied self marks).
                 self.remove_tree_adj(level, edge);
-                self.levels[next_level].link(eu, ev);
-                let upper = &self.levels[next_level];
+                self.forest(next_level).link(eu, ev);
+                let upper = self.forest(next_level);
                 for x in [eu, ev] {
-                    self.tree_adj[next_level][x as usize].add(edge);
+                    self.tree_adj.add(next_level, x, edge);
                     upper.mark_path_upward(x, Mark::Spanning);
                 }
                 self.states
                     .insert(edge, state.with(Status::Spanning, next_level as u8));
             }
-            if set.is_empty() {
+            if self.tree_adj.is_empty(level, vertex) {
                 forest.set_vertex_self_mark(vertex, Mark::Spanning, false);
             }
         }
@@ -610,7 +668,7 @@ impl Hdt {
         node: NodeRef,
         sampling_budget: &mut usize,
     ) -> Option<Edge> {
-        let forest = &self.levels[level];
+        let forest = self.forest(level);
         if !forest.subtree_has_mark(node, Mark::NonSpanning) {
             return None;
         }
@@ -638,21 +696,21 @@ impl Hdt {
     /// Returns `true` if `edge` reconnects the two pieces of the level-`lvl`
     /// forest (exact, writer-side check — valid under the component lock).
     fn crosses(&self, level: usize, edge: Edge) -> bool {
-        let forest = &self.levels[level];
+        let forest = self.forest(level);
         forest.component_root(edge.u()) != forest.component_root(edge.v())
     }
 
-    fn scan_vertex(
-        &self,
-        level: usize,
-        vertex: u32,
-        sampling_budget: &mut usize,
-    ) -> Option<Edge> {
-        let set = &self.nontree_adj[level][vertex as usize];
-        for edge in set.snapshot() {
+    fn scan_vertex(&self, level: usize, vertex: u32, sampling_budget: &mut usize) -> Option<Edge> {
+        // Allocation-free visit: edges stream through the store's fixed
+        // chunk buffer, and the closure may mutate the very slot being
+        // visited (promotions below remove from it) — the visitor restarts
+        // on reorganization, and every arm here is idempotent per edge.
+        let mut found = None;
+        let _ = self.nontree_adj.for_each_edge(level, vertex, |edge| {
             let state = match self.states.get(&edge) {
                 Some(st) => st,
-                None => continue, // removed concurrently; its copy will be cleaned by its owner
+                // Removed concurrently; the copy is cleaned by its owner.
+                None => return ControlFlow::Continue(()),
             };
             match state.status {
                 Status::Initial => {
@@ -662,10 +720,15 @@ impl Hdt {
                     if self.crosses(level, edge) {
                         if self
                             .states
-                            .compare_exchange(&edge, &state, state.with(Status::Spanning, level as u8))
+                            .compare_exchange(
+                                &edge,
+                                &state,
+                                state.with(Status::Spanning, level as u8),
+                            )
                             .is_ok()
                         {
-                            return Some(edge);
+                            found = Some(edge);
+                            return ControlFlow::Break(());
                         }
                     } else {
                         // Help finish the addition as a non-spanning edge:
@@ -691,10 +754,15 @@ impl Hdt {
                     if self.crosses(level, edge) {
                         if self
                             .states
-                            .compare_exchange(&edge, &state, state.with(Status::Spanning, level as u8))
+                            .compare_exchange(
+                                &edge,
+                                &state,
+                                state.with(Status::Spanning, level as u8),
+                            )
                             .is_ok()
                         {
-                            return Some(edge);
+                            found = Some(edge);
+                            return ControlFlow::Break(());
                         }
                     } else if *sampling_budget > 0 {
                         // Sampling fast path: examine without promoting.
@@ -724,48 +792,50 @@ impl Hdt {
                     // Spanning, InProgress or stale-level copies: skip.
                 }
             }
-        }
-        None
+            ControlFlow::Continue(())
+        });
+        found
     }
 
     /// Validates the full structure (intended for tests): every forest's
     /// internal invariants, the consistency of the state map with the
     /// spanning forests, and the HDT level invariants.
     pub fn validate(&self) {
-        for forest in &self.levels {
-            forest.validate();
+        // A level that was never materialized trivially holds no edges and
+        // all-singleton components; only built forests need validating.
+        for level in self.levels.iter() {
+            if let Some(forest) = level.get() {
+                forest.validate();
+            }
         }
         self.states.for_each(|edge, state| {
             let (u, v) = edge.endpoints();
             match state.status {
                 Status::Spanning => {
-                    for (lvl, forest) in self.levels.iter().enumerate() {
+                    for (lvl, level) in self.levels.iter().enumerate() {
+                        let present = level.get().is_some_and(|f| f.has_tree_edge(u, v));
                         if lvl <= state.level as usize {
-                            assert!(
-                                forest.has_tree_edge(u, v),
-                                "spanning edge {edge:?} missing from forest {lvl}"
-                            );
+                            assert!(present, "spanning edge {edge:?} missing from forest {lvl}");
                         } else {
-                            assert!(
-                                !forest.has_tree_edge(u, v),
-                                "spanning edge {edge:?} present above its level"
-                            );
+                            assert!(!present, "spanning edge {edge:?} present above its level");
                         }
                     }
                 }
                 Status::NonSpanning => {
                     let lvl = state.level as usize;
                     assert!(
-                        self.levels[0].same_tree_locked(u, v),
+                        self.forest(0).same_tree_locked(u, v),
                         "non-spanning edge {edge:?} crosses components"
                     );
                     assert!(
-                        self.nontree_adj[lvl][u as usize].contains(edge)
-                            && self.nontree_adj[lvl][v as usize].contains(edge),
+                        self.nontree_adj.contains(lvl, u, edge)
+                            && self.nontree_adj.contains(lvl, v, edge),
                         "non-spanning edge {edge:?} missing adjacency info at level {lvl}"
                     );
-                    for forest in &self.levels {
-                        assert!(!forest.has_tree_edge(u, v));
+                    for level in self.levels.iter() {
+                        if let Some(forest) = level.get() {
+                            assert!(!forest.has_tree_edge(u, v));
+                        }
                     }
                 }
                 Status::Initial | Status::InProgress => {}
@@ -773,7 +843,10 @@ impl Hdt {
         });
         // Level-structure invariant: components at level i have at most
         // n / 2^i vertices.
-        for (lvl, forest) in self.levels.iter().enumerate() {
+        for (lvl, level) in self.levels.iter().enumerate() {
+            let Some(forest) = level.get() else {
+                continue; // all components are singletons
+            };
             let bound = (self.n as f64 / 2f64.powi(lvl as i32)).ceil() as u32;
             for v in 0..self.n as u32 {
                 assert!(
@@ -788,6 +861,58 @@ impl Hdt {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn new_performs_no_adjacency_allocations() {
+        // The acceptance bar for the flat store: a million-vertex structure
+        // must come up with zero materialized adjacency slots (memory scales
+        // with touched (level, vertex) pairs, not n log n) and only the
+        // level-0 forest built.
+        let hdt = Hdt::new(1_000_000);
+        assert_eq!(hdt.nontree_store().materialized_slots(), 0);
+        assert_eq!(hdt.tree_store().materialized_slots(), 0);
+        assert_eq!(hdt.nontree_store().materialized_pages(), 0);
+        assert_eq!(hdt.tree_store().materialized_pages(), 0);
+        assert_eq!(hdt.materialized_forest_levels(), 1);
+        // Queries on the fresh structure touch nothing.
+        assert!(!hdt.connected(0, 999_999));
+        assert_eq!(hdt.nontree_store().materialized_pages(), 0);
+        // The first cycle-closing edge touches exactly its two level-0
+        // non-spanning slots.
+        hdt.add_edge_locked(1, 2);
+        hdt.add_edge_locked(2, 3);
+        hdt.add_edge_locked(1, 3);
+        // Spanning edges (1,2) and (2,3) touch the three level-0 tree slots
+        // of vertices 1, 2 and 3; the cycle edge (1,3) touches the two
+        // level-0 non-tree slots of vertices 1 and 3.
+        assert_eq!(hdt.nontree_store().materialized_slots(), 2);
+        assert_eq!(hdt.tree_store().materialized_slots(), 3);
+    }
+
+    #[test]
+    fn upper_forest_levels_materialize_only_when_promoted_into() {
+        let hdt = Hdt::with_sampling(16, 0); // sampling off => eager promotion
+        assert_eq!(hdt.materialized_forest_levels(), 1);
+        // A dense clique forces replacement searches that promote edges.
+        for u in 0..8 {
+            for v in (u + 1)..8 {
+                hdt.add_edge_locked(u, v);
+            }
+        }
+        for u in 0..8 {
+            for v in (u + 1)..8u32 {
+                if (u + v) % 2 == 0 {
+                    hdt.remove_edge_locked(u, v);
+                }
+            }
+        }
+        assert!(
+            hdt.materialized_forest_levels() > 1,
+            "promotions must have reached level 1"
+        );
+        assert!(hdt.materialized_forest_levels() <= hdt.num_levels());
+        hdt.validate();
+    }
 
     #[test]
     fn empty_structure_answers_queries() {
@@ -823,7 +948,10 @@ mod tests {
         assert_eq!(stats.non_spanning_additions, 1);
         hdt.validate();
         assert!(hdt.remove_edge_locked(0, 2));
-        assert!(hdt.connected(0, 2), "removing a cycle edge keeps connectivity");
+        assert!(
+            hdt.connected(0, 2),
+            "removing a cycle edge keeps connectivity"
+        );
         hdt.validate();
     }
 
@@ -842,7 +970,7 @@ mod tests {
         hdt.validate();
         assert!(hdt.remove_edge_locked(1, 2));
         assert!(hdt.connected(0, 2));
-        assert!(hdt.connected(1, 2) == false || hdt.connected(1, 2));
+        assert!(!hdt.connected(1, 2) || hdt.connected(1, 2));
         hdt.validate();
     }
 

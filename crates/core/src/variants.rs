@@ -292,7 +292,11 @@ impl Variant {
             OurAlgorithm => Box::new(NonBlockingVariant::new(n, FineLocking::new())),
             OurAlgorithmCoarse => Box::new(NonBlockingVariant::new(n, GlobalLocking::new())),
             OurAlgorithmCoarseHtm => Box::new(NonBlockingVariant::new(n, ElisionLocking::new())),
-            ParallelCombining => Box::new(CombiningVariant::new(n, CombiningMode::ParallelReads, false)),
+            ParallelCombining => Box::new(CombiningVariant::new(
+                n,
+                CombiningMode::ParallelReads,
+                false,
+            )),
             FlatCombiningNonBlockingReads => {
                 Box::new(CombiningVariant::new(n, CombiningMode::FlatCombining, true))
             }
@@ -355,7 +359,11 @@ mod tests {
             dc.add_edge(1, 2);
             dc.add_edge(0, 2);
             dc.remove_edge(0, 1);
-            assert!(dc.connected(0, 1), "{} lost the replacement", variant.name());
+            assert!(
+                dc.connected(0, 1),
+                "{} lost the replacement",
+                variant.name()
+            );
         }
     }
 }

@@ -272,7 +272,10 @@ mod tests {
                     s.spawn(move || (0..per_thread).map(|_| arena.alloc().0).collect::<Vec<_>>())
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         all.sort_unstable();
         all.dedup();

@@ -81,7 +81,7 @@ pub struct EulerForest {
 impl EulerForest {
     /// Creates a forest of `n` isolated vertices.
     pub fn new(n: usize) -> Self {
-        Self::with_seed(n, 0x5EED_0F_DC0DE)
+        Self::with_seed(n, 0x05EE_D0FD_C0DE)
     }
 
     /// Creates a forest of `n` isolated vertices with an explicit priority
@@ -114,7 +114,9 @@ impl EulerForest {
     fn next_priority(&self) -> u64 {
         // SplitMix64 over an atomic counter: thread-safe, cheap, and
         // deterministic for a fixed seed.
-        let x = self.prio_state.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let x = self
+            .prio_state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
         let mut z = x;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -269,14 +271,21 @@ impl EulerForest {
         let e_uv = self.new_edge_node(u, v, hi);
         let e_vu = self.new_edge_node(v, u, hi);
         let (key_u, _key_v) = (norm(u, v).0, norm(u, v).1);
-        let stored = if key_u == u { (e_uv, e_vu) } else { (e_vu, e_uv) };
+        let stored = if key_u == u {
+            (e_uv, e_vu)
+        } else {
+            (e_vu, e_uv)
+        };
         let prev = self.edge_nodes.insert(norm(u, v), stored);
         debug_assert!(prev.is_none(), "duplicate spanning edge ({u}, {v})");
 
         let t = self.merge_roots(tu, e_uv);
         let t = self.merge_roots(t, tv);
         let t = self.merge_roots(t, e_vu);
-        debug_assert_eq!(t, hi, "merged tour root must be the higher-priority old root");
+        debug_assert_eq!(
+            t, hi,
+            "merged tour root must be the higher-priority old root"
+        );
     }
 
     /// Physically splits the tour of spanning edge `(u, v)` into the two
@@ -358,7 +367,8 @@ impl EulerForest {
 
     /// Sets the self-contribution of `mark` on vertex `v`'s node.
     pub fn set_vertex_self_mark(&self, v: u32, mark: Mark, value: bool) {
-        self.node(self.vertex_node_ref(v)).set_self_mark(mark, value);
+        self.node(self.vertex_node_ref(v))
+            .set_self_mark(mark, value);
     }
 
     /// Reads the self-contribution of `mark` on vertex `v`'s node.

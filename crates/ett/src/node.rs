@@ -167,7 +167,10 @@ impl Node {
     /// The stored endpoints `(a, b)`.
     #[inline]
     pub fn endpoints(&self) -> (u32, u32) {
-        (self.a.load(Ordering::Relaxed), self.b.load(Ordering::Relaxed))
+        (
+            self.a.load(Ordering::Relaxed),
+            self.b.load(Ordering::Relaxed),
+        )
     }
 
     /// Initializes the stored endpoints.

@@ -10,10 +10,9 @@
 
 use crate::generators;
 use crate::types::Graph;
-use serde::{Deserialize, Serialize};
 
 /// Identifies one of the datasets used in the paper's evaluation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum GraphSpec {
     /// "USA roads" (Colorado): sparse planar road network, one component.
     UsaRoads,

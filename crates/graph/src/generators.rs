@@ -175,7 +175,10 @@ pub fn preferential_attachment(n: usize, m_per_vertex: usize, seed: u64) -> Grap
 /// `n = 2^scale` vertices and `m` is the target edge count; `(a, b, c)` are
 /// the usual quadrant probabilities (the fourth is `1 - a - b - c`).
 pub fn rmat(scale: u32, m: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
-    assert!(a + b + c < 1.0 + 1e-9, "quadrant probabilities must sum to <= 1");
+    assert!(
+        a + b + c < 1.0 + 1e-9,
+        "quadrant probabilities must sum to <= 1"
+    );
     let n = 1usize << scale;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen = HashSet::with_capacity(m * 2);

@@ -1,0 +1,298 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and builder surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box`) with a
+//! simple but honest measurement loop: each sample runs a calibrated number
+//! of iterations, and the reported figure is the median over samples with
+//! the min/max spread.  No statistical regression machinery, no HTML
+//! reports — results go to stdout, one line per benchmark:
+//!
+//! ```text
+//! bench: hdt_add_remove/1000            1234.5 ns/iter (min 1200.1, max 1310.7, 20 samples)
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+/// Wall-clock budget spent warming up before calibration.
+const WARMUP: Duration = Duration::from_millis(25);
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id that is just the parameter (criterion's
+    /// `from_parameter`).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.id, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one benchmark that receives an input by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for interface parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// measure.
+pub struct Bencher {
+    mode: BencherMode,
+    /// Iterations per sample (calibration result), populated in measure mode.
+    iters_per_sample: u64,
+    /// Duration of the last measured sample.
+    last_sample: Duration,
+}
+
+enum BencherMode {
+    /// Run the routine until the warm-up budget is consumed, recording how
+    /// many iterations fit so measurement can be calibrated.
+    Calibrate {
+        achieved_iters: u64,
+        elapsed: Duration,
+    },
+    /// Run exactly `iters_per_sample` iterations and record the time.
+    Measure,
+}
+
+impl Bencher {
+    /// Measures the closure. The closure's return value is black-boxed so
+    /// the computation cannot be optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BencherMode::Calibrate { .. } => {
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while start.elapsed() < WARMUP {
+                    black_box(routine());
+                    iters += 1;
+                }
+                self.mode = BencherMode::Calibrate {
+                    achieved_iters: iters,
+                    elapsed: start.elapsed(),
+                };
+            }
+            BencherMode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(routine());
+                }
+                self.last_sample = start.elapsed();
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    // Warm-up + calibration pass.
+    let mut bencher = Bencher {
+        mode: BencherMode::Calibrate {
+            achieved_iters: 0,
+            elapsed: Duration::ZERO,
+        },
+        iters_per_sample: 0,
+        last_sample: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let (achieved, elapsed) = match bencher.mode {
+        BencherMode::Calibrate {
+            achieved_iters,
+            elapsed,
+        } => (achieved_iters.max(1), elapsed.max(Duration::from_nanos(1))),
+        BencherMode::Measure => unreachable!(),
+    };
+    let per_iter = elapsed.as_secs_f64() / achieved as f64;
+    let iters_per_sample = ((SAMPLE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+    // Measurement samples.
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher {
+            mode: BencherMode::Measure,
+            iters_per_sample,
+            last_sample: Duration::ZERO,
+        };
+        f(&mut bencher);
+        samples_ns.push(bencher.last_sample.as_secs_f64() * 1e9 / iters_per_sample as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    let min = samples_ns.first().copied().unwrap_or(0.0);
+    let max = samples_ns.last().copied().unwrap_or(0.0);
+    println!(
+        "bench: {name:<52} {median:>12.1} ns/iter (min {min:.1}, max {max:.1}, {} samples, {iters_per_sample} iters/sample)",
+        samples_ns.len()
+    );
+}
+
+/// Declares a benchmark group. Both criterion forms are accepted:
+/// the positional `criterion_group!(name, target, ...)` and the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("smoke");
+        let mut count = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0, "routine never executed");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("inputs");
+        group.bench_with_input(BenchmarkId::from_parameter(41), &41u32, |b, &n| {
+            b.iter(|| n + 1)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

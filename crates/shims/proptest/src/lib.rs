@@ -1,0 +1,449 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of the proptest API this workspace's tests use —
+//! the [`Strategy`] trait with `prop_map`, integer-range / tuple / `vec` /
+//! `bool::ANY` strategies, `prop_oneof!`, and the `proptest!` test macro
+//! with `#![proptest_config(...)]` — on top of a deterministic PRNG.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **no shrinking** — a failing case reports its case index and seed so it
+//!   can be replayed, but is not minimized;
+//! * **deterministic seeds** — each test's case `i` derives its seed from
+//!   the test's location and `i`, so failures reproduce across runs without
+//!   a persistence file.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// Generates values of an output type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union; panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for a few primitive types.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for the full domain of `T`.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Creates a strategy over the full domain of `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any_int!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen::<u64>() & 1 == 1
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// The strategy behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen::<u64>() & 1 == 1
+        }
+    }
+
+    /// Uniformly random booleans.
+    pub const ANY: AnyBool = AnyBool;
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            size.start < size.end,
+            "vec strategy needs a non-empty size range"
+        );
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case-running machinery behind the `proptest!` macro.
+
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// Runner configuration; only the fields this workspace sets are
+    /// represented.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases per test.
+        pub cases: u32,
+        /// Accepted for interface parity; this runner never shrinks.
+        pub max_shrink_iters: u32,
+        /// Print each case index before running it (upstream parity field;
+        /// also keeps `..Config::default()` meaningful at use sites that set
+        /// every other field).
+        pub verbose: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 64,
+                max_shrink_iters: 0,
+                verbose: 0,
+            }
+        }
+    }
+
+    /// Runs `body` for `config.cases` deterministic cases. The per-case RNG
+    /// seed is derived from the test location and the case index, so a
+    /// failure message identifies an exactly reproducible case.
+    pub fn run_cases<F>(config: Config, file: &str, line: u32, mut body: F)
+    where
+        F: FnMut(&mut TestRng),
+    {
+        for case in 0..config.cases {
+            let mut hasher = DefaultHasher::new();
+            (file, line, case).hash(&mut hasher);
+            let seed = hasher.finish();
+            let mut rng = TestRng::seed_from_u64(seed);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+            if let Err(panic) = outcome {
+                eprintln!(
+                    "proptest case {case}/{} failed at {file}:{line} (replay seed {seed:#018x}); \
+                     no shrinking in the offline proptest stand-in",
+                    config.cases
+                );
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests. Supports the forms used in this workspace:
+/// an optional `#![proptest_config(expr)]` header followed by one or more
+/// `#[test] fn name(pat in strategy, ...) { body }` items (doc comments and
+/// other attributes above `#[test]` are preserved).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = (<$crate::test_runner::Config as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr); ) => {};
+    // `#[test]` is captured as one of the `$meta` attributes and re-emitted
+    // with them (matching it literally is ambiguous against the `meta`
+    // fragment), so the expansion must not add its own `#[test]`.
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            $crate::test_runner::run_cases(config, file!(), line!(), |__proptest_rng| {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strategy), __proptest_rng);
+                )+
+                $body
+            });
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Skips the current case when its generated inputs are unsuitable.
+/// (Upstream rejects and regenerates; this runner simply ends the case,
+/// which preserves soundness — a skipped case never fails.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_domain() {
+        use crate::strategy::{Strategy, TestRng};
+        use rand::SeedableRng;
+        let mut rng = TestRng::seed_from_u64(1);
+        let s = (0u32..10, 0usize..5).prop_map(|(a, b)| a as usize + b);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng) < 14);
+        }
+        let v = crate::collection::vec(0u32..3, 1..6);
+        for _ in 0..50 {
+            let out = v.generate(&mut rng);
+            assert!((1..6).contains(&out.len()));
+            assert!(out.iter().all(|&x| x < 3));
+        }
+        let u = prop_oneof![Just(7u32), 0u32..3,];
+        for _ in 0..50 {
+            let x = u.generate(&mut rng);
+            assert!(x == 7 || x < 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        /// The macro itself: bindings, assume and assertions all work.
+        #[test]
+        fn macro_roundtrip(x in 0u32..100, flip in crate::bool::ANY) {
+            prop_assume!(x != 99);
+            prop_assert!(x < 99);
+            prop_assert_eq!(flip as u32 <= 1, true);
+            prop_assert_ne!(x, 200);
+        }
+    }
+
+    proptest! {
+        /// The configless form defaults to 64 cases.
+        #[test]
+        fn configless_form(v in crate::collection::vec(any::<usize>(), 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+    }
+}

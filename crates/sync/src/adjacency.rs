@@ -1,0 +1,1130 @@
+//! A flat, lazy, allocation-free adjacency store for the HDT level structure.
+//!
+//! The HDT core keeps, for every `(level, vertex)` pair, a small multiset of
+//! adjacent edges (one store for non-spanning edges, one for exact-level
+//! spanning edges).  The original layout — `Vec<Vec<ConcurrentMultiSet>>`,
+//! one mutex-wrapped `HashMap` per pair — allocates `n × (⌈log₂ n⌉ + 2)`
+//! hashmaps up front and clones a snapshot `Vec` on every replacement-search
+//! visit.  Both costs sit directly on the paper's hot paths, so this store
+//! replaces them with:
+//!
+//! * **one flat slab** indexed by `level * n + vertex`, split into fixed
+//!   pages whose pointers live in a single eagerly-allocated spine —
+//!   constructing the store performs exactly **two heap allocations** (the
+//!   spine and the lock stripes) regardless of `n`;
+//! * **lazy page materialization** — a page is allocated by CAS on first
+//!   write, so resident memory scales with the number of *touched*
+//!   `(level, vertex)` pairs rather than with `n log n`;
+//! * an **inline small-set representation** — most vertices hold 0–4
+//!   adjacent edges per level, which are stored in place; a slot spills into
+//!   a private open-addressed table only past [`INLINE_CAP`] distinct
+//!   elements (and stays spilled: a vertex that was once high-degree is
+//!   likely to be again);
+//! * **striped spinlocks** ([`crate::spinlock::RawSpinLock`]) instead of one
+//!   `Mutex` per slot — a slot's stripe is picked by hashing its flat index,
+//!   and every slot operation is a handful of instructions under the stripe;
+//! * an **allocation-free visitor API** — [`AdjacencyStore::for_each_edge`]
+//!   iterates through a fixed stack buffer in chunks (releasing the stripe
+//!   between chunks so callbacks may freely touch *other* slots of the same
+//!   store), and [`AdjacencyStore::pop`] / [`AdjacencyStore::retain`] cover
+//!   the drain-style loops, so the replacement search never clones a
+//!   snapshot `Vec`.
+//!
+//! # Iteration semantics
+//!
+//! `for_each_edge` visits distinct elements best-effort, exactly like
+//! iterating a concurrent collection on the JVM (which is what the paper's
+//! implementation does): elements present for the whole iteration are
+//! visited at least once, elements added or removed concurrently may or may
+//! not appear, and an element may be visited more than once if the slot is
+//! reorganized mid-iteration (the slot version is checked per chunk and the
+//! cursor restarts on reorganization, so a concurrent rehash can never cause
+//! a stable element to be *missed* — the failure mode that would silently
+//! break the replacement search).  All HDT visitors are idempotent per
+//! element, so re-visits are harmless.
+//!
+//! # Deadlock discipline
+//!
+//! `for_each_edge` and `pop` run their callbacks / return **without** the
+//! stripe held, so callbacks may call back into this store (including the
+//! very slot being iterated).  [`AdjacencyStore::retain`] is the one
+//! exception: its predicate runs under the stripe lock and therefore must
+//! not touch *this* store (other structures are fine).
+
+use crate::hash::{fx_hash_u64, FxBuildHasher};
+use crate::spinlock::RawSpinLock;
+use std::cell::UnsafeCell;
+use std::hash::{BuildHasher, Hash};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// Distinct elements a slot holds in place before spilling to a table.
+pub const INLINE_CAP: usize = 4;
+/// Slots per lazily-materialized page.
+const PAGE_SLOTS: usize = 64;
+/// Elements copied out per locked section during iteration.
+const CHUNK: usize = 32;
+/// Default number of lock stripes (rounded up to a power of two).
+const DEFAULT_STRIPES: usize = 512;
+/// Initial open-addressed table capacity after a spill.
+const TABLE_MIN_CAP: usize = 16;
+/// Version-restart budget of the chunked visitor before it falls back to a
+/// single locked copy of the slot.
+const MAX_RESTARTS: u32 = 8;
+
+/// One open-addressed table cell.
+enum Cell<T> {
+    Empty,
+    Tomb,
+    Full(T, u32),
+}
+
+/// The spilled representation: linear-probing, tombstone-based open
+/// addressing. Tombstones keep cell indices stable under removal, which the
+/// chunked iterator relies on; only growth rehashes (and bumps the slot
+/// version).
+struct Table<T> {
+    cells: Box<[Cell<T>]>,
+    /// Occupancy bitmap, one bit per cell (set = `Full`). Lets the chunked
+    /// visitor and `pop` jump between live cells instead of scanning every
+    /// cell of a half-empty table.
+    bits: Box<[u64]>,
+    /// Occupied cells.
+    live: usize,
+    /// Occupied plus tombstoned cells (probe-chain length driver).
+    used: usize,
+}
+
+impl<T: Copy + Eq + Hash> Table<T> {
+    fn with_capacity(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(TABLE_MIN_CAP);
+        Table {
+            cells: (0..cap).map(|_| Cell::Empty).collect(),
+            bits: vec![0u64; cap.div_ceil(64)].into_boxed_slice(),
+            live: 0,
+            used: 0,
+        }
+    }
+
+    #[inline]
+    fn set_bit(&mut self, i: usize) {
+        self.bits[i / 64] |= 1u64 << (i % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, i: usize) {
+        self.bits[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Smallest occupied cell index `>= from`, if any.
+    #[inline]
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        let cap = self.cells.len();
+        if from >= cap {
+            return None;
+        }
+        let mut word_i = from / 64;
+        let mut word = self.bits[word_i] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(word_i * 64 + word.trailing_zeros() as usize);
+            }
+            word_i += 1;
+            if word_i * 64 >= cap {
+                return None;
+            }
+            word = self.bits[word_i];
+        }
+    }
+
+    #[inline]
+    fn hash_index(value: &T, mask: usize) -> usize {
+        (FxBuildHasher::default().hash_one(value) as usize) & mask
+    }
+
+    /// Index of the cell holding `value`, if present.
+    fn find(&self, value: &T) -> Option<usize> {
+        let mask = self.cells.len() - 1;
+        let mut i = Self::hash_index(value, mask);
+        loop {
+            match &self.cells[i] {
+                Cell::Empty => return None,
+                Cell::Full(v, _) if v == value => return Some(i),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Adds one copy of `value`. Returns `true` if the table was rehashed.
+    fn add(&mut self, value: T) -> bool {
+        // Probe first: a duplicate add is a pure count bump and must never
+        // trigger a rehash (which would force concurrent visitors of this
+        // slot to restart). The growth check runs only when a new cell is
+        // actually about to be consumed; its target lands the post-rehash
+        // load factor just under 1/2, keeping probes cheap without making
+        // the chunked visitor scan mostly-empty cells. Insertion keeps
+        // `used <= 3/4 * capacity`, so an `Empty` cell always exists and
+        // the probe loop terminates.
+        let mask = self.cells.len() - 1;
+        let mut i = Self::hash_index(&value, mask);
+        let mut first_tomb = None;
+        loop {
+            match &mut self.cells[i] {
+                Cell::Full(v, count) if *v == value => {
+                    *count += 1;
+                    return false;
+                }
+                Cell::Tomb => {
+                    if first_tomb.is_none() {
+                        first_tomb = Some(i);
+                    }
+                    i = (i + 1) & mask;
+                }
+                Cell::Empty => {
+                    if first_tomb.is_none() && (self.used + 1) * 4 > self.cells.len() * 3 {
+                        self.rehash((self.live + 1) * 2);
+                        self.insert_new(value, 1);
+                        return true;
+                    }
+                    let target = match first_tomb {
+                        Some(t) => t,
+                        None => {
+                            self.used += 1;
+                            i
+                        }
+                    };
+                    self.cells[target] = Cell::Full(value, 1);
+                    self.set_bit(target);
+                    self.live += 1;
+                    return false;
+                }
+                Cell::Full(..) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Inserts `value` with an explicit multiplicity.
+    ///
+    /// The caller guarantees `value` is absent, so the first tombstone or
+    /// empty cell on the probe chain is a valid target (used by the
+    /// inline-to-table spill; growth cannot trigger at spill sizes).
+    fn insert_new(&mut self, value: T, count: u32) {
+        debug_assert!(self.find(&value).is_none(), "insert_new of present value");
+        let mask = self.cells.len() - 1;
+        let mut i = Self::hash_index(&value, mask);
+        while matches!(self.cells[i], Cell::Full(..)) {
+            i = (i + 1) & mask;
+        }
+        if matches!(self.cells[i], Cell::Empty) {
+            self.used += 1;
+        }
+        self.cells[i] = Cell::Full(value, count);
+        self.set_bit(i);
+        self.live += 1;
+    }
+
+    /// Removes one copy of `value`; the cell becomes a tombstone when the
+    /// last copy goes. Returns `true` if a copy was present.
+    fn remove(&mut self, value: &T) -> bool {
+        match self.find(value) {
+            Some(i) => {
+                if let Cell::Full(_, count) = &mut self.cells[i] {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.cells[i] = Cell::Tomb;
+                        self.clear_bit(i);
+                        self.live -= 1;
+                    }
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn rehash(&mut self, target: usize) {
+        let new_cap = target.next_power_of_two().max(TABLE_MIN_CAP);
+        let old = std::mem::replace(&mut self.cells, (0..new_cap).map(|_| Cell::Empty).collect());
+        self.bits = vec![0u64; new_cap.div_ceil(64)].into_boxed_slice();
+        self.used = self.live;
+        let mask = new_cap - 1;
+        for cell in old.into_vec() {
+            if let Cell::Full(v, count) = cell {
+                let mut i = Self::hash_index(&v, mask);
+                while !matches!(self.cells[i], Cell::Empty) {
+                    i = (i + 1) & mask;
+                }
+                self.cells[i] = Cell::Full(v, count);
+                self.set_bit(i);
+            }
+        }
+    }
+}
+
+/// Per-slot payload: inline array first, open-addressed table after a spill.
+enum SlotData<T> {
+    Inline {
+        len: u8,
+        entries: [Option<(T, u32)>; INLINE_CAP],
+    },
+    Spilled(Table<T>),
+}
+
+/// One `(level, vertex)` slot.
+struct Slot<T> {
+    /// Bumped on any reorganization that can move an element to a smaller
+    /// index (inline compaction, spill, table growth); the chunked iterator
+    /// restarts when it observes a bump, so stable elements are never
+    /// skipped.
+    version: u32,
+    /// Whether this slot has ever held an element (feeds the
+    /// `materialized_slots` counter exactly once).
+    touched: bool,
+    data: SlotData<T>,
+}
+
+impl<T> Default for Slot<T> {
+    fn default() -> Self {
+        Slot {
+            version: 0,
+            touched: false,
+            data: SlotData::Inline {
+                len: 0,
+                entries: [None, None, None, None],
+            },
+        }
+    }
+}
+
+impl<T: Copy + Eq + Hash> Slot<T> {
+    fn add(&mut self, value: T) {
+        match &mut self.data {
+            SlotData::Inline { len, entries } => {
+                for (v, count) in entries.iter_mut().take(*len as usize).flatten() {
+                    if *v == value {
+                        *count += 1;
+                        return;
+                    }
+                }
+                if (*len as usize) < INLINE_CAP {
+                    entries[*len as usize] = Some((value, 1));
+                    *len += 1;
+                    return;
+                }
+                // Spill: move the inline entries into a fresh table. The
+                // new value is known distinct from all of them (the inline
+                // scan above missed), so every insertion is an insert-new.
+                let mut table = Table::with_capacity(TABLE_MIN_CAP);
+                for entry in entries.iter().flatten() {
+                    let (v, count) = *entry;
+                    table.insert_new(v, count);
+                }
+                table.insert_new(value, 1);
+                self.data = SlotData::Spilled(table);
+                self.version = self.version.wrapping_add(1);
+            }
+            SlotData::Spilled(table) => {
+                if table.add(value) {
+                    self.version = self.version.wrapping_add(1);
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, value: &T) -> bool {
+        match &mut self.data {
+            SlotData::Inline { len, entries } => {
+                for i in 0..*len as usize {
+                    if let Some((v, count)) = &mut entries[i] {
+                        if v == value {
+                            *count -= 1;
+                            if *count == 0 {
+                                // Swap-remove compacts the array, which can
+                                // move the last entry below an iterator's
+                                // cursor — bump the version so it restarts.
+                                entries[i] = entries[*len as usize - 1].take();
+                                *len -= 1;
+                                self.version = self.version.wrapping_add(1);
+                            }
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            SlotData::Spilled(table) => table.remove(value),
+        }
+    }
+
+    fn count(&self, value: &T) -> u32 {
+        match &self.data {
+            SlotData::Inline { len, entries } => entries
+                .iter()
+                .take(*len as usize)
+                .flatten()
+                .find(|(v, _)| v == value)
+                .map(|(_, c)| *c)
+                .unwrap_or(0),
+            SlotData::Spilled(table) => match table.find(value) {
+                Some(i) => match &table.cells[i] {
+                    Cell::Full(_, c) => *c,
+                    _ => 0,
+                },
+                None => 0,
+            },
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.data {
+            SlotData::Inline { len, entries } => entries
+                .iter()
+                .take(*len as usize)
+                .flatten()
+                .map(|(_, c)| *c as usize)
+                .sum(),
+            SlotData::Spilled(table) => table
+                .cells
+                .iter()
+                .map(|cell| match cell {
+                    Cell::Full(_, c) => *c as usize,
+                    _ => 0,
+                })
+                .sum(),
+        }
+    }
+
+    fn distinct_len(&self) -> usize {
+        match &self.data {
+            SlotData::Inline { len, .. } => *len as usize,
+            SlotData::Spilled(table) => table.live,
+        }
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        match &mut self.data {
+            SlotData::Inline { len, entries } => {
+                if *len == 0 {
+                    return None;
+                }
+                let (value, count) = entries[0].as_mut().expect("inline entry below len");
+                let value = *value;
+                *count -= 1;
+                if *count == 0 {
+                    entries[0] = entries[*len as usize - 1].take();
+                    *len -= 1;
+                    self.version = self.version.wrapping_add(1);
+                }
+                Some(value)
+            }
+            SlotData::Spilled(table) => {
+                let i = table.next_occupied(0)?;
+                let Cell::Full(v, count) = &mut table.cells[i] else {
+                    unreachable!("occupancy bit set on a non-full cell");
+                };
+                let value = *v;
+                *count -= 1;
+                if *count == 0 {
+                    table.cells[i] = Cell::Tomb;
+                    table.clear_bit(i);
+                    table.live -= 1;
+                }
+                Some(value)
+            }
+        }
+    }
+
+    fn retain(&mut self, mut keep: impl FnMut(&T, u32) -> bool) {
+        match &mut self.data {
+            SlotData::Inline { len, entries } => {
+                let mut i = 0;
+                while i < *len as usize {
+                    let (v, count) = entries[i].as_ref().expect("inline entry below len");
+                    if keep(v, *count) {
+                        i += 1;
+                    } else {
+                        entries[i] = entries[*len as usize - 1].take();
+                        *len -= 1;
+                        self.version = self.version.wrapping_add(1);
+                    }
+                }
+            }
+            SlotData::Spilled(table) => {
+                for i in 0..table.cells.len() {
+                    if let Cell::Full(v, count) = &table.cells[i] {
+                        if !keep(v, *count) {
+                            table.cells[i] = Cell::Tomb;
+                            table.clear_bit(i);
+                            table.live -= 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Copies up to `CHUNK` distinct elements starting at entry index
+    /// `cursor` into `buf`; returns `(copied, next_cursor, exhausted)`.
+    fn fill_chunk(&self, cursor: usize, buf: &mut [Option<T>; CHUNK]) -> (usize, usize, bool) {
+        let mut copied = 0;
+        match &self.data {
+            SlotData::Inline { len, entries } => {
+                let len = *len as usize;
+                let mut i = cursor.min(len);
+                while i < len && copied < CHUNK {
+                    buf[copied] = entries[i].as_ref().map(|(v, _)| *v);
+                    copied += 1;
+                    i += 1;
+                }
+                (copied, i, i >= len)
+            }
+            SlotData::Spilled(table) => {
+                // Walk the occupancy bitmap word by word: one load per 64
+                // cells plus one trailing_zeros per live element, instead of
+                // inspecting every cell of a half-empty table.
+                let cap = table.cells.len();
+                let mut i = cursor.min(cap);
+                if i < cap {
+                    let mut word_i = i / 64;
+                    let mut word = table.bits[word_i] & (!0u64 << (i % 64));
+                    'chunk: while copied < CHUNK {
+                        while word == 0 {
+                            word_i += 1;
+                            if word_i * 64 >= cap {
+                                i = cap;
+                                break 'chunk;
+                            }
+                            word = table.bits[word_i];
+                        }
+                        let idx = word_i * 64 + word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        let Cell::Full(v, _) = &table.cells[idx] else {
+                            unreachable!("occupancy bit set on a non-full cell");
+                        };
+                        buf[copied] = Some(*v);
+                        copied += 1;
+                        i = idx + 1;
+                    }
+                }
+                (copied, i, i >= cap)
+            }
+        }
+    }
+
+    fn is_spilled(&self) -> bool {
+        matches!(self.data, SlotData::Spilled(_))
+    }
+}
+
+/// A page of slots, materialized lazily. Slots are only accessed under
+/// their stripe lock.
+struct Page<T> {
+    slots: [UnsafeCell<Slot<T>>; PAGE_SLOTS],
+}
+
+impl<T> Page<T> {
+    fn boxed() -> Box<Self> {
+        Box::new(Page {
+            slots: std::array::from_fn(|_| UnsafeCell::new(Slot::default())),
+        })
+    }
+}
+
+/// The flat, lazy, striped adjacency store; see the module documentation.
+pub struct AdjacencyStore<T> {
+    levels: usize,
+    n: usize,
+    /// Page spine: `ceil(levels * n / PAGE_SLOTS)` pointers, null until the
+    /// page is materialized. This is the only per-capacity allocation.
+    pages: Box<[AtomicPtr<Page<T>>]>,
+    stripes: Box<[RawSpinLock]>,
+    stripe_mask: usize,
+    materialized_pages: AtomicUsize,
+    materialized_slots: AtomicUsize,
+}
+
+// Slots hold plain data behind UnsafeCell; all access is serialized by the
+// stripe spinlocks (and pages are only published by a successful CAS).
+unsafe impl<T: Send> Send for AdjacencyStore<T> {}
+unsafe impl<T: Send> Sync for AdjacencyStore<T> {}
+
+impl<T: Copy + Eq + Hash> AdjacencyStore<T> {
+    /// Creates a store for `levels × n` slots with the default stripe count.
+    ///
+    /// Performs exactly two heap allocations regardless of `levels * n`.
+    pub fn new(levels: usize, n: usize) -> Self {
+        Self::with_stripes(levels, n, DEFAULT_STRIPES)
+    }
+
+    /// Creates a store with an explicit stripe count (rounded up to a power
+    /// of two).
+    pub fn with_stripes(levels: usize, n: usize, stripes: usize) -> Self {
+        let total = levels
+            .checked_mul(n)
+            .expect("adjacency store dimensions overflow");
+        let num_pages = total.div_ceil(PAGE_SLOTS);
+        let stripe_count = stripes.next_power_of_two().max(1);
+        AdjacencyStore {
+            levels,
+            n,
+            pages: (0..num_pages)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            stripes: (0..stripe_count).map(|_| RawSpinLock::new()).collect(),
+            stripe_mask: stripe_count - 1,
+            materialized_pages: AtomicUsize::new(0),
+            materialized_slots: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of levels this store was sized for.
+    pub fn num_levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Number of vertices per level.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of `(level, vertex)` slots that have ever held an element.
+    /// `Hdt::new` must leave this at zero: adjacency memory is supposed to
+    /// scale with *touched* pairs, not with `n log n`.
+    pub fn materialized_slots(&self) -> usize {
+        self.materialized_slots.load(Ordering::Relaxed)
+    }
+
+    /// Number of pages currently backed by real memory.
+    pub fn materialized_pages(&self) -> usize {
+        self.materialized_pages.load(Ordering::Relaxed)
+    }
+
+    /// Number of slots that have spilled out of the inline representation
+    /// (diagnostic; quiescent reads only).
+    pub fn spilled_slots(&self) -> usize {
+        let mut spilled = 0;
+        for (pi, page) in self.pages.iter().enumerate() {
+            let ptr = page.load(Ordering::Acquire);
+            if ptr.is_null() {
+                continue;
+            }
+            let page = unsafe { &*ptr };
+            for si in 0..PAGE_SLOTS {
+                let flat = pi * PAGE_SLOTS + si;
+                if flat >= self.levels * self.n {
+                    break;
+                }
+                let lock = self.stripe(flat);
+                lock.lock();
+                let slot = unsafe { &*page.slots[si].get() };
+                if slot.is_spilled() {
+                    spilled += 1;
+                }
+                lock.unlock();
+            }
+        }
+        spilled
+    }
+
+    #[inline]
+    fn flat(&self, level: usize, vertex: u32) -> usize {
+        // Hard asserts: with a flat index, an out-of-range vertex would
+        // otherwise silently alias another level's slot in release builds
+        // (the replaced Vec-of-Vecs layout panicked on the same misuse).
+        assert!(level < self.levels, "level {level} out of range");
+        assert!((vertex as usize) < self.n, "vertex {vertex} out of range");
+        level * self.n + vertex as usize
+    }
+
+    #[inline]
+    fn stripe(&self, flat: usize) -> &RawSpinLock {
+        &self.stripes[(fx_hash_u64(flat as u64) as usize) & self.stripe_mask]
+    }
+
+    /// The page for `flat`, if materialized.
+    #[inline]
+    fn page(&self, flat: usize) -> Option<&Page<T>> {
+        let ptr = self.pages[flat / PAGE_SLOTS].load(Ordering::Acquire);
+        if ptr.is_null() {
+            None
+        } else {
+            Some(unsafe { &*ptr })
+        }
+    }
+
+    /// The page for `flat`, materializing it if needed. Lock-free: pages are
+    /// shared by slots of different stripes, so publication races through a
+    /// CAS (the loser frees its allocation).
+    fn materialize(&self, flat: usize) -> &Page<T> {
+        let entry = &self.pages[flat / PAGE_SLOTS];
+        let ptr = entry.load(Ordering::Acquire);
+        if !ptr.is_null() {
+            return unsafe { &*ptr };
+        }
+        let fresh = Box::into_raw(Page::boxed());
+        match entry.compare_exchange(
+            std::ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                self.materialized_pages.fetch_add(1, Ordering::Relaxed);
+                unsafe { &*fresh }
+            }
+            Err(won) => {
+                drop(unsafe { Box::from_raw(fresh) });
+                unsafe { &*won }
+            }
+        }
+    }
+
+    /// Runs `f` on the slot for `flat` under its stripe lock, materializing
+    /// the page first.
+    #[inline]
+    fn with_slot_mut<R>(&self, flat: usize, f: impl FnOnce(&mut Slot<T>) -> R) -> R {
+        let lock = self.stripe(flat);
+        lock.lock();
+        let page = self.materialize(flat);
+        let slot = unsafe { &mut *page.slots[flat % PAGE_SLOTS].get() };
+        let out = f(slot);
+        lock.unlock();
+        out
+    }
+
+    /// Runs `f` on the slot for `flat` under its stripe lock, or returns
+    /// `default` if the page is not materialized (the slot is empty).
+    #[inline]
+    fn with_slot<R>(&self, flat: usize, default: R, f: impl FnOnce(&mut Slot<T>) -> R) -> R {
+        let Some(page) = self.page(flat) else {
+            return default;
+        };
+        let lock = self.stripe(flat);
+        lock.lock();
+        let slot = unsafe { &mut *page.slots[flat % PAGE_SLOTS].get() };
+        let out = f(slot);
+        lock.unlock();
+        out
+    }
+
+    /// Adds one copy of `value` to slot `(level, vertex)`.
+    pub fn add(&self, level: usize, vertex: u32, value: T) {
+        let flat = self.flat(level, vertex);
+        let newly_touched = self.with_slot_mut(flat, |slot| {
+            let first = !slot.touched;
+            slot.touched = true;
+            slot.add(value);
+            first
+        });
+        if newly_touched {
+            self.materialized_slots.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes one copy of `value` from slot `(level, vertex)`.
+    /// Returns `true` if a copy was present.
+    pub fn remove(&self, level: usize, vertex: u32, value: &T) -> bool {
+        let flat = self.flat(level, vertex);
+        self.with_slot(flat, false, |slot| slot.remove(value))
+    }
+
+    /// Returns `true` if at least one copy of `value` is in the slot.
+    pub fn contains(&self, level: usize, vertex: u32, value: &T) -> bool {
+        self.count(level, vertex, value) > 0
+    }
+
+    /// Number of copies of `value` in the slot.
+    pub fn count(&self, level: usize, vertex: u32, value: &T) -> u32 {
+        let flat = self.flat(level, vertex);
+        self.with_slot(flat, 0, |slot| slot.count(value))
+    }
+
+    /// Total number of copies in the slot.
+    pub fn len(&self, level: usize, vertex: u32) -> usize {
+        let flat = self.flat(level, vertex);
+        self.with_slot(flat, 0, |slot| slot.len())
+    }
+
+    /// Number of distinct elements in the slot.
+    pub fn distinct_len(&self, level: usize, vertex: u32) -> usize {
+        let flat = self.flat(level, vertex);
+        self.with_slot(flat, 0, |slot| slot.distinct_len())
+    }
+
+    /// Returns `true` if the slot holds no elements.
+    pub fn is_empty(&self, level: usize, vertex: u32) -> bool {
+        let flat = self.flat(level, vertex);
+        self.with_slot(flat, true, |slot| slot.distinct_len() == 0)
+    }
+
+    /// Removes and returns one copy of an arbitrary element of the slot.
+    pub fn pop(&self, level: usize, vertex: u32) -> Option<T> {
+        let flat = self.flat(level, vertex);
+        self.with_slot(flat, None, |slot| slot.pop())
+    }
+
+    /// Keeps only the distinct elements for which `keep` returns `true`
+    /// (dropping all copies of the others).
+    ///
+    /// The predicate runs **under the stripe lock**: it must not call back
+    /// into this store (other structures are fine).
+    pub fn retain(&self, level: usize, vertex: u32, keep: impl FnMut(&T, u32) -> bool) {
+        let flat = self.flat(level, vertex);
+        self.with_slot(flat, (), |slot| slot.retain(keep));
+    }
+
+    /// Visits the distinct elements of the slot without allocating: elements
+    /// are copied into a fixed stack buffer in chunks, and `f` runs with the
+    /// stripe lock *released* (so it may freely mutate this store, including
+    /// the slot being visited).
+    ///
+    /// Returns `ControlFlow::Break(())` if `f` broke out early. See the
+    /// module documentation for the exact iteration guarantees.
+    pub fn for_each_edge(
+        &self,
+        level: usize,
+        vertex: u32,
+        mut f: impl FnMut(T) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        let flat = self.flat(level, vertex);
+        let Some(page) = self.page(flat) else {
+            return ControlFlow::Continue(());
+        };
+        let lock = self.stripe(flat);
+        let cell = &page.slots[flat % PAGE_SLOTS];
+        let mut buf: [Option<T>; CHUNK] = [None; CHUNK];
+        let mut cursor = 0usize;
+        let mut version: Option<u32> = None;
+        let mut restarts = 0u32;
+        loop {
+            lock.lock();
+            let slot = unsafe { &*cell.get() };
+            if version != Some(slot.version) {
+                // The slot was reorganized (or this is the first chunk):
+                // restart so no stable element hides below the cursor.
+                if version.is_some() {
+                    restarts += 1;
+                    if restarts > MAX_RESTARTS {
+                        // Pathological churn: concurrent writers keep
+                        // reorganizing the slot faster than the chunked walk
+                        // finishes. Fall back to one locked full copy — the
+                        // only situation in which this visitor allocates.
+                        let mut all = Vec::with_capacity(slot.distinct_len());
+                        let mut at = 0;
+                        loop {
+                            let (copied, next, exhausted) = slot.fill_chunk(at, &mut buf);
+                            all.extend(buf.iter().take(copied).map(|v| v.expect("chunk hole")));
+                            if exhausted {
+                                break;
+                            }
+                            at = next;
+                        }
+                        lock.unlock();
+                        for value in all {
+                            f(value)?;
+                        }
+                        return ControlFlow::Continue(());
+                    }
+                }
+                cursor = 0;
+                version = Some(slot.version);
+            }
+            let (copied, next_cursor, exhausted) = slot.fill_chunk(cursor, &mut buf);
+            lock.unlock();
+            for value in buf.iter().take(copied) {
+                let value = value.expect("fill_chunk copied a hole");
+                f(value)?;
+            }
+            if exhausted {
+                return ControlFlow::Continue(());
+            }
+            cursor = next_cursor;
+        }
+    }
+}
+
+impl<T> Drop for AdjacencyStore<T> {
+    fn drop(&mut self) {
+        for page in self.pages.iter() {
+            let ptr = page.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !ptr.is_null() {
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+impl<T: Copy + Eq + Hash> std::fmt::Debug for AdjacencyStore<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdjacencyStore")
+            .field("levels", &self.levels)
+            .field("n", &self.n)
+            .field("materialized_pages", &self.materialized_pages())
+            .field("materialized_slots", &self.materialized_slots())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn construction_materializes_nothing() {
+        let store: AdjacencyStore<u64> = AdjacencyStore::new(21, 1_000_000);
+        assert_eq!(store.materialized_slots(), 0);
+        assert_eq!(store.materialized_pages(), 0);
+        assert!(store.is_empty(20, 999_999));
+        assert_eq!(store.len(0, 0), 0);
+        assert!(!store.contains(3, 17, &42));
+        assert_eq!(store.pop(3, 17), None);
+        // Probing empty slots must not materialize pages either.
+        assert_eq!(store.materialized_pages(), 0);
+    }
+
+    #[test]
+    fn add_remove_count_multiset_semantics() {
+        let store: AdjacencyStore<u32> = AdjacencyStore::new(2, 16);
+        store.add(0, 3, 7);
+        store.add(0, 3, 7);
+        store.add(0, 3, 9);
+        assert_eq!(store.count(0, 3, &7), 2);
+        assert_eq!(store.len(0, 3), 3);
+        assert_eq!(store.distinct_len(0, 3), 2);
+        assert!(store.remove(0, 3, &7));
+        assert_eq!(store.count(0, 3, &7), 1);
+        assert!(store.remove(0, 3, &7));
+        assert!(!store.contains(0, 3, &7));
+        assert!(!store.remove(0, 3, &7));
+        assert!(store.contains(0, 3, &9));
+        // The sibling slot at another level is untouched.
+        assert!(store.is_empty(1, 3));
+        assert_eq!(store.materialized_slots(), 1);
+    }
+
+    #[test]
+    fn spill_to_table_and_back_pressure() {
+        let store: AdjacencyStore<u64> = AdjacencyStore::new(1, 4);
+        let many = 200u64;
+        for i in 0..many {
+            store.add(0, 1, i);
+        }
+        assert_eq!(store.distinct_len(0, 1), many as usize);
+        assert_eq!(store.spilled_slots(), 1);
+        for i in 0..many {
+            assert!(store.contains(0, 1, &i), "lost {i} after spill");
+        }
+        for i in 0..many {
+            assert!(store.remove(0, 1, &i));
+        }
+        assert!(store.is_empty(0, 1));
+        // Everything can be re-added after a full drain.
+        for i in 0..many {
+            store.add(0, 1, i);
+        }
+        assert_eq!(store.distinct_len(0, 1), many as usize);
+    }
+
+    #[test]
+    fn for_each_edge_visits_every_stable_element() {
+        let store: AdjacencyStore<u64> = AdjacencyStore::new(1, 2);
+        for count in [1usize, 3, INLINE_CAP, INLINE_CAP + 1, 50, 500] {
+            let mut expect = std::collections::HashSet::new();
+            for i in 0..count as u64 {
+                store.add(0, 0, i);
+                expect.insert(i);
+            }
+            let mut seen = std::collections::HashSet::new();
+            let _ = store.for_each_edge(0, 0, |v| {
+                seen.insert(v);
+                ControlFlow::Continue(())
+            });
+            assert_eq!(seen, expect, "count={count}");
+            store.retain(0, 0, |_, _| false);
+            assert!(store.is_empty(0, 0));
+        }
+    }
+
+    #[test]
+    fn for_each_edge_break_stops_early() {
+        let store: AdjacencyStore<u32> = AdjacencyStore::new(1, 1);
+        for i in 0..100 {
+            store.add(0, 0, i);
+        }
+        let mut visited = 0;
+        let out = store.for_each_edge(0, 0, |_| {
+            visited += 1;
+            if visited == 5 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(out, ControlFlow::Break(()));
+        assert_eq!(visited, 5);
+    }
+
+    #[test]
+    fn callback_may_mutate_the_visited_slot() {
+        // The replacement scan removes (promotes) edges from the very slot it
+        // iterates; the visitor must tolerate that and still visit every
+        // stable element at least once.
+        let store: AdjacencyStore<u64> = AdjacencyStore::new(1, 1);
+        for i in 0..40u64 {
+            store.add(0, 0, i);
+        }
+        let mut removed = std::collections::HashSet::new();
+        let mut seen = std::collections::HashSet::new();
+        let _ = store.for_each_edge(0, 0, |v| {
+            seen.insert(v);
+            if v % 2 == 0 && removed.insert(v) {
+                assert!(store.remove(0, 0, &v));
+            }
+            ControlFlow::Continue(())
+        });
+        assert_eq!(seen.len(), 40, "every element visited at least once");
+        for v in 0..40u64 {
+            assert_eq!(store.contains(0, 0, &v), v % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn pop_drains_all_copies() {
+        let store: AdjacencyStore<u32> = AdjacencyStore::new(1, 1);
+        store.add(0, 0, 5);
+        store.add(0, 0, 5);
+        store.add(0, 0, 6);
+        let mut popped = Vec::new();
+        while let Some(v) = store.pop(0, 0) {
+            popped.push(v);
+        }
+        popped.sort_unstable();
+        assert_eq!(popped, vec![5, 5, 6]);
+        assert!(store.is_empty(0, 0));
+    }
+
+    #[test]
+    fn retain_filters_distinct_elements() {
+        let store: AdjacencyStore<u32> = AdjacencyStore::new(1, 1);
+        for i in 0..20 {
+            store.add(0, 0, i);
+            store.add(0, 0, i);
+        }
+        store.retain(0, 0, |v, count| {
+            assert_eq!(count, 2);
+            v % 3 == 0
+        });
+        for i in 0..20 {
+            assert_eq!(store.contains(0, 0, &i), i % 3 == 0, "element {i}");
+            if i % 3 == 0 {
+                assert_eq!(store.count(0, 0, &i), 2, "copies of {i} survive");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_adds_and_removes_balance() {
+        let store: Arc<AdjacencyStore<u64>> = Arc::new(AdjacencyStore::new(4, 64));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    for i in 0..2000u64 {
+                        let level = (i % 4) as usize;
+                        let vertex = (i % 64) as u32;
+                        store.add(level, vertex, t * 1_000_000 + i);
+                    }
+                    for i in 0..2000u64 {
+                        let level = (i % 4) as usize;
+                        let vertex = (i % 64) as u32;
+                        assert!(store.remove(level, vertex, &(t * 1_000_000 + i)));
+                    }
+                });
+            }
+        });
+        for level in 0..4 {
+            for vertex in 0..64 {
+                assert!(store.is_empty(level, vertex));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_duplicate_adds_keep_exact_counts() {
+        let store: Arc<AdjacencyStore<u32>> = Arc::new(AdjacencyStore::new(1, 8));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        store.add(0, 3, 42);
+                    }
+                });
+            }
+        });
+        assert_eq!(store.count(0, 3, &42), 2000);
+    }
+
+    #[test]
+    fn concurrent_page_materialization_is_exact() {
+        // Many threads hammer slots of the same fresh page; the page must be
+        // materialized exactly once and no additions lost.
+        let store: Arc<AdjacencyStore<u64>> = Arc::new(AdjacencyStore::new(1, 64));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        store.add(0, ((t * 100 + i) % 64) as u32, t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(store.materialized_pages(), 1);
+        let total: usize = (0..64).map(|v| store.len(0, v)).sum();
+        assert_eq!(total, 800);
+    }
+
+    #[test]
+    fn visitor_under_concurrent_mutation_never_misses_stable_elements() {
+        // Writers churn a disjoint key range while the main thread iterates;
+        // the stable range must always be fully visited.
+        let store: Arc<AdjacencyStore<u64>> = Arc::new(AdjacencyStore::new(1, 1));
+        for i in 0..32u64 {
+            store.add(0, 0, i); // stable elements
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for t in 0..2u64 {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let key = 1000 + t * 10_000 + (i % 64);
+                        store.add(0, 0, key);
+                        store.remove(0, 0, &key);
+                        i += 1;
+                    }
+                });
+            }
+            for _ in 0..200 {
+                let mut seen = std::collections::HashSet::new();
+                let _ = store.for_each_edge(0, 0, |v| {
+                    if v < 32 {
+                        seen.insert(v);
+                    }
+                    ControlFlow::Continue(())
+                });
+                assert_eq!(
+                    seen.len(),
+                    32,
+                    "missed stable elements {:?}",
+                    (0..32u64).filter(|v| !seen.contains(v)).collect::<Vec<_>>()
+                );
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+}

@@ -11,61 +11,9 @@
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+use std::hash::{BuildHasher, Hash};
 
-/// A fast, non-cryptographic hasher (FxHash-style multiply-xor) used to pick
-/// shards and to hash keys inside shards. Edge keys are small integer pairs,
-/// for which SipHash is needlessly slow.
-#[derive(Default, Clone, Copy)]
-pub struct FxHasher {
-    hash: u64,
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.write_u8(b);
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, n: u8) {
-        self.add(n as u64);
-    }
-
-    #[inline]
-    fn write_u32(&mut self, n: u32) {
-        self.add(n as u64);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, n: u64) {
-        self.add(n);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, n: usize) {
-        self.add(n as u64);
-    }
-}
-
-impl FxHasher {
-    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-    #[inline]
-    fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
-    }
-}
-
-/// `BuildHasher` for [`FxHasher`].
-pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+pub use crate::hash::{FxBuildHasher, FxHasher};
 
 struct Shard<K, V> {
     map: Mutex<HashMap<K, V, FxBuildHasher>>,
@@ -110,9 +58,7 @@ where
 
     #[inline]
     fn shard(&self, key: &K) -> &Shard<K, V> {
-        let mut h = self.hasher.build_hasher();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) & self.mask]
+        &self.shards[(self.hasher.hash_one(key) as usize) & self.mask]
     }
 
     /// Returns a clone of the value stored for `key`, if any.

@@ -109,7 +109,9 @@ impl<T: CombiningTarget> CombiningExecutor<T> {
 
     /// Creates an executor with space for at most `capacity` threads.
     pub fn with_capacity(target: T, mode: CombiningMode, capacity: usize) -> Self {
-        let slots = (0..capacity.max(1)).map(|_| Slot::new()).collect::<Vec<_>>();
+        let slots = (0..capacity.max(1))
+            .map(|_| Slot::new())
+            .collect::<Vec<_>>();
         CombiningExecutor {
             id: EXECUTOR_IDS.fetch_add(1, Ordering::Relaxed),
             mode,
@@ -188,7 +190,8 @@ impl<T: CombiningTarget> CombiningExecutor<T> {
                     // SAFETY: the combiner guarantees no mutation is running
                     // during the read phase, so a shared reference is sound;
                     // the op was written by this thread.
-                    let op = unsafe { (*slot.op.get()).take() }.expect("read-phase slot without op");
+                    let op =
+                        unsafe { (*slot.op.get()).take() }.expect("read-phase slot without op");
                     let res = unsafe { (*self.target.get()).apply_read(op) };
                     unsafe { *slot.res.get() = Some(res) };
                     slot.state.store(SLOT_DONE, Ordering::Release);
@@ -366,7 +369,10 @@ mod tests {
 
     #[test]
     fn read_heavy_parallel_combining_is_consistent() {
-        let exec = Arc::new(CombiningExecutor::new(IntSet::default(), CombiningMode::ParallelReads));
+        let exec = Arc::new(CombiningExecutor::new(
+            IntSet::default(),
+            CombiningMode::ParallelReads,
+        ));
         for i in 0..100 {
             exec.execute(SetOp::Add(i));
         }

@@ -8,8 +8,13 @@
 //! * [`cmap::ShardedMap`] — a lock-striped concurrent hash map with
 //!   linearizable `compare_exchange`, used for the edge-status table
 //!   (`ConcurrentHashMap<Edge, State>` in the paper's Listing 5).
+//! * [`adjacency::AdjacencyStore`] — the flat, lazily-materialized,
+//!   allocation-free per-(level, vertex) adjacency multiset store backing
+//!   the HDT level structure's hot paths.
 //! * [`multiset::ConcurrentMultiSet`] — a concurrent multiset with snapshot
-//!   iteration, used for per-node non-spanning adjacency sets.
+//!   iteration; previously backed the adjacency sets, now kept as the
+//!   differential-testing oracle for [`adjacency::AdjacencyStore`].
+//! * [`hash::FxHasher`] — the shared fast integer hasher.
 //! * [`combining`] — a generic flat-combining / parallel-combining executor
 //!   (variants 12 and 13 of the evaluation).
 //! * [`spinlock::RawSpinLock`] — a word-sized raw lock with explicit
@@ -20,17 +25,21 @@
 //! * [`waitstats`] — global lock-wait accounting used to reproduce the
 //!   "active time rate" plots (Figures 7, 8, 11, 12).
 
+pub mod adjacency;
 pub mod cmap;
 pub mod combining;
 pub mod elision;
+pub mod hash;
 pub mod multiset;
 pub mod rwspinlock;
 pub mod spinlock;
 pub mod waitstats;
 
+pub use adjacency::AdjacencyStore;
 pub use cmap::ShardedMap;
 pub use combining::{CombiningExecutor, CombiningMode, CombiningTarget};
 pub use elision::ElisionLock;
+pub use hash::{FxBuildHasher, FxHasher};
 pub use multiset::ConcurrentMultiSet;
 pub use rwspinlock::RawRwLock;
 pub use spinlock::RawSpinLock;

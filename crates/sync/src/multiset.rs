@@ -12,7 +12,7 @@
 //! torn view.  The operations match the interface the paper requires:
 //! `add`, `remove` (one copy), `contains`, `len`, and snapshot iteration.
 
-use crate::cmap::FxBuildHasher;
+use crate::hash::FxBuildHasher;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::Hash;

@@ -67,7 +67,11 @@ impl WaitTimer {
     #[inline]
     pub fn start() -> Self {
         WaitTimer {
-            start: if enabled() { Some(Instant::now()) } else { None },
+            start: if enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
         }
     }
 

@@ -1,0 +1,212 @@
+//! Differential property tests: [`AdjacencyStore`] must agree with
+//! [`ConcurrentMultiSet`] — the structure it replaced, kept as the oracle —
+//! under arbitrary sequences of `add` / `remove` / `contains` / `pop` /
+//! `retain` / visit operations, including duplicate-edge multiplicity
+//! semantics.
+
+use dc_sync::{AdjacencyStore, ConcurrentMultiSet};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+
+const LEVELS: usize = 3;
+const VERTICES: u32 = 8;
+/// A small element domain so duplicates (multiplicity > 1) are common.
+const DOMAIN: u64 = 24;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Add(usize, u32, u64),
+    Remove(usize, u32, u64),
+    Contains(usize, u32, u64),
+    Count(usize, u32, u64),
+    Len(usize, u32),
+    Pop(usize, u32),
+    Visit(usize, u32),
+    RetainEven(usize, u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let slot = (0..LEVELS, 0..VERTICES);
+    prop_oneof![
+        (slot.clone(), 0..DOMAIN).prop_map(|((l, v), x)| Op::Add(l, v, x)),
+        (slot.clone(), 0..DOMAIN).prop_map(|((l, v), x)| Op::Remove(l, v, x)),
+        (slot.clone(), 0..DOMAIN).prop_map(|((l, v), x)| Op::Contains(l, v, x)),
+        (slot.clone(), 0..DOMAIN).prop_map(|((l, v), x)| Op::Count(l, v, x)),
+        (slot.clone(), 0..DOMAIN).prop_map(|((l, v), _)| Op::Len(l, v)),
+        (slot.clone(), 0..DOMAIN).prop_map(|((l, v), _)| Op::Pop(l, v)),
+        (slot.clone(), 0..DOMAIN).prop_map(|((l, v), _)| Op::Visit(l, v)),
+        (slot, 0..DOMAIN).prop_map(|((l, v), _)| Op::RetainEven(l, v)),
+    ]
+}
+
+/// One oracle multiset per (level, vertex) slot.
+struct Oracle {
+    slots: Vec<ConcurrentMultiSet<u64>>,
+}
+
+impl Oracle {
+    fn new() -> Self {
+        Oracle {
+            slots: (0..LEVELS * VERTICES as usize)
+                .map(|_| ConcurrentMultiSet::new())
+                .collect(),
+        }
+    }
+
+    fn slot(&self, level: usize, vertex: u32) -> &ConcurrentMultiSet<u64> {
+        &self.slots[level * VERTICES as usize + vertex as usize]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Sequential differential run: after every operation the store and the
+    /// oracle agree on membership, multiplicity, slot sizes and visit sets.
+    #[test]
+    fn store_matches_multiset_oracle(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let store: AdjacencyStore<u64> = AdjacencyStore::new(LEVELS, VERTICES as usize);
+        let oracle = Oracle::new();
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Add(l, v, x) => {
+                    store.add(l, v, x);
+                    oracle.slot(l, v).add(x);
+                }
+                Op::Remove(l, v, x) => {
+                    let got = store.remove(l, v, &x);
+                    let want = oracle.slot(l, v).remove(&x);
+                    prop_assert_eq!(got, want, "remove diverged at step {}", step);
+                }
+                Op::Contains(l, v, x) => {
+                    prop_assert_eq!(
+                        store.contains(l, v, &x),
+                        oracle.slot(l, v).contains(&x),
+                        "contains diverged at step {}", step
+                    );
+                }
+                Op::Count(l, v, x) => {
+                    prop_assert_eq!(
+                        store.count(l, v, &x) as usize,
+                        oracle.slot(l, v).count(&x),
+                        "count diverged at step {}", step
+                    );
+                }
+                Op::Len(l, v) => {
+                    prop_assert_eq!(store.len(l, v), oracle.slot(l, v).len());
+                    prop_assert_eq!(store.distinct_len(l, v), oracle.slot(l, v).distinct_len());
+                    prop_assert_eq!(store.is_empty(l, v), oracle.slot(l, v).is_empty());
+                }
+                Op::Pop(l, v) => {
+                    // `pop` removes one copy of an arbitrary element; mirror
+                    // the exact element it chose into the oracle.
+                    match store.pop(l, v) {
+                        Some(x) => {
+                            prop_assert!(
+                                oracle.slot(l, v).remove(&x),
+                                "store popped {} the oracle does not hold", x
+                            );
+                        }
+                        None => prop_assert!(oracle.slot(l, v).is_empty()),
+                    }
+                }
+                Op::Visit(l, v) => {
+                    let mut seen = HashSet::new();
+                    let _ = store.for_each_edge(l, v, |x| {
+                        seen.insert(x);
+                        ControlFlow::Continue(())
+                    });
+                    let want: HashSet<u64> = oracle.slot(l, v).snapshot().into_iter().collect();
+                    prop_assert_eq!(seen, want, "visit diverged at step {}", step);
+                }
+                Op::RetainEven(l, v) => {
+                    store.retain(l, v, |x, _| x % 2 == 0);
+                    for x in oracle.slot(l, v).snapshot() {
+                        if x % 2 != 0 {
+                            while oracle.slot(l, v).remove(&x) {}
+                        }
+                    }
+                }
+            }
+        }
+        // Final full sweep over every slot.
+        for l in 0..LEVELS {
+            for v in 0..VERTICES {
+                prop_assert_eq!(store.len(l, v), oracle.slot(l, v).len());
+                for x in 0..DOMAIN {
+                    prop_assert_eq!(
+                        store.count(l, v, &x) as usize,
+                        oracle.slot(l, v).count(&x),
+                        "final count of {} diverged in slot ({}, {})", x, l, v
+                    );
+                }
+            }
+        }
+    }
+
+    /// Duplicate-heavy runs: multiplicities stay exact through interleaved
+    /// duplicate adds and partial removes on one slot.
+    #[test]
+    fn duplicate_multiplicity_semantics(
+        adds in proptest::collection::vec(0u64..4, 1..60),
+        removes in proptest::collection::vec(0u64..4, 1..60),
+    ) {
+        let store: AdjacencyStore<u64> = AdjacencyStore::new(1, 1);
+        let oracle = ConcurrentMultiSet::new();
+        for &x in &adds {
+            store.add(0, 0, x);
+            oracle.add(x);
+        }
+        for &x in &removes {
+            prop_assert_eq!(store.remove(0, 0, &x), oracle.remove(&x));
+        }
+        for x in 0u64..4 {
+            prop_assert_eq!(store.count(0, 0, &x) as usize, oracle.count(&x));
+        }
+        prop_assert_eq!(store.len(0, 0), oracle.len());
+    }
+}
+
+/// Concurrent differential smoke: per-thread disjoint key ranges let every
+/// thread check its own multiplicities exactly while all threads share slots
+/// (exercising stripe contention and concurrent page materialization).
+#[test]
+fn concurrent_threads_agree_with_per_thread_oracles() {
+    let store: AdjacencyStore<u64> = AdjacencyStore::new(LEVELS, VERTICES as usize);
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let store = &store;
+            scope.spawn(move || {
+                let oracle = Oracle::new();
+                let base = t * 1_000_000;
+                for i in 0..3_000u64 {
+                    let l = (i % LEVELS as u64) as usize;
+                    let v = (i % VERTICES as u64) as u32;
+                    let x = base + i % 50;
+                    if i % 3 == 2 {
+                        assert_eq!(
+                            store.remove(l, v, &x),
+                            oracle.slot(l, v).remove(&x),
+                            "thread {t} remove diverged at {i}"
+                        );
+                    } else {
+                        store.add(l, v, x);
+                        oracle.slot(l, v).add(x);
+                    }
+                }
+                for l in 0..LEVELS {
+                    for v in 0..VERTICES {
+                        for x in oracle.slot(l, v).snapshot() {
+                            assert_eq!(
+                                store.count(l, v, &x) as usize,
+                                oracle.slot(l, v).count(&x),
+                                "thread {t} final count diverged for {x}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+}

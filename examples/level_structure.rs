@@ -45,8 +45,14 @@ fn main() {
     }
     hdt.validate();
 
-    println!("\nlevel structure after churn ({} levels):", hdt.num_levels());
-    println!("{:>5} {:>16} {:>18} {:>14}", "level", "spanning edges", "largest component", "bound n/2^i");
+    println!(
+        "\nlevel structure after churn ({} levels):",
+        hdt.num_levels()
+    );
+    println!(
+        "{:>5} {:>16} {:>18} {:>14}",
+        "level", "spanning edges", "largest component", "bound n/2^i"
+    );
     for level in 0..hdt.num_levels() {
         let forest = hdt.forest(level);
         let spanning = graph

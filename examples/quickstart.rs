@@ -17,7 +17,10 @@ fn main() {
     for v in 0..99 {
         dc.add_edge(v, v + 1);
     }
-    println!("backbone built: 0 and 99 connected = {}", dc.connected(0, 99));
+    println!(
+        "backbone built: 0 and 99 connected = {}",
+        dc.connected(0, 99)
+    );
 
     let stop = Arc::new(AtomicBool::new(false));
     let queries = Arc::new(AtomicU64::new(0));

@@ -105,6 +105,9 @@ fn main() {
         alarms.load(Ordering::Relaxed)
     );
     for &(a, b) in &monitored {
-        println!("  pair ({a:>4}, {b:>4}) reachable after recovery: {}", dc.connected(a, b));
+        println!(
+            "  pair ({a:>4}, {b:>4}) reachable after recovery: {}",
+            dc.connected(a, b)
+        );
     }
 }

@@ -58,8 +58,7 @@ fn main() {
                 });
             }
         });
-        let ops_per_ms =
-            (threads * ops_per_thread) as f64 / (start.elapsed().as_secs_f64() * 1e3);
+        let ops_per_ms = (threads * ops_per_thread) as f64 / (start.elapsed().as_secs_f64() * 1e3);
         println!("{:<44}{:>10.0} ops/ms", variant.name(), ops_per_ms);
         results.push((ops_per_ms, variant.name()));
     }

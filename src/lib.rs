@@ -8,14 +8,32 @@
 //! depend on a single crate:
 //!
 //! * [`graph`] — graph types, synthetic generators and dataset loaders;
-//! * [`sync`] — the concurrency substrates (sharded map, combining executor,
-//!   raw locks, wait-time accounting);
+//! * [`sync`] — the concurrency substrates (sharded map, flat adjacency
+//!   store, combining executor, raw locks, wait-time accounting);
 //! * [`ett`] — the single-writer, multi-reader concurrent Euler Tour Tree
 //!   (paper Section 3);
 //! * [`dynconn`] — the HDT-based dynamic connectivity core and all thirteen
 //!   algorithm variants of the paper's evaluation (paper Section 4).
 //!
 //! The most common entry points are re-exported at the top level.
+//!
+//! # Memory model of the level structure
+//!
+//! The HDT core's per-`(level, vertex)` adjacency multisets live in
+//! [`sync::adjacency::AdjacencyStore`]: a flat slab indexed by
+//! `level * n + vertex` whose pages materialize lazily on first write, with
+//! an inline representation for the common 0–4-edge slots and striped
+//! spinlocks for synchronization.  Consequences readers can rely on:
+//!
+//! * `Hdt::new(n)` performs O(1) heap allocations for adjacency and builds
+//!   only the level-0 forest (upper levels materialize when a promotion
+//!   first reaches them), so construction cost is O(n), not O(n log n);
+//! * adjacency memory scales with the number of touched `(level, vertex)`
+//!   pairs, not with the full `n × levels` grid;
+//! * the replacement search iterates adjacency slots through a fixed stack
+//!   buffer — no snapshot `Vec` is cloned on the hot paths — with the
+//!   best-effort iteration guarantees described in
+//!   [`sync::adjacency`]'s module documentation.
 //!
 //! ```
 //! use concurrent_dynamic_connectivity::{DynamicConnectivity, Variant};

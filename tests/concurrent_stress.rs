@@ -199,7 +199,11 @@ fn concurrent_incremental_and_decremental_end_states_are_exact() {
             }
         });
         for v in 1..n as u32 {
-            assert!(dc.connected(0, v), "{}: grid not connected after concurrent insertion", variant.name());
+            assert!(
+                dc.connected(0, v),
+                "{}: grid not connected after concurrent insertion",
+                variant.name()
+            );
         }
 
         // Decremental: remove everything concurrently.
@@ -301,9 +305,7 @@ fn frozen_graph_readers_are_deterministic() {
             dc.add_edge(u, v);
             oracle.add_edge(u, v);
         }
-        let expected: Vec<bool> = (0..n)
-            .map(|v| oracle.connected(0, v))
-            .collect();
+        let expected: Vec<bool> = (0..n).map(|v| oracle.connected(0, v)).collect();
         std::thread::scope(|s| {
             for _ in 0..3 {
                 let dc = Arc::clone(&dc);

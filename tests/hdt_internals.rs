@@ -110,14 +110,23 @@ fn duplicate_adds_and_absent_removes_report_false() {
     let hdt = Hdt::new(8);
     hdt.with_components_locked(0, 1, || {
         assert!(hdt.add_edge_locked(0, 1), "first addition must succeed");
-        assert!(!hdt.add_edge_locked(0, 1), "duplicate addition must be a no-op");
+        assert!(
+            !hdt.add_edge_locked(0, 1),
+            "duplicate addition must be a no-op"
+        );
     });
     hdt.with_components_locked(2, 3, || {
-        assert!(!hdt.remove_edge_locked(2, 3), "removing an absent edge must be a no-op");
+        assert!(
+            !hdt.remove_edge_locked(2, 3),
+            "removing an absent edge must be a no-op"
+        );
     });
     hdt.with_components_locked(0, 1, || {
         assert!(hdt.remove_edge_locked(0, 1));
-        assert!(!hdt.remove_edge_locked(0, 1), "double removal must be a no-op");
+        assert!(
+            !hdt.remove_edge_locked(0, 1),
+            "double removal must be a no-op"
+        );
     });
     assert!(!hdt.connected(0, 1));
     hdt.validate();

@@ -202,10 +202,34 @@ fn run_round(variant: Variant, n: u32, threads: usize, ops_per_thread: usize, se
 #[test]
 fn checker_accepts_a_trivially_sequential_history() {
     let history = vec![
-        Event { thread: 0, op: Op::Add(0, 1), result: None, invoked: 0, responded: 1 },
-        Event { thread: 0, op: Op::Connected(0, 1), result: Some(true), invoked: 2, responded: 3 },
-        Event { thread: 0, op: Op::Remove(0, 1), result: None, invoked: 4, responded: 5 },
-        Event { thread: 0, op: Op::Connected(0, 1), result: Some(false), invoked: 6, responded: 7 },
+        Event {
+            thread: 0,
+            op: Op::Add(0, 1),
+            result: None,
+            invoked: 0,
+            responded: 1,
+        },
+        Event {
+            thread: 0,
+            op: Op::Connected(0, 1),
+            result: Some(true),
+            invoked: 2,
+            responded: 3,
+        },
+        Event {
+            thread: 0,
+            op: Op::Remove(0, 1),
+            result: None,
+            invoked: 4,
+            responded: 5,
+        },
+        Event {
+            thread: 0,
+            op: Op::Connected(0, 1),
+            result: Some(false),
+            invoked: 6,
+            responded: 7,
+        },
     ];
     assert!(is_linearizable(&history));
 }
@@ -215,8 +239,20 @@ fn checker_rejects_an_impossible_history() {
     // The query observes the edge strictly before it was ever added, with no
     // overlap — no linearization can explain that.
     let history = vec![
-        Event { thread: 0, op: Op::Connected(0, 1), result: Some(true), invoked: 0, responded: 1 },
-        Event { thread: 1, op: Op::Add(0, 1), result: None, invoked: 2, responded: 3 },
+        Event {
+            thread: 0,
+            op: Op::Connected(0, 1),
+            result: Some(true),
+            invoked: 0,
+            responded: 1,
+        },
+        Event {
+            thread: 1,
+            op: Op::Add(0, 1),
+            result: None,
+            invoked: 2,
+            responded: 3,
+        },
     ];
     assert!(!is_linearizable(&history));
 }
@@ -226,8 +262,20 @@ fn checker_accepts_overlapping_operations_in_either_order() {
     // The query overlaps the addition, so both answers are legal.
     for answer in [true, false] {
         let history = vec![
-            Event { thread: 0, op: Op::Add(0, 1), result: None, invoked: 0, responded: 3 },
-            Event { thread: 1, op: Op::Connected(0, 1), result: Some(answer), invoked: 1, responded: 2 },
+            Event {
+                thread: 0,
+                op: Op::Add(0, 1),
+                result: None,
+                invoked: 0,
+                responded: 3,
+            },
+            Event {
+                thread: 1,
+                op: Op::Connected(0, 1),
+                result: Some(answer),
+                invoked: 1,
+                responded: 2,
+            },
         ];
         assert!(is_linearizable(&history), "answer {answer} should be legal");
     }
@@ -257,7 +305,13 @@ fn coarse_nonblocking_read_histories_are_linearizable() {
 #[test]
 fn combining_histories_are_linearizable() {
     for round in 0..15 {
-        run_round(Variant::FlatCombiningNonBlockingReads, 6, 3, 4, 4000 + round);
+        run_round(
+            Variant::FlatCombiningNonBlockingReads,
+            6,
+            3,
+            4,
+            4000 + round,
+        );
         run_round(Variant::ParallelCombining, 6, 3, 4, 5000 + round);
     }
 }

@@ -177,6 +177,6 @@ proptest! {
         // vertices counts each component exactly once, so the total is the
         // number of components and must lie in [1, n].
         let inv_sum: f64 = (0..14u32).map(|v| 1.0 / hdt.component_size(v) as f64).sum();
-        prop_assert!(inv_sum >= 0.99 && inv_sum <= 14.01);
+        prop_assert!((0.99..=14.01).contains(&inv_sum));
     }
 }

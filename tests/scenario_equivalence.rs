@@ -19,9 +19,19 @@ use dynconn::{RecomputeOracle, UnionFind};
 #[test]
 fn random_subset_workload_matches_oracle_sequentially() {
     let graph = generators::erdos_renyi_nm(120, 300, 21);
-    let workload = Workload::generate(&graph, Scenario::RandomSubset { read_percent: 50 }, 1, 1_500, 5);
+    let workload = Workload::generate(
+        &graph,
+        Scenario::RandomSubset { read_percent: 50 },
+        1,
+        1_500,
+        5,
+    );
 
-    for variant in [Variant::CoarseGrained, Variant::OurAlgorithm, Variant::FineNonBlockingReads] {
+    for variant in [
+        Variant::CoarseGrained,
+        Variant::OurAlgorithm,
+        Variant::FineNonBlockingReads,
+    ] {
         let dc = variant.build(graph.num_vertices());
         let oracle = RecomputeOracle::new(graph.num_vertices());
         for e in &workload.preload {
@@ -94,7 +104,11 @@ fn decremental_scenario_ends_fully_disconnected() {
     let graph = generators::erdos_renyi_nm(100, 260, 44);
     let workload = Workload::generate(&graph, Scenario::Decremental, 3, 0, 9);
 
-    for variant in [Variant::CoarseGrained, Variant::OurAlgorithm, Variant::FineNonBlockingReads] {
+    for variant in [
+        Variant::CoarseGrained,
+        Variant::OurAlgorithm,
+        Variant::FineNonBlockingReads,
+    ] {
         let dc = variant.build(graph.num_vertices());
         let result = run_throughput(dc.as_ref(), &workload);
         assert_eq!(result.operations, graph.num_edges());
@@ -121,9 +135,19 @@ fn random_subset_respects_full_graph_component_boundaries() {
     for e in graph.edges() {
         uf.union(e.u(), e.v());
     }
-    let workload = Workload::generate(&graph, Scenario::RandomSubset { read_percent: 60 }, 3, 800, 13);
+    let workload = Workload::generate(
+        &graph,
+        Scenario::RandomSubset { read_percent: 60 },
+        3,
+        800,
+        13,
+    );
 
-    for variant in [Variant::OurAlgorithm, Variant::FineGrained, Variant::ParallelCombining] {
+    for variant in [
+        Variant::OurAlgorithm,
+        Variant::FineGrained,
+        Variant::ParallelCombining,
+    ] {
         let dc = variant.build(graph.num_vertices());
         let _ = run_throughput(dc.as_ref(), &workload);
         for i in 0..graph.num_vertices() as u32 {
@@ -161,7 +185,8 @@ fn table3_statistics_reproduce_the_papers_qualitative_split() {
     let comps_stats = collect_stats(&comps, Scenario::RandomSubset { read_percent: 0 }, ops, 1);
 
     assert!(
-        dense_stats.non_spanning_addition_percent > sparse_stats.non_spanning_addition_percent + 20.0,
+        dense_stats.non_spanning_addition_percent
+            > sparse_stats.non_spanning_addition_percent + 20.0,
         "dense {dense_stats:?} vs sparse {sparse_stats:?}"
     );
     assert!(
@@ -198,7 +223,13 @@ fn table4_incremental_rates_grow_with_density() {
 #[test]
 fn throughput_runner_accounting_is_consistent() {
     let graph = generators::road_network(12, 12, 0.6, true, 17);
-    let workload = Workload::generate(&graph, Scenario::RandomSubset { read_percent: 80 }, 2, 600, 23);
+    let workload = Workload::generate(
+        &graph,
+        Scenario::RandomSubset { read_percent: 80 },
+        2,
+        600,
+        23,
+    );
     for variant in [Variant::CoarseGrained, Variant::OurAlgorithm] {
         let dc = variant.build(graph.num_vertices());
         let r = run_throughput(dc.as_ref(), &workload);
