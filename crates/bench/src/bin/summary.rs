@@ -8,12 +8,19 @@
 //! scenarios, and prints the per-graph factors plus the average and maximum.
 
 use dc_bench::runner::run_adjacency_baseline;
-use dc_bench::{run_throughput, BenchConfig, Scenario, Workload};
+use dc_bench::{run_ett_bench, run_throughput, BenchConfig, EttBenchConfig, Scenario, Workload};
 use dc_graph::GraphSpec;
 use dynconn::Variant;
 
 fn main() {
     let config = BenchConfig::from_env();
+    if std::env::var("DC_BENCH_ETT_ONLY")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        emit_ett_baseline();
+        return;
+    }
     if std::env::var("DC_BENCH_ADJACENCY_ONLY")
         .map(|v| v != "0")
         .unwrap_or(false)
@@ -61,6 +68,22 @@ fn main() {
         println!("average speedup: {avg:.2}x   maximum speedup: {max:.2}x\n");
     }
     emit_adjacency_baseline(&config);
+    emit_ett_baseline();
+}
+
+/// Measures the ETT node-layer scenarios (incremental, decremental, churn,
+/// churn with readers) and writes `BENCH_ett.json` — current numbers plus
+/// the frozen PR 1 baseline — so the node-layer perf trajectory is tracked
+/// alongside the adjacency layer's.
+fn emit_ett_baseline() {
+    let config = EttBenchConfig::from_env();
+    let baseline = run_ett_bench(&config);
+    print!("{}", baseline.render_text());
+    let path = "BENCH_ett.json";
+    match std::fs::write(path, baseline.to_json()) {
+        Ok(()) => println!("ETT baseline written to {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
 }
 
 /// Measures the adjacency-layer perf baseline (random-subset 50% reads,

@@ -17,6 +17,7 @@
 //!   machines.
 
 pub mod config;
+pub mod ettbench;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -24,6 +25,7 @@ pub mod stats;
 pub mod throughput;
 
 pub use config::BenchConfig;
+pub use ettbench::{run_ett_bench, EttBaseline, EttBenchConfig};
 pub use report::FigureData;
 pub use runner::{run_figure, Measure};
 pub use scenario::{Operation, Scenario, Workload};

@@ -69,6 +69,15 @@ use std::sync::{Arc, OnceLock};
 /// of Iyer et al. that the paper enables for every algorithm).
 pub const DEFAULT_SAMPLING_LIMIT: usize = 16;
 
+thread_local! {
+    /// Reusable frame stack for the iterative subtree walks
+    /// ([`Hdt::promote_spanning_edges`], [`Hdt::scan_for_replacement`]):
+    /// the replacement search runs once per level per spanning-edge removal
+    /// and must not pay a heap allocation per walk.
+    static WALK_STACK: std::cell::Cell<Vec<(NodeRef, bool)>> =
+        const { std::cell::Cell::new(Vec::new()) };
+}
+
 /// Operation counters backing the Table 3 / Table 4 statistics.
 #[derive(Debug, Default)]
 pub struct OpStats {
@@ -273,16 +282,16 @@ impl Hdt {
             };
             let lock = |r: NodeRef| {
                 if shared {
-                    forest.node(r).lock.read_lock()
+                    forest.root_lock(r).read_lock()
                 } else {
-                    forest.node(r).lock.lock()
+                    forest.root_lock(r).lock()
                 }
             };
             let unlock = |r: NodeRef| {
                 if shared {
-                    forest.node(r).lock.read_unlock()
+                    forest.root_lock(r).read_unlock()
                 } else {
-                    forest.node(r).lock.unlock()
+                    forest.root_lock(r).unlock()
                 }
             };
             lock(first);
@@ -327,11 +336,11 @@ impl Hdt {
     pub fn unlock_components(&self, locked: LockedComponents) {
         let forest = self.forest(0);
         for i in 0..locked.count {
-            let node = forest.node(locked.roots[i]);
+            let lock = forest.root_lock(locked.roots[i]);
             if locked.shared {
-                node.lock.read_unlock();
+                lock.read_unlock();
             } else {
-                node.lock.unlock();
+                lock.unlock();
             }
         }
     }
@@ -591,6 +600,12 @@ impl Hdt {
                 for l in 0..=lvl {
                     self.forest(l).link(fu, fv);
                 }
+                // The level-0 link rewired the prepared pieces back into one
+                // tour and overwrote the last stale parent pointer that
+                // could lead to the cut's two tour edge nodes; they are now
+                // unreachable for new traversals and can wait out their
+                // grace period.
+                self.forest(0).retire_cut_nodes(&prepared);
                 let forest = self.forest(lvl);
                 for x in [fu, fv] {
                     self.tree_adj.add(lvl, x, found);
@@ -598,20 +613,66 @@ impl Hdt {
                 }
             }
             None => {
+                // `commit_cut` retires the pair itself.
                 self.forest(0).commit_cut(&prepared);
             }
         }
         self.unpublish_removal(component_root);
     }
 
+    /// Takes the calling thread's reusable tree-walk stack (the replacement
+    /// search is a hot path and must not allocate per scan; the walks never
+    /// nest, so one scratch buffer per thread suffices — debug-asserted by
+    /// the take/put discipline).
+    fn take_walk_stack() -> Vec<(NodeRef, bool)> {
+        WALK_STACK.with(|s| {
+            let mut stack = s.take();
+            debug_assert!(stack.is_empty(), "nested HDT tree walks");
+            stack.clear();
+            stack
+        })
+    }
+
+    fn put_walk_stack(mut stack: Vec<(NodeRef, bool)>) {
+        stack.clear();
+        WALK_STACK.with(|s| s.set(stack));
+    }
+
     /// Promotes every spanning edge of exactly `level` inside the subtree of
     /// `node` (in the level-`level` forest) to `level + 1`, guided by the
-    /// spanning subtree flags.
+    /// spanning subtree flags. Iterative (explicit two-phase stack) so deep
+    /// tours cannot overflow the call stack: a frame re-enters once with
+    /// `children_done` to recalculate its aggregate mark after both
+    /// subtrees were drained.
     fn promote_spanning_edges(&self, level: usize, node: NodeRef) {
         let forest = self.forest(level);
-        if !forest.subtree_has_mark(node, Mark::Spanning) {
-            return;
+        let mut stack = Self::take_walk_stack();
+        stack.push((node, false));
+        while let Some((r, children_done)) = stack.pop() {
+            if children_done {
+                forest.recalculate_mark(r, Mark::Spanning);
+                continue;
+            }
+            if !forest.subtree_has_mark(r, Mark::Spanning) {
+                continue;
+            }
+            self.promote_vertex_spanning_edges(level, r);
+            let n = forest.node(r);
+            stack.push((r, true));
+            for child in [n.left(), n.right()] {
+                if child.is_some() {
+                    stack.push((child, false));
+                }
+            }
         }
+        Self::put_walk_stack(stack);
+    }
+
+    /// The per-node payload of [`Hdt::promote_spanning_edges`]: drains the
+    /// exact-level spanning adjacency slot of `node`'s vertex (if it is a
+    /// vertex node), promoting each edge one level up.
+    fn promote_vertex_spanning_edges(&self, level: usize, node: NodeRef) {
+        let forest = self.forest(level);
         let n = forest.node(node);
         if let Some(vertex) = n.vertex() {
             // Promotion is a drain: every copy in this slot either moves up
@@ -648,12 +709,6 @@ impl Hdt {
                 forest.set_vertex_self_mark(vertex, Mark::Spanning, false);
             }
         }
-        for child in [n.left(), n.right()] {
-            if child.is_some() {
-                self.promote_spanning_edges(level, child);
-            }
-        }
-        forest.recalculate_mark(node, Mark::Spanning);
     }
 
     /// Scans the non-spanning edges of exactly `level` adjacent to the
@@ -662,6 +717,11 @@ impl Hdt {
     ///
     /// When a replacement is found its state has already been advanced to
     /// `Spanning(level)`; the caller links it into the forests.
+    /// Iterative pre-order scan with post-order mark repair (explicit
+    /// two-phase stack, same rationale as [`Hdt::promote_spanning_edges`]):
+    /// a found replacement aborts the whole walk — exactly like the
+    /// recursion, pending ancestors must *not* recalculate their marks,
+    /// since the subtree was not fully drained.
     fn scan_for_replacement(
         &self,
         level: usize,
@@ -669,27 +729,37 @@ impl Hdt {
         sampling_budget: &mut usize,
     ) -> Option<Edge> {
         let forest = self.forest(level);
-        if !forest.subtree_has_mark(node, Mark::NonSpanning) {
-            return None;
-        }
-        let n = forest.node(node);
+        let mut stack = Self::take_walk_stack();
+        stack.push((node, false));
         let mut found = None;
-        if let Some(vertex) = n.vertex() {
-            found = self.scan_vertex(level, vertex, sampling_budget);
-        }
-        if found.is_none() {
-            for child in [n.left(), n.right()] {
-                if child.is_some() {
-                    found = self.scan_for_replacement(level, child, sampling_budget);
-                    if found.is_some() {
-                        break;
-                    }
+        while let Some((r, children_done)) = stack.pop() {
+            if children_done {
+                forest.recalculate_mark(r, Mark::NonSpanning);
+                continue;
+            }
+            if !forest.subtree_has_mark(r, Mark::NonSpanning) {
+                continue;
+            }
+            let n = forest.node(r);
+            if let Some(vertex) = n.vertex() {
+                found = self.scan_vertex(level, vertex, sampling_budget);
+                if found.is_some() {
+                    // Abort the walk: pending ancestors must not recalculate
+                    // their marks — their subtrees were not fully drained.
+                    break;
                 }
             }
+            // Re-enter after the children; scan the left subtree first.
+            stack.push((r, true));
+            let (left, right) = (n.left(), n.right());
+            if right.is_some() {
+                stack.push((right, false));
+            }
+            if left.is_some() {
+                stack.push((left, false));
+            }
         }
-        if found.is_none() {
-            forest.recalculate_mark(node, Mark::NonSpanning);
-        }
+        Self::put_walk_stack(stack);
         found
     }
 

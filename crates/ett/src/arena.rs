@@ -1,4 +1,4 @@
-//! A concurrent, append-only node arena.
+//! A concurrent node arena with epoch-based slot recycling.
 //!
 //! The single-writer Euler Tour Tree stores its nodes in an arena and
 //! addresses them with dense `u32` indices ([`NodeRef`]).  Readers traverse
@@ -12,16 +12,33 @@
 //!    `AtomicPtr`s.
 //! 2. **No reuse while readers may still traverse a retired node.** The
 //!    paper's implementation runs on the JVM and leans on garbage collection:
-//!    a reader holding a stale reference keeps the node alive.  This arena
-//!    reproduces that guarantee by simply never recycling slots — a retired
-//!    Euler-tour edge node stays allocated (and safe to read) until the whole
-//!    forest is dropped.  See `DESIGN.md` §4 for the substitution rationale.
+//!    a reader holding a stale reference keeps the node alive.  Early
+//!    versions of this arena reproduced that by never recycling slots, which
+//!    made a long-running churn workload grow memory linearly with the
+//!    *operation count*.  The arena now reproduces the GC guarantee with
+//!    **epoch-based reclamation** ([`dc_sync::epoch`]): readers pin the
+//!    arena's epoch domain for the duration of a traversal, `cut` retires
+//!    its two tour edge nodes into limbo, and a retired slot returns to the
+//!    free list only after two grace periods — once no pinned reader can
+//!    still hold a path to it.  Arena occupancy is therefore bounded by the
+//!    peak *live* tour size (plus a small limbo buffer), not by history.
+//!    The safety argument is laid out in `DESIGN.md` §4.
+//!
+//! Chunk memory is allocated **raw and uninitialized**; each slot is
+//! initialized (or re-initialized, when recycled) by the single `alloc`
+//! caller that receives its index, before the index is published.  This
+//! keeps the loser of a chunk-installation race from paying for 16Ki
+//! `Node::new_unlinked()` constructions that are immediately thrown away —
+//! losing the race now costs one raw `dealloc`.
 //!
 //! Allocation is thread-safe (several writers operating on disjoint
 //! components may allocate edge nodes concurrently in the fine-grained
 //! variants).
 
 use crate::node::Node;
+use dc_sync::epoch::{EpochDomain, EpochGuard, Limbo};
+use parking_lot::Mutex;
+use std::alloc::Layout;
 use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
 
 /// Index of a node inside the arena. `NodeRef::NONE` is the null reference.
@@ -72,10 +89,26 @@ const CHUNK_MASK: usize = CHUNK_SIZE - 1;
 /// Maximum number of chunks (allows up to ~67M nodes).
 const MAX_CHUNKS: usize = 4096;
 
-/// The chunked node arena. See the module documentation.
+fn chunk_layout() -> Layout {
+    Layout::array::<Node>(CHUNK_SIZE).expect("chunk layout")
+}
+
+/// The chunked, epoch-recycling node arena. See the module documentation.
 pub struct Arena {
     chunks: Box<[AtomicPtr<Node>]>,
+    /// High-water mark: number of slots ever handed out by the bump path
+    /// (every index below it is backed by chunk memory).
     len: AtomicU32,
+    /// Recycled slot indices, ready for immediate reuse.
+    free: Mutex<Vec<u32>>,
+    /// Length of `free`, readable without the mutex: lets the alloc fast
+    /// path skip the lock entirely while the free list is empty (e.g. the
+    /// whole incremental workload), keeping bump allocation lock-free.
+    free_count: AtomicU32,
+    /// Retired slot indices waiting out their grace period.
+    limbo: Limbo<u32>,
+    /// The reclamation domain readers pin while traversing.
+    domain: EpochDomain,
 }
 
 impl Arena {
@@ -88,10 +121,16 @@ impl Arena {
         Arena {
             chunks,
             len: AtomicU32::new(0),
+            free: Mutex::new(Vec::new()),
+            free_count: AtomicU32::new(0),
+            limbo: Limbo::new(),
+            domain: EpochDomain::new(),
         }
     }
 
-    /// Number of nodes allocated so far.
+    /// Number of slots backed by arena memory (the high-water mark — the
+    /// memory-footprint proxy tracked by the churn benchmark). Recycled
+    /// slots stay counted; `free_len` / `retired_len` break the total down.
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Acquire) as usize
     }
@@ -99,6 +138,28 @@ impl Arena {
     /// Returns `true` if no node has been allocated.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of recycled slots currently available for reuse.
+    pub fn free_len(&self) -> usize {
+        self.free_count.load(Ordering::Relaxed) as usize
+    }
+
+    /// Number of retired slots still waiting out a grace period.
+    pub fn retired_len(&self) -> usize {
+        self.limbo.retired_len()
+    }
+
+    /// The arena's reclamation domain (observability for tests).
+    pub fn domain(&self) -> &EpochDomain {
+        &self.domain
+    }
+
+    /// Pins the calling thread: until the guard drops, no slot the thread
+    /// can reach through (possibly stale) parent pointers is recycled.
+    #[inline]
+    pub fn pin(&self) -> EpochGuard<'_> {
+        self.domain.pin()
     }
 
     fn chunk_ptr(&self, chunk_idx: usize) -> *mut Node {
@@ -115,11 +176,16 @@ impl Arena {
         if !existing.is_null() {
             return existing;
         }
-        // Allocate a chunk of default-initialized nodes and try to install it.
-        let mut fresh: Vec<Node> = Vec::with_capacity(CHUNK_SIZE);
-        fresh.resize_with(CHUNK_SIZE, Node::new_unlinked);
-        let boxed: Box<[Node]> = fresh.into_boxed_slice();
-        let ptr = Box::into_raw(boxed) as *mut Node;
+        // Allocate the chunk raw: slots are initialized one by one, each by
+        // the unique `alloc` caller that receives the slot, so neither the
+        // winner nor the loser of the installation race constructs 16Ki
+        // nodes up front.
+        // SAFETY: the layout is non-zero-sized; the memory is published
+        // uninitialized but no slot is read before `alloc` initializes it.
+        let ptr = unsafe { std::alloc::alloc(chunk_layout()) as *mut Node };
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(chunk_layout());
+        }
         match self.chunks[chunk_idx].compare_exchange(
             std::ptr::null_mut(),
             ptr,
@@ -129,31 +195,140 @@ impl Arena {
             Ok(_) => ptr,
             Err(winner) => {
                 // Another allocator won the race; free ours and use theirs.
-                // SAFETY: `ptr` came from `Box::into_raw` of a `CHUNK_SIZE`
-                // slice above and was never published.
-                unsafe {
-                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
-                        ptr, CHUNK_SIZE,
-                    )));
-                }
+                // SAFETY: `ptr` came from `std::alloc::alloc` with the same
+                // layout above and was never published.
+                unsafe { std::alloc::dealloc(ptr as *mut u8, chunk_layout()) };
                 winner
             }
         }
     }
 
-    /// Allocates a fresh node slot and returns its reference.
+    /// Pointer to slot `idx`; the chunk must already exist.
+    fn slot_ptr(&self, idx: u32) -> *mut Node {
+        let chunk_idx = (idx >> CHUNK_BITS) as usize;
+        let ptr = self.chunk_ptr(chunk_idx);
+        assert!(!ptr.is_null(), "node chunk {chunk_idx} not allocated");
+        // SAFETY: in-bounds offset within one chunk allocation.
+        unsafe { ptr.add(idx as usize & CHUNK_MASK) }
+    }
+
+    /// Allocates a node slot — recycled if a grace period has freed one,
+    /// fresh from the bump path otherwise — and returns its reference.
     ///
     /// The returned node is in the "unlinked" state (no parent, no children,
     /// zero priority); the caller initializes its fields before publishing
     /// the reference to other threads.
     pub fn alloc(&self) -> NodeRef {
-        let idx = self.len.fetch_add(1, Ordering::AcqRel);
-        assert!(idx != u32::MAX, "arena index space exhausted");
-        let chunk_idx = (idx >> CHUNK_BITS) as usize;
-        // Make sure the chunk that holds `idx` exists. Another thread may be
-        // allocating it right now; `ensure_chunk` handles the race.
-        self.ensure_chunk(chunk_idx);
+        // Fast path: a recycled slot (skips even the mutex while the free
+        // list is empty, so bump allocation stays lock-free with respect to
+        // other allocators).
+        let idx = match self.pop_free() {
+            Some(idx) => idx,
+            None => match self.collect_for_alloc() {
+                Some(idx) => idx,
+                None => {
+                    let idx = self.len.fetch_add(1, Ordering::AcqRel);
+                    assert!(idx != u32::MAX, "arena index space exhausted");
+                    self.ensure_chunk((idx >> CHUNK_BITS) as usize);
+                    idx
+                }
+            },
+        };
+        // (Re-)initialize the slot before handing it out. No other thread
+        // holds this index: fresh indices are unpublished, and recycled ones
+        // survived two grace periods since retirement.
+        // SAFETY: the slot is backed by an existing chunk and unaliased.
+        unsafe { std::ptr::write(self.slot_ptr(idx), Node::new_unlinked()) };
         NodeRef(idx)
+    }
+
+    /// Slow path of [`Arena::alloc`]: tries to graduate retired slots whose
+    /// grace period elapsed. A bin needs up to two epoch advances to come
+    /// due, and an advance fails while any reader is still pinned one epoch
+    /// behind — reader pins are walk-sized (microseconds), so a short,
+    /// *bounded* retry loop recovers most transient failures instead of
+    /// permanently growing the arena by a fresh slot. When the retries
+    /// don't pan out (a reader preempted while pinned, or genuinely
+    /// parked), the caller bump-allocates and moves on: trading a bounded
+    /// sliver of arena growth for never blocking the writer on readers.
+    fn collect_for_alloc(&self) -> Option<u32> {
+        if self.limbo.retired_len() == 0 {
+            return None;
+        }
+        for _ in 0..4 {
+            self.drain_limbo_into_free();
+            if let Some(idx) = self.pop_free() {
+                return Some(idx);
+            }
+            if self.limbo.retired_len() == 0 {
+                return None;
+            }
+            for _ in 0..32 {
+                std::hint::spin_loop();
+            }
+        }
+        None
+    }
+
+    /// Pops a recycled slot, maintaining the lock-free length mirror.
+    fn pop_free(&self) -> Option<u32> {
+        if self.free_count.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let got = self.free.lock().pop();
+        if got.is_some() {
+            self.free_count.fetch_sub(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    /// Runs one collect with the free mutex held only for the final splice,
+    /// not across the epoch advance and bin drain.
+    fn drain_limbo_into_free(&self) -> usize {
+        let mut drained: Vec<u32> = Vec::new();
+        self.limbo
+            .try_collect(&self.domain, |idx| drained.push(idx));
+        let n = drained.len();
+        if n > 0 {
+            self.free.lock().extend(drained);
+            self.free_count.fetch_add(n as u32, Ordering::Relaxed);
+        }
+        n
+    }
+
+    /// Retires a slot: once every thread pinned early enough to still reach
+    /// the node has unpinned, the slot returns to the free list.
+    ///
+    /// The caller must guarantee no *new* traversal can reach `r` (its index
+    /// must no longer be stored in any reachable parent/child link), and
+    /// must not retire the same reference twice.
+    pub fn retire(&self, r: NodeRef) {
+        debug_assert!(r.is_some(), "retired NodeRef::NONE");
+        let retired = self.limbo.retire(&self.domain, r.0);
+        self.maybe_collect_on_retire(retired);
+    }
+
+    /// [`Arena::retire`] for the pair a `cut` produces: one epoch read and
+    /// one limbo lock instead of two of each.
+    pub fn retire_pair(&self, a: NodeRef, b: NodeRef) {
+        debug_assert!(a.is_some() && b.is_some(), "retired NodeRef::NONE");
+        let retired = self.limbo.retire_pair(&self.domain, a.0, b.0);
+        self.maybe_collect_on_retire(retired);
+    }
+
+    /// Opportunistic, amortized collection: attempting an epoch advance on
+    /// roughly every 64th retired slot keeps the free list stocked ahead of
+    /// demand, so `alloc` rarely faces an empty list during the short
+    /// window in which a concurrent reader blocks an advance — the case
+    /// that would force permanent arena growth.
+    /// `retired` is the post-retire counter value returned by the limbo
+    /// (not a re-read, which could race past the trigger residues under
+    /// concurrent retirers); `< 2` catches both parities of `retire_pair`.
+    #[inline]
+    fn maybe_collect_on_retire(&self, retired: usize) {
+        if retired & 63 < 2 {
+            self.drain_limbo_into_free();
+        }
     }
 
     /// Returns a shared reference to the node at `r`.
@@ -169,9 +344,9 @@ impl Arena {
         let ptr = self.chunk_ptr(chunk_idx);
         assert!(!ptr.is_null(), "node chunk {chunk_idx} not allocated");
         // SAFETY: chunks are never freed or moved while the arena is alive,
-        // every slot below `len` has been default-initialized by
-        // `ensure_chunk`, and `Node` only contains atomics / interior-mutable
-        // fields, so shared access from any thread is sound.
+        // every slot below `len` was initialized by the `alloc` that first
+        // handed it out, and `Node` only contains atomics, so shared access
+        // from any thread is sound.
         unsafe { &*ptr.add(idx & CHUNK_MASK) }
     }
 }
@@ -187,19 +362,17 @@ impl Drop for Arena {
         for chunk in self.chunks.iter() {
             let ptr = chunk.load(Ordering::Acquire);
             if !ptr.is_null() {
-                // SAFETY: the pointer was produced by `Box::into_raw` of a
-                // `CHUNK_SIZE` boxed slice in `ensure_chunk`.
-                unsafe {
-                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
-                        ptr, CHUNK_SIZE,
-                    )));
-                }
+                // SAFETY: the pointer was produced by `std::alloc::alloc`
+                // with this layout in `ensure_chunk`; `Node` needs no drop
+                // (checked by a const assertion in `crate::node`), so a raw
+                // dealloc suffices even for never-initialized slots.
+                unsafe { std::alloc::dealloc(ptr as *mut u8, chunk_layout()) };
             }
         }
     }
 }
 
-// SAFETY: all shared state is accessed through atomics or `Node`'s
+// SAFETY: all shared state is accessed through atomics, mutexes or `Node`'s
 // interior-mutable fields.
 unsafe impl Send for Arena {}
 unsafe impl Sync for Arena {}
@@ -233,10 +406,10 @@ mod tests {
         let arena = Arena::new();
         let refs: Vec<NodeRef> = (0..100).map(|_| arena.alloc()).collect();
         for (i, &r) in refs.iter().enumerate() {
-            arena.node(r).set_priority(i as u64);
+            arena.node(r).set_priority(i as u32);
         }
         for (i, &r) in refs.iter().enumerate() {
-            assert_eq!(arena.node(r).priority(), i as u64);
+            assert_eq!(arena.node(r).priority(), i as u32);
         }
     }
 
@@ -261,6 +434,77 @@ mod tests {
     }
 
     #[test]
+    fn retired_slots_are_recycled_after_grace_periods() {
+        let arena = Arena::new();
+        let refs: Vec<NodeRef> = (0..8).map(|_| arena.alloc()).collect();
+        for &r in &refs[..4] {
+            arena.retire(r);
+        }
+        assert_eq!(arena.retired_len(), 4);
+        // With no pinned readers, allocations graduate the retired slots
+        // (each alloc can advance the epoch once; two advances complete the
+        // grace period) instead of growing the arena.
+        let mut reused = Vec::new();
+        for _ in 0..4 {
+            reused.push(arena.alloc().0);
+        }
+        let high_water = arena.len();
+        assert!(
+            reused
+                .iter()
+                .any(|idx| refs[..4].iter().any(|r| r.0 == *idx)),
+            "no retired slot was recycled: {reused:?}"
+        );
+        assert!(high_water <= 12, "arena grew past the un-recycled bound");
+    }
+
+    #[test]
+    fn pinned_reader_blocks_recycling() {
+        let arena = Arena::new();
+        let r = arena.alloc();
+        let guard = arena.pin();
+        arena.retire(r);
+        for _ in 0..8 {
+            let fresh = arena.alloc();
+            assert_ne!(fresh, r, "slot recycled under an active pin");
+        }
+        drop(guard);
+        let mut saw_reuse = false;
+        for _ in 0..8 {
+            if arena.alloc() == r {
+                saw_reuse = true;
+                break;
+            }
+        }
+        assert!(saw_reuse, "slot never recycled after the pin dropped");
+    }
+
+    #[test]
+    fn recycled_slots_come_back_unlinked() {
+        let arena = Arena::new();
+        let r = arena.alloc();
+        let node = arena.node(r);
+        node.set_endpoints(3, 9);
+        node.set_priority(17);
+        node.set_parent(NodeRef(0));
+        node.set_is_root(true);
+        node.set_agg_mark(crate::node::Mark::Spanning, true);
+        arena.retire(r);
+        loop {
+            let fresh = arena.alloc();
+            if fresh == r {
+                break;
+            }
+        }
+        let node = arena.node(r);
+        assert!(node.parent().is_none());
+        assert_eq!(node.priority(), 0);
+        assert_eq!(node.vertex(), None);
+        assert!(!node.is_root());
+        assert!(!node.agg_mark(crate::node::Mark::Spanning));
+    }
+
+    #[test]
     fn concurrent_allocation_yields_unique_slots() {
         let arena = Arc::new(Arena::new());
         let threads = 4;
@@ -281,5 +525,41 @@ mod tests {
         all.dedup();
         assert_eq!(all.len(), threads * per_thread);
         assert_eq!(arena.len(), threads * per_thread);
+    }
+
+    #[test]
+    fn concurrent_churn_stays_bounded() {
+        // Writers alternately allocate and retire while readers pin/unpin;
+        // the high-water mark must stay near the live count, far below the
+        // total allocation count.
+        let arena = Arc::new(Arena::new());
+        let writers = 2;
+        let rounds = 4000;
+        std::thread::scope(|s| {
+            for _ in 0..writers {
+                let arena = Arc::clone(&arena);
+                s.spawn(move || {
+                    for _ in 0..rounds {
+                        let r = arena.alloc();
+                        arena.retire(r);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let arena = Arc::clone(&arena);
+                s.spawn(move || {
+                    for _ in 0..rounds {
+                        let _g = arena.pin();
+                    }
+                });
+            }
+        });
+        let total = writers * rounds;
+        assert!(
+            arena.len() < total / 4,
+            "arena grew to {} slots for {} transient allocations",
+            arena.len(),
+            total
+        );
     }
 }

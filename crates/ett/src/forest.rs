@@ -19,11 +19,32 @@
 //! restructures the treaps while preserving, at every instant, the invariant
 //! that every node reaches its component's current representative by
 //! following parent pointers (see `crate::treap` for the mechanics).
+//!
+//! # Side tables and reclamation
+//!
+//! Per-node state that is only meaningful on component representatives —
+//! the root **version** the reader protocol snapshots and the per-component
+//! **lock** of the fine-grained variants — lives in per-vertex side tables
+//! here rather than inside every [`Node`]: the priority-band invariant makes
+//! every complete-tour treap root a vertex node, so indexing by the root's
+//! vertex id is total.  This halves the node footprint (see
+//! [`crate::node`]).
+//!
+//! Lock-free traversals ([`EulerForest::find_root`],
+//! [`EulerForest::connected`], [`EulerForest::mark_path_upward`]) pin the
+//! arena's epoch domain, which lets `cut` *retire* its two Euler-tour edge
+//! nodes for recycling instead of leaking them (see [`crate::arena`] and
+//! `DESIGN.md` §4).  A [`PreparedCut`] must be finished with exactly one of
+//! [`EulerForest::commit_cut`] (which retires the pair) or
+//! [`EulerForest::retire_cut_nodes`] (for the replacement-found path that
+//! relinks the pieces instead of committing).
 
 use crate::arena::{Arena, NodeRef};
 use crate::node::{Mark, Node};
-use dc_sync::ShardedMap;
+use dc_sync::epoch::EpochGuard;
+use dc_sync::{RawRwLock, ShardedMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Normalizes an undirected edge key.
 #[inline]
@@ -55,6 +76,9 @@ pub struct PreparedCut {
     pub retained_size: u32,
     /// Number of vertices in the detached piece.
     pub detached_size: u32,
+    /// The two directed tour edge nodes split out of the tour, now
+    /// singletons awaiting retirement (see [`EulerForest::retire_cut_nodes`]).
+    pub edge_nodes: (NodeRef, NodeRef),
 }
 
 impl PreparedCut {
@@ -75,6 +99,12 @@ pub struct EulerForest {
     vertex_nodes: Vec<NodeRef>,
     /// Normalized tree edge -> (min->max tour node, max->min tour node).
     edge_nodes: ShardedMap<(u32, u32), (NodeRef, NodeRef)>,
+    /// Per-vertex root version, read by the lock-free protocol whenever the
+    /// vertex is a component representative (side table, see module docs).
+    versions: Box<[AtomicU64]>,
+    /// Per-vertex component lock, taken by the dynamic connectivity layer
+    /// on level-0 representatives. Lazy: upper-level forests never touch it.
+    locks: OnceLock<Box<[RawRwLock]>>,
     prio_state: AtomicU64,
 }
 
@@ -91,6 +121,8 @@ impl EulerForest {
             arena: Arena::new(),
             vertex_nodes: Vec::new(),
             edge_nodes: ShardedMap::new(),
+            versions: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            locks: OnceLock::new(),
             prio_state: AtomicU64::new(seed | 1),
         };
         let mut forest = forest;
@@ -101,7 +133,7 @@ impl EulerForest {
             node.set_endpoints(v as u32, v as u32);
             // Vertex nodes draw priorities from the upper band so a tour's
             // treap root is always a vertex node.
-            node.set_priority(forest.next_priority() | (1 << 63));
+            node.set_priority(forest.next_priority() | (1 << 31));
             node.set_size(1);
             node.set_is_root(true);
             node.set_parent(NodeRef::NONE);
@@ -111,21 +143,107 @@ impl EulerForest {
         forest
     }
 
-    fn next_priority(&self) -> u64 {
+    fn next_priority(&self) -> u32 {
         // SplitMix64 over an atomic counter: thread-safe, cheap, and
-        // deterministic for a fixed seed.
+        // deterministic for a fixed seed. The high half of the mix feeds the
+        // 31-bit priority (bit 31 is the vertex/edge band flag).
         let x = self
             .prio_state
             .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
         let mut z = x;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        (z ^ (z >> 31)) & !(1 << 63)
+        (((z ^ (z >> 31)) >> 32) as u32) & !(1 << 31)
     }
 
     /// Number of vertices in the forest.
     pub fn num_vertices(&self) -> usize {
         self.vertex_nodes.len()
+    }
+
+    /// Number of spanning edges currently in the forest.
+    pub fn num_tree_edges(&self) -> usize {
+        self.edge_nodes.len()
+    }
+
+    /// Number of node slots the arena currently holds (allocated, whether
+    /// live or retired). The memory-stability metric tracked by the churn
+    /// benchmark: with slot recycling this stays proportional to
+    /// [`EulerForest::live_node_count`] instead of growing with the total
+    /// number of historical links.
+    pub fn arena_occupancy(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Number of *live* tour nodes: one per vertex plus two per spanning
+    /// edge.
+    pub fn live_node_count(&self) -> usize {
+        self.vertex_nodes.len() + 2 * self.edge_nodes.len()
+    }
+
+    /// Number of retired tour nodes still waiting out an epoch grace period.
+    pub fn arena_retired(&self) -> usize {
+        self.arena.retired_len()
+    }
+
+    /// Number of recycled slots ready for reuse.
+    pub fn arena_free(&self) -> usize {
+        self.arena.free_len()
+    }
+
+    /// Pins the calling thread against the forest's reclamation domain: no
+    /// node the thread can reach is recycled until the guard drops. The
+    /// lock-free read operations pin internally; this is for tests and for
+    /// callers composing multi-step lock-free traversals.
+    #[inline]
+    pub fn pin(&self) -> EpochGuard<'_> {
+        self.arena.pin()
+    }
+
+    /// The forest's reclamation domain (observability: tests, diagnostics).
+    pub fn epoch_domain(&self) -> &dc_sync::EpochDomain {
+        self.arena.domain()
+    }
+
+    // ----- per-representative side tables ----------------------------------
+
+    /// Vertex id of a complete-tour treap root (always a vertex node, by the
+    /// priority-band invariant).
+    #[inline]
+    fn root_vertex(&self, r: NodeRef) -> u32 {
+        self.node(r)
+            .vertex()
+            .expect("complete-tour treap roots are vertex nodes")
+    }
+
+    /// Reads the root version of representative `r` (paper Listing 1).
+    #[inline]
+    pub fn root_version(&self, r: NodeRef) -> u64 {
+        self.versions[self.root_vertex(r) as usize].load(Ordering::SeqCst)
+    }
+
+    /// Bumps the root version of representative `r` (writer only, before a
+    /// merge/split of its component).
+    #[inline]
+    pub fn bump_root_version(&self, r: NodeRef) {
+        self.versions[self.root_vertex(r) as usize].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The per-component lock of representative `r` (level-0 only; the table
+    /// materializes on first use so upper-level forests never pay for it).
+    ///
+    /// The lock lives in a per-*vertex* side table rather than inside the
+    /// node: it is only ever taken on component representatives, which are
+    /// always vertex nodes, so `n` lock words cover a forest of `2n + 2m`
+    /// nodes.
+    #[inline]
+    pub fn root_lock(&self, r: NodeRef) -> &RawRwLock {
+        let locks = self.locks.get_or_init(|| {
+            (0..self.vertex_nodes.len())
+                .map(|_| RawRwLock::new())
+                .collect()
+        });
+        &locks[self.root_vertex(r) as usize]
     }
 
     /// Shared access to a node. This is an advanced accessor used by the
@@ -153,8 +271,16 @@ impl EulerForest {
     /// Follows parent links from `v`'s node to the current root and returns
     /// the root together with its version (paper Listing 1, `find_root`).
     ///
-    /// Safe to call concurrently with structural operations.
+    /// Safe to call concurrently with structural operations: the walk pins
+    /// the reclamation domain, so no node it can reach is recycled under
+    /// it. The pin covers only this one walk — the returned pair is plain
+    /// data (the root is a vertex node, whose slot is never recycled), so
+    /// callers may hold it across pins. Keeping pins walk-sized is what
+    /// lets the epoch advance under sustained read pressure: a pin held
+    /// across a whole retrying query would stall reclamation exactly when
+    /// the structure churns hardest.
     pub fn find_root(&self, v: u32) -> (NodeRef, u64) {
+        let _guard = self.arena.pin();
         let mut cur = self.vertex_node_ref(v);
         loop {
             let parent = self.node(cur).parent();
@@ -163,7 +289,7 @@ impl EulerForest {
             }
             cur = parent;
         }
-        (cur, self.node(cur).version())
+        (cur, self.root_version(cur))
     }
 
     /// The current root node of `v`'s component (without the version).
@@ -172,6 +298,10 @@ impl EulerForest {
     }
 
     /// Linearizable, non-blocking connectivity check (paper Listing 1).
+    ///
+    /// Each `find_root` pins the reclamation domain independently; the
+    /// comparisons below only involve the returned values, never a
+    /// dereference of a node from an earlier walk.
     pub fn connected(&self, u: u32, v: u32) -> bool {
         loop {
             let (u_root, u_version) = self.find_root(u);
@@ -250,8 +380,8 @@ impl EulerForest {
 
         // Update the root versions before any structural change (readers use
         // them to detect racing modifications).
-        self.node(ru).bump_version();
-        self.node(rv).bump_version();
+        self.bump_root_version(ru);
+        self.bump_root_version(rv);
 
         // The common root after the merge is the higher-priority old root.
         let (hi, lo) = if self.prio_key(ru) > self.prio_key(rv) {
@@ -301,7 +431,7 @@ impl EulerForest {
             .remove(&key)
             .unwrap_or_else(|| panic!("cut({u}, {v}): not a spanning edge"));
         let old_root = self.writer_root(fwd);
-        self.node(old_root).bump_version();
+        self.bump_root_version(old_root);
 
         // Split the tour around the two directed edge nodes. `fwd` is the
         // min->max node; it may appear before or after `bwd` in the tour.
@@ -340,19 +470,36 @@ impl EulerForest {
             detached_root,
             retained_size: self.node(retained_root).size(),
             detached_size: self.node(detached_root).size(),
+            edge_nodes: (fwd, bwd),
         }
     }
 
     /// Logically applies a prepared cut: after this single store, readers
     /// observe two components. This is the linearization point of a spanning
     /// edge removal without replacement.
+    ///
+    /// Also retires the cut's two tour edge nodes: after the detached root's
+    /// parent is cleared, no reachable parent pointer references them any
+    /// more, so they only need to outlive the readers pinned right now.
     pub fn commit_cut(&self, cut: &PreparedCut) {
-        let detached = self.node(cut.detached_root);
         // The detached root becomes a component representative; give it a
         // fresh version first so readers that race with the very next
         // modification of the new component still detect the change.
-        detached.bump_version();
-        detached.set_parent(NodeRef::NONE);
+        self.bump_root_version(cut.detached_root);
+        self.node(cut.detached_root).set_parent(NodeRef::NONE);
+        self.retire_cut_nodes(cut);
+    }
+
+    /// Retires a prepared cut's two tour edge nodes without committing the
+    /// cut — the replacement-found path, where the two pieces have just been
+    /// relinked by [`EulerForest::link`] (which overwrote the last stale
+    /// parent pointer that could lead to them).
+    ///
+    /// Every [`PreparedCut`] must be finished with exactly one of
+    /// [`EulerForest::commit_cut`] or this.
+    pub fn retire_cut_nodes(&self, cut: &PreparedCut) {
+        let (fwd, bwd) = cut.edge_nodes;
+        self.arena.retire_pair(fwd, bwd);
     }
 
     /// Removes the spanning edge `(u, v)` and splits the tree
@@ -382,6 +529,10 @@ impl EulerForest {
     /// restructuring; the conservative direction (extra `true`s) is always
     /// safe and `recalculate_mark` repairs them under the lock.
     pub fn mark_path_upward(&self, v: u32, mark: Mark) {
+        // The walk may cross stale parent pointers onto retired nodes
+        // (conservative extra `true`s are harmless there); the pin keeps
+        // those slots from being recycled mid-walk.
+        let _guard = self.arena.pin();
         let start = self.vertex_node_ref(v);
         self.node(start).set_self_mark(mark, true);
         let mut cur = start;

@@ -23,40 +23,13 @@
 
 use crate::arena::NodeRef;
 use crate::forest::EulerForest;
-use crate::node::Mark;
 
 impl EulerForest {
-    /// Total order on node priorities (two random-band `u64`s, ties broken by
+    /// Total order on node priorities (banded random `u32`s, ties broken by
     /// arena index so the order is strict).
     #[inline]
-    pub(crate) fn prio_key(&self, r: NodeRef) -> (u64, u32) {
+    pub(crate) fn prio_key(&self, r: NodeRef) -> (u32, u32) {
         (self.node(r).priority(), r.0)
-    }
-
-    /// Recomputes the subtree vertex count of `r` and conservatively raises
-    /// (never clears) its aggregate marks from its children and its own
-    /// self-marks. Clearing happens only in [`EulerForest::recalculate_mark`],
-    /// under a component lock.
-    pub(crate) fn update_aggregates(&self, r: NodeRef) {
-        let node = self.node(r);
-        let mut size: u32 = u32::from(node.vertex().is_some());
-        let mut non_spanning = node.self_mark(Mark::NonSpanning);
-        let mut spanning = node.self_mark(Mark::Spanning);
-        for child in [node.left(), node.right()] {
-            if child.is_some() {
-                let c = self.node(child);
-                size += c.size();
-                non_spanning |= c.agg_mark(Mark::NonSpanning);
-                spanning |= c.agg_mark(Mark::Spanning);
-            }
-        }
-        node.set_size(size);
-        if non_spanning {
-            node.set_agg_mark(Mark::NonSpanning, true);
-        }
-        if spanning {
-            node.set_agg_mark(Mark::Spanning, true);
-        }
     }
 
     #[inline]
@@ -75,26 +48,106 @@ impl EulerForest {
         }
     }
 
-    /// Recursive treap merge of the sequences rooted at `a` and `b`
-    /// (`a` precedes `b`). Does not adjust `is_root` flags.
-    fn merge_rec(&self, a: NodeRef, b: NodeRef) -> NodeRef {
-        if a.is_none() {
-            return b;
-        }
-        if b.is_none() {
-            return a;
-        }
-        if self.prio_key(a) > self.prio_key(b) {
-            let merged = self.merge_rec(self.node(a).right(), b);
-            self.attach_right(a, merged);
-            self.update_aggregates(a);
-            a
+    #[inline]
+    fn attach(&self, parent: NodeRef, as_right: bool, child: NodeRef) {
+        if as_right {
+            self.attach_right(parent, child);
         } else {
-            let merged = self.merge_rec(a, self.node(b).left());
-            self.attach_left(b, merged);
-            self.update_aggregates(b);
-            b
+            self.attach_left(parent, child);
         }
+    }
+
+    /// Iterative treap merge of the sequences rooted at `a` and `b`
+    /// (`a` precedes `b`). Does not adjust `is_root` flags.
+    ///
+    /// The classic recursive merge is O(depth) *call stack*; an Euler tour
+    /// treap over millions of vertices makes that both an overflow hazard
+    /// and pure call overhead on the hottest write path. This version
+    /// descends the right spine of `a` / left spine of `b`, attaching the
+    /// higher-priority side into the current "hole". No stack, no heap, no
+    /// recursion.
+    ///
+    /// Aggregates are maintained **top-down at the attach**, with no second
+    /// pass over the path:
+    ///
+    /// * the winner's final subtree is its old subtree plus everything still
+    ///   unmerged on the other side, so its exact new size is
+    ///   `rem_winner + rem_loser` — both carried in registers;
+    /// * the winner's aggregate marks are OR-ed with the other side's
+    ///   current root aggregate, which (by the one-way mark invariant)
+    ///   covers every mark in the subtree the winner is about to absorb.
+    ///
+    /// The attachments happen top-down instead of the recursion's bottom-up,
+    /// which is equally safe for concurrent readers: every store writes a
+    /// child's *final* parent, no parent link is ever cleared, and child
+    /// links, sizes and marks are never read by the lock-free read protocol
+    /// (see the module documentation).
+    fn merge_iter(&self, a0: NodeRef, b0: NodeRef) -> NodeRef {
+        if a0.is_none() {
+            return b0;
+        }
+        if b0.is_none() {
+            return a0;
+        }
+        let (mut a, mut b) = (a0, b0);
+        let (mut an, mut bn) = (self.node(a), self.node(b));
+        let (mut rem_a, mut rem_b) = (an.size(), bn.size());
+        // The overall root is the higher-priority input root; descend from
+        // it, tracking the hole (parent + side) the next winner attaches to.
+        let root;
+        let mut hole;
+        let mut hole_right;
+        if (an.priority(), a.0) > (bn.priority(), b.0) {
+            root = a;
+            hole = a;
+            hole_right = true;
+            an.set_size(rem_a + rem_b);
+            an.raise_agg_mark_bits(bn.agg_mark_bits());
+            a = an.right();
+            rem_a = 0; // recomputed below if `a` is a real node
+        } else {
+            root = b;
+            hole = b;
+            hole_right = false;
+            bn.set_size(rem_a + rem_b);
+            bn.raise_agg_mark_bits(an.agg_mark_bits());
+            b = bn.left();
+            rem_b = 0;
+        }
+        loop {
+            if a.is_some() {
+                an = self.node(a);
+                rem_a = an.size();
+            }
+            if b.is_some() {
+                bn = self.node(b);
+                rem_b = bn.size();
+            }
+            if a.is_none() {
+                self.attach(hole, hole_right, b);
+                break;
+            }
+            if b.is_none() {
+                self.attach(hole, hole_right, a);
+                break;
+            }
+            if (an.priority(), a.0) > (bn.priority(), b.0) {
+                self.attach(hole, hole_right, a);
+                an.set_size(rem_a + rem_b);
+                an.raise_agg_mark_bits(bn.agg_mark_bits());
+                hole = a;
+                hole_right = true;
+                a = an.right();
+            } else {
+                self.attach(hole, hole_right, b);
+                bn.set_size(rem_a + rem_b);
+                bn.raise_agg_mark_bits(an.agg_mark_bits());
+                hole = b;
+                hole_right = false;
+                b = bn.left();
+            }
+        }
+        root
     }
 
     /// Merges two treaps whose roots are `a` and `b` (either may be `NONE`),
@@ -110,39 +163,77 @@ impl EulerForest {
         }
         debug_assert!(self.node(a).is_root(), "merge_roots: `a` is not a root");
         debug_assert!(self.node(b).is_root(), "merge_roots: `b` is not a root");
-        let root = self.merge_rec(a, b);
+        let root = self.merge_iter(a, b);
         let other = if root == a { b } else { a };
         self.node(other).set_is_root(false);
         self.node(root).set_is_root(true);
         root
     }
 
+    /// Subtree vertex count of a possibly-`NONE` reference.
+    #[inline]
+    fn size_of(&self, r: NodeRef) -> u32 {
+        if r.is_some() {
+            self.node(r).size()
+        } else {
+            0
+        }
+    }
+
     /// Splits the treap containing `x` into `(before, from_x)`: everything
     /// strictly before `x` in the Euler sequence, and `x` together with
     /// everything after it. Either piece may be `NONE`.
+    ///
+    /// # Aggregates along the split path
+    ///
+    /// Subtree **sizes** are maintained by a register-carried delta: a path
+    /// node's new subtree is its old subtree minus the child subtree the
+    /// walk came out of, plus the piece just reattached under it —
+    /// `p_new = p_old - old_sub + piece`, where `p_old` sits on the parent
+    /// line the walk loads anyway and the other two terms are carried. The
+    /// split walk is the hottest loop of `cut`, and this eliminates both
+    /// child-subtree reads of the old `update_aggregates` call per step.
+    ///
+    /// Subtree **marks** are deliberately left untouched: a split only ever
+    /// *shrinks* the subtree under each path node (every piece reattached
+    /// below a path node came out of that node's old subtree), so the old
+    /// aggregate, which covered a superset, stays conservatively correct —
+    /// exactly the stale-true direction `recalculate_mark` is there to
+    /// repair under the component lock.
     pub(crate) fn split_before(&self, x: NodeRef) -> (NodeRef, NodeRef) {
         let xn = self.node(x);
+        let x_old = xn.size();
         let mut left_piece = xn.left();
+        let mut left_size = self.size_of(left_piece);
         xn.set_left(NodeRef::NONE);
-        self.update_aggregates(x);
+        let mut right_size = x_old - left_size;
+        xn.set_size(right_size);
         let mut right_piece = x;
         let mut cur = x;
-        while !self.node(cur).is_root() {
-            let p = self.node(cur).parent();
+        let mut curn = xn;
+        // Original subtree size of the node the walk last came out of.
+        let mut old_sub = x_old;
+        while !curn.is_root() {
+            let p = curn.parent();
             debug_assert!(p.is_some(), "non-root node with a null parent");
             let pn = self.node(p);
+            let p_old = pn.size();
             if pn.right() == cur {
                 // `p` and its left subtree precede `x`.
                 self.attach_right(p, left_piece);
-                self.update_aggregates(p);
+                left_size += p_old - old_sub;
+                pn.set_size(left_size);
                 left_piece = p;
             } else {
                 debug_assert_eq!(pn.left(), cur, "parent/child links out of sync");
                 self.attach_left(p, right_piece);
-                self.update_aggregates(p);
+                right_size += p_old - old_sub;
+                pn.set_size(right_size);
                 right_piece = p;
             }
+            old_sub = p_old;
             cur = p;
+            curn = pn;
         }
         if left_piece.is_some() {
             self.node(left_piece).set_is_root(true);
@@ -155,29 +246,42 @@ impl EulerForest {
 
     /// Splits the treap containing `x` into `(up_to_x, after_x)`: everything
     /// up to and including `x`, and everything after it.
+    ///
+    /// Aggregate maintenance as in [`EulerForest::split_before`]:
+    /// register-carried size deltas, marks left conservatively stale.
     pub(crate) fn split_after(&self, x: NodeRef) -> (NodeRef, NodeRef) {
         let xn = self.node(x);
+        let x_old = xn.size();
         let mut right_piece = xn.right();
+        let mut right_size = self.size_of(right_piece);
         xn.set_right(NodeRef::NONE);
-        self.update_aggregates(x);
+        let mut left_size = x_old - right_size;
+        xn.set_size(left_size);
         let mut left_piece = x;
         let mut cur = x;
-        while !self.node(cur).is_root() {
-            let p = self.node(cur).parent();
+        let mut curn = xn;
+        let mut old_sub = x_old;
+        while !curn.is_root() {
+            let p = curn.parent();
             debug_assert!(p.is_some(), "non-root node with a null parent");
             let pn = self.node(p);
+            let p_old = pn.size();
             if pn.left() == cur {
                 // `p` and its right subtree come after `x`.
                 self.attach_left(p, right_piece);
-                self.update_aggregates(p);
+                right_size += p_old - old_sub;
+                pn.set_size(right_size);
                 right_piece = p;
             } else {
                 debug_assert_eq!(pn.right(), cur, "parent/child links out of sync");
                 self.attach_right(p, left_piece);
-                self.update_aggregates(p);
+                left_size += p_old - old_sub;
+                pn.set_size(left_size);
                 left_piece = p;
             }
+            old_sub = p_old;
             cur = p;
+            curn = pn;
         }
         if left_piece.is_some() {
             self.node(left_piece).set_is_root(true);
@@ -226,12 +330,19 @@ impl EulerForest {
 
     /// In-order traversal of the treap rooted at `root`, calling `f` for each
     /// node reference (writer-side helper used by validation and tests).
+    /// Iterative with an explicit stack so arbitrarily deep tours cannot
+    /// overflow the call stack.
     pub(crate) fn for_each_in_order(&self, root: NodeRef, f: &mut impl FnMut(NodeRef)) {
-        if root.is_none() {
-            return;
+        let mut stack: Vec<NodeRef> = Vec::new();
+        let mut cur = root;
+        while cur.is_some() || !stack.is_empty() {
+            while cur.is_some() {
+                stack.push(cur);
+                cur = self.node(cur).left();
+            }
+            let r = stack.pop().expect("loop invariant: stack non-empty");
+            f(r);
+            cur = self.node(r).right();
         }
-        self.for_each_in_order(self.node(root).left(), f);
-        f(root);
-        self.for_each_in_order(self.node(root).right(), f);
     }
 }

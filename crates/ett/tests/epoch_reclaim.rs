@@ -1,0 +1,190 @@
+//! Stress tests for the epoch reclamation wired through the forest: a
+//! reader parked inside a traversal must keep every node it can still reach
+//! alive across concurrent cuts, and reclamation must resume the moment the
+//! reader leaves.
+//!
+//! There is no loom in the offline build, so these tests drive the epoch
+//! machinery through its observable surface instead: the forest's `pin()`
+//! guard *is* the state a parked `connected` call holds (the read protocol
+//! pins exactly this domain), so parking a pin and watching the
+//! retired/free/occupancy counters exercises the same reclamation edges a
+//! descheduled reader would.
+
+use dc_ett::EulerForest;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// A parked reader pin must prevent retired tour nodes from being recycled:
+/// concurrent cut+link churn has to grow the arena instead of reusing slots
+/// the reader may still walk through.
+#[test]
+fn parked_reader_keeps_retired_nodes_unrecycled() {
+    let n = 64usize;
+    let forest = EulerForest::with_seed(n, 0xDEAD);
+    for v in 0..n as u32 - 1 {
+        forest.link(v, v + 1);
+    }
+    let baseline_occupancy = forest.arena_occupancy();
+
+    // Park a reader mid-traversal.
+    let guard = forest.pin();
+
+    // A writer churns: every cut retires two nodes, every link allocates
+    // two. With the reader parked, none of the retired slots may come back.
+    for round in 0..50u32 {
+        let v = round % (n as u32 - 1);
+        forest.cut(v, v + 1);
+        forest.link(v, v + 1);
+    }
+    assert_eq!(
+        forest.arena_retired(),
+        100,
+        "every retired node must still be in limbo under the parked pin"
+    );
+    assert_eq!(
+        forest.arena_free(),
+        0,
+        "no slot may graduate to the free list"
+    );
+    assert_eq!(
+        forest.arena_occupancy(),
+        baseline_occupancy + 100,
+        "allocations under a parked reader must come from fresh slots"
+    );
+
+    // Release the reader: the very next allocations graduate limbo slots
+    // instead of growing the arena.
+    drop(guard);
+    for round in 0..50u32 {
+        let v = round % (n as u32 - 1);
+        forest.cut(v, v + 1);
+        forest.link(v, v + 1);
+    }
+    assert_eq!(
+        forest.arena_occupancy(),
+        baseline_occupancy + 100,
+        "occupancy must stop growing once the reader unpinned"
+    );
+    assert!(
+        forest.arena_retired() + forest.arena_free() >= 100,
+        "the limbo backlog must be circulating through the free list again"
+    );
+    forest.validate();
+}
+
+/// The cross-thread version: a reader thread pins, signals, and parks; the
+/// writer churns on the main thread; the retired count must hold until the
+/// reader thread finishes.
+#[test]
+fn remote_parked_reader_blocks_reclamation_across_threads() {
+    let n = 32usize;
+    let forest = EulerForest::with_seed(n, 0xBEEF);
+    for v in 0..n as u32 - 1 {
+        forest.link(v, v + 1);
+    }
+    let parked = Barrier::new(2);
+    let release = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            // The reader performs a real traversal, then parks while still
+            // pinned — the shape of a `connected` call descheduled mid-walk.
+            let _pin = forest.pin();
+            assert!(forest.connected(0, n as u32 - 1));
+            parked.wait();
+            while !release.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+        });
+        parked.wait();
+        let occupancy_before = forest.arena_occupancy();
+        for round in 0..30u32 {
+            let v = round % (n as u32 - 1);
+            forest.cut(v, v + 1);
+            forest.link(v, v + 1);
+        }
+        assert_eq!(forest.arena_retired(), 60, "remote pin must hold all limbo");
+        assert_eq!(forest.arena_occupancy(), occupancy_before + 60);
+        release.store(true, Ordering::Release);
+    });
+    // Reader gone: churn must now run allocation-neutral (after at most a
+    // few ops to drain the backlog through two grace periods).
+    let settled = forest.arena_occupancy();
+    for round in 0..60u32 {
+        let v = round % (n as u32 - 1);
+        forest.cut(v, v + 1);
+        forest.link(v, v + 1);
+    }
+    assert_eq!(
+        forest.arena_occupancy(),
+        settled,
+        "post-release churn must be fully recycled"
+    );
+    forest.validate();
+}
+
+/// Hammer test: lock-free readers running `connected` full-tilt against a
+/// writer cutting and relinking the same component. Readers must never
+/// observe a torn structure (wrong answer, panic, or stuck walk) even
+/// though the slots they traverse are being retired and recycled under
+/// them.
+#[test]
+fn readers_survive_concurrent_slot_recycling() {
+    let n = 128usize;
+    let forest = EulerForest::with_seed(n, 0x5EED);
+    for v in 0..n as u32 - 1 {
+        forest.link(v, v + 1);
+    }
+    let stop = AtomicBool::new(false);
+    let queries = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for t in 0..3u32 {
+            let (forest, stop, queries) = (&forest, &stop, &queries);
+            s.spawn(move || {
+                let mut x: u32 = 0x9E37 ^ t;
+                while !stop.load(Ordering::Relaxed) {
+                    x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                    let u = x % n as u32;
+                    let v = (x >> 8) % n as u32;
+                    // The chain is always fully connected except for the one
+                    // edge mid-cut; a same-component pair not adjacent to
+                    // the churn point must always answer `true`.
+                    if u < n as u32 / 2 && v < n as u32 / 2 {
+                        assert!(forest.connected(u, v), "lost connectivity {u}-{v}");
+                    } else {
+                        let _ = forest.connected(u, v);
+                    }
+                    queries.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // The writer churns only edges in the upper half of the chain, so
+        // the lower half is always connected (the asserted invariant above).
+        for round in 0..20_000u32 {
+            let v = n as u32 / 2 + (round % (n as u32 / 2 - 1));
+            forest.cut(v, v + 1);
+            forest.link(v, v + 1);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(
+        queries.load(Ordering::Relaxed) > 0,
+        "readers made no progress"
+    );
+    // Steady-state churn with readers: occupancy bounded below the 40_000
+    // slots the run allocated. Readers delay reclamation — a reader
+    // preempted while pinned stalls advances for whole scheduler slices,
+    // and the release-build writer churns thousands of rounds per slice —
+    // so this asserts a recycling *ratio* (at least half the churned slots
+    // came back; the deterministic 2x-live gate lives in the
+    // single-threaded soak). An append-only regression leaks all 40_000
+    // and fails by 2x.
+    let bound = forest.live_node_count() + 2 * 20_000 / 2;
+    assert!(
+        forest.arena_occupancy() <= bound,
+        "occupancy {} exceeded {} — less than half of the churned slots \
+         were recycled under concurrent readers",
+        forest.arena_occupancy(),
+        bound,
+    );
+    forest.validate();
+}

@@ -1,0 +1,215 @@
+//! Differential test of the Euler Tour Tree forest against a sequential
+//! union-find-with-rollback oracle, under heavy slot reuse.
+//!
+//! The existing proptests cross-check against a BFS model; this suite uses a
+//! different oracle — union by rank with an undo stack, where a `cut` rolls
+//! the union history back to the cut edge and replays the suffix — and
+//! deliberately shapes the workloads around the arena's epoch-recycling:
+//! long cut/link alternations at a steady live-edge count, so most
+//! operations run on *recycled* node slots. Any reuse bug (a slot freed too
+//! early, leftover marks/links from a previous incarnation, double retire)
+//! shows up as a connectivity disagreement, a validation panic, or an
+//! occupancy blow-up.
+
+use dc_ett::EulerForest;
+use proptest::prelude::*;
+
+const N: u32 = 48;
+
+/// Union-find with union-by-rank (no path compression) and an undo stack —
+/// the rollback makes arbitrary edge deletion affordable: roll back to the
+/// deleted edge's union, drop it, replay the unions that came after it.
+struct RollbackDsu {
+    parent: Vec<u32>,
+    rank: Vec<u32>,
+    /// One record per *union* (self-unions are never pushed):
+    /// `(child_root, rank_bumped)`.
+    history: Vec<(u32, bool)>,
+    /// The edge that caused each union, aligned with `history`.
+    edges: Vec<(u32, u32)>,
+}
+
+impl RollbackDsu {
+    fn new(n: usize) -> Self {
+        RollbackDsu {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            history: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    fn find(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn connected(&self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Unions the components of `a` and `b` (must be distinct) and records
+    /// the edge.
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        assert_ne!(ra, rb, "oracle union of an already-connected pair");
+        let (child, parent) = if self.rank[ra as usize] < self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        let bump = self.rank[child as usize] == self.rank[parent as usize];
+        if bump {
+            self.rank[parent as usize] += 1;
+        }
+        self.parent[child as usize] = parent;
+        self.history.push((child, bump));
+        self.edges.push((a, b));
+    }
+
+    fn undo_last(&mut self) -> (u32, u32) {
+        let (child, bump) = self.history.pop().expect("undo on empty history");
+        let parent = self.parent[child as usize];
+        self.parent[child as usize] = child;
+        if bump {
+            self.rank[parent as usize] -= 1;
+        }
+        self.edges.pop().expect("history/edges out of sync")
+    }
+
+    /// Deletes `edge` (which must be present): rolls back to it, removes it,
+    /// replays the rest.
+    fn delete(&mut self, edge: (u32, u32)) {
+        let mut replay = Vec::new();
+        loop {
+            let undone = self.undo_last();
+            if undone == edge {
+                break;
+            }
+            replay.push(undone);
+        }
+        for (a, b) in replay.into_iter().rev() {
+            self.union(a, b);
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Link(u32, u32),
+    Cut(usize),
+    Check(u32, u32),
+    /// Cut a random present edge and immediately re-link the same pair:
+    /// maximum slot churn with no net structural change.
+    Recycle(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..N, 0..N).prop_map(|(a, b)| Op::Link(a, b)),
+        any::<usize>().prop_map(Op::Cut),
+        (0..N, 0..N).prop_map(|(a, b)| Op::Check(a, b)),
+        any::<usize>().prop_map(Op::Recycle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The forest agrees with the union-find-with-rollback oracle on every
+    /// query, across operation sequences long enough to cycle edge-node
+    /// slots through retirement and reuse many times.
+    #[test]
+    fn ett_matches_rollback_union_find(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let forest = EulerForest::new(N as usize);
+        let mut oracle = RollbackDsu::new(N as usize);
+        let mut total_links = 0usize;
+        for op in ops {
+            match op {
+                Op::Link(u, v) => {
+                    if u != v && !oracle.connected(u, v) {
+                        prop_assert!(!forest.connected(u, v));
+                        forest.link(u, v);
+                        oracle.union(u, v);
+                        total_links += 1;
+                    }
+                }
+                Op::Cut(i) => {
+                    if !oracle.edges.is_empty() {
+                        let (u, v) = oracle.edges[i % oracle.edges.len()];
+                        forest.cut(u, v);
+                        oracle.delete((u, v));
+                        prop_assert!(!forest.connected(u, v));
+                    }
+                }
+                Op::Check(u, v) => {
+                    prop_assert_eq!(
+                        forest.connected(u, v),
+                        oracle.connected(u, v),
+                        "disagreement on ({}, {})", u, v
+                    );
+                }
+                Op::Recycle(i) => {
+                    if !oracle.edges.is_empty() {
+                        let (u, v) = oracle.edges[i % oracle.edges.len()];
+                        forest.cut(u, v);
+                        oracle.delete((u, v));
+                        forest.link(u, v);
+                        oracle.union(u, v);
+                        total_links += 1;
+                    }
+                }
+            }
+        }
+        // Exhaustive final cross-check + structural validation.
+        for u in 0..N {
+            for v in (u + 1)..N {
+                prop_assert_eq!(forest.connected(u, v), oracle.connected(u, v));
+            }
+        }
+        forest.validate();
+        // Slot-reuse acceptance: the arena never holds more slots than the
+        // vertices plus the *peak* concurrent live edges (bounded by N - 1)
+        // plus whatever is parked in limbo/free — far below one slot pair
+        // per historical link once the sequence recycles.
+        let bound = N as usize + 2 * (N as usize - 1) + 64;
+        prop_assert!(
+            forest.arena_occupancy() <= bound,
+            "arena occupancy {} exceeds live bound {} after {} links",
+            forest.arena_occupancy(), bound, total_links
+        );
+    }
+
+    /// Pure steady-state churn: one spanning chain, then cut+link cycles.
+    /// Occupancy must stay flat no matter how many operations run.
+    #[test]
+    fn churned_slots_are_recycled_not_leaked(
+        picks in proptest::collection::vec((0..N - 1, any::<bool>()), 64..256)
+    ) {
+        let forest = EulerForest::new(N as usize);
+        for v in 0..N - 1 {
+            forest.link(v, v + 1);
+        }
+        let occupancy_after_build = forest.arena_occupancy();
+        for (edge, relink_same) in picks {
+            let (u, v) = (edge, edge + 1);
+            forest.cut(u, v);
+            if relink_same {
+                forest.link(u, v);
+            } else {
+                forest.link(v, u);
+            }
+        }
+        forest.validate();
+        prop_assert_eq!(forest.live_node_count(), occupancy_after_build);
+        // Grace periods trail by a couple of epochs, so allow a small pad.
+        prop_assert!(
+            forest.arena_occupancy() <= occupancy_after_build + 16,
+            "steady-state churn grew the arena: {} -> {}",
+            occupancy_after_build,
+            forest.arena_occupancy()
+        );
+    }
+}

@@ -1,0 +1,565 @@
+//! Epoch-based memory reclamation for the lock-free read paths.
+//!
+//! The paper's implementation runs on the JVM: a `connected` query holding a
+//! stale reference to a retired Euler-tour node simply keeps that node alive
+//! through the garbage collector.  This module is the from-scratch Rust
+//! substitute — classic three-epoch reclamation (Fraser-style, the scheme
+//! crossbeam-epoch implements) scoped to an explicit [`EpochDomain`]:
+//!
+//! * Readers **pin** the domain for the duration of a traversal.  Pinning
+//!   publishes the thread's view of the global epoch in a per-thread slot;
+//!   unpinning clears it.  Pins are cheap (one `SeqCst` store + load on the
+//!   thread's own cache-padded slot) and reentrant.
+//! * Writers **retire** resources into one of three [`Limbo`] bins, indexed
+//!   by the current global epoch modulo 3.
+//! * The global epoch **advances** from `e` to `e + 1` only when every
+//!   currently pinned thread has observed `e` (the grace-period check).
+//!   Garbage retired at epoch `e` is handed back to its owner once the
+//!   global epoch reaches `e + 2`: at that point two full grace periods have
+//!   elapsed, so every thread that could have pinned early enough to hold a
+//!   reference (any pin at epoch `≤ e + 1` — retirement may race with one
+//!   concurrent advance) has unpinned since.
+//!
+//! Each domain is independent: a forest's readers only delay reclamation in
+//! that forest's arena, and dropping the domain releases everything.  Slot
+//! registration is per `(thread, domain)` and cached in a thread-local
+//! registry; slots are returned when the thread exits (or abandoned — never
+//! unsafely — if a thread exits while pinned, e.g. after a leaked guard).
+//!
+//! The safety argument for the Euler-tour arena built on top of this is laid
+//! out in `DESIGN.md` §4.
+
+use parking_lot::Mutex;
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Slot value of an unclaimed slot.
+const FREE: u64 = u64::MAX;
+/// Bit flagging a slot as currently pinned (the low bits hold the epoch).
+const ACTIVE: u64 = 1 << 63;
+/// Maximum number of threads that may simultaneously use one domain.
+const MAX_SLOTS: usize = 192;
+
+/// One per-thread epoch slot, padded to its own cache line so pinning never
+/// contends with a neighbour's slot.
+#[repr(align(64))]
+struct Slot(AtomicU64);
+
+/// The shared slot table of one domain.
+struct SlotArray {
+    slots: Box<[Slot]>,
+    /// One past the highest slot index ever claimed; the advance scan stops
+    /// here instead of walking all `MAX_SLOTS` lines.
+    watermark: AtomicUsize,
+}
+
+impl SlotArray {
+    fn new() -> Self {
+        SlotArray {
+            slots: (0..MAX_SLOTS)
+                .map(|_| Slot(AtomicU64::new(FREE)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            watermark: AtomicUsize::new(0),
+        }
+    }
+
+    fn claim(&self) -> usize {
+        for i in 0..MAX_SLOTS {
+            if self.slots[i]
+                .0
+                .compare_exchange(FREE, 0, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.watermark.fetch_max(i + 1, Ordering::AcqRel);
+                return i;
+            }
+        }
+        panic!("epoch domain: more than {MAX_SLOTS} concurrent threads");
+    }
+}
+
+/// Distinguishes domains in the thread-local registry (never reused).
+static NEXT_DOMAIN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// An independent reclamation domain; see the module documentation.
+pub struct EpochDomain {
+    id: u64,
+    global: AtomicU64,
+    slots: Arc<SlotArray>,
+    /// Serializes epoch advances (and the bin drains that ride on them), so
+    /// a second advance can never start while a drain from the first is in
+    /// flight — the property that keeps the three-bin scheme sound.
+    collect_lock: Mutex<()>,
+    /// Grace-period check outcomes (diagnostics: stall analysis in tests
+    /// and benches).
+    advance_attempts: AtomicU64,
+    advance_failures: AtomicU64,
+}
+
+impl EpochDomain {
+    /// Creates a fresh domain at epoch 0 with no registered threads.
+    pub fn new() -> Self {
+        EpochDomain {
+            id: NEXT_DOMAIN_ID.fetch_add(1, Ordering::Relaxed),
+            global: AtomicU64::new(0),
+            slots: Arc::new(SlotArray::new()),
+            collect_lock: Mutex::new(()),
+            advance_attempts: AtomicU64::new(0),
+            advance_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// `(grace-period checks run, checks that found a stale pin)` since
+    /// construction.
+    pub fn advance_stats(&self) -> (u64, u64) {
+        (
+            self.advance_attempts.load(Ordering::Relaxed),
+            self.advance_failures.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The current global epoch.
+    #[inline]
+    pub fn current_epoch(&self) -> u64 {
+        self.global.load(Ordering::SeqCst)
+    }
+
+    /// Pins the calling thread to the current epoch. Reentrant: nested pins
+    /// share the outermost pin's epoch and only the outermost unpin
+    /// republishes the slot as inactive.
+    pub fn pin(&self) -> EpochGuard<'_> {
+        REGISTRY.with(|registry| {
+            let entry_ptr = registry.borrow_mut().entry_for(self);
+            // SAFETY: the entry is heap-allocated (boxed) and lives until
+            // this thread's registry is dropped at thread exit; the guard
+            // cannot outlive this thread.
+            let entry = unsafe { &*entry_ptr };
+            if entry.depth.get() == 0 {
+                let slot = &self.slots.slots[entry.idx].0;
+                loop {
+                    let epoch = self.global.load(Ordering::SeqCst);
+                    slot.store(epoch | ACTIVE, Ordering::SeqCst);
+                    // Re-check: if the global epoch moved between the load
+                    // and the store, re-publish with the new value so an
+                    // in-flight advance scan cannot have missed us.
+                    if self.global.load(Ordering::SeqCst) == epoch {
+                        break;
+                    }
+                }
+            }
+            entry.depth.set(entry.depth.get() + 1);
+            EpochGuard {
+                entry: entry_ptr,
+                slot: &self.slots.slots[entry.idx].0,
+                _not_send: PhantomData,
+            }
+        })
+    }
+
+    /// Attempts one epoch advance (grace-period check over all registered
+    /// slots). Returns the new epoch on success. Public for tests; regular
+    /// reclamation goes through [`Limbo::try_collect`].
+    pub fn try_advance(&self) -> Option<u64> {
+        let _lock = self.collect_lock.try_lock()?;
+        self.advance_locked()
+    }
+
+    fn advance_locked(&self) -> Option<u64> {
+        self.advance_attempts.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.global.load(Ordering::SeqCst);
+        let watermark = self.slots.watermark.load(Ordering::Acquire);
+        for slot in &self.slots.slots[..watermark] {
+            let s = slot.0.load(Ordering::SeqCst);
+            if s != FREE && s & ACTIVE != 0 && s & !ACTIVE != epoch {
+                self.advance_failures.fetch_add(1, Ordering::Relaxed);
+                return None; // a thread is still pinned in an older epoch
+            }
+        }
+        // The collect lock makes us the only advancing thread, so the CAS
+        // can only fail against... nothing; keep it a CAS for robustness.
+        self.global
+            .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .ok()?;
+        Some(epoch + 1)
+    }
+
+    /// Number of threads currently pinned in this domain (observability for
+    /// tests and diagnostics).
+    pub fn active_pins(&self) -> usize {
+        let watermark = self.slots.watermark.load(Ordering::Acquire);
+        self.slots.slots[..watermark]
+            .iter()
+            .filter(|slot| {
+                let s = slot.0.load(Ordering::SeqCst);
+                s != FREE && s & ACTIVE != 0
+            })
+            .count()
+    }
+}
+
+impl Default for EpochDomain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for EpochDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochDomain")
+            .field("epoch", &self.current_epoch())
+            .field("active_pins", &self.active_pins())
+            .finish()
+    }
+}
+
+/// RAII pin on an [`EpochDomain`]. While any guard is alive on this thread,
+/// the domain's epoch cannot advance more than one step past the guard's
+/// epoch, so resources retired from now on are not handed back to their
+/// owner until this guard drops.
+pub struct EpochGuard<'a> {
+    entry: *const Entry,
+    slot: &'a AtomicU64,
+    /// Raw pointer already makes the guard `!Send`/`!Sync`; the marker ties
+    /// the guard's lifetime to the domain borrow.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for EpochGuard<'_> {
+    fn drop(&mut self) {
+        // SAFETY: guards never leave their thread and the boxed entry
+        // outlives every guard (registry drops at thread exit).
+        let entry = unsafe { &*self.entry };
+        let depth = entry.depth.get();
+        debug_assert!(depth > 0, "unbalanced epoch unpin");
+        entry.depth.set(depth - 1);
+        if depth == 1 {
+            self.slot.store(0, Ordering::Release); // claimed, inactive
+        }
+    }
+}
+
+/// One thread's registration in one domain.
+struct Entry {
+    domain_id: u64,
+    /// Weak so a dropped domain's entries can be pruned (and its slot table
+    /// freed) without coordination; a live guard keeps the domain borrowed,
+    /// so an upgradeable entry is never needed while pinned.
+    slots: Weak<SlotArray>,
+    idx: usize,
+    depth: Cell<u32>,
+}
+
+/// The calling thread's registrations across all domains.
+#[derive(Default)]
+struct Registry {
+    /// The boxes are load-bearing, not redundant: guards hold raw pointers
+    /// to entries, which must stay put when the vector reallocates or
+    /// swap-removes around them.
+    #[allow(clippy::vec_box)]
+    entries: Vec<Box<Entry>>,
+}
+
+impl Registry {
+    /// Returns a stable pointer to this thread's entry for `domain`,
+    /// claiming a slot on first use and pruning entries of dead domains.
+    fn entry_for(&mut self, domain: &EpochDomain) -> *const Entry {
+        let mut i = 0;
+        while i < self.entries.len() {
+            let entry = &self.entries[i];
+            if entry.domain_id == domain.id {
+                return &*self.entries[i] as *const Entry;
+            }
+            if entry.slots.strong_count() == 0 && entry.depth.get() == 0 {
+                self.entries.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let idx = domain.slots.claim();
+        self.entries.push(Box::new(Entry {
+            domain_id: domain.id,
+            slots: Arc::downgrade(&domain.slots),
+            idx,
+            depth: Cell::new(0),
+        }));
+        &**self.entries.last().unwrap() as *const Entry
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        for entry in &self.entries {
+            if let Some(slots) = entry.slots.upgrade() {
+                if entry.depth.get() == 0 {
+                    slots.slots[entry.idx].0.store(FREE, Ordering::Release);
+                }
+                // A thread exiting while pinned (leaked guard) abandons the
+                // slot: reclamation in that domain stalls, but nothing is
+                // freed unsafely.
+            }
+        }
+    }
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::default());
+}
+
+/// Deferred-destruction bins for resources of type `T`, tied to an
+/// [`EpochDomain`]'s grace periods.
+///
+/// `T` is typically an index or handle (the Euler-tour arena retires `u32`
+/// slot indices); the limbo never runs destructors itself — collected items
+/// are handed back through the sink passed to [`Limbo::try_collect`].
+pub struct Limbo<T> {
+    bins: [Mutex<Vec<T>>; 3],
+    retired: AtomicUsize,
+}
+
+impl<T> Limbo<T> {
+    /// Creates empty bins.
+    pub fn new() -> Self {
+        Limbo {
+            bins: [
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+            ],
+            retired: AtomicUsize::new(0),
+        }
+    }
+
+    /// Retires `item` under the domain's current epoch. The item is handed
+    /// back through a future [`Limbo::try_collect`] sink once two grace
+    /// periods have elapsed.
+    ///
+    /// The caller must guarantee the item is already unreachable for *new*
+    /// traversals — epochs only protect threads that were pinned when (or
+    /// one advance after) the retirement happened.
+    /// Returns the total retired count after this retirement.
+    pub fn retire(&self, domain: &EpochDomain, item: T) -> usize {
+        // Count strictly before pushing: a concurrent `try_collect` may
+        // drain the item the instant it lands in the bin, and its
+        // `fetch_sub` must never observe a counter the item is missing
+        // from (transient over-count is harmless — `retired_len` is a
+        // heuristic; under-count would wrap the counter).
+        let total = self.retired.fetch_add(1, Ordering::Relaxed) + 1;
+        let epoch = domain.current_epoch();
+        self.bins[(epoch % 3) as usize].lock().push(item);
+        total
+    }
+
+    /// Retires two items under one epoch read and one bin lock — `cut`
+    /// always retires its tour edge nodes in pairs, and the halved locking
+    /// is measurable on the decremental hot path.
+    /// Returns the total retired count after this retirement.
+    pub fn retire_pair(&self, domain: &EpochDomain, a: T, b: T) -> usize {
+        // Count-then-push ordering as in [`Limbo::retire`].
+        let total = self.retired.fetch_add(2, Ordering::Relaxed) + 2;
+        let epoch = domain.current_epoch();
+        {
+            let mut bin = self.bins[(epoch % 3) as usize].lock();
+            bin.push(a);
+            bin.push(b);
+        }
+        total
+    }
+
+    /// Attempts one epoch advance; on success, drains the bin whose grace
+    /// period just completed into `sink` and returns the number of items
+    /// handed back. Returns 0 when the epoch cannot advance (a reader is
+    /// still pinned in an older epoch, or another collect is in flight).
+    pub fn try_collect(&self, domain: &EpochDomain, mut sink: impl FnMut(T)) -> usize {
+        let Some(_lock) = domain.collect_lock.try_lock() else {
+            return 0;
+        };
+        let Some(new_epoch) = domain.advance_locked() else {
+            return 0;
+        };
+        // Garbage retired at epoch `e` sits in bin `e % 3` and is safe once
+        // the global epoch reaches `e + 2`; after advancing to `new_epoch`
+        // that is bin `(new_epoch + 1) % 3`. The collect lock (still held)
+        // guarantees no concurrent retire can be storing into this bin: a
+        // retire targets it only after *another* advance.
+        let mut bin = self.bins[((new_epoch + 1) % 3) as usize].lock();
+        let drained = bin.len();
+        for item in bin.drain(..) {
+            sink(item);
+        }
+        self.retired.fetch_sub(drained, Ordering::Relaxed);
+        drained
+    }
+
+    /// Number of items currently awaiting a grace period.
+    pub fn retired_len(&self) -> usize {
+        self.retired.load(Ordering::Relaxed)
+    }
+
+    /// Drains every bin unconditionally. Requires `&mut self` — only sound
+    /// when no concurrent readers can exist (teardown, single-threaded
+    /// tests).
+    pub fn drain_all(&mut self, mut sink: impl FnMut(T)) {
+        for bin in &mut self.bins {
+            for item in bin.get_mut().drain(..) {
+                sink(item);
+            }
+        }
+        self.retired.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<T> Default for Limbo<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for Limbo<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Limbo")
+            .field("retired", &self.retired_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_publishes_and_unpin_clears() {
+        let domain = EpochDomain::new();
+        assert_eq!(domain.active_pins(), 0);
+        let guard = domain.pin();
+        assert_eq!(domain.active_pins(), 1);
+        drop(guard);
+        assert_eq!(domain.active_pins(), 0);
+    }
+
+    #[test]
+    fn pins_are_reentrant() {
+        let domain = EpochDomain::new();
+        let outer = domain.pin();
+        let inner = domain.pin();
+        assert_eq!(domain.active_pins(), 1, "nested pins share one slot");
+        drop(inner);
+        assert_eq!(domain.active_pins(), 1, "outer pin still holds");
+        drop(outer);
+        assert_eq!(domain.active_pins(), 0);
+    }
+
+    #[test]
+    fn advance_blocked_by_stale_pin_only() {
+        let domain = EpochDomain::new();
+        let guard = domain.pin(); // pinned at epoch 0
+        assert_eq!(
+            domain.try_advance(),
+            Some(1),
+            "pin at current epoch is fine"
+        );
+        assert_eq!(
+            domain.try_advance(),
+            None,
+            "pin now one epoch behind blocks the next advance"
+        );
+        drop(guard);
+        assert_eq!(domain.try_advance(), Some(2));
+    }
+
+    #[test]
+    fn collect_needs_two_grace_periods() {
+        let domain = EpochDomain::new();
+        let limbo: Limbo<u32> = Limbo::new();
+        limbo.retire(&domain, 7); // retired at epoch 0 -> bin 0
+        let mut freed = Vec::new();
+        // Advance to 1: drains bin (1 + 1) % 3 = 2 (empty).
+        assert_eq!(limbo.try_collect(&domain, |x| freed.push(x)), 0);
+        // Advance to 2: drains bin 0 — our item, exactly two periods later.
+        assert_eq!(limbo.try_collect(&domain, |x| freed.push(x)), 1);
+        assert_eq!(freed, vec![7]);
+        assert_eq!(limbo.retired_len(), 0);
+    }
+
+    #[test]
+    fn parked_reader_blocks_reclamation() {
+        let domain = EpochDomain::new();
+        let limbo: Limbo<u32> = Limbo::new();
+        let guard = domain.pin();
+        limbo.retire(&domain, 1);
+        let mut freed = Vec::new();
+        // One advance may succeed (the pin is at the current epoch), but the
+        // retired item's bin needs a second advance, which the pin blocks.
+        for _ in 0..4 {
+            limbo.try_collect(&domain, |x| freed.push(x));
+        }
+        assert!(freed.is_empty(), "item freed under an active pin");
+        drop(guard);
+        while limbo.try_collect(&domain, |x| freed.push(x)) == 0 {}
+        assert_eq!(freed, vec![1]);
+    }
+
+    #[test]
+    fn domains_are_independent() {
+        let a = EpochDomain::new();
+        let b = EpochDomain::new();
+        let _pin_a = a.pin();
+        a.try_advance();
+        // `a`'s stale pin must not stop `b` from advancing.
+        assert_eq!(a.try_advance(), None);
+        assert_eq!(b.try_advance(), Some(1));
+        assert_eq!(b.try_advance(), Some(2));
+    }
+
+    #[test]
+    fn cross_thread_pins_block_and_release() {
+        use std::sync::mpsc;
+        let domain = Arc::new(EpochDomain::new());
+        let limbo: Arc<Limbo<u32>> = Arc::new(Limbo::new());
+        let (pinned_tx, pinned_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let reader = {
+            let domain = Arc::clone(&domain);
+            std::thread::spawn(move || {
+                let guard = domain.pin();
+                pinned_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+                drop(guard);
+            })
+        };
+        pinned_rx.recv().unwrap();
+        limbo.retire(&domain, 42);
+        let mut freed = Vec::new();
+        for _ in 0..4 {
+            limbo.try_collect(&domain, |x| freed.push(x));
+        }
+        assert!(freed.is_empty(), "remote pin must block reclamation");
+        release_tx.send(()).unwrap();
+        reader.join().unwrap();
+        let mut spins = 0;
+        while limbo.try_collect(&domain, |x| freed.push(x)) == 0 {
+            spins += 1;
+            assert!(spins < 1_000, "reclamation never unblocked");
+        }
+        assert_eq!(freed, vec![42]);
+    }
+
+    #[test]
+    fn slots_are_returned_on_thread_exit() {
+        let domain = Arc::new(EpochDomain::new());
+        for _ in 0..MAX_SLOTS + 8 {
+            let domain = Arc::clone(&domain);
+            std::thread::spawn(move || {
+                let _guard = domain.pin();
+            })
+            .join()
+            .unwrap();
+        }
+        // More threads than slots have come and gone; if exits leaked slots
+        // the claims above would have panicked.
+        assert_eq!(domain.active_pins(), 0);
+        assert!(domain.try_advance().is_some());
+    }
+}

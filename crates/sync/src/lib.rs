@@ -14,12 +14,16 @@
 //! * [`multiset::ConcurrentMultiSet`] — a concurrent multiset with snapshot
 //!   iteration; previously backed the adjacency sets, now kept as the
 //!   differential-testing oracle for [`adjacency::AdjacencyStore`].
+//! * [`epoch`] — epoch-based memory reclamation (the from-scratch
+//!   substitute for the JVM garbage collector the paper's lock-free reads
+//!   lean on); used by the Euler Tour Tree arena to recycle retired node
+//!   slots. See `DESIGN.md` §4.
 //! * [`hash::FxHasher`] — the shared fast integer hasher.
 //! * [`combining`] — a generic flat-combining / parallel-combining executor
 //!   (variants 12 and 13 of the evaluation).
 //! * [`spinlock::RawSpinLock`] — a word-sized raw lock with explicit
-//!   `lock`/`unlock`, used for per-component locks stored inside Euler Tour
-//!   Tree nodes (fine-grained locking, Listing 2).
+//!   `lock`/`unlock`, used for the per-component locks in the Euler Tour
+//!   Tree forest's per-vertex side table (fine-grained locking, Listing 2).
 //! * [`elision::ElisionLock`] — the lock-elision ("HTM") substitution; see
 //!   `DESIGN.md` §4.
 //! * [`waitstats`] — global lock-wait accounting used to reproduce the
@@ -29,6 +33,7 @@ pub mod adjacency;
 pub mod cmap;
 pub mod combining;
 pub mod elision;
+pub mod epoch;
 pub mod hash;
 pub mod multiset;
 pub mod rwspinlock;
@@ -39,6 +44,7 @@ pub use adjacency::AdjacencyStore;
 pub use cmap::ShardedMap;
 pub use combining::{CombiningExecutor, CombiningMode, CombiningTarget};
 pub use elision::ElisionLock;
+pub use epoch::{EpochDomain, EpochGuard, Limbo};
 pub use hash::{FxBuildHasher, FxHasher};
 pub use multiset::ConcurrentMultiSet;
 pub use rwspinlock::RawRwLock;
