@@ -1,0 +1,592 @@
+//! The batch execution engine: intake → annihilation → combined-pass
+//! execution → fan-out.
+//!
+//! One [`BatchEngine`] owns an [`Hdt`] and is its only writer. Operations
+//! reach the structure through two doors:
+//!
+//! * **the sharded single-op adapter** ([`DynamicConnectivity`]): each
+//!   calling thread publishes its operation in its private padded intake
+//!   slot ([`dc_sync::IntakeArray`]) and spins; whichever waiter wins the
+//!   leader lock drains *all* published operations into one batch, runs the
+//!   preprocessor ([`crate::plan::UpdatePlan`]) to dedup/annihilate the
+//!   updates, applies the compacted update set through the HDT in one
+//!   combined pass, completes the update slots, and hands every query slot
+//!   back to its owner — the queries then execute **in parallel on their
+//!   own threads** against the consistent post-batch state, through the
+//!   HDT's lock-free read protocol.
+//! * **the bulk door** ([`BatchConnectivity::apply_batch`]): a caller ships
+//!   a whole operation slice at once. The engine splits it into maximal
+//!   update runs and query runs, compacts and applies each update run as
+//!   one combined pass, and answers each query run — duplicates coalesced,
+//!   large runs fanned out over a scoped thread pool — against the state at
+//!   that point of the batch. Answers are exactly those of sequential
+//!   one-at-a-time execution.
+//!
+//! # Linearizability
+//!
+//! Batch boundaries are the linearization points. For the adapter: every
+//! operation in a drained batch was pending (its caller blocked) when the
+//! leader claimed it, so all of them are pairwise concurrent and the engine
+//! may order them freely; it linearizes the whole update block at the
+//! instant the combined pass completes, and each query at its own lock-free
+//! read (which happens after that instant on the owner's thread, hence
+//! observes the batch it rode in). An operation submitted *after* a query
+//! completed lands in a later batch and therefore after that query's
+//! linearization point — real-time order is preserved. For the bulk door the
+//! (stronger) sequential-equivalence contract of
+//! [`BatchConnectivity::apply_batch`] holds by construction: updates between
+//! two queries only ever collapse to their net edge set, which is the only
+//! thing the next query run can observe. See `DESIGN.md` §5 for the full
+//! argument.
+
+use crate::plan::UpdatePlan;
+use dc_graph::Edge;
+use dc_sync::{waitstats, IntakeArray, RawSpinLock, SlotPoll};
+use dynconn::{BatchConnectivity, BatchOp, DynamicConnectivity, Hdt, QueryResult};
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Minimum number of distinct query pairs each fanned-out thread must
+/// receive: a scoped-thread spawn costs more than a few hundred lock-free
+/// reads, so runs fan out only when every spawned thread gets at least this
+/// much work.
+const PARALLEL_QUERY_CHUNK: usize = 256;
+
+/// Operation counters of a [`BatchEngine`].
+#[derive(Debug, Default)]
+struct EngineCounters {
+    /// Batches drained from the intake (adapter door).
+    batches: AtomicU64,
+    /// Bulk batches applied through `apply_batch`.
+    bulk_batches: AtomicU64,
+    /// Update operations submitted (before preprocessing).
+    submitted_updates: AtomicU64,
+    /// Updates that survived dedup + annihilation and were applied.
+    applied_updates: AtomicU64,
+    /// Query operations submitted.
+    submitted_queries: AtomicU64,
+    /// Duplicate queries answered by one shared read (bulk door).
+    coalesced_queries: AtomicU64,
+}
+
+/// A point-in-time copy of the engine counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchStats {
+    /// Batches drained from the intake (adapter door).
+    pub batches: u64,
+    /// Bulk batches applied through `apply_batch`.
+    pub bulk_batches: u64,
+    /// Update operations submitted (before preprocessing).
+    pub submitted_updates: u64,
+    /// Updates that survived dedup + annihilation and were applied.
+    pub applied_updates: u64,
+    /// Query operations submitted.
+    pub submitted_queries: u64,
+    /// Duplicate queries answered by one shared read (bulk door).
+    pub coalesced_queries: u64,
+}
+
+impl BatchStats {
+    /// Applied over submitted updates — strictly below 1.0 whenever the
+    /// preprocessor cancelled work before it reached the tree.
+    pub fn compaction_ratio(&self) -> f64 {
+        if self.submitted_updates == 0 {
+            1.0
+        } else {
+            self.applied_updates as f64 / self.submitted_updates as f64
+        }
+    }
+}
+
+/// Leader-owned scratch buffers, reused across batches. Only ever touched
+/// while the leader lock is held.
+#[derive(Default)]
+struct Scratch {
+    plan: UpdatePlan,
+    update_slots: Vec<usize>,
+    query_slots: Vec<usize>,
+    adds: Vec<Edge>,
+    removes: Vec<Edge>,
+    queries: QueryScratch,
+}
+
+/// Reusable buffers of the bulk door's query-run machinery (accumulated
+/// run, coalescing table, shared answers).
+#[derive(Default)]
+struct QueryScratch {
+    run: Vec<(usize, u32, u32)>,
+    unique: Vec<(u32, u32)>,
+    refs: Vec<usize>,
+    answers: Vec<bool>,
+    pair_index: HashMap<(u32, u32), usize>,
+}
+
+/// The batch-parallel dynamic connectivity engine. See the module docs.
+pub struct BatchEngine {
+    hdt: Hdt,
+    intake: IntakeArray<BatchOp, ()>,
+    leader: RawSpinLock,
+    scratch: UnsafeCell<Scratch>,
+    counters: EngineCounters,
+    query_threads: usize,
+}
+
+// SAFETY: `scratch` is only accessed while `leader` is held (the bulk door
+// takes it blocking, the adapter's batch loop via try_lock); everything else
+// is internally synchronized (`Hdt` is Sync, the intake array orders its
+// slot accesses through the state atomics).
+unsafe impl Sync for BatchEngine {}
+unsafe impl Send for BatchEngine {}
+
+impl BatchEngine {
+    /// Creates an engine over `n` vertices with the default intake capacity
+    /// and one query-fan-out thread per host hardware thread.
+    pub fn new(n: usize) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Self::with_options(n, IntakeArray::<BatchOp, ()>::DEFAULT_SLOTS, threads)
+    }
+
+    /// Creates an engine with explicit intake capacity (max participating
+    /// threads) and bulk-query fan-out width (`1` answers every query run
+    /// inline).
+    pub fn with_options(n: usize, intake_capacity: usize, query_threads: usize) -> Self {
+        BatchEngine {
+            hdt: Hdt::new(n),
+            intake: IntakeArray::with_capacity(intake_capacity),
+            leader: RawSpinLock::new(),
+            scratch: UnsafeCell::new(Scratch::default()),
+            counters: EngineCounters::default(),
+            query_threads: query_threads.max(1),
+        }
+    }
+
+    /// The underlying structure (tests, statistics, lock-free reads).
+    pub fn hdt(&self) -> &Hdt {
+        &self.hdt
+    }
+
+    /// Snapshot of the engine counters.
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            bulk_batches: self.counters.bulk_batches.load(Ordering::Relaxed),
+            submitted_updates: self.counters.submitted_updates.load(Ordering::Relaxed),
+            applied_updates: self.counters.applied_updates.load(Ordering::Relaxed),
+            submitted_queries: self.counters.submitted_queries.load(Ordering::Relaxed),
+            coalesced_queries: self.counters.coalesced_queries.load(Ordering::Relaxed),
+        }
+    }
+
+    // ----- the single-op adapter door ----------------------------------------
+
+    /// Publishes one operation and blocks until it is resolved, combining it
+    /// with every concurrently published operation. Returns the answer for
+    /// queries, `None` for updates.
+    fn execute_op(&self, op: BatchOp) -> Option<bool> {
+        let idx = self.intake.publish(op);
+        // Time blocked in the intake (waiting for a leader to resolve the
+        // slot) counts as lock-wait for the active-time-rate statistic;
+        // leading a batch is work, so the timer pauses around it.
+        let mut timer = waitstats::WaitTimer::start();
+        loop {
+            match self.intake.poll(idx) {
+                SlotPoll::Done(()) => {
+                    timer.finish();
+                    return None;
+                }
+                SlotPoll::HandedBack(op) => {
+                    timer.finish();
+                    // The leader applied this batch's updates and handed the
+                    // query back: answer it here, in parallel with the rest
+                    // of the batch's queries, against the post-batch state.
+                    let (u, v) = op.endpoints();
+                    return Some(self.hdt.connected(u, v));
+                }
+                SlotPoll::Pending => {
+                    if self.leader.try_lock() {
+                        timer.finish();
+                        self.run_adapter_batch();
+                        self.leader.unlock();
+                        timer = waitstats::WaitTimer::start();
+                    } else {
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains and executes one adapter batch. Must hold the leader lock.
+    fn run_adapter_batch(&self) {
+        // SAFETY: leader lock held — exclusive access to the scratch state.
+        let scratch = unsafe { &mut *self.scratch.get() };
+        scratch.update_slots.clear();
+        scratch.query_slots.clear();
+        scratch.plan.clear();
+
+        let update_slots = &mut scratch.update_slots;
+        let query_slots = &mut scratch.query_slots;
+        self.intake.claim_pending(|idx, op| {
+            if op.is_query() {
+                query_slots.push(idx);
+            } else {
+                update_slots.push(idx);
+            }
+        });
+        if scratch.update_slots.is_empty() && scratch.query_slots.is_empty() {
+            return;
+        }
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+
+        // Preprocess: move the update ops out of their slots into the plan.
+        for &idx in &scratch.update_slots {
+            match self.intake.take(idx) {
+                BatchOp::Add(u, v) => scratch.plan.record(true, u, v),
+                BatchOp::Remove(u, v) => scratch.plan.record(false, u, v),
+                BatchOp::Query(_, _) => unreachable!("queries are never in the update list"),
+            }
+        }
+        self.flush_plan(&mut scratch.plan, &mut scratch.adds, &mut scratch.removes);
+
+        // Fan out: updates are done, wake their callers...
+        for &idx in &scratch.update_slots {
+            self.intake.complete(idx, ());
+        }
+        // ...and hand every query back, to run on its owner's thread against
+        // the consistent post-batch state (including the leader's own query,
+        // which it picks up from its slot right after returning from here).
+        self.counters
+            .submitted_queries
+            .fetch_add(scratch.query_slots.len() as u64, Ordering::Relaxed);
+        for &idx in &scratch.query_slots {
+            self.intake.hand_back(idx);
+        }
+    }
+
+    /// Compacts `plan` and applies the surviving updates in one combined
+    /// pass. Must hold the leader lock (the single-writer role).
+    fn flush_plan(&self, plan: &mut UpdatePlan, adds: &mut Vec<Edge>, removes: &mut Vec<Edge>) {
+        if plan.is_empty() {
+            return;
+        }
+        adds.clear();
+        removes.clear();
+        let hdt = &self.hdt;
+        let survivors = plan.compact_into(|e| hdt.has_edge(e.u(), e.v()), adds, removes);
+        self.counters
+            .submitted_updates
+            .fetch_add(plan.submitted() as u64, Ordering::Relaxed);
+        self.counters
+            .applied_updates
+            .fetch_add(survivors as u64, Ordering::Relaxed);
+        self.hdt.apply_compacted_batch_locked(adds, removes);
+        plan.clear();
+    }
+
+    // ----- the bulk door ------------------------------------------------------
+
+    /// Answers one accumulated query run (`q.run`) against the current
+    /// (update-quiescent) state: short runs go straight to the lock-free
+    /// read, longer runs coalesce duplicates onto one shared read, and runs
+    /// large enough to amortize a spawn fan out across scoped threads.
+    fn answer_query_run(&self, q: &mut QueryScratch, results: &mut Vec<QueryResult>) {
+        if q.run.is_empty() {
+            return;
+        }
+        self.counters
+            .submitted_queries
+            .fetch_add(q.run.len() as u64, Ordering::Relaxed);
+
+        // Short runs (the common case when updates and queries alternate):
+        // the coalescing table costs more than it saves, answer directly.
+        const INLINE_RUN: usize = 8;
+        if q.run.len() <= INLINE_RUN {
+            for &(op_index, u, v) in &q.run {
+                results.push(QueryResult {
+                    op_index,
+                    u,
+                    v,
+                    connected: self.hdt.connected(u, v),
+                });
+            }
+            q.run.clear();
+            return;
+        }
+
+        // Coalesce repeated pairs: one read per distinct (normalized) pair.
+        q.unique.clear();
+        q.refs.clear();
+        q.pair_index.clear();
+        let (unique, pair_index) = (&mut q.unique, &mut q.pair_index);
+        q.refs.extend(q.run.iter().map(|&(_, u, v)| {
+            let key = (u.min(v), u.max(v));
+            *pair_index.entry(key).or_insert_with(|| {
+                unique.push(key);
+                unique.len() - 1
+            })
+        }));
+        self.counters
+            .coalesced_queries
+            .fetch_add((q.run.len() - q.unique.len()) as u64, Ordering::Relaxed);
+
+        // Fan out only when every spawned thread gets a chunk big enough to
+        // amortize its spawn (a scoped spawn costs more than a few hundred
+        // lock-free reads).
+        let fanout = self
+            .query_threads
+            .min(q.unique.len() / PARALLEL_QUERY_CHUNK)
+            .max(1);
+        if fanout > 1 {
+            q.answers.clear();
+            q.answers.resize(q.unique.len(), false);
+            let chunk = q.unique.len().div_ceil(fanout);
+            std::thread::scope(|s| {
+                for (pairs, out) in q.unique.chunks(chunk).zip(q.answers.chunks_mut(chunk)) {
+                    let hdt = &self.hdt;
+                    s.spawn(move || {
+                        for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
+                            *slot = hdt.connected(u, v);
+                        }
+                    });
+                }
+            });
+        } else {
+            q.answers.clear();
+            self.hdt.connected_many(&q.unique, &mut q.answers);
+        }
+
+        for (&(op_index, u, v), &uidx) in q.run.iter().zip(&q.refs) {
+            results.push(QueryResult {
+                op_index,
+                u,
+                v,
+                connected: q.answers[uidx],
+            });
+        }
+        q.run.clear();
+    }
+}
+
+impl DynamicConnectivity for BatchEngine {
+    fn add_edge(&self, u: u32, v: u32) {
+        if u == v {
+            return;
+        }
+        self.execute_op(BatchOp::Add(u, v));
+    }
+
+    fn remove_edge(&self, u: u32, v: u32) {
+        if u == v {
+            return;
+        }
+        self.execute_op(BatchOp::Remove(u, v));
+    }
+
+    fn connected(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return true;
+        }
+        self.execute_op(BatchOp::Query(u, v))
+            .expect("a query always resolves to an answer")
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.hdt.num_vertices()
+    }
+}
+
+impl BatchConnectivity for BatchEngine {
+    fn apply_batch(&self, ops: &[BatchOp]) -> Vec<QueryResult> {
+        // The bulk door takes the same leader lock as the adapter batches —
+        // one combined writer at a time. The lock is held for the *whole*
+        // bulk batch, so adapter callers wait out the full batch; bulk batch
+        // size is therefore also the adapter's worst-case latency knob.
+        self.leader.lock();
+        self.counters.bulk_batches.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: leader lock held — exclusive access to the scratch state.
+        let scratch = unsafe { &mut *self.scratch.get() };
+        scratch.plan.clear();
+        scratch.queries.run.clear();
+        let mut results = Vec::new();
+
+        // Split the batch into maximal update runs and query runs: an update
+        // run is compacted and applied as one combined pass before the next
+        // query run is answered, which is exactly sequential equivalence.
+        for (op_index, op) in ops.iter().enumerate() {
+            match *op {
+                BatchOp::Add(u, v) => {
+                    self.answer_query_run(&mut scratch.queries, &mut results);
+                    scratch.plan.record(true, u, v);
+                }
+                BatchOp::Remove(u, v) => {
+                    self.answer_query_run(&mut scratch.queries, &mut results);
+                    scratch.plan.record(false, u, v);
+                }
+                BatchOp::Query(u, v) => {
+                    self.flush_plan(&mut scratch.plan, &mut scratch.adds, &mut scratch.removes);
+                    scratch.queries.run.push((op_index, u, v));
+                }
+            }
+        }
+        self.flush_plan(&mut scratch.plan, &mut scratch.adds, &mut scratch.removes);
+        self.answer_query_run(&mut scratch.queries, &mut results);
+        self.leader.unlock();
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynconn::sequential_apply_batch;
+    use dynconn::RecomputeOracle;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_op_adapter_matches_basic_semantics() {
+        let engine = BatchEngine::new(8);
+        assert!(!engine.connected(0, 3));
+        engine.add_edge(0, 1);
+        engine.add_edge(1, 2);
+        engine.add_edge(2, 3);
+        assert!(engine.connected(0, 3));
+        engine.remove_edge(1, 2);
+        assert!(!engine.connected(0, 3));
+        assert!(engine.connected(0, 1));
+        engine.hdt().validate();
+        let stats = engine.stats();
+        assert!(stats.batches >= 4);
+        assert_eq!(stats.submitted_updates, 4);
+        assert_eq!(stats.applied_updates, 4);
+    }
+
+    #[test]
+    fn bulk_batch_matches_sequential_reference() {
+        let engine = BatchEngine::new(6);
+        let oracle = RecomputeOracle::new(6);
+        let ops = vec![
+            BatchOp::Query(0, 2),
+            BatchOp::Add(0, 1),
+            BatchOp::Add(1, 2),
+            BatchOp::Query(0, 2),
+            BatchOp::Add(3, 4),
+            BatchOp::Remove(0, 1),
+            BatchOp::Query(0, 2),
+            BatchOp::Query(1, 2),
+            BatchOp::Add(0, 1),
+            BatchOp::Remove(0, 1),
+            BatchOp::Query(0, 1),
+        ];
+        assert_eq!(
+            engine.apply_batch(&ops),
+            sequential_apply_batch(&oracle, &ops)
+        );
+        engine.hdt().validate();
+    }
+
+    #[test]
+    fn annihilation_cancels_churn_before_the_tree() {
+        let engine = BatchEngine::new(4);
+        // 100 add/remove pairs of the same absent edge in one batch: net
+        // nothing may reach the HDT.
+        let mut ops = Vec::new();
+        for _ in 0..100 {
+            ops.push(BatchOp::Add(0, 1));
+            ops.push(BatchOp::Remove(0, 1));
+        }
+        let results = engine.apply_batch(&ops);
+        assert!(results.is_empty());
+        let stats = engine.stats();
+        assert_eq!(stats.submitted_updates, 200);
+        assert_eq!(stats.applied_updates, 0);
+        assert!(stats.compaction_ratio() < 1e-9);
+        assert_eq!(
+            engine.hdt().stats().additions,
+            0,
+            "the tree was never touched"
+        );
+    }
+
+    #[test]
+    fn repeated_queries_coalesce_in_bulk_batches() {
+        let engine = BatchEngine::new(4);
+        let mut ops = vec![BatchOp::Add(0, 1)];
+        for _ in 0..50 {
+            ops.push(BatchOp::Query(0, 1));
+            ops.push(BatchOp::Query(1, 0)); // same pair, other orientation
+        }
+        let results = engine.apply_batch(&ops);
+        assert_eq!(results.len(), 100);
+        assert!(results.iter().all(|r| r.connected));
+        assert_eq!(engine.stats().coalesced_queries, 99);
+    }
+
+    #[test]
+    fn concurrent_adapter_threads_stay_consistent() {
+        let engine = Arc::new(BatchEngine::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let engine = Arc::clone(&engine);
+                s.spawn(move || {
+                    let base = t * 16;
+                    for i in 0..15 {
+                        engine.add_edge(base + i, base + i + 1);
+                    }
+                    assert!(engine.connected(base, base + 15));
+                    engine.remove_edge(base + 7, base + 8);
+                    assert!(!engine.connected(base, base + 15));
+                });
+            }
+        });
+        assert!(!engine.connected(0, 63));
+        assert!(engine.connected(0, 7));
+        engine.hdt().validate();
+    }
+
+    #[test]
+    fn bulk_and_adapter_doors_interleave() {
+        let engine = Arc::new(BatchEngine::new(32));
+        std::thread::scope(|s| {
+            let bulk = Arc::clone(&engine);
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let ops = vec![
+                        BatchOp::Add(0, 1),
+                        BatchOp::Query(0, 1),
+                        BatchOp::Remove(0, 1),
+                        BatchOp::Query(0, 1),
+                    ];
+                    let results = bulk.apply_batch(&ops);
+                    assert!(results[0].connected);
+                    assert!(!results[1].connected);
+                }
+            });
+            let single = Arc::clone(&engine);
+            s.spawn(move || {
+                for _ in 0..50 {
+                    single.add_edge(10, 11);
+                    assert!(single.connected(10, 11));
+                    single.remove_edge(10, 11);
+                    assert!(!single.connected(10, 11));
+                }
+            });
+        });
+        engine.hdt().validate();
+    }
+
+    #[test]
+    fn large_query_runs_fan_out_in_parallel() {
+        let engine = BatchEngine::with_options(1000, 16, 4);
+        let mut ops: Vec<BatchOp> = (0..999).map(|i| BatchOp::Add(i, i + 1)).collect();
+        for i in 0..1000 {
+            ops.push(BatchOp::Query(0, i));
+        }
+        let results = engine.apply_batch(&ops);
+        assert_eq!(results.len(), 1000);
+        assert!(results.iter().all(|r| r.connected));
+    }
+}

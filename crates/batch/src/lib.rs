@@ -1,0 +1,90 @@
+//! # dc_batch — the batch-parallel operation engine
+//!
+//! The paper's thirteen variants all serve one operation at a time; under
+//! heavy traffic the synchronized HDT is the bottleneck no matter how fast
+//! each individual operation is. This crate promotes the flat-combining idea
+//! (paper variants 12/13) from a lock-handoff trick into a first-class
+//! execution subsystem that *amortizes*:
+//!
+//! 1. **Sharded intake** ([`dc_sync::IntakeArray`]) — per-thread padded
+//!    slots collect concurrently submitted `add_edge` / `remove_edge` /
+//!    `connected` operations into batches.
+//! 2. **Annihilation** ([`plan::UpdatePlan`]) — before any tree work,
+//!    operations on the same edge dedup to one net intent, insert+delete
+//!    pairs cancel outright, and intents matching the current state are
+//!    dropped; repeated queries coalesce onto one shared read.
+//! 3. **Combined-pass execution** ([`engine::BatchEngine`]) — the surviving
+//!    updates go through the HDT in one pass (adds first, then removals),
+//!    under a single leader-lock acquisition for the whole batch.
+//! 4. **Snapshot-consistent parallel queries** — the batch's queries are
+//!    answered against the resulting consistent state: adapter queries run
+//!    on their owners' threads (results fanned back through the intake
+//!    slots), bulk query runs fan out over scoped threads; both use the
+//!    HDT's lock-free read protocol.
+//!
+//! Two public doors:
+//!
+//! * [`BatchConnectivity::apply_batch`] — explicit bulk submission for
+//!   bulk-load / offline / bursty-client use, with sequential-equivalence
+//!   semantics;
+//! * the [`DynamicConnectivity`] adapter — every existing single-op bench
+//!   scenario and test runs against the engine unchanged (it also registers
+//!   as `Variant::BatchEngine`, number 14, via [`register_variant`]).
+//!
+//! See `DESIGN.md` §5 for the batch lifecycle and the linearizability
+//! argument (batch boundaries as linearization points).
+
+pub mod engine;
+pub mod plan;
+
+pub use engine::{BatchEngine, BatchStats};
+pub use plan::UpdatePlan;
+
+// Re-export the operation vocabulary so users of this crate need not also
+// name `dynconn` for the common path.
+pub use dynconn::{BatchConnectivity, BatchOp, DynamicConnectivity, QueryResult};
+
+/// Registers [`BatchEngine`] as `Variant::BatchEngine` (number 14) in the
+/// core variant registry, so registry-driven harnesses (benches, examples,
+/// differential tests) can build it by name. Idempotent.
+pub fn register_variant() {
+    dynconn::variants::register_batch_builder(|n| Box::new(BatchEngine::new(n)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynconn::Variant;
+
+    #[test]
+    fn registration_makes_variant_14_buildable() {
+        register_variant();
+        register_variant(); // idempotent
+        assert!(dynconn::variants::batch_builder_registered());
+        let all = Variant::all_extended();
+        assert_eq!(all.len(), 14);
+        assert_eq!(all.last(), Some(&Variant::BatchEngine));
+        let dc = Variant::BatchEngine.build(8);
+        assert_eq!(dc.num_vertices(), 8);
+        dc.add_edge(0, 1);
+        dc.add_edge(1, 2);
+        assert!(dc.connected(0, 2));
+        dc.remove_edge(1, 2);
+        assert!(!dc.connected(0, 2));
+    }
+
+    #[test]
+    fn every_extended_variant_supports_basic_operations() {
+        register_variant();
+        for variant in Variant::all_extended() {
+            let dc = variant.build(8);
+            assert!(!dc.connected(0, 3), "{}", variant.name());
+            dc.add_edge(0, 1);
+            dc.add_edge(1, 2);
+            dc.add_edge(2, 3);
+            assert!(dc.connected(0, 3), "{}", variant.name());
+            dc.remove_edge(1, 2);
+            assert!(!dc.connected(0, 3), "{}", variant.name());
+        }
+    }
+}

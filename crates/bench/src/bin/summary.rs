@@ -8,7 +8,10 @@
 //! scenarios, and prints the per-graph factors plus the average and maximum.
 
 use dc_bench::runner::run_adjacency_baseline;
-use dc_bench::{run_ett_bench, run_throughput, BenchConfig, EttBenchConfig, Scenario, Workload};
+use dc_bench::{
+    run_batch_bench, run_ett_bench, run_throughput, BatchBenchConfig, BenchConfig, EttBenchConfig,
+    Scenario, Workload,
+};
 use dc_graph::GraphSpec;
 use dynconn::Variant;
 
@@ -26,6 +29,13 @@ fn main() {
         .unwrap_or(false)
     {
         emit_adjacency_baseline(&config);
+        return;
+    }
+    if std::env::var("DC_BENCH_BATCH_ONLY")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        emit_batch_baseline();
         return;
     }
     let threads = *config.thread_counts.last().unwrap_or(&1);
@@ -69,6 +79,21 @@ fn main() {
     }
     emit_adjacency_baseline(&config);
     emit_ett_baseline();
+    emit_batch_baseline();
+}
+
+/// Measures the batch-engine scenarios (burst vs every single-op variant,
+/// bulk load, batch-size/compaction sweep, adapter-on-existing-scenarios)
+/// and writes `BENCH_batch.json`.
+fn emit_batch_baseline() {
+    let config = BatchBenchConfig::from_env();
+    let baseline = run_batch_bench(&config);
+    print!("{}", baseline.render_text());
+    let path = "BENCH_batch.json";
+    match std::fs::write(path, baseline.to_json()) {
+        Ok(()) => println!("batch baseline written to {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
 }
 
 /// Measures the ETT node-layer scenarios (incremental, decremental, churn,

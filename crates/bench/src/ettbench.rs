@@ -281,7 +281,7 @@ fn run_churn(config: &EttBenchConfig, readers: usize, rng: &mut StdRng) -> EttCe
     }
 }
 
-fn git_rev() -> String {
+pub(crate) fn git_rev() -> String {
     let rev = std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .output()

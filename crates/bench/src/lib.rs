@@ -16,6 +16,7 @@
 //!   the same [`config::BenchConfig`] so they scale down gracefully on small
 //!   machines.
 
+pub mod batchbench;
 pub mod config;
 pub mod ettbench;
 pub mod report;
@@ -24,6 +25,7 @@ pub mod scenario;
 pub mod stats;
 pub mod throughput;
 
+pub use batchbench::{run_batch_bench, BatchBaseline, BatchBenchConfig};
 pub use config::BenchConfig;
 pub use ettbench::{run_ett_bench, EttBaseline, EttBenchConfig};
 pub use report::FigureData;

@@ -119,6 +119,11 @@ pub struct AdjacencyCell {
     pub variant: String,
     /// Operations per second.
     pub ops_per_sec: f64,
+    /// Active time rate in percent (time *not* spent waiting for locks),
+    /// from [`dc_sync::waitstats`].
+    pub active_time_percent: f64,
+    /// Total lock-wait time across all threads, in milliseconds.
+    pub wait_ms: f64,
 }
 
 /// The machine-readable adjacency perf baseline emitted as
@@ -146,12 +151,12 @@ impl AdjacencyBaseline {
     pub fn to_json(&self) -> String {
         use crate::report::{json_number, json_string};
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"dc-bench/adjacency-baseline/v1\",\n");
+        out.push_str("  \"schema\": \"dc-bench/adjacency-baseline/v2\",\n");
         out.push_str(&format!("  \"graph\": {},\n", json_string(&self.graph)));
         out.push_str(&format!("  \"vertices\": {},\n", self.vertices));
         out.push_str(&format!("  \"edges\": {},\n", self.edges));
         out.push_str(&format!("  \"ops_per_thread\": {},\n", self.ops_per_thread));
-        out.push_str("  \"ops_per_sec\": {");
+        out.push_str("  \"results\": {");
         let mut scenarios: Vec<&str> = self.cells.iter().map(|c| c.scenario.as_str()).collect();
         scenarios.dedup();
         for (si, scenario) in scenarios.iter().enumerate() {
@@ -175,10 +180,15 @@ impl AdjacencyBaseline {
                     if vi > 0 {
                         out.push(',');
                     }
+                    // Lock-wait time rides alongside every throughput number
+                    // (the waitstats counters were collected by the harness
+                    // all along but never serialized before).
                     out.push_str(&format!(
-                        "\n        {}: {}",
+                        "\n        {}: {{ \"ops_per_sec\": {}, \"active_time_percent\": {}, \"wait_ms\": {} }}",
                         json_string(&cell.variant),
-                        json_number(cell.ops_per_sec)
+                        json_number(cell.ops_per_sec),
+                        json_number(cell.active_time_percent),
+                        json_number(cell.wait_ms)
                     ));
                 }
                 out.push_str("\n      }");
@@ -235,6 +245,8 @@ pub fn run_adjacency_baseline(
                 threads,
                 variant: "coarse".to_string(),
                 ops_per_sec: result.ops_per_ms * 1e3,
+                active_time_percent: result.active_time_percent,
+                wait_ms: result.wait_nanos as f64 / 1e6,
             });
             let ours = NonBlockingVariant::new(graph.num_vertices(), FineLocking::new());
             let result = run_throughput(&ours, &workload);
@@ -243,6 +255,8 @@ pub fn run_adjacency_baseline(
                 threads,
                 variant: "ours".to_string(),
                 ops_per_sec: result.ops_per_ms * 1e3,
+                active_time_percent: result.active_time_percent,
+                wait_ms: result.wait_nanos as f64 / 1e6,
             });
             last_ours = Some(ours);
         }
@@ -341,6 +355,8 @@ mod tests {
             millis: 10.0,
             ops_per_ms: 10.0,
             active_time_percent: 93.0,
+            wait_nanos: 1_400_000,
+            wait_events: 7,
         };
         assert_eq!(Measure::Throughput.extract(&result), 10.0);
         assert_eq!(Measure::ActiveTime.extract(&result), 93.0);

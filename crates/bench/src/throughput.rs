@@ -26,6 +26,11 @@ pub struct ThroughputResult {
     pub ops_per_ms: f64,
     /// Active time rate in percent: `100 * (1 - lock_wait / total_cpu_time)`.
     pub active_time_percent: f64,
+    /// Total nanoseconds all threads spent blocked on instrumented locks
+    /// during the measured phase (the raw counter behind the rate).
+    pub wait_nanos: u64,
+    /// Number of blocking acquisitions recorded during the measured phase.
+    pub wait_events: u64,
 }
 
 /// Preloads `workload.preload` into `structure` and runs the per-thread
@@ -77,6 +82,8 @@ pub fn run_throughput(
         millis,
         ops_per_ms: total_ops as f64 / millis.max(1e-9),
         active_time_percent: waitstats::active_time_rate_percent(total_thread_nanos),
+        wait_nanos: waitstats::total_wait_nanos(),
+        wait_events: waitstats::wait_events(),
     }
 }
 

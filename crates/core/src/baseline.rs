@@ -8,7 +8,9 @@
 //!   connectivity implementation that stores the edge set behind a mutex and
 //!   answers queries by BFS; every other implementation is tested against it.
 
-use crate::api::DynamicConnectivity;
+use crate::api::{
+    sequential_apply_batch, BatchConnectivity, BatchOp, DynamicConnectivity, QueryResult,
+};
 use dc_graph::Edge;
 use parking_lot::Mutex;
 use std::collections::HashSet;
@@ -172,6 +174,15 @@ impl DynamicConnectivity for RecomputeOracle {
 
     fn num_vertices(&self) -> usize {
         self.n
+    }
+}
+
+/// The oracle applies batches strictly one operation at a time — it *is* the
+/// sequential reference the batch engine's differential tests compare
+/// against.
+impl BatchConnectivity for RecomputeOracle {
+    fn apply_batch(&self, ops: &[BatchOp]) -> Vec<QueryResult> {
+        sequential_apply_batch(self, ops)
     }
 }
 

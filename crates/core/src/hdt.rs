@@ -483,6 +483,48 @@ impl Hdt {
         }
     }
 
+    // ----- batch hooks (used by the `dc_batch` engine) -----------------------
+
+    /// Applies a compacted batch of updates in one combined pass, under the
+    /// caller's synchronization (same contract as [`Hdt::add_edge_locked`]).
+    ///
+    /// Additions are applied before removals on purpose: every edge the
+    /// batch inserts is in place before any removal runs, so a removed
+    /// spanning edge sees the densest graph the batch can offer — the
+    /// replacement search is maximally likely to find a (cheap) replacement
+    /// instead of committing a split that a later addition of the same batch
+    /// would immediately undo. The final edge set is order-independent (the
+    /// batch preprocessor only emits one net operation per edge), so this is
+    /// purely a cost choice.
+    ///
+    /// Returns the number of updates that actually changed the edge set.
+    pub fn apply_compacted_batch_locked(&self, adds: &[Edge], removes: &[Edge]) -> usize {
+        let mut changed = 0;
+        for e in adds {
+            if self.add_edge_locked(e.u(), e.v()) {
+                changed += 1;
+            }
+        }
+        for e in removes {
+            if self.remove_edge_locked(e.u(), e.v()) {
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Answers a run of connectivity queries with the lock-free read
+    /// protocol, appending one answer per pair to `out`. Safe to call from
+    /// any number of threads concurrently (the batch engine fans a query run
+    /// out across threads, each answering a chunk against the same
+    /// consistent post-update state).
+    pub fn connected_many(&self, pairs: &[(u32, u32)], out: &mut Vec<bool>) {
+        out.reserve(pairs.len());
+        for &(u, v) in pairs {
+            out.push(self.connected(u, v));
+        }
+    }
+
     // ----- internal helpers ---------------------------------------------------
 
     /// Inserts the adjacency information of a non-spanning edge at `level`

@@ -40,7 +40,9 @@ pub mod nonblocking;
 pub mod state;
 pub mod variants;
 
-pub use api::DynamicConnectivity;
+pub use api::{
+    sequential_apply_batch, BatchConnectivity, BatchOp, DynamicConnectivity, QueryResult,
+};
 pub use baseline::{RecomputeOracle, UnionFind};
 pub use hdt::{Hdt, StatsSnapshot};
 pub use state::{EdgeState, Status};

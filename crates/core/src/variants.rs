@@ -16,6 +16,13 @@
 //! | 11 | our algorithm + coarse-grained + HTM | [`crate::nonblocking::NonBlockingVariant`]`<ElisionLocking>` |
 //! | 12 | parallel combining | [`crate::combining::CombiningVariant`] (parallel reads) |
 //! | 13 | non-blocking reads + flat combining | [`crate::combining::CombiningVariant`] (flat combining, lock-free reads) |
+//!
+//! Beyond the paper, the registry accepts *extension engines* built in
+//! higher layers: the `dc_batch` crate registers its batch-parallel engine
+//! as number 14 via [`register_batch_builder`], and
+//! [`Variant::all_extended`] appends it to the paper's thirteen once
+//! registered (the core crate cannot depend on `dc_batch` — the dependency
+//! points the other way — so the builder is injected at runtime).
 
 use crate::api::DynamicConnectivity;
 use crate::combining::CombiningVariant;
@@ -23,6 +30,23 @@ use crate::hdt::Hdt;
 use crate::locking::{ElisionLocking, FineLocking, GlobalLocking, GlobalRwLocking, UpdateLocking};
 use crate::nonblocking::NonBlockingVariant;
 use dc_sync::CombiningMode;
+use std::sync::OnceLock;
+
+/// Constructor for an extension engine (see [`register_batch_builder`]).
+pub type BatchBuilder = fn(usize) -> Box<dyn DynamicConnectivity>;
+
+static BATCH_BUILDER: OnceLock<BatchBuilder> = OnceLock::new();
+
+/// Registers the builder behind [`Variant::BatchEngine`]. Called once by
+/// `dc_batch::register_variant()`; later calls are ignored.
+pub fn register_batch_builder(builder: BatchBuilder) {
+    let _ = BATCH_BUILDER.set(builder);
+}
+
+/// Returns `true` once a [`Variant::BatchEngine`] builder was registered.
+pub fn batch_builder_registered() -> bool {
+    BATCH_BUILDER.get().is_some()
+}
 
 /// A dynamic connectivity structure whose updates run under an
 /// [`UpdateLocking`] scheme, with either locked or lock-free reads.
@@ -212,9 +236,24 @@ pub enum Variant {
     ParallelCombining,
     /// (13) flat combining for updates plus non-blocking reads.
     FlatCombiningNonBlockingReads,
+    /// (14) the `dc_batch` batch-parallel engine (beyond the paper): sharded
+    /// intake, batch annihilation, combined-pass updates and parallel
+    /// post-batch queries. Only buildable after
+    /// `dc_batch::register_variant()` injected its constructor.
+    BatchEngine,
 }
 
 impl Variant {
+    /// The thirteen paper variants plus every registered extension engine
+    /// (currently [`Variant::BatchEngine`], once `dc_batch` registered it).
+    pub fn all_extended() -> Vec<Variant> {
+        let mut variants = Self::all().to_vec();
+        if batch_builder_registered() {
+            variants.push(Variant::BatchEngine);
+        }
+        variants
+    }
+
     /// All variants in the paper's order.
     pub fn all() -> &'static [Variant] {
         use Variant::*;
@@ -252,6 +291,7 @@ impl Variant {
             OurAlgorithmCoarseHtm => 11,
             ParallelCombining => 12,
             FlatCombiningNonBlockingReads => 13,
+            BatchEngine => 14,
         }
     }
 
@@ -272,6 +312,7 @@ impl Variant {
             OurAlgorithmCoarseHtm => "(11) our algorithm + coarse-gr. + HTM",
             ParallelCombining => "(12) parallel combining",
             FlatCombiningNonBlockingReads => "(13) non-bl. reads + flat combining",
+            BatchEngine => "(14) batched engine (dc_batch)",
         }
     }
 
@@ -300,6 +341,10 @@ impl Variant {
             FlatCombiningNonBlockingReads => {
                 Box::new(CombiningVariant::new(n, CombiningMode::FlatCombining, true))
             }
+            BatchEngine => BATCH_BUILDER.get().expect(
+                "Variant::BatchEngine needs dc_batch::register_variant() called first \
+                 (the core crate cannot depend on dc_batch)",
+            )(n),
         }
     }
 }
@@ -315,6 +360,24 @@ mod tests {
         assert_eq!(numbers, (1..=13).collect::<Vec<_>>());
         for v in Variant::all() {
             assert!(v.name().contains(&format!("({})", v.paper_number())));
+        }
+    }
+
+    #[test]
+    fn batch_engine_is_an_extension_entry() {
+        // The paper registry never contains the extension engine...
+        assert!(!Variant::all().contains(&Variant::BatchEngine));
+        assert_eq!(Variant::BatchEngine.paper_number(), 14);
+        assert!(Variant::BatchEngine
+            .name()
+            .contains(&format!("({})", Variant::BatchEngine.paper_number())));
+        // ...and all_extended only appends it once dc_batch registered its
+        // builder — which cannot have happened inside the core crate's own
+        // test binary (the dependency points the other way).
+        if !batch_builder_registered() {
+            assert_eq!(Variant::all_extended(), Variant::all().to_vec());
+        } else {
+            assert_eq!(Variant::all_extended().last(), Some(&Variant::BatchEngine));
         }
     }
 

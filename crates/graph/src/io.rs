@@ -39,6 +39,46 @@ impl From<io::Error> for ParseError {
     }
 }
 
+/// First-seen dense interner for the raw (sparse, 64-bit) vertex ids of
+/// edge-list files — the id normalization shared by the one-shot parser
+/// below and the streaming [`crate::stream::EdgeBatchReader`].
+#[derive(Default)]
+pub(crate) struct DenseInterner {
+    map: HashMap<u64, VertexId>,
+}
+
+impl DenseInterner {
+    /// Returns the dense id of `raw`, assigning the next one on first sight.
+    pub(crate) fn intern(&mut self, raw: u64) -> VertexId {
+        let next = self.map.len() as VertexId;
+        *self.map.entry(raw).or_insert(next)
+    }
+
+    /// Number of distinct raw ids interned so far.
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Tokenizes one SNAP edge-list line: `Ok(None)` for blank / `#` / `%`
+/// comment lines, `Ok(Some((a, b)))` for a raw id pair (extra columns are
+/// ignored), `Err(())` when malformed. Shared by both edge-list parsers so
+/// the format rules cannot diverge.
+pub(crate) fn split_edge_line(line: &str) -> Result<Option<(u64, u64)>, ()> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+        return Ok(None);
+    }
+    let mut parts = trimmed.split_whitespace();
+    match (
+        parts.next().and_then(|s| s.parse::<u64>().ok()),
+        parts.next().and_then(|s| s.parse::<u64>().ok()),
+    ) {
+        (Some(a), Some(b)) => Ok(Some((a, b))),
+        _ => Err(()),
+    }
+}
+
 /// Parses a SNAP-style whitespace edge list.
 ///
 /// * Lines starting with `#` or `%` are comments.
@@ -47,44 +87,28 @@ impl From<io::Error> for ParseError {
 /// * Self-loops and duplicate edges are removed (the paper's preprocessing).
 pub fn parse_edge_list<R: Read>(reader: R) -> Result<Graph, ParseError> {
     let reader = BufReader::new(reader);
-    let mut remap: HashMap<u64, VertexId> = HashMap::new();
+    let mut interner = DenseInterner::default();
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
-    let intern = |raw: u64, remap: &mut HashMap<u64, VertexId>| -> VertexId {
-        let next = remap.len() as VertexId;
-        *remap.entry(raw).or_insert(next)
-    };
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
-            continue;
-        }
-        let mut parts = trimmed.split_whitespace();
-        let (a, b) = match (parts.next(), parts.next()) {
-            (Some(a), Some(b)) => (a, b),
-            _ => {
+        match split_edge_line(&line) {
+            Ok(None) => {}
+            Ok(Some((a, b))) => {
+                let u = interner.intern(a);
+                let v = interner.intern(b);
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+            Err(()) => {
                 return Err(ParseError::Malformed {
                     line: idx + 1,
                     content: line.clone(),
                 })
             }
-        };
-        let (a, b) = match (a.parse::<u64>(), b.parse::<u64>()) {
-            (Ok(a), Ok(b)) => (a, b),
-            _ => {
-                return Err(ParseError::Malformed {
-                    line: idx + 1,
-                    content: line.clone(),
-                })
-            }
-        };
-        let u = intern(a, &mut remap);
-        let v = intern(b, &mut remap);
-        if u != v {
-            edges.push((u, v));
         }
     }
-    Ok(Graph::from_edges(remap.len(), edges))
+    Ok(Graph::from_edges(interner.len(), edges))
 }
 
 /// Parses the DIMACS shortest-path challenge format used by the USA-roads
@@ -233,5 +257,76 @@ mod tests {
         // Isolated vertices do not survive an edge-list round trip.
         assert!(g2.num_vertices() <= g.num_vertices());
         assert_eq!(g2.connected_components(), g2.connected_components());
+    }
+
+    #[test]
+    fn roundtrip_is_exact_after_one_normalization_pass() {
+        // The first parse remaps raw ids to first-seen dense order; from then
+        // on parse(write(g)) must reproduce the graph *exactly* (same vertex
+        // ids, same edges in the same order), because write emits edges in
+        // first-seen order and parse interns by first appearance.
+        let g = crate::generators::erdos_renyi_nm(60, 150, 42);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = parse_edge_list(buf.as_slice()).unwrap();
+        let mut buf2 = Vec::new();
+        write_edge_list(&g2, &mut buf2).unwrap();
+        let g3 = parse_edge_list(buf2.as_slice()).unwrap();
+        assert_eq!(g3.num_vertices(), g2.num_vertices());
+        assert_eq!(
+            g3.edges(),
+            g2.edges(),
+            "normalized round trip must be exact"
+        );
+        assert_eq!(g3.connected_components(), g2.connected_components());
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_across_formats() {
+        // DIMACS in, edge-list out, edge-list back in: same structure.
+        let input = "c roads\np sp 6 5\na 1 2 9\na 2 3 9\na 3 1 9\na 4 5 9\na 5 6 9\n";
+        let g = parse_dimacs(input.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = parse_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.connected_components(), 2);
+    }
+
+    #[test]
+    fn parse_edge_list_rejects_a_lone_vertex() {
+        let err = parse_edge_list("0 1\n42\n".as_bytes()).unwrap_err();
+        match err {
+            ParseError::Malformed { line, content } => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "42");
+            }
+            other => panic!("expected Malformed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_edge_list_rejects_non_numeric_endpoint() {
+        assert!(parse_edge_list("1 x\n".as_bytes()).is_err());
+        assert!(parse_edge_list("x 1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn parse_dimacs_rejects_malformed_lines() {
+        // Bad problem line.
+        assert!(parse_dimacs("p sp x 3\n".as_bytes()).is_err());
+        // Arc with a missing endpoint.
+        assert!(parse_dimacs("p sp 3 1\na 1\n".as_bytes()).is_err());
+        // DIMACS vertices are 1-based; 0 is out of range.
+        assert!(parse_dimacs("p sp 3 1\na 0 2 5\n".as_bytes()).is_err());
+        // Unknown line type.
+        assert!(parse_dimacs("q 1 2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn parse_error_display_names_the_line() {
+        let err = parse_edge_list("ok-is-not\n".as_bytes()).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("line 1"), "{msg}");
     }
 }

@@ -15,12 +15,17 @@
 //! * a catalog mirroring Table 1 and Table 2 of the paper at configurable
 //!   scale ([`catalog`]),
 //! * plain edge-list / DIMACS loaders and writers so the real datasets can be
-//!   dropped in when available ([`io`]).
+//!   dropped in when available ([`io`]),
+//! * a streaming batch reader that feeds edge-list files to the `dc_batch`
+//!   bulk-load path in fixed-size chunks without materializing the whole
+//!   graph ([`stream`]).
 
 pub mod catalog;
 pub mod generators;
 pub mod io;
+pub mod stream;
 pub mod types;
 
 pub use catalog::{GraphSpec, ScaledCatalog};
+pub use stream::EdgeBatchReader;
 pub use types::{Edge, Graph, VertexId};

@@ -1,0 +1,170 @@
+//! Streaming edge-list reader that yields fixed-size batches without ever
+//! materializing the whole graph.
+//!
+//! The batch engine (`dc_batch`) bulk-loads through
+//! `apply_batch`, so the natural loader shape is "give me the next `k`
+//! edges", not "parse the file into a [`crate::Graph`]". This reader shares
+//! the SNAP edge-list conventions of [`crate::io::parse_edge_list`]
+//! (whitespace pairs, `#`/`%` comments, arbitrary integer ids interned to a
+//! dense `0..n` range) but holds only the interning table and one batch in
+//! memory.
+//!
+//! Duplicate edges are *not* removed — deduplication would require the full
+//! edge set, defeating the streaming point, and the dynamic connectivity
+//! structures treat a re-added edge as a no-op anyway. Self-loops are
+//! dropped like everywhere else.
+
+use crate::io::{split_edge_line, DenseInterner, ParseError};
+use crate::types::Edge;
+use std::io::{BufRead, BufReader, Lines, Read};
+
+/// Iterator over fixed-size batches of edges parsed from a streaming
+/// edge-list source. See the module documentation.
+pub struct EdgeBatchReader<R: Read> {
+    lines: Lines<BufReader<R>>,
+    batch_size: usize,
+    line_no: usize,
+    interner: DenseInterner,
+    failed: bool,
+}
+
+impl<R: Read> EdgeBatchReader<R> {
+    /// Creates a reader producing batches of at most `batch_size` edges.
+    pub fn new(reader: R, batch_size: usize) -> Self {
+        EdgeBatchReader {
+            lines: BufReader::new(reader).lines(),
+            batch_size: batch_size.max(1),
+            line_no: 0,
+            interner: DenseInterner::default(),
+            failed: false,
+        }
+    }
+
+    /// Number of distinct vertices interned so far. After the iterator is
+    /// exhausted this is the `n` of the streamed graph.
+    pub fn num_vertices_seen(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// One line through the shared SNAP tokenizer + interner of
+    /// [`crate::io`] (so the two edge-list parsers cannot diverge).
+    fn parse_line(&mut self, line: &str) -> Result<Option<Edge>, ParseError> {
+        match split_edge_line(line) {
+            Ok(None) => Ok(None),
+            Ok(Some((a, b))) => {
+                let u = self.interner.intern(a);
+                let v = self.interner.intern(b);
+                Ok(if u == v { None } else { Some(Edge::new(u, v)) })
+            }
+            Err(()) => Err(ParseError::Malformed {
+                line: self.line_no,
+                content: line.to_string(),
+            }),
+        }
+    }
+}
+
+impl<R: Read> Iterator for EdgeBatchReader<R> {
+    type Item = Result<Vec<Edge>, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let mut batch = Vec::with_capacity(self.batch_size);
+        while batch.len() < self.batch_size {
+            match self.lines.next() {
+                Some(Ok(line)) => {
+                    self.line_no += 1;
+                    match self.parse_line(&line) {
+                        Ok(Some(edge)) => batch.push(edge),
+                        Ok(None) => {}
+                        Err(err) => {
+                            self.failed = true;
+                            return Some(Err(err));
+                        }
+                    }
+                }
+                Some(Err(err)) => {
+                    self.failed = true;
+                    return Some(Err(ParseError::Io(err)));
+                }
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(Ok(batch))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::io::write_edge_list;
+
+    #[test]
+    fn batches_cover_the_stream_in_order() {
+        let input = "# header\n0 1\n1 2\n\n2 3\n3 4\n4 5\n";
+        let mut reader = EdgeBatchReader::new(input.as_bytes(), 2);
+        let batches: Vec<Vec<Edge>> = reader.by_ref().map(|b| b.unwrap()).collect();
+        assert_eq!(batches.len(), 3);
+        assert!(batches.iter().take(2).all(|b| b.len() == 2));
+        assert_eq!(batches[2].len(), 1);
+        assert_eq!(reader.num_vertices_seen(), 6);
+        let flat: Vec<Edge> = batches.into_iter().flatten().collect();
+        assert_eq!(flat[0], Edge::new(0, 1));
+        assert_eq!(flat[4], Edge::new(4, 5));
+    }
+
+    #[test]
+    fn interning_matches_the_one_shot_parser() {
+        let g = generators::erdos_renyi_nm(80, 160, 11);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let one_shot = crate::io::parse_edge_list(buf.as_slice()).unwrap();
+        let mut reader = EdgeBatchReader::new(buf.as_slice(), 37);
+        let streamed: Vec<Edge> = reader.by_ref().flat_map(|b| b.unwrap()).collect();
+        assert_eq!(streamed.len(), one_shot.num_edges());
+        assert_eq!(reader.num_vertices_seen(), one_shot.num_vertices());
+        let mut a: Vec<Edge> = one_shot.edges().to_vec();
+        let mut b = streamed;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "same interning order, same edges");
+    }
+
+    #[test]
+    fn self_loops_are_dropped_but_duplicates_stream_through() {
+        let input = "5 5\n0 1\n1 0\n0 1\n";
+        let batches: Vec<Vec<Edge>> = EdgeBatchReader::new(input.as_bytes(), 10)
+            .map(|b| b.unwrap())
+            .collect();
+        let flat: Vec<Edge> = batches.into_iter().flatten().collect();
+        // "5 5" interned vertex id 0 for raw id 5; the loop itself is gone.
+        assert_eq!(flat.len(), 3);
+        assert!(flat.iter().all(|e| *e == Edge::new(1, 2)));
+    }
+
+    #[test]
+    fn malformed_line_fails_once_then_stops() {
+        let input = "0 1\nnot numbers\n2 3\n";
+        let mut reader = EdgeBatchReader::new(input.as_bytes(), 1);
+        assert!(reader.next().unwrap().is_ok());
+        match reader.next() {
+            Some(Err(ParseError::Malformed { line, .. })) => assert_eq!(line, 2),
+            other => panic!("expected a malformed-line error, got {other:?}"),
+        }
+        assert!(reader.next().is_none(), "a failed stream stays terminated");
+    }
+
+    #[test]
+    fn empty_input_yields_no_batches() {
+        let mut reader = EdgeBatchReader::new("# only comments\n\n".as_bytes(), 8);
+        assert!(reader.next().is_none());
+        assert_eq!(reader.num_vertices_seen(), 0);
+    }
+}

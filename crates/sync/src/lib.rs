@@ -21,6 +21,8 @@
 //! * [`hash::FxHasher`] — the shared fast integer hasher.
 //! * [`combining`] — a generic flat-combining / parallel-combining executor
 //!   (variants 12 and 13 of the evaluation).
+//! * [`intake`] — the sharded MPSC intake array (padded per-thread slots
+//!   with a claim/hand-back protocol) underneath the `dc_batch` engine.
 //! * [`spinlock::RawSpinLock`] — a word-sized raw lock with explicit
 //!   `lock`/`unlock`, used for the per-component locks in the Euler Tour
 //!   Tree forest's per-vertex side table (fine-grained locking, Listing 2).
@@ -35,6 +37,7 @@ pub mod combining;
 pub mod elision;
 pub mod epoch;
 pub mod hash;
+pub mod intake;
 pub mod multiset;
 pub mod rwspinlock;
 pub mod spinlock;
@@ -46,6 +49,7 @@ pub use combining::{CombiningExecutor, CombiningMode, CombiningTarget};
 pub use elision::ElisionLock;
 pub use epoch::{EpochDomain, EpochGuard, Limbo};
 pub use hash::{FxBuildHasher, FxHasher};
+pub use intake::{IntakeArray, SlotPoll};
 pub use multiset::ConcurrentMultiSet;
 pub use rwspinlock::RawRwLock;
 pub use spinlock::RawSpinLock;

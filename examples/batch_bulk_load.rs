@@ -1,0 +1,129 @@
+//! Bulk-loading a graph through the batch engine, then querying it in
+//! bursts.
+//!
+//! ```sh
+//! cargo run --release --example batch_bulk_load
+//! ```
+//!
+//! The example generates an Erdős–Rényi graph, writes it to disk as a plain
+//! edge list, then *streams* it back in fixed-size batches
+//! ([`dc_graph::EdgeBatchReader`] never materializes the whole file) and
+//! feeds each batch to [`BatchEngine::apply_batch`]. A final burst mixes
+//! churn (add+remove pairs that annihilate before touching the tree) with a
+//! block of connectivity queries answered in parallel from one consistent
+//! snapshot.
+
+use concurrent_dynamic_connectivity::batch::BatchEngine;
+use concurrent_dynamic_connectivity::graph::stream::EdgeBatchReader;
+use concurrent_dynamic_connectivity::graph::{generators, io};
+use concurrent_dynamic_connectivity::{BatchConnectivity, BatchOp, DynamicConnectivity};
+use dynconn::UnionFind;
+
+fn main() {
+    let vertices = 20_000;
+    let edges = 60_000;
+    let batch_size = 1_024;
+
+    // 1. Generate and persist the dataset.
+    let graph = generators::erdos_renyi_nm(vertices, edges, 42);
+    let path = std::env::temp_dir().join("dc_batch_bulk_load.edges");
+    let file = std::fs::File::create(&path).expect("create temp edge list");
+    io::write_edge_list(&graph, std::io::BufWriter::new(file)).expect("write edge list");
+    println!(
+        "wrote {} vertices / {} edges to {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        path.display()
+    );
+
+    // 2. Stream it back in batches and bulk-load the engine.
+    let engine = BatchEngine::new(vertices);
+    let mut uf = UnionFind::new(vertices);
+    let file = std::fs::File::open(&path).expect("reopen edge list");
+    let start = std::time::Instant::now();
+    let mut batches = 0usize;
+    // The stream reader interns raw file ids to dense first-seen ids, so
+    // everything below (union-find, churn pairs, assertions) must use the
+    // *streamed* edges, not the generator's labels.
+    let mut loaded = std::collections::HashSet::new();
+    let mut ops = Vec::with_capacity(batch_size);
+    for batch in EdgeBatchReader::new(file, batch_size) {
+        let batch = batch.expect("well-formed edge list");
+        ops.clear();
+        ops.extend(batch.iter().map(|e| BatchOp::Add(e.u(), e.v())));
+        engine.apply_batch(&ops);
+        for e in &batch {
+            uf.union(e.u(), e.v());
+            loaded.insert(*e);
+        }
+        batches += 1;
+    }
+    let loaded_count = loaded.len();
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "bulk-loaded {loaded_count} edges in {batches} batches of <= {batch_size} \
+         ({:.0} edges/s)",
+        loaded_count as f64 / secs.max(1e-9)
+    );
+
+    // 3. A bursty client: churn that annihilates plus a query block.
+    let mut burst = Vec::new();
+    for i in 0..2_000u32 {
+        // Add+remove of the same absent edge: cancelled by the preprocessor,
+        // never touches the tree. (Pairs that happen to be loaded edges
+        // would be *removals* under last-intent-wins semantics, so skip
+        // those — the union-find cross-check below doesn't model removals.)
+        let (u, v) = (i % vertices as u32, (i * 7 + 1) % vertices as u32);
+        if u != v && !loaded.contains(&concurrent_dynamic_connectivity::Edge::new(u, v)) {
+            burst.push(BatchOp::Add(u, v));
+            burst.push(BatchOp::Remove(u, v));
+        }
+    }
+    let query_base = burst.len();
+    for i in 0..4_000u32 {
+        let u = (i * 31) % vertices as u32;
+        let v = (i * 97 + 5) % vertices as u32;
+        burst.push(BatchOp::Query(u, v));
+    }
+    let start = std::time::Instant::now();
+    let answers = engine.apply_batch(&burst);
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "burst of {} ops answered {} queries in {:.2} ms",
+        burst.len(),
+        answers.len(),
+        secs * 1e3
+    );
+
+    // 4. Cross-check a sample of answers against union-find.
+    for result in answers.iter().step_by(97) {
+        assert_eq!(
+            result.connected,
+            uf.connected(result.u, result.v),
+            "query ({}, {}) disagrees with union-find",
+            result.u,
+            result.v
+        );
+        assert!(result.op_index >= query_base);
+    }
+    let sample = loaded.iter().next().expect("at least one loaded edge");
+    assert!(engine.connected(sample.u(), sample.v()));
+
+    let stats = engine.stats();
+    println!(
+        "engine stats: {} bulk batches, {} updates submitted, {} applied \
+         (compaction ratio {:.3}), {} queries ({} coalesced)",
+        stats.bulk_batches,
+        stats.submitted_updates,
+        stats.applied_updates,
+        stats.compaction_ratio(),
+        stats.submitted_queries,
+        stats.coalesced_queries
+    );
+    assert!(
+        stats.applied_updates < stats.submitted_updates,
+        "the churn burst must have annihilated"
+    );
+    let _ = std::fs::remove_file(&path);
+    println!("ok");
+}

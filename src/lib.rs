@@ -13,7 +13,11 @@
 //! * [`ett`] — the single-writer, multi-reader concurrent Euler Tour Tree
 //!   (paper Section 3);
 //! * [`dynconn`] — the HDT-based dynamic connectivity core and all thirteen
-//!   algorithm variants of the paper's evaluation (paper Section 4).
+//!   algorithm variants of the paper's evaluation (paper Section 4);
+//! * [`batch`] — the batch-parallel operation engine (`dc_batch`): sharded
+//!   intake, batch annihilation, combined-pass updates and
+//!   snapshot-consistent bulk queries on top of the HDT core (`DESIGN.md`
+//!   §5).
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -46,11 +50,15 @@
 //! assert!(!dc.connected(0, 2));
 //! ```
 
+pub use dc_batch as batch;
 pub use dc_ett as ett;
 pub use dc_graph as graph;
 pub use dc_sync as sync;
 pub use dynconn;
 
+pub use dc_batch::BatchEngine;
 pub use dc_ett::EulerForest;
 pub use dc_graph::{Edge, Graph};
-pub use dynconn::{DynamicConnectivity, Hdt, RecomputeOracle, Variant};
+pub use dynconn::{
+    BatchConnectivity, BatchOp, DynamicConnectivity, Hdt, QueryResult, RecomputeOracle, Variant,
+};
