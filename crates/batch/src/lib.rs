@@ -33,6 +33,22 @@
 //!
 //! See `DESIGN.md` §5 for the batch lifecycle and the linearizability
 //! argument (batch boundaries as linearization points).
+//!
+//! ```
+//! use dc_batch::{BatchConnectivity, BatchEngine, BatchOp};
+//!
+//! let engine = BatchEngine::new(8);
+//! let answers = engine.apply_batch(&[
+//!     BatchOp::Add(0, 1),
+//!     BatchOp::Add(1, 2),
+//!     BatchOp::Query(0, 2),   // answered as of this point: connected
+//!     BatchOp::Remove(1, 2),
+//!     BatchOp::Query(0, 2),   // now disconnected
+//! ]);
+//! assert_eq!(answers.len(), 2);
+//! assert!(answers[0].connected);
+//! assert!(!answers[1].connected);
+//! ```
 
 pub mod engine;
 pub mod plan;

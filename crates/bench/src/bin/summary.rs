@@ -9,8 +9,8 @@
 
 use dc_bench::runner::run_adjacency_baseline;
 use dc_bench::{
-    run_batch_bench, run_ett_bench, run_throughput, BatchBenchConfig, BenchConfig, EttBenchConfig,
-    Scenario, Workload,
+    run_batch_bench, run_ett_bench, run_throughput, run_workload_bench, BatchBenchConfig,
+    BenchConfig, EttBenchConfig, Scenario, Workload, WorkloadBenchConfig,
 };
 use dc_graph::GraphSpec;
 use dynconn::Variant;
@@ -36,6 +36,13 @@ fn main() {
         .unwrap_or(false)
     {
         emit_batch_baseline();
+        return;
+    }
+    if std::env::var("DC_BENCH_WORKLOADS_ONLY")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        emit_workload_baseline();
         return;
     }
     let threads = *config.thread_counts.last().unwrap_or(&1);
@@ -80,6 +87,21 @@ fn main() {
     emit_adjacency_baseline(&config);
     emit_ett_baseline();
     emit_batch_baseline();
+    emit_workload_baseline();
+}
+
+/// Measures the workload-subsystem scenarios (power-law + Zipf, phased
+/// lifecycle, sliding window, trace replay — all fourteen variants, with
+/// per-phase waitstats) and writes `BENCH_workloads.json`.
+fn emit_workload_baseline() {
+    let config = WorkloadBenchConfig::from_env();
+    let baseline = run_workload_bench(&config);
+    print!("{}", baseline.render_text());
+    let path = "BENCH_workloads.json";
+    match std::fs::write(path, baseline.to_json()) {
+        Ok(()) => println!("workload baseline written to {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
 }
 
 /// Measures the batch-engine scenarios (burst vs every single-op variant,

@@ -5,8 +5,13 @@
 //! four large graphs, plus the "active time rate" (time not spent waiting for
 //! locks) and workload statistics.  This crate provides:
 //!
-//! * the three workload generators — random-subset, incremental and
-//!   decremental scenarios ([`scenario`]);
+//! * the paper's three workload generators — random-subset, incremental and
+//!   decremental scenarios ([`scenario`], a thin wrapper over the
+//!   `dc_workloads` presets);
+//! * the workload-subsystem benchmark — power-law + Zipf contention, the
+//!   phased lifecycle, the temporal sliding window and trace replay across
+//!   all fourteen variants, emitted as `BENCH_workloads.json`
+//!   ([`workloadbench`]);
 //! * a multi-threaded throughput harness with warm-up, lock-wait accounting
 //!   and ops/ms reporting ([`throughput`]);
 //! * the statistics collector behind Tables 3 and 4 ([`stats`]);
@@ -15,6 +20,10 @@
 //! * one binary per figure/table of the paper (see `src/bin/`), all driven by
 //!   the same [`config::BenchConfig`] so they scale down gracefully on small
 //!   machines.
+//!
+//! The machine-readable artifacts (`BENCH_adjacency.json`, `BENCH_ett.json`,
+//! `BENCH_batch.json`, `BENCH_workloads.json`) are documented in
+//! `docs/bench-schema.md`.
 
 pub mod batchbench;
 pub mod config;
@@ -24,6 +33,7 @@ pub mod runner;
 pub mod scenario;
 pub mod stats;
 pub mod throughput;
+pub mod workloadbench;
 
 pub use batchbench::{run_batch_bench, BatchBaseline, BatchBenchConfig};
 pub use config::BenchConfig;
@@ -32,3 +42,4 @@ pub use report::FigureData;
 pub use runner::{run_figure, Measure};
 pub use scenario::{Operation, Scenario, Workload};
 pub use throughput::{run_throughput, ThroughputResult};
+pub use workloadbench::{run_workload_bench, WorkloadBaseline, WorkloadBenchConfig};

@@ -1,4 +1,5 @@
-//! Workload generators for the three benchmark scenarios of Section 5.1.
+//! The three benchmark scenarios of the paper's Section 5.1, as a thin
+//! wrapper over the [`dc_workloads`] preset generators.
 //!
 //! * **Random subset** — the structure starts with a random half of the
 //!   graph's edges; threads then execute a random mix of connectivity
@@ -9,24 +10,20 @@
 //!   initially empty structure.
 //! * **Decremental** — threads concurrently delete every edge from a
 //!   structure initialized with the whole graph.
+//!
+//! The general workload machinery — phased op mixes, Zipf hot-edge skew,
+//! additional topologies, trace record/replay — lives in [`dc_workloads`];
+//! this module only keeps the paper's named trio and the flat
+//! [`Workload`] shape the figure binaries consume. [`Operation`] is a
+//! re-export of [`dc_workloads::Op`].
 
-use dc_graph::{Edge, Graph, VertexId};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use dc_graph::{Edge, Graph};
+use dc_workloads::presets;
 
-/// One benchmark operation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Operation {
-    /// `add_edge(u, v)`.
-    Add(VertexId, VertexId),
-    /// `remove_edge(u, v)`.
-    Remove(VertexId, VertexId),
-    /// `connected(u, v)`.
-    Query(VertexId, VertexId),
-}
+/// One benchmark operation (re-exported from [`dc_workloads`]).
+pub use dc_workloads::Op as Operation;
 
-/// Which scenario to generate.
+/// Which paper scenario to generate.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Scenario {
     /// The random-subset scenario with the given percentage of reads
@@ -72,7 +69,8 @@ impl Workload {
         self.per_thread.iter().map(|ops| ops.len()).sum()
     }
 
-    /// Generates the workload for `scenario` on `graph`.
+    /// Generates the workload for `scenario` on `graph` by delegating to
+    /// the matching [`dc_workloads::presets`] generator.
     ///
     /// `threads` streams of (roughly) `ops_per_thread` operations are
     /// produced; for the incremental and decremental scenarios the graph's
@@ -85,90 +83,20 @@ impl Workload {
         ops_per_thread: usize,
         seed: u64,
     ) -> Workload {
-        assert!(threads >= 1);
-        let mut rng = StdRng::seed_from_u64(seed);
-        match scenario {
+        let generated = match scenario {
             Scenario::RandomSubset { read_percent } => {
-                assert!(read_percent <= 100);
-                // Preload a random half of the edges.
-                let mut edges: Vec<Edge> = graph.edges().to_vec();
-                edges.shuffle(&mut rng);
-                let preload: Vec<Edge> = edges[..edges.len() / 2].to_vec();
-                let n = graph.num_vertices() as VertexId;
-                let per_thread = (0..threads)
-                    .map(|t| {
-                        let mut trng = StdRng::seed_from_u64(seed ^ ((t as u64 + 1) * 0x9E37));
-                        (0..ops_per_thread)
-                            .map(|_| {
-                                let roll = trng.gen_range(0..100u32);
-                                if roll < read_percent {
-                                    let u = trng.gen_range(0..n);
-                                    let v = trng.gen_range(0..n);
-                                    Operation::Query(u, v.min(n - 1))
-                                } else {
-                                    let e = graph.edge(trng.gen_range(0..graph.num_edges()));
-                                    if roll % 2 == 0 {
-                                        Operation::Add(e.u(), e.v())
-                                    } else {
-                                        Operation::Remove(e.u(), e.v())
-                                    }
-                                }
-                            })
-                            .collect()
-                    })
-                    .collect();
-                Workload {
-                    preload,
-                    per_thread,
-                    scenario,
-                }
+                presets::random_subset(graph, read_percent, threads, ops_per_thread, seed)
             }
-            Scenario::Incremental => {
-                let mut edges: Vec<Edge> = graph.edges().to_vec();
-                edges.shuffle(&mut rng);
-                let per_thread = partition(&edges, threads)
-                    .into_iter()
-                    .map(|chunk| {
-                        chunk
-                            .into_iter()
-                            .map(|e| Operation::Add(e.u(), e.v()))
-                            .collect()
-                    })
-                    .collect();
-                Workload {
-                    preload: Vec::new(),
-                    per_thread,
-                    scenario,
-                }
-            }
-            Scenario::Decremental => {
-                let mut edges: Vec<Edge> = graph.edges().to_vec();
-                edges.shuffle(&mut rng);
-                let per_thread = partition(&edges, threads)
-                    .into_iter()
-                    .map(|chunk| {
-                        chunk
-                            .into_iter()
-                            .map(|e| Operation::Remove(e.u(), e.v()))
-                            .collect()
-                    })
-                    .collect();
-                Workload {
-                    preload: graph.edges().to_vec(),
-                    per_thread,
-                    scenario,
-                }
-            }
+            Scenario::Incremental => presets::incremental(graph, threads, seed),
+            Scenario::Decremental => presets::decremental(graph, threads, seed),
+        };
+        let per_thread = generated.flat_per_thread();
+        Workload {
+            preload: generated.preload,
+            per_thread,
+            scenario,
         }
     }
-}
-
-fn partition(edges: &[Edge], threads: usize) -> Vec<Vec<Edge>> {
-    let mut chunks = vec![Vec::new(); threads];
-    for (i, &e) in edges.iter().enumerate() {
-        chunks[i % threads].push(e);
-    }
-    chunks
 }
 
 #[cfg(test)]

@@ -46,4 +46,4 @@ pub use api::{
 pub use baseline::{RecomputeOracle, UnionFind};
 pub use hdt::{Hdt, StatsSnapshot};
 pub use state::{EdgeState, Status};
-pub use variants::Variant;
+pub use variants::{batch_builder_registered, register_batch_builder, Variant};

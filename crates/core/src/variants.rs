@@ -274,6 +274,25 @@ impl Variant {
         ]
     }
 
+    /// The inverse of [`Variant::paper_number`]: resolves a variant from
+    /// its plot number (1–13 are the paper's variants, 14 the batch
+    /// engine), or `None` for numbers outside the registry.
+    ///
+    /// Note that resolving 14 succeeds whether or not
+    /// `dc_batch::register_variant()` has run — only
+    /// [`Variant::build`] requires the builder; callers iterating
+    /// `(1..=14).filter_map(Variant::by_paper_number)` should gate on
+    /// [`batch_builder_registered`] before building number 14.
+    pub fn by_paper_number(number: u8) -> Option<Variant> {
+        match number {
+            14 => Some(Variant::BatchEngine),
+            _ => Variant::all()
+                .iter()
+                .copied()
+                .find(|v| v.paper_number() == number),
+        }
+    }
+
     /// The variant number used in the paper's plots.
     pub fn paper_number(&self) -> u8 {
         use Variant::*;
@@ -361,6 +380,16 @@ mod tests {
         for v in Variant::all() {
             assert!(v.name().contains(&format!("({})", v.paper_number())));
         }
+    }
+
+    #[test]
+    fn by_paper_number_inverts_paper_number() {
+        for v in Variant::all() {
+            assert_eq!(Variant::by_paper_number(v.paper_number()), Some(*v));
+        }
+        assert_eq!(Variant::by_paper_number(14), Some(Variant::BatchEngine));
+        assert_eq!(Variant::by_paper_number(0), None);
+        assert_eq!(Variant::by_paper_number(15), None);
     }
 
     #[test]

@@ -18,6 +18,15 @@
 //! * [`random_components`] — an Erdős–Rényi graph partitioned into `k`
 //!   equally-sized components ("Random, 10 components").
 //! * [`rmat`] — an RMAT/Kronecker-style recursive-matrix graph ("Kron").
+//!
+//! Beyond the paper's catalog, the workload subsystem (`dc_workloads`)
+//! layers its parameterized topologies on three additional primitives:
+//!
+//! * [`ring_of_cliques`] — dense cliques joined by critical bridge edges,
+//!   the adversarial shape for replacement searches;
+//! * [`grid`] — an exact 2-D grid (deterministic, path-like spanning trees);
+//! * [`star_forest`] — disjoint stars: maximal degree skew, hub contention,
+//!   no replacement edges.
 
 use crate::types::{Edge, Graph, VertexId};
 use rand::distributions::{Distribution, Uniform};
@@ -220,6 +229,96 @@ pub fn kronecker(scale: u32, edge_factor: usize, seed: u64) -> Graph {
     rmat(scale, n * edge_factor, 0.57, 0.19, 0.19, seed)
 }
 
+/// Generates a ring of `k` cliques of `clique_size` vertices each: every
+/// clique is complete internally and consecutive cliques are joined by a
+/// single bridge edge (the last clique bridges back to the first, closing
+/// the ring).
+///
+/// This is the classic adversarial shape for dynamic connectivity: almost
+/// every edge is redundant inside its clique (removals find a replacement
+/// immediately), while the `k` bridges are all critical — removing one
+/// forces a full replacement search that fails, and the component splits.
+/// `extra_bridges` additional random inter-clique edges can soften that
+/// criticality.
+pub fn ring_of_cliques(k: usize, clique_size: usize, extra_bridges: usize, seed: u64) -> Graph {
+    assert!(
+        k >= 2 && clique_size >= 2,
+        "need k >= 2 and clique_size >= 2"
+    );
+    let n = k * clique_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> =
+        Vec::with_capacity(k * clique_size * (clique_size - 1) / 2 + k + extra_bridges);
+    for c in 0..k {
+        let base = c * clique_size;
+        for i in 0..clique_size {
+            for j in (i + 1)..clique_size {
+                edges.push(((base + i) as VertexId, (base + j) as VertexId));
+            }
+        }
+        // Bridge to the next clique (wrapping), connecting "diagonal"
+        // members so bridges never collide with clique-internal edges.
+        let next = ((c + 1) % k) * clique_size;
+        edges.push(((base + clique_size - 1) as VertexId, next as VertexId));
+    }
+    for _ in 0..extra_bridges {
+        let ca = rng.gen_range(0..k);
+        let cb = rng.gen_range(0..k);
+        if ca == cb {
+            continue;
+        }
+        let u = (ca * clique_size + rng.gen_range(0..clique_size)) as VertexId;
+        let v = (cb * clique_size + rng.gen_range(0..clique_size)) as VertexId;
+        edges.push((u, v));
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// Generates an exact (unjittered) `rows x cols` 2-D grid graph: every
+/// vertex connects to its right and down neighbor.
+///
+/// Unlike [`road_network`] there is no randomness: the grid is the
+/// deterministic worst case for tree diameter (the spanning tree the HDT
+/// structure maintains is a long path), which maximizes Euler-tour sizes
+/// and replacement-search depth.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1);
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// Generates a forest of `stars` disjoint star graphs with `leaves` leaves
+/// each (vertex `0` of each star is its hub).
+///
+/// Stars are the degree-skew extreme: every edge is a hub edge, so all
+/// contention lands on `stars` hot vertices, and every removal disconnects
+/// a leaf (no replacement ever exists). `n = stars * (leaves + 1)`.
+pub fn star_forest(stars: usize, leaves: usize) -> Graph {
+    assert!(stars >= 1 && leaves >= 1);
+    let per = leaves + 1;
+    let n = stars * per;
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(stars * leaves);
+    for s in 0..stars {
+        let hub = (s * per) as VertexId;
+        for l in 1..=leaves {
+            edges.push((hub, (s * per + l) as VertexId));
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +389,38 @@ mod tests {
         let g = kronecker(10, 8, 17);
         assert_eq!(g.num_vertices(), 1024);
         assert!(g.num_edges() > 4000);
+    }
+
+    #[test]
+    fn ring_of_cliques_structure() {
+        let g = ring_of_cliques(10, 5, 0, 3);
+        assert_eq!(g.num_vertices(), 50);
+        // 10 cliques of C(5,2)=10 edges plus 10 bridges.
+        assert_eq!(g.num_edges(), 110);
+        assert_eq!(g.connected_components(), 1);
+        let h = ring_of_cliques(10, 5, 20, 3);
+        assert!(h.num_edges() > g.num_edges());
+        assert_eq!(h.connected_components(), 1);
+    }
+
+    #[test]
+    fn grid_is_exact_and_connected() {
+        let g = grid(8, 12);
+        assert_eq!(g.num_vertices(), 96);
+        // rows*(cols-1) horizontal + (rows-1)*cols vertical edges.
+        assert_eq!(g.num_edges(), 8 * 11 + 7 * 12);
+        assert_eq!(g.connected_components(), 1);
+    }
+
+    #[test]
+    fn star_forest_components_and_degrees() {
+        let g = star_forest(7, 9);
+        assert_eq!(g.num_vertices(), 70);
+        assert_eq!(g.num_edges(), 63);
+        assert_eq!(g.connected_components(), 7);
+        let adj = g.adjacency();
+        let max_deg = adj.iter().map(|a| a.len()).max().unwrap();
+        assert_eq!(max_deg, 9);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the slice of the proptest API this workspace's tests use —
-//! the [`Strategy`] trait with `prop_map`, integer-range / tuple / `vec` /
+//! the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//! integer-range / tuple / `vec` /
 //! `bool::ANY` strategies, `prop_oneof!`, and the `proptest!` test macro
 //! with `#![proptest_config(...)]` — on top of a deterministic PRNG.
 //!

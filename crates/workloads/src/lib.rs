@@ -1,0 +1,55 @@
+//! Scenario subsystem for the concurrent dynamic connectivity engine:
+//! parameterized topologies, phased operation-mix workloads with tunable
+//! Zipf contention, and a binary trace format for byte-for-byte
+//! reproducible replay.
+//!
+//! The paper's evaluation (§5.1) stresses the structure with exactly three
+//! uniform-random scenarios. This crate generalizes that into a workload
+//! *model* with three orthogonal axes:
+//!
+//! * **Topology** ([`topology`]) — *which* graph the operations range over:
+//!   power-law, ring-of-cliques, grid, star-forest, Erdős–Rényi, or a
+//!   temporal sliding-window stream, each stressing a different structural
+//!   regime of the HDT hierarchy.
+//! * **Phases** ([`phases`]) — *how the traffic evolves*: an ordered list
+//!   of phases, each with per-thread operation budgets, a read/add/remove
+//!   mix and a Zipf hot-edge skew, built fluently or parsed from a compact
+//!   DSL (`"load 2000 r0 a100 d0; churn 4000 r10 a45 d45 z0.8"`). The
+//!   paper's three scenarios are [`presets`] of this model, next to the
+//!   four-phase lifecycle and sliding-window presets.
+//! * **Traces** ([`trace`]) — *replayability*: any generated workload can
+//!   be frozen into a compact checksummed binary trace
+//!   ([`TraceWriter`]/[`TraceReader`]) and replayed deterministically
+//!   against any algorithm variant, machine or commit.
+//!
+//! Everything is deterministic per seed: seed + format version ⇒ identical
+//! trace bytes ⇒ identical replayed operation sequences (see `DESIGN.md`
+//! §7 for the full argument).
+//!
+//! ```
+//! use dc_workloads::{presets, Topology, Trace};
+//!
+//! // 1. Pick a topology and materialize its edge universe.
+//! let topo = Topology::RingOfCliques { cliques: 6, clique_size: 5, extra_bridges: 2 };
+//! let graph = topo.build(42);
+//!
+//! // 2. Generate a phased workload over it.
+//! let workload = presets::lifecycle(&graph, 2, 500, 42);
+//! assert_eq!(workload.phases.len(), 4);
+//!
+//! // 3. Freeze it into a trace and replay it, byte-for-byte identical.
+//! let trace = Trace::record(&workload, 42, graph.num_vertices() as u32);
+//! let replay = Trace::from_bytes(&trace.to_bytes()).unwrap();
+//! assert_eq!(trace, replay);
+//! ```
+
+pub mod phases;
+pub mod presets;
+pub mod topology;
+pub mod trace;
+pub mod zipf;
+
+pub use phases::{GeneratedWorkload, Op, OpMix, Phase, PhaseStream, WorkloadSpec};
+pub use topology::Topology;
+pub use trace::{Trace, TraceMeta, TraceReader, TraceWriter, TRACE_VERSION};
+pub use zipf::Zipf;

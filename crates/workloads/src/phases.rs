@@ -1,0 +1,542 @@
+//! The phased operation-mix workload model.
+//!
+//! A workload is described by a [`WorkloadSpec`]: an optional preload
+//! fraction plus an ordered list of [`Phase`]s, each with a per-thread
+//! operation budget, a read/add/remove [`OpMix`], and a Zipf skew that
+//! concentrates the phase's traffic on a *hot* subset of the edge universe.
+//! Generating the spec against a graph yields a [`GeneratedWorkload`]:
+//! the preload edge set plus, per phase, one operation stream per thread.
+//!
+//! Phases model traffic lifecycles the single-mix scenarios of the paper's
+//! §5.1 cannot express — e.g. `load → churn-burst → read-storm → teardown`,
+//! where the structure is built up, churned under contention, then serves a
+//! read-dominated storm before being torn down. Benchmark harnesses run the
+//! phases back-to-back with a barrier between them, reporting per-phase
+//! throughput.
+//!
+//! Specs can be built with the fluent API or parsed from a compact textual
+//! DSL (see [`WorkloadSpec::parse`]):
+//!
+//! ```text
+//! preload=0.25; load 2000 r0 a100 d0; churn 4000 r10 a45 d45 z0.8;
+//! read-storm 4000 r95 a3 d2 z0.99; teardown 2000 r0 a0 d100
+//! ```
+//!
+//! Determinism guarantee: for a fixed spec, graph and seed, generation
+//! produces byte-for-byte identical operation streams (all randomness flows
+//! through seeded [`rand::rngs::StdRng`] instances; iteration order is
+//! positional throughout).
+
+use crate::zipf::Zipf;
+use dc_graph::{Edge, Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One workload operation against a dynamic connectivity structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `add_edge(u, v)`.
+    Add(VertexId, VertexId),
+    /// `remove_edge(u, v)`.
+    Remove(VertexId, VertexId),
+    /// `connected(u, v)`.
+    Query(VertexId, VertexId),
+}
+
+/// A read/add/remove percentage split. The three parts must sum to 100.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpMix {
+    read: u32,
+    add: u32,
+    remove: u32,
+}
+
+impl OpMix {
+    /// Creates a mix from percentages.
+    ///
+    /// # Panics
+    /// Panics unless `read + add + remove == 100`.
+    pub fn new(read: u32, add: u32, remove: u32) -> Self {
+        assert!(
+            read + add + remove == 100,
+            "op mix must sum to 100 (got {read}+{add}+{remove})"
+        );
+        OpMix { read, add, remove }
+    }
+
+    /// Percentage of `connected` queries.
+    #[inline]
+    pub fn read_percent(&self) -> u32 {
+        self.read
+    }
+
+    /// Percentage of `add_edge` operations.
+    #[inline]
+    pub fn add_percent(&self) -> u32 {
+        self.add
+    }
+
+    /// Percentage of `remove_edge` operations.
+    #[inline]
+    pub fn remove_percent(&self) -> u32 {
+        self.remove
+    }
+}
+
+/// One phase of a workload: a named operation budget with a mix and a skew.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Phase {
+    /// Phase name, used in reports and JSON keys.
+    pub name: String,
+    /// Operations each thread executes in this phase.
+    pub ops_per_thread: usize,
+    /// The read/add/remove split.
+    pub mix: OpMix,
+    /// Zipf skew of the hot-edge distribution; `0.0` is uniform.
+    pub zipf_theta: f64,
+}
+
+impl Phase {
+    /// Creates a phase with a uniform (theta = 0) all-reads mix; refine with
+    /// [`Phase::mix`] and [`Phase::zipf`].
+    pub fn new(name: impl Into<String>, ops_per_thread: usize) -> Self {
+        Phase {
+            name: name.into(),
+            ops_per_thread,
+            mix: OpMix::new(100, 0, 0),
+            zipf_theta: 0.0,
+        }
+    }
+
+    /// Sets the read/add/remove percentages (must sum to 100).
+    pub fn mix(mut self, read: u32, add: u32, remove: u32) -> Self {
+        self.mix = OpMix::new(read, add, remove);
+        self
+    }
+
+    /// Sets the Zipf skew of the hot-edge distribution.
+    pub fn zipf(mut self, theta: f64) -> Self {
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "Zipf skew must be finite and non-negative"
+        );
+        self.zipf_theta = theta;
+        self
+    }
+}
+
+/// A complete workload description: preload fraction + phases.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Fraction of the edge universe inserted before measurement.
+    pub preload_fraction: f64,
+    /// The phases, run in order with a barrier between them.
+    pub phases: Vec<Phase>,
+    /// Number of concurrent operation streams.
+    pub threads: usize,
+    /// Master seed; all generation randomness derives from it.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Creates an empty spec (no preload, no phases).
+    pub fn new(threads: usize, seed: u64) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        WorkloadSpec {
+            preload_fraction: 0.0,
+            phases: Vec::new(),
+            threads,
+            seed,
+        }
+    }
+
+    /// Sets the preloaded fraction of the edge universe (`0.0..=1.0`).
+    pub fn preload(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "preload fraction must be in [0, 1]"
+        );
+        self.preload_fraction = fraction;
+        self
+    }
+
+    /// Appends a phase.
+    pub fn phase(mut self, phase: Phase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Parses the compact workload DSL.
+    ///
+    /// Grammar (`;`-separated clauses, whitespace-insensitive):
+    ///
+    /// ```text
+    /// spec   := [ "preload=" FLOAT ";" ] phase { ";" phase }
+    /// phase  := NAME OPS "r" INT "a" INT "d" INT [ "z" FLOAT ]
+    /// ```
+    ///
+    /// `OPS` is the per-thread operation count; `rN aN dN` are the
+    /// read/add/remove percentages (must sum to 100); `zF` is the optional
+    /// Zipf skew (default 0 = uniform).
+    ///
+    /// ```
+    /// use dc_workloads::WorkloadSpec;
+    ///
+    /// let spec = WorkloadSpec::parse(
+    ///     "preload=0.5; churn 1000 r20 a40 d40 z0.99; storm 500 r100 a0 d0",
+    ///     4,
+    ///     42,
+    /// )
+    /// .unwrap();
+    /// assert_eq!(spec.phases.len(), 2);
+    /// assert_eq!(spec.phases[0].name, "churn");
+    /// ```
+    pub fn parse(dsl: &str, threads: usize, seed: u64) -> Result<WorkloadSpec, String> {
+        let mut spec = WorkloadSpec::new(threads, seed);
+        for clause in dsl.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(rest) = clause.strip_prefix("preload=") {
+                let fraction: f64 = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad preload fraction: {rest:?}"))?;
+                if !(0.0..=1.0).contains(&fraction) {
+                    return Err(format!("preload fraction {fraction} outside [0, 1]"));
+                }
+                spec.preload_fraction = fraction;
+                continue;
+            }
+            let mut parts = clause.split_whitespace();
+            let name = parts.next().ok_or("empty phase clause")?;
+            let ops: usize = parts
+                .next()
+                .ok_or_else(|| format!("phase {name:?}: missing op count"))?
+                .parse()
+                .map_err(|_| format!("phase {name:?}: bad op count"))?;
+            let (mut read, mut add, mut remove, mut theta) = (None, None, None, 0.0f64);
+            for part in parts {
+                // Split after the first *character* (a byte-index split
+                // would panic on a multi-byte attribute key).
+                let key_len = part.chars().next().map_or(1, |c| c.len_utf8());
+                let (key, value) = part.split_at(key_len);
+                match key {
+                    "r" => read = Some(parse_pct(name, value)?),
+                    "a" => add = Some(parse_pct(name, value)?),
+                    "d" => remove = Some(parse_pct(name, value)?),
+                    "z" => {
+                        theta = value
+                            .parse()
+                            .map_err(|_| format!("phase {name:?}: bad zipf skew {value:?}"))?
+                    }
+                    _ => return Err(format!("phase {name:?}: unknown attribute {part:?}")),
+                }
+            }
+            let (read, add, remove) = (
+                read.ok_or_else(|| format!("phase {name:?}: missing r percentage"))?,
+                add.ok_or_else(|| format!("phase {name:?}: missing a percentage"))?,
+                remove.ok_or_else(|| format!("phase {name:?}: missing d percentage"))?,
+            );
+            if read + add + remove != 100 {
+                return Err(format!(
+                    "phase {name:?}: percentages must sum to 100 (got {read}+{add}+{remove})"
+                ));
+            }
+            if !(theta >= 0.0 && theta.is_finite()) {
+                return Err(format!("phase {name:?}: zipf skew must be >= 0"));
+            }
+            spec.phases
+                .push(Phase::new(name, ops).mix(read, add, remove).zipf(theta));
+        }
+        if spec.phases.is_empty() {
+            return Err("workload needs at least one phase".to_string());
+        }
+        Ok(spec)
+    }
+
+    /// Generates the workload against `graph`'s edge universe.
+    ///
+    /// Each phase gets its own Zipf distribution over a seed-shuffled rank
+    /// permutation of the edge list (shared across phases, so "hot" stays
+    /// the *same* hot set through the lifecycle), and each `(phase, thread)`
+    /// pair gets an independent deterministic RNG stream.
+    ///
+    /// # Panics
+    /// Panics if `graph` has no edges and any phase performs updates.
+    pub fn generate(&self, graph: &Graph) -> GeneratedWorkload {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let edges = graph.edges();
+        // Hot-rank permutation: Zipf rank k maps to edges[perm[k]], so the
+        // hot set is a random subset rather than whatever the generator
+        // happened to emit first.
+        let mut perm: Vec<usize> = (0..edges.len()).collect();
+        perm.shuffle(&mut rng);
+        let preload_count = (self.preload_fraction * edges.len() as f64).round() as usize;
+        let preload: Vec<Edge> = perm
+            .iter()
+            .take(preload_count.min(edges.len()))
+            .map(|&i| edges[i])
+            .collect();
+
+        let phases = self
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(pi, phase)| {
+                assert!(
+                    !edges.is_empty() || phase.mix.read_percent() == 100,
+                    "phase {:?} needs a non-empty edge universe",
+                    phase.name
+                );
+                let zipf = (!edges.is_empty()).then(|| Zipf::new(edges.len(), phase.zipf_theta));
+                let per_thread = (0..self.threads)
+                    .map(|t| {
+                        let mut trng = StdRng::seed_from_u64(
+                            self.seed ^ ((pi as u64 + 1) * 0xC0FFEE) ^ ((t as u64 + 1) * 0x9E37),
+                        );
+                        (0..phase.ops_per_thread)
+                            .map(|_| gen_op(phase, zipf.as_ref(), &perm, graph, &mut trng))
+                            .collect()
+                    })
+                    .collect();
+                PhaseStream {
+                    name: phase.name.clone(),
+                    per_thread,
+                }
+            })
+            .collect();
+
+        GeneratedWorkload { preload, phases }
+    }
+}
+
+fn parse_pct(phase: &str, value: &str) -> Result<u32, String> {
+    let pct: u32 = value
+        .parse()
+        .map_err(|_| format!("phase {phase:?}: bad percentage {value:?}"))?;
+    if pct > 100 {
+        return Err(format!("phase {phase:?}: percentage {pct} > 100"));
+    }
+    Ok(pct)
+}
+
+/// Draws one operation for `phase`.
+fn gen_op(
+    phase: &Phase,
+    zipf: Option<&Zipf>,
+    perm: &[usize],
+    graph: &Graph,
+    rng: &mut StdRng,
+) -> Op {
+    let pick = |rng: &mut StdRng| {
+        let zipf = zipf.expect("non-read ops need edges");
+        graph.edge(perm[zipf.sample(rng)])
+    };
+    let roll = rng.gen_range(0..100u32);
+    if roll < phase.mix.read_percent() {
+        if graph.num_edges() == 0 {
+            // Degenerate universe: query arbitrary vertex pairs.
+            let n = graph.num_vertices() as VertexId;
+            return Op::Query(rng.gen_range(0..n), rng.gen_range(0..n));
+        }
+        // Queries follow the same hot distribution as updates: endpoints of
+        // two (skew-chosen) edges, so read contention is tunable too.
+        let a = pick(rng).u();
+        let e = pick(rng);
+        let b = if e.v() == a { e.u() } else { e.v() };
+        Op::Query(a, b)
+    } else if roll < phase.mix.read_percent() + phase.mix.add_percent() {
+        let e = pick(rng);
+        Op::Add(e.u(), e.v())
+    } else {
+        let e = pick(rng);
+        Op::Remove(e.u(), e.v())
+    }
+}
+
+/// One generated phase: a name plus one operation stream per thread.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseStream {
+    /// The phase's name (from [`Phase::name`]).
+    pub name: String,
+    /// One operation stream per thread.
+    pub per_thread: Vec<Vec<Op>>,
+}
+
+impl PhaseStream {
+    /// Total operations across all threads of this phase.
+    pub fn total_operations(&self) -> usize {
+        self.per_thread.iter().map(|ops| ops.len()).sum()
+    }
+}
+
+/// A fully generated workload: preload edges plus per-phase, per-thread
+/// operation streams.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GeneratedWorkload {
+    /// Edges inserted before the measured phases start.
+    pub preload: Vec<Edge>,
+    /// The phases, in execution order.
+    pub phases: Vec<PhaseStream>,
+}
+
+impl GeneratedWorkload {
+    /// The number of threads the workload was generated for.
+    pub fn threads(&self) -> usize {
+        self.phases.first().map_or(0, |p| p.per_thread.len())
+    }
+
+    /// Total operations across all phases and threads (preload excluded).
+    pub fn total_operations(&self) -> usize {
+        self.phases.iter().map(|p| p.total_operations()).sum()
+    }
+
+    /// Flattens the phases into one stream per thread (phase order
+    /// preserved). This is the shape single-phase harnesses and the trace
+    /// recorder consume.
+    pub fn flat_per_thread(&self) -> Vec<Vec<Op>> {
+        let threads = self.threads();
+        let mut flat: Vec<Vec<Op>> = (0..threads).map(|_| Vec::new()).collect();
+        for phase in &self.phases {
+            for (t, ops) in phase.per_thread.iter().enumerate() {
+                flat[t].extend_from_slice(ops);
+            }
+        }
+        flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_graph::generators;
+
+    fn graph() -> Graph {
+        generators::erdos_renyi_nm(300, 900, 3)
+    }
+
+    fn count(ops: &[Op]) -> (usize, usize, usize) {
+        let reads = ops.iter().filter(|o| matches!(o, Op::Query(..))).count();
+        let adds = ops.iter().filter(|o| matches!(o, Op::Add(..))).count();
+        let removes = ops.iter().filter(|o| matches!(o, Op::Remove(..))).count();
+        (reads, adds, removes)
+    }
+
+    #[test]
+    fn phase_ratios_are_respected() {
+        let spec = WorkloadSpec::new(4, 11)
+            .preload(0.25)
+            .phase(Phase::new("churn", 10_000).mix(20, 50, 30).zipf(0.5));
+        let w = spec.generate(&graph());
+        assert_eq!(w.preload.len(), 225);
+        assert_eq!(w.phases.len(), 1);
+        let all: Vec<Op> = w.phases[0].per_thread.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 40_000);
+        let (reads, adds, removes) = count(&all);
+        let frac = |c: usize| c as f64 / all.len() as f64;
+        assert!((frac(reads) - 0.20).abs() < 0.02, "reads {}", frac(reads));
+        assert!((frac(adds) - 0.50).abs() < 0.02, "adds {}", frac(adds));
+        assert!(
+            (frac(removes) - 0.30).abs() < 0.02,
+            "removes {}",
+            frac(removes)
+        );
+    }
+
+    #[test]
+    fn zipf_phase_concentrates_updates_on_hot_edges() {
+        let g = graph();
+        let hot = WorkloadSpec::new(1, 7)
+            .phase(Phase::new("hot", 20_000).mix(0, 50, 50).zipf(1.2))
+            .generate(&g);
+        let uniform = WorkloadSpec::new(1, 7)
+            .phase(Phase::new("uniform", 20_000).mix(0, 50, 50))
+            .generate(&g);
+        // Fraction of operations landing on the 10% most-touched edges.
+        let top_decile_mass = |w: &GeneratedWorkload| {
+            let mut counts = std::collections::HashMap::new();
+            let mut total = 0usize;
+            for op in w.phases[0].per_thread[0].iter() {
+                if let Op::Add(u, v) | Op::Remove(u, v) = op {
+                    *counts.entry((u, v)).or_insert(0usize) += 1;
+                    total += 1;
+                }
+            }
+            let mut sorted: Vec<usize> = counts.values().copied().collect();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let top: usize = sorted.iter().take(g.num_edges() / 10).sum();
+            top as f64 / total as f64
+        };
+        // At theta = 1.2 the hottest decile carries most of the traffic;
+        // uniformly it carries roughly its share (~10–15% after the
+        // most-touched reordering).
+        assert!(top_decile_mass(&hot) > 0.5, "{}", top_decile_mass(&hot));
+        assert!(
+            top_decile_mass(&uniform) < 0.25,
+            "{}",
+            top_decile_mass(&uniform)
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::new(3, 99)
+            .preload(0.5)
+            .phase(Phase::new("a", 500).mix(30, 40, 30).zipf(0.9))
+            .phase(Phase::new("b", 500).mix(90, 5, 5));
+        let g = graph();
+        assert_eq!(spec.generate(&g), spec.generate(&g));
+    }
+
+    #[test]
+    fn flat_per_thread_preserves_phase_order() {
+        let spec = WorkloadSpec::new(2, 1)
+            .phase(Phase::new("a", 10).mix(0, 100, 0))
+            .phase(Phase::new("b", 10).mix(100, 0, 0));
+        let w = spec.generate(&graph());
+        let flat = w.flat_per_thread();
+        assert_eq!(flat.len(), 2);
+        for stream in &flat {
+            assert_eq!(stream.len(), 20);
+            assert!(stream[..10].iter().all(|o| matches!(o, Op::Add(..))));
+            assert!(stream[10..].iter().all(|o| matches!(o, Op::Query(..))));
+        }
+    }
+
+    #[test]
+    fn dsl_round_trips_the_lifecycle() {
+        let spec = WorkloadSpec::parse(
+            "preload=0.25; load 2000 r0 a100 d0; churn 4000 r10 a45 d45 z0.8; \
+             read-storm 4000 r95 a3 d2 z0.99; teardown 2000 r0 a0 d100",
+            8,
+            42,
+        )
+        .unwrap();
+        assert_eq!(spec.preload_fraction, 0.25);
+        assert_eq!(spec.phases.len(), 4);
+        assert_eq!(spec.phases[1].name, "churn");
+        assert_eq!(spec.phases[1].mix, OpMix::new(10, 45, 45));
+        assert_eq!(spec.phases[2].zipf_theta, 0.99);
+        assert_eq!(spec.phases[3].mix.remove_percent(), 100);
+    }
+
+    #[test]
+    fn dsl_rejects_malformed_clauses() {
+        for bad in [
+            "",
+            "load",
+            "load x r0 a100 d0",
+            "load 100 r0 a100",
+            "load 100 r0 a50 d20",
+            "load 100 r0 a100 d0 q5",
+            "preload=1.5; load 100 r0 a100 d0",
+            "load 100 r0 a100 d0 z-1",
+            "load 100 r0 a100 d0 \u{fc}5",
+        ] {
+            assert!(WorkloadSpec::parse(bad, 1, 0).is_err(), "accepted {bad:?}");
+        }
+    }
+}

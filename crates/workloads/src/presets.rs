@@ -1,0 +1,311 @@
+//! Preset workloads.
+//!
+//! The three scenarios of the paper's evaluation (§5.1) — random-subset,
+//! incremental and decremental — live here as preset generators (the
+//! `dc_bench::scenario` module is a thin wrapper over them), joined by the
+//! presets the phased model opens up: the four-phase
+//! `load → churn-burst → read-storm → teardown` lifecycle and the temporal
+//! sliding-window stream.
+//!
+//! All presets are deterministic per `(graph, parameters, seed)`.
+
+use crate::phases::{GeneratedWorkload, Op, Phase, PhaseStream, WorkloadSpec};
+use dc_graph::{Edge, Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The paper's random-subset scenario: half the edge universe is preloaded;
+/// threads then run `read_percent`% connectivity queries over random vertex
+/// pairs, with additions and removals of random universe edges splitting
+/// the remainder evenly (so the live edge count stays roughly constant).
+pub fn random_subset(
+    graph: &Graph,
+    read_percent: u32,
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+) -> GeneratedWorkload {
+    assert!(threads >= 1);
+    assert!(read_percent <= 100);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Edge> = graph.edges().to_vec();
+    edges.shuffle(&mut rng);
+    let preload: Vec<Edge> = edges[..edges.len() / 2].to_vec();
+    let n = graph.num_vertices() as VertexId;
+    let per_thread = (0..threads)
+        .map(|t| {
+            let mut trng = StdRng::seed_from_u64(seed ^ ((t as u64 + 1) * 0x9E37));
+            (0..ops_per_thread)
+                .map(|_| {
+                    let roll = trng.gen_range(0..100u32);
+                    if roll < read_percent {
+                        let u = trng.gen_range(0..n);
+                        let v = trng.gen_range(0..n);
+                        Op::Query(u, v.min(n - 1))
+                    } else {
+                        let e = graph.edge(trng.gen_range(0..graph.num_edges()));
+                        if roll % 2 == 0 {
+                            Op::Add(e.u(), e.v())
+                        } else {
+                            Op::Remove(e.u(), e.v())
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    GeneratedWorkload {
+        preload,
+        phases: vec![PhaseStream {
+            name: format!("random ({read_percent}% reads)"),
+            per_thread,
+        }],
+    }
+}
+
+/// The paper's incremental scenario: the whole (shuffled) edge universe is
+/// partitioned across the threads and inserted into an empty structure,
+/// every edge exactly once.
+pub fn incremental(graph: &Graph, threads: usize, seed: u64) -> GeneratedWorkload {
+    assert!(threads >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Edge> = graph.edges().to_vec();
+    edges.shuffle(&mut rng);
+    let per_thread = partition(&edges, threads)
+        .into_iter()
+        .map(|chunk| chunk.into_iter().map(|e| Op::Add(e.u(), e.v())).collect())
+        .collect();
+    GeneratedWorkload {
+        preload: Vec::new(),
+        phases: vec![PhaseStream {
+            name: "incremental".to_string(),
+            per_thread,
+        }],
+    }
+}
+
+/// The paper's decremental scenario: the structure starts fully loaded and
+/// the threads delete every edge exactly once.
+pub fn decremental(graph: &Graph, threads: usize, seed: u64) -> GeneratedWorkload {
+    assert!(threads >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Edge> = graph.edges().to_vec();
+    edges.shuffle(&mut rng);
+    let per_thread = partition(&edges, threads)
+        .into_iter()
+        .map(|chunk| {
+            chunk
+                .into_iter()
+                .map(|e| Op::Remove(e.u(), e.v()))
+                .collect()
+        })
+        .collect();
+    GeneratedWorkload {
+        preload: graph.edges().to_vec(),
+        phases: vec![PhaseStream {
+            name: "decremental".to_string(),
+            per_thread,
+        }],
+    }
+}
+
+/// The four-phase lifecycle: **load** (pure insertion), **churn-burst**
+/// (update-heavy traffic on a Zipf-hot edge set), **read-storm**
+/// (read-dominated, sharply skewed) and **teardown** (pure removal).
+///
+/// `ops_per_thread` is the per-thread budget of *each* phase.
+pub fn lifecycle(
+    graph: &Graph,
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+) -> GeneratedWorkload {
+    WorkloadSpec::new(threads, seed)
+        .phase(Phase::new("load", ops_per_thread).mix(0, 100, 0))
+        .phase(
+            Phase::new("churn-burst", ops_per_thread)
+                .mix(10, 45, 45)
+                .zipf(0.8),
+        )
+        .phase(
+            Phase::new("read-storm", ops_per_thread)
+                .mix(95, 3, 2)
+                .zipf(0.99),
+        )
+        .phase(Phase::new("teardown", ops_per_thread).mix(0, 0, 100))
+        .generate(graph)
+}
+
+/// The temporal sliding-window workload: each thread streams its partition
+/// of the (shuffled) edge universe in order, inserting edge `i` and
+/// removing edge `i - window` so at most `window` of its edges are ever
+/// live; `query_percent`% extra queries over recent-window endpoints are
+/// interleaved. The trailing window is torn down at the end of the stream,
+/// so the workload is a complete build-up/steady-state/drain cycle.
+///
+/// This is the monitoring-pipeline regime (connectivity over "the last N
+/// link events") that neither the random-subset nor the pure
+/// incremental/decremental scenarios cover: every edge is eventually both
+/// added and removed, but the live set stays small and *recency-biased*.
+pub fn sliding_window(
+    graph: &Graph,
+    window: usize,
+    query_percent: u32,
+    threads: usize,
+    seed: u64,
+) -> GeneratedWorkload {
+    assert!(threads >= 1);
+    assert!(window >= 1);
+    assert!(query_percent <= 100);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Edge> = graph.edges().to_vec();
+    edges.shuffle(&mut rng);
+    let per_thread = partition(&edges, threads)
+        .into_iter()
+        .enumerate()
+        .map(|(t, stream)| {
+            let mut trng = StdRng::seed_from_u64(seed ^ ((t as u64 + 1) * 0x51D1));
+            let mut ops = Vec::with_capacity(stream.len() * 2);
+            for (i, e) in stream.iter().enumerate() {
+                // Evict the expiring edge first so the live set never
+                // exceeds `window`.
+                if i >= window {
+                    let old = stream[i - window];
+                    ops.push(Op::Remove(old.u(), old.v()));
+                }
+                ops.push(Op::Add(e.u(), e.v()));
+                if trng.gen_range(0..100u32) < query_percent {
+                    // Probe two endpoints of the recent window.
+                    let lo = i.saturating_sub(window.saturating_sub(1));
+                    let a = stream[trng.gen_range(lo..i + 1)];
+                    let b = stream[trng.gen_range(lo..i + 1)];
+                    ops.push(Op::Query(a.u(), b.v()));
+                }
+            }
+            // Drain the trailing window.
+            let tail = stream.len().saturating_sub(window);
+            for e in &stream[tail..] {
+                ops.push(Op::Remove(e.u(), e.v()));
+            }
+            ops
+        })
+        .collect();
+    GeneratedWorkload {
+        preload: Vec::new(),
+        phases: vec![PhaseStream {
+            name: format!("sliding-window (w={window})"),
+            per_thread,
+        }],
+    }
+}
+
+fn partition(edges: &[Edge], threads: usize) -> Vec<Vec<Edge>> {
+    let mut chunks = vec![Vec::new(); threads];
+    for (i, &e) in edges.iter().enumerate() {
+        chunks[i % threads].push(e);
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_graph::generators;
+
+    fn graph() -> Graph {
+        generators::erdos_renyi_nm(200, 500, 3)
+    }
+
+    #[test]
+    fn incremental_and_decremental_cover_every_edge_once() {
+        let g = graph();
+        for (w, adds) in [
+            (incremental(&g, 3, 1), true),
+            (decremental(&g, 3, 1), false),
+        ] {
+            assert_eq!(w.total_operations(), g.num_edges());
+            let mut seen = std::collections::HashSet::new();
+            for op in w.phases[0].per_thread.iter().flatten() {
+                match (op, adds) {
+                    (Op::Add(u, v), true) | (Op::Remove(u, v), false) => {
+                        assert!(seen.insert(Edge::new(*u, *v)))
+                    }
+                    _ => panic!("unexpected op {op:?}"),
+                }
+            }
+            assert_eq!(seen.len(), g.num_edges());
+        }
+    }
+
+    #[test]
+    fn lifecycle_has_four_phases_with_expected_shapes() {
+        let w = lifecycle(&graph(), 2, 1_000, 9);
+        let names: Vec<&str> = w.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["load", "churn-burst", "read-storm", "teardown"]);
+        assert!(w.phases[0]
+            .per_thread
+            .iter()
+            .flatten()
+            .all(|o| matches!(o, Op::Add(..))));
+        assert!(w.phases[3]
+            .per_thread
+            .iter()
+            .flatten()
+            .all(|o| matches!(o, Op::Remove(..))));
+        let storm = &w.phases[2];
+        let reads = storm
+            .per_thread
+            .iter()
+            .flatten()
+            .filter(|o| matches!(o, Op::Query(..)))
+            .count();
+        let frac = reads as f64 / storm.total_operations() as f64;
+        assert!(
+            (frac - 0.95).abs() < 0.03,
+            "read-storm read fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn sliding_window_keeps_live_set_bounded_and_drains() {
+        let g = graph();
+        let window = 25;
+        let w = sliding_window(&g, window, 30, 4, 17);
+        for stream in &w.phases[0].per_thread {
+            let mut live = std::collections::HashSet::new();
+            let mut peak = 0usize;
+            for op in stream {
+                match op {
+                    Op::Add(u, v) => {
+                        assert!(live.insert(Edge::new(*u, *v)), "double add");
+                        peak = peak.max(live.len());
+                    }
+                    Op::Remove(u, v) => {
+                        assert!(live.remove(&Edge::new(*u, *v)), "removing dead edge");
+                    }
+                    Op::Query(..) => {}
+                }
+            }
+            assert!(
+                peak <= window,
+                "live set peaked at {peak} > window {window}"
+            );
+            assert!(live.is_empty(), "stream did not drain: {} live", live.len());
+        }
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        let g = graph();
+        assert_eq!(
+            random_subset(&g, 70, 2, 400, 5),
+            random_subset(&g, 70, 2, 400, 5)
+        );
+        assert_eq!(
+            sliding_window(&g, 10, 20, 2, 5),
+            sliding_window(&g, 10, 20, 2, 5)
+        );
+        assert_eq!(lifecycle(&g, 2, 100, 5), lifecycle(&g, 2, 100, 5));
+    }
+}

@@ -1,0 +1,167 @@
+//! Parameterized topology catalog for workload generation.
+//!
+//! Every scenario starts from a static *edge universe* — the set of edges
+//! operations draw from. [`Topology`] names the structural regimes the
+//! connectivity engine should be stressed with, each mapping to a
+//! `dc_graph::generators` primitive:
+//!
+//! | Topology | Regime it stresses |
+//! |----------|--------------------|
+//! | [`Topology::PowerLaw`] | heavy-tailed degrees: hub contention, deep non-tree levels |
+//! | [`Topology::RingOfCliques`] | critical bridges between dense blocks: worst-case replacement searches |
+//! | [`Topology::Grid`] | path-like spanning trees: maximal Euler-tour depth |
+//! | [`Topology::StarForest`] | all traffic on a few hub vertices, no replacements |
+//! | [`Topology::ErdosRenyi`] | the paper's uniform-random baseline |
+//! | [`Topology::SlidingWindow`] | a long temporal edge stream replayed through a bounded live window |
+//!
+//! `SlidingWindow` is special: its graph is the *stream universe* (an
+//! Erdős–Rényi edge sequence); the temporal behaviour — insert edge `i`,
+//! evict edge `i - window` — lives in the workload generator
+//! ([`crate::presets::sliding_window`]), not in the static graph.
+
+use dc_graph::{generators, Graph};
+
+/// A named, parameterized graph topology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Topology {
+    /// Barabási–Albert preferential attachment: `n` vertices, each new
+    /// vertex attaching to `m_per_vertex` existing ones.
+    PowerLaw {
+        /// Number of vertices.
+        n: usize,
+        /// Edges added per new vertex.
+        m_per_vertex: usize,
+    },
+    /// `cliques` complete graphs of `clique_size` vertices joined into a
+    /// ring by single bridge edges, plus `extra_bridges` random
+    /// inter-clique edges.
+    RingOfCliques {
+        /// Number of cliques.
+        cliques: usize,
+        /// Vertices per clique.
+        clique_size: usize,
+        /// Additional random inter-clique edges.
+        extra_bridges: usize,
+    },
+    /// An exact `rows x cols` 2-D grid.
+    Grid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// `stars` disjoint stars with `leaves` leaves each.
+    StarForest {
+        /// Number of stars.
+        stars: usize,
+        /// Leaves per star.
+        leaves: usize,
+    },
+    /// Uniform random graph with exactly `m` edges over `n` vertices.
+    ErdosRenyi {
+        /// Number of vertices.
+        n: usize,
+        /// Number of edges.
+        m: usize,
+    },
+    /// The edge universe for a temporal sliding-window workload: an
+    /// Erdős–Rényi stream of `stream_len` edges over `n` vertices, of which
+    /// at most `window` are live at any point during the generated
+    /// workload.
+    SlidingWindow {
+        /// Number of vertices.
+        n: usize,
+        /// Total edges in the temporal stream.
+        stream_len: usize,
+        /// Maximum number of live edges.
+        window: usize,
+    },
+}
+
+impl Topology {
+    /// Materializes the topology's edge universe with the given seed.
+    pub fn build(&self, seed: u64) -> Graph {
+        match *self {
+            Topology::PowerLaw { n, m_per_vertex } => {
+                generators::preferential_attachment(n, m_per_vertex, seed)
+            }
+            Topology::RingOfCliques {
+                cliques,
+                clique_size,
+                extra_bridges,
+            } => generators::ring_of_cliques(cliques, clique_size, extra_bridges, seed),
+            Topology::Grid { rows, cols } => generators::grid(rows, cols),
+            Topology::StarForest { stars, leaves } => generators::star_forest(stars, leaves),
+            Topology::ErdosRenyi { n, m } => generators::erdos_renyi_nm(n, m, seed),
+            Topology::SlidingWindow { n, stream_len, .. } => {
+                generators::erdos_renyi_nm(n, stream_len, seed)
+            }
+        }
+    }
+
+    /// A short name for reports and JSON keys.
+    pub fn name(&self) -> String {
+        match *self {
+            Topology::PowerLaw { n, m_per_vertex } => format!("power-law(n={n}, m={m_per_vertex})"),
+            Topology::RingOfCliques {
+                cliques,
+                clique_size,
+                extra_bridges,
+            } => format!("ring-of-cliques({cliques}x{clique_size}, +{extra_bridges})"),
+            Topology::Grid { rows, cols } => format!("grid({rows}x{cols})"),
+            Topology::StarForest { stars, leaves } => format!("star-forest({stars}x{leaves})"),
+            Topology::ErdosRenyi { n, m } => format!("erdos-renyi(n={n}, m={m})"),
+            Topology::SlidingWindow {
+                n,
+                stream_len,
+                window,
+            } => format!("sliding-window(n={n}, stream={stream_len}, window={window})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_topology_builds_a_non_empty_graph() {
+        let topologies = [
+            Topology::PowerLaw {
+                n: 200,
+                m_per_vertex: 4,
+            },
+            Topology::RingOfCliques {
+                cliques: 8,
+                clique_size: 6,
+                extra_bridges: 4,
+            },
+            Topology::Grid { rows: 10, cols: 12 },
+            Topology::StarForest {
+                stars: 5,
+                leaves: 10,
+            },
+            Topology::ErdosRenyi { n: 100, m: 250 },
+            Topology::SlidingWindow {
+                n: 100,
+                stream_len: 300,
+                window: 50,
+            },
+        ];
+        for t in topologies {
+            let g = t.build(11);
+            assert!(g.num_vertices() > 0, "{}", t.name());
+            assert!(g.num_edges() > 0, "{}", t.name());
+            assert!(!t.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic_per_seed() {
+        let t = Topology::PowerLaw {
+            n: 300,
+            m_per_vertex: 3,
+        };
+        assert_eq!(t.build(5).edges(), t.build(5).edges());
+    }
+}

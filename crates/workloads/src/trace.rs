@@ -1,0 +1,504 @@
+//! Compact, seeded binary trace format with record and deterministic replay.
+//!
+//! A *trace* freezes a generated workload — preload edges plus one
+//! operation stream per thread — into a self-describing byte stream, so any
+//! bench run or fuzz failure can be replayed byte-for-byte on a different
+//! machine, commit or algorithm variant.
+//!
+//! # Format (version 1)
+//!
+//! All multi-byte integers are LEB128 varints unless noted; the header's
+//! fixed fields are little-endian.
+//!
+//! ```text
+//! magic    b"DCTR"                      (4 bytes)
+//! version  u16 LE                       (currently 1)
+//! seed     u64 LE                       (the generating seed, for provenance)
+//! vertices varint
+//! threads  varint
+//! preload  varint count, then per edge: varint u, varint v
+//! streams  per thread, in thread order:
+//!            op records: u8 tag (0 = Add, 1 = Remove, 2 = Query),
+//!                        varint u, varint v
+//!            0x03 = end-of-thread marker
+//! trailer  0x04, varint total_ops, u64 LE FNV-1a checksum of every
+//!          preceding byte (magic included)
+//! ```
+//!
+//! The checksum plus the op count make truncation and corruption loud, and
+//! give the determinism guarantee teeth: *seed + format version ⇒ identical
+//! trace bytes*, and identical trace bytes ⇒ identical replayed operation
+//! sequences (reading is a pure function of the bytes).
+//!
+//! ```
+//! use dc_workloads::{presets, Trace};
+//! use dc_graph::generators;
+//!
+//! let graph = generators::erdos_renyi_nm(50, 120, 7);
+//! let workload = presets::lifecycle(&graph, 2, 100, 7);
+//! let trace = Trace::record(&workload, 7, graph.num_vertices() as u32);
+//! let bytes = trace.to_bytes();
+//! let replayed = Trace::from_bytes(&bytes).unwrap();
+//! assert_eq!(trace, replayed);
+//! ```
+
+use crate::phases::{GeneratedWorkload, Op};
+use dc_graph::Edge;
+use std::io::{self, Read, Write};
+
+/// Current trace format version.
+pub const TRACE_VERSION: u16 = 1;
+
+const MAGIC: [u8; 4] = *b"DCTR";
+const TAG_ADD: u8 = 0;
+const TAG_REMOVE: u8 = 1;
+const TAG_QUERY: u8 = 2;
+const TAG_END_THREAD: u8 = 3;
+const TAG_TRAILER: u8 = 4;
+
+/// Trace provenance: format version, generating seed, vertex universe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Format version the trace was written with.
+    pub version: u16,
+    /// The seed the recorded workload was generated from.
+    pub seed: u64,
+    /// Number of vertices of the universe the operations range over.
+    pub vertices: u32,
+    /// Number of per-thread operation streams.
+    pub threads: u32,
+}
+
+/// An in-memory trace: metadata, preload edges and per-thread streams.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Provenance metadata.
+    pub meta: TraceMeta,
+    /// Edges applied before the measured streams.
+    pub preload: Vec<Edge>,
+    /// One operation stream per thread.
+    pub per_thread: Vec<Vec<Op>>,
+}
+
+impl Trace {
+    /// Records a generated workload (phases flattened in order) under the
+    /// given provenance seed.
+    pub fn record(workload: &GeneratedWorkload, seed: u64, vertices: u32) -> Trace {
+        let per_thread = workload.flat_per_thread();
+        Trace {
+            meta: TraceMeta {
+                version: TRACE_VERSION,
+                seed,
+                vertices,
+                threads: per_thread.len() as u32,
+            },
+            preload: workload.preload.clone(),
+            per_thread,
+        }
+    }
+
+    /// Total operations across all thread streams.
+    pub fn total_operations(&self) -> usize {
+        self.per_thread.iter().map(|ops| ops.len()).sum()
+    }
+
+    /// Serializes the trace through a [`TraceWriter`].
+    pub fn write_to<W: Write>(&self, writer: W) -> io::Result<W> {
+        let mut tw = TraceWriter::new(
+            writer,
+            self.meta.seed,
+            self.meta.vertices,
+            self.per_thread.len() as u32,
+            &self.preload,
+        )?;
+        for ops in &self.per_thread {
+            for &op in ops {
+                tw.op(op)?;
+            }
+            tw.end_thread()?;
+        }
+        tw.finish()
+    }
+
+    /// Deserializes a trace through a [`TraceReader`], validating magic,
+    /// version, markers, op count and checksum.
+    pub fn read_from<R: Read>(reader: R) -> io::Result<Trace> {
+        TraceReader::new(reader)?.read_trace()
+    }
+
+    /// Serializes to a fresh byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.write_to(Vec::new())
+            .expect("writing to a Vec cannot fail")
+    }
+
+    /// Deserializes from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Trace> {
+        Self::read_from(bytes)
+    }
+}
+
+/// FNV-1a over a running byte stream.
+#[derive(Clone, Copy, Debug)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    #[inline]
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01B3);
+        }
+    }
+}
+
+/// Streaming trace serializer. Construct with the header data, feed each
+/// thread's operations with [`TraceWriter::op`] terminated by
+/// [`TraceWriter::end_thread`], then call [`TraceWriter::finish`].
+pub struct TraceWriter<W: Write> {
+    inner: W,
+    hash: Fnv,
+    threads: u32,
+    threads_ended: u32,
+    ops_written: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the header (magic, version, seed, universe, preload).
+    pub fn new(
+        inner: W,
+        seed: u64,
+        vertices: u32,
+        threads: u32,
+        preload: &[Edge],
+    ) -> io::Result<Self> {
+        let mut writer = TraceWriter {
+            inner,
+            hash: Fnv::new(),
+            threads,
+            threads_ended: 0,
+            ops_written: 0,
+        };
+        writer.raw(&MAGIC)?;
+        writer.raw(&TRACE_VERSION.to_le_bytes())?;
+        writer.raw(&seed.to_le_bytes())?;
+        writer.varint(vertices as u64)?;
+        writer.varint(threads as u64)?;
+        writer.varint(preload.len() as u64)?;
+        for e in preload {
+            writer.varint(e.u() as u64)?;
+            writer.varint(e.v() as u64)?;
+        }
+        Ok(writer)
+    }
+
+    /// Appends one operation to the current thread's stream.
+    pub fn op(&mut self, op: Op) -> io::Result<()> {
+        assert!(
+            self.threads_ended < self.threads,
+            "all {} thread streams already ended",
+            self.threads
+        );
+        let (tag, u, v) = match op {
+            Op::Add(u, v) => (TAG_ADD, u, v),
+            Op::Remove(u, v) => (TAG_REMOVE, u, v),
+            Op::Query(u, v) => (TAG_QUERY, u, v),
+        };
+        self.raw(&[tag])?;
+        self.varint(u as u64)?;
+        self.varint(v as u64)?;
+        self.ops_written += 1;
+        Ok(())
+    }
+
+    /// Ends the current thread's stream.
+    pub fn end_thread(&mut self) -> io::Result<()> {
+        assert!(
+            self.threads_ended < self.threads,
+            "more end_thread calls than declared threads"
+        );
+        self.raw(&[TAG_END_THREAD])?;
+        self.threads_ended += 1;
+        Ok(())
+    }
+
+    /// Writes the trailer (op count + checksum) and returns the inner
+    /// writer.
+    ///
+    /// # Panics
+    /// Panics if fewer thread streams were ended than the header declared.
+    pub fn finish(mut self) -> io::Result<W> {
+        assert_eq!(
+            self.threads_ended, self.threads,
+            "finish called with {} of {} thread streams ended",
+            self.threads_ended, self.threads
+        );
+        self.raw(&[TAG_TRAILER])?;
+        let ops = self.ops_written;
+        self.varint(ops)?;
+        let checksum = self.hash.0;
+        self.inner.write_all(&checksum.to_le_bytes())?;
+        Ok(self.inner)
+    }
+
+    fn raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.hash.update(bytes);
+        self.inner.write_all(bytes)
+    }
+
+    fn varint(&mut self, mut value: u64) -> io::Result<()> {
+        loop {
+            let byte = (value & 0x7F) as u8;
+            value >>= 7;
+            if value == 0 {
+                return self.raw(&[byte]);
+            }
+            self.raw(&[byte | 0x80])?;
+        }
+    }
+}
+
+/// Streaming trace deserializer: parses and validates the header on
+/// construction, then yields the full trace via
+/// [`TraceReader::read_trace`].
+pub struct TraceReader<R: Read> {
+    inner: R,
+    hash: Fnv,
+    meta: TraceMeta,
+    preload: Vec<Edge>,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the header (magic, version, preload section).
+    pub fn new(inner: R) -> io::Result<Self> {
+        let mut reader = TraceReader {
+            inner,
+            hash: Fnv::new(),
+            meta: TraceMeta {
+                version: 0,
+                seed: 0,
+                vertices: 0,
+                threads: 0,
+            },
+            preload: Vec::new(),
+        };
+        let mut magic = [0u8; 4];
+        reader.raw(&mut magic)?;
+        if magic != MAGIC {
+            return Err(bad("not a dc_workloads trace (bad magic)"));
+        }
+        let mut version = [0u8; 2];
+        reader.raw(&mut version)?;
+        let version = u16::from_le_bytes(version);
+        if version != TRACE_VERSION {
+            return Err(bad(&format!(
+                "unsupported trace version {version} (supported: {TRACE_VERSION})"
+            )));
+        }
+        let mut seed = [0u8; 8];
+        reader.raw(&mut seed)?;
+        let seed = u64::from_le_bytes(seed);
+        let vertices = reader.varint()? as u32;
+        let threads = reader.varint()? as u32;
+        let preload_len = reader.varint()? as usize;
+        let mut preload = Vec::with_capacity(preload_len.min(1 << 20));
+        for _ in 0..preload_len {
+            let (u, v) = (reader.varint()? as u32, reader.varint()? as u32);
+            if u == v {
+                return Err(bad("preload contains a self-loop"));
+            }
+            preload.push(Edge::new(u, v));
+        }
+        reader.meta = TraceMeta {
+            version,
+            seed,
+            vertices,
+            threads,
+        };
+        reader.preload = preload;
+        Ok(reader)
+    }
+
+    /// The header metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Reads the thread streams and trailer, validating the end-of-thread
+    /// markers, the total op count and the checksum.
+    pub fn read_trace(mut self) -> io::Result<Trace> {
+        let mut per_thread: Vec<Vec<Op>> = Vec::with_capacity(self.meta.threads as usize);
+        let mut ops_read = 0u64;
+        for _ in 0..self.meta.threads {
+            let mut ops = Vec::new();
+            loop {
+                let tag = self.byte()?;
+                let op = match tag {
+                    TAG_END_THREAD => break,
+                    TAG_ADD | TAG_REMOVE | TAG_QUERY => {
+                        let (u, v) = (self.varint()? as u32, self.varint()? as u32);
+                        match tag {
+                            TAG_ADD => Op::Add(u, v),
+                            TAG_REMOVE => Op::Remove(u, v),
+                            _ => Op::Query(u, v),
+                        }
+                    }
+                    other => return Err(bad(&format!("unexpected record tag {other}"))),
+                };
+                ops_read += 1;
+                ops.push(op);
+            }
+            per_thread.push(ops);
+        }
+        let tag = self.byte()?;
+        if tag != TAG_TRAILER {
+            return Err(bad(&format!("expected trailer, found tag {tag}")));
+        }
+        let declared_ops = self.varint()?;
+        if declared_ops != ops_read {
+            return Err(bad(&format!(
+                "trailer declares {declared_ops} ops but {ops_read} were read"
+            )));
+        }
+        let expected = self.hash.0;
+        let mut checksum = [0u8; 8];
+        self.inner.read_exact(&mut checksum)?;
+        let checksum = u64::from_le_bytes(checksum);
+        if checksum != expected {
+            return Err(bad(&format!(
+                "checksum mismatch: trailer {checksum:#018x}, computed {expected:#018x}"
+            )));
+        }
+        Ok(Trace {
+            meta: self.meta,
+            preload: self.preload,
+            per_thread,
+        })
+    }
+
+    fn raw(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.inner.read_exact(buf)?;
+        self.hash.update(buf);
+        Ok(())
+    }
+
+    fn byte(&mut self) -> io::Result<u8> {
+        let mut b = [0u8; 1];
+        self.raw(&mut b)?;
+        Ok(b[0])
+    }
+
+    fn varint(&mut self) -> io::Result<u64> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            value |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(bad("varint overflows u64"));
+            }
+        }
+    }
+}
+
+fn bad(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::{Phase, WorkloadSpec};
+    use crate::presets;
+    use dc_graph::generators;
+
+    fn sample_trace() -> Trace {
+        let graph = generators::ring_of_cliques(4, 5, 2, 9);
+        let workload = WorkloadSpec::new(3, 9)
+            .preload(0.4)
+            .phase(Phase::new("churn", 200).mix(30, 40, 30).zipf(0.7))
+            .phase(Phase::new("storm", 100).mix(100, 0, 0).zipf(1.1))
+            .generate(&graph);
+        Trace::record(&workload, 9, graph.num_vertices() as u32)
+    }
+
+    #[test]
+    fn round_trip_is_identical() {
+        let trace = sample_trace();
+        let bytes = trace.to_bytes();
+        let back = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(trace, back);
+        assert_eq!(back.meta.version, TRACE_VERSION);
+        assert_eq!(back.meta.seed, 9);
+        assert_eq!(back.per_thread.len(), 3);
+        assert_eq!(back.total_operations(), 900);
+    }
+
+    #[test]
+    fn reading_twice_yields_identical_sequences() {
+        let bytes = sample_trace().to_bytes();
+        let a = Trace::from_bytes(&bytes).unwrap();
+        let b = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_seed_same_bytes() {
+        assert_eq!(sample_trace().to_bytes(), sample_trace().to_bytes());
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_detected() {
+        let bytes = sample_trace().to_bytes();
+        // Truncation anywhere fails.
+        assert!(Trace::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(Trace::from_bytes(&bytes[..10]).is_err());
+        // A flipped payload byte fails the checksum (or the structure).
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x40;
+        assert!(Trace::from_bytes(&corrupt).is_err());
+        // Bad magic.
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(Trace::from_bytes(&bad_magic).is_err());
+        // Unsupported version.
+        let mut bad_version = bytes;
+        bad_version[4] = 0xFF;
+        assert!(Trace::from_bytes(&bad_version).is_err());
+    }
+
+    #[test]
+    fn empty_streams_round_trip() {
+        let trace = Trace {
+            meta: TraceMeta {
+                version: TRACE_VERSION,
+                seed: 1,
+                vertices: 4,
+                threads: 2,
+            },
+            preload: vec![Edge::new(0, 1)],
+            per_thread: vec![Vec::new(), vec![Op::Query(0, 1)]],
+        };
+        let back = Trace::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn record_flattens_preset_phases() {
+        let graph = generators::grid(6, 6);
+        let workload = presets::lifecycle(&graph, 2, 50, 3);
+        let trace = Trace::record(&workload, 3, graph.num_vertices() as u32);
+        assert_eq!(trace.per_thread.len(), 2);
+        assert_eq!(trace.total_operations(), workload.total_operations());
+        assert_eq!(trace.per_thread, workload.flat_per_thread());
+    }
+}

@@ -1,0 +1,96 @@
+//! The workload subsystem end to end: pick a topology, describe a phased
+//! workload in the DSL, record it to a binary trace, replay the trace, and
+//! cross-check the replayed run against the BFS oracle.
+//!
+//! Run with: `cargo run --release --example workload_scenarios`
+
+use concurrent_dynamic_connectivity::workloads::{presets, Op, Trace};
+use concurrent_dynamic_connectivity::{
+    DynamicConnectivity, RecomputeOracle, Topology, Variant, WorkloadSpec,
+};
+
+fn main() {
+    // 1. A ring of cliques: dense blocks joined by critical bridges — the
+    //    adversarial regime for replacement searches.
+    let topo = Topology::RingOfCliques {
+        cliques: 24,
+        clique_size: 6,
+        extra_bridges: 12,
+    };
+    let graph = topo.build(42);
+    println!(
+        "topology {} -> |V|={}, |E|={}",
+        topo.name(),
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // 2. A phased workload, written in the DSL: build the graph up, churn
+    //    it on a Zipf-hot edge set, serve a read storm, tear it down.
+    let spec = WorkloadSpec::parse(
+        "load 3000 r0 a100 d0; churn-burst 6000 r10 a45 d45 z0.8; \
+         read-storm 6000 r95 a3 d2 z0.99; teardown 3000 r0 a0 d100",
+        4,
+        42,
+    )
+    .expect("valid DSL");
+    let workload = spec.generate(&graph);
+    for phase in &workload.phases {
+        println!(
+            "phase {:<12} {} ops across {} threads",
+            phase.name,
+            phase.total_operations(),
+            phase.per_thread.len()
+        );
+    }
+
+    // 3. Freeze it into a trace. The bytes are the reproducibility unit:
+    //    ship them to another machine and the replay is identical.
+    let trace = Trace::record(&workload, 42, graph.num_vertices() as u32);
+    let bytes = trace.to_bytes();
+    let replayed = Trace::from_bytes(&bytes).expect("own trace must decode");
+    assert_eq!(trace, replayed, "decode must invert encode");
+    println!(
+        "trace: {} ops in {} bytes ({:.2} bytes/op), replay identical",
+        trace.total_operations(),
+        bytes.len(),
+        bytes.len() as f64 / trace.total_operations() as f64
+    );
+
+    // 4. Replay the trace sequentially against the paper's main variant and
+    //    the BFS oracle; every query must agree.
+    let dc = Variant::OurAlgorithm.build(graph.num_vertices());
+    let oracle = RecomputeOracle::new(graph.num_vertices());
+    let mut queries = 0usize;
+    for e in &replayed.preload {
+        dc.add_edge(e.u(), e.v());
+        oracle.add_edge(e.u(), e.v());
+    }
+    for stream in &replayed.per_thread {
+        for op in stream {
+            match *op {
+                Op::Add(u, v) => {
+                    dc.add_edge(u, v);
+                    oracle.add_edge(u, v);
+                }
+                Op::Remove(u, v) => {
+                    dc.remove_edge(u, v);
+                    oracle.remove_edge(u, v);
+                }
+                Op::Query(u, v) => {
+                    assert_eq!(dc.connected(u, v), oracle.connected(u, v));
+                    queries += 1;
+                }
+            }
+        }
+    }
+    println!("replayed against variant 9 + oracle: {queries} queries agreed");
+
+    // 5. The presets cover the regimes the DSL doesn't need to spell out —
+    //    e.g. the temporal sliding window.
+    let sw = presets::sliding_window(&graph, 64, 25, 4, 42);
+    println!(
+        "sliding-window preset: {} ops (window 64, 25% queries)",
+        sw.total_operations()
+    );
+}

@@ -17,7 +17,11 @@
 //! * [`batch`] — the batch-parallel operation engine (`dc_batch`): sharded
 //!   intake, batch annihilation, combined-pass updates and
 //!   snapshot-consistent bulk queries on top of the HDT core (`DESIGN.md`
-//!   §5).
+//!   §5);
+//! * [`workloads`] — the scenario subsystem (`dc_workloads`): parameterized
+//!   topologies, phased operation-mix workloads with Zipf hot-edge skew,
+//!   and a binary trace format for byte-for-byte reproducible replay
+//!   (`DESIGN.md` §7).
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -54,11 +58,13 @@ pub use dc_batch as batch;
 pub use dc_ett as ett;
 pub use dc_graph as graph;
 pub use dc_sync as sync;
+pub use dc_workloads as workloads;
 pub use dynconn;
 
 pub use dc_batch::BatchEngine;
 pub use dc_ett::EulerForest;
 pub use dc_graph::{Edge, Graph};
+pub use dc_workloads::{Topology, Trace, WorkloadSpec};
 pub use dynconn::{
     BatchConnectivity, BatchOp, DynamicConnectivity, Hdt, QueryResult, RecomputeOracle, Variant,
 };
