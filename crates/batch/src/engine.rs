@@ -348,9 +348,14 @@ impl BatchEngine {
                 for (pairs, out) in q.unique.chunks(chunk).zip(q.answers.chunks_mut(chunk)) {
                     let hdt = &self.hdt;
                     s.spawn(move || {
-                        for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
-                            *slot = hdt.connected(u, v);
-                        }
+                        // `connected_many` resolves each distinct endpoint's
+                        // root once and revalidates per pair, so a chunk full
+                        // of repeated hot roots never re-climbs — and the
+                        // hints it installs are shared by every other chunk
+                        // of this (update-quiescent) batch.
+                        let mut answers = Vec::with_capacity(pairs.len());
+                        hdt.connected_many(pairs, &mut answers);
+                        out.copy_from_slice(&answers);
                     });
                 }
             });
@@ -396,6 +401,11 @@ impl DynamicConnectivity for BatchEngine {
 
     fn num_vertices(&self) -> usize {
         self.hdt.num_vertices()
+    }
+
+    fn read_hint_counters(&self) -> Option<(u64, u64)> {
+        let stats = self.hdt.stats();
+        Some((stats.read_hint_hits, stats.read_hint_misses))
     }
 }
 

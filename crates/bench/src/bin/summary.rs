@@ -9,8 +9,9 @@
 
 use dc_bench::runner::run_adjacency_baseline;
 use dc_bench::{
-    run_batch_bench, run_ett_bench, run_throughput, run_workload_bench, BatchBenchConfig,
-    BenchConfig, EttBenchConfig, Scenario, Workload, WorkloadBenchConfig,
+    run_batch_bench, run_ett_bench, run_read_bench, run_throughput, run_workload_bench,
+    BatchBenchConfig, BenchConfig, EttBenchConfig, ReadBenchConfig, Scenario, Workload,
+    WorkloadBenchConfig,
 };
 use dc_graph::GraphSpec;
 use dynconn::Variant;
@@ -43,6 +44,13 @@ fn main() {
         .unwrap_or(false)
     {
         emit_workload_baseline();
+        return;
+    }
+    if std::env::var("DC_BENCH_READS_ONLY")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        emit_read_baseline();
         return;
     }
     let threads = *config.thread_counts.last().unwrap_or(&1);
@@ -88,6 +96,54 @@ fn main() {
     emit_ett_baseline();
     emit_batch_baseline();
     emit_workload_baseline();
+    emit_read_baseline();
+}
+
+/// Measures the read-path tier (read-storm, zipf-read, mixed-churn — all
+/// fourteen variants with the root-hint cache on and off), writes
+/// `BENCH_reads.json`, and gates on the hint cache actually working: the
+/// read-storm scenario must show a non-zero hit rate on the lock-free-read
+/// variants, in particular fine-grained + non-blocking reads (8) and the
+/// paper's full algorithm (9).
+fn emit_read_baseline() {
+    let config = ReadBenchConfig::from_env();
+    let baseline = run_read_bench(&config);
+    print!("{}", baseline.render_text());
+    let path = "BENCH_reads.json";
+    match std::fs::write(path, baseline.to_json()) {
+        Ok(()) => println!("read baseline written to {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    let storm = baseline
+        .scenario("read-storm")
+        .expect("read-storm scenario must be measured");
+    let mut failed = false;
+    for number in [8u8, 9u8] {
+        match storm.run(number) {
+            Some(run) if run.hints_on.hint_hits > 0 => {
+                println!(
+                    "gate: variant {number} read-storm hint hit rate {:.1}% ({} hits)",
+                    run.hints_on.hit_rate_percent(),
+                    run.hints_on.hint_hits
+                );
+            }
+            Some(run) => {
+                eprintln!(
+                    "gate FAILED: variant {number} saw no hint hits on the read storm \
+                     ({} misses)",
+                    run.hints_on.hint_misses
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("gate FAILED: variant {number} missing from the read-storm scenario");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }
 
 /// Measures the workload-subsystem scenarios (power-law + Zipf, phased

@@ -12,6 +12,9 @@
 //!   phased lifecycle, the temporal sliding window and trace replay across
 //!   all fourteen variants, emitted as `BENCH_workloads.json`
 //!   ([`workloadbench`]);
+//! * the read-path tier — read-storm, zipf-read and mixed-churn scenarios
+//!   with the root-hint cache on and off across all fourteen variants,
+//!   emitted as `BENCH_reads.json` ([`readbench`]);
 //! * a multi-threaded throughput harness with warm-up, lock-wait accounting
 //!   and ops/ms reporting ([`throughput`]);
 //! * the statistics collector behind Tables 3 and 4 ([`stats`]);
@@ -22,12 +25,13 @@
 //!   machines.
 //!
 //! The machine-readable artifacts (`BENCH_adjacency.json`, `BENCH_ett.json`,
-//! `BENCH_batch.json`, `BENCH_workloads.json`) are documented in
-//! `docs/bench-schema.md`.
+//! `BENCH_batch.json`, `BENCH_workloads.json`, `BENCH_reads.json`) are
+//! documented in `docs/bench-schema.md`.
 
 pub mod batchbench;
 pub mod config;
 pub mod ettbench;
+pub mod readbench;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -38,6 +42,7 @@ pub mod workloadbench;
 pub use batchbench::{run_batch_bench, BatchBaseline, BatchBenchConfig};
 pub use config::BenchConfig;
 pub use ettbench::{run_ett_bench, EttBaseline, EttBenchConfig};
+pub use readbench::{run_read_bench, ReadBaseline, ReadBenchConfig};
 pub use report::FigureData;
 pub use runner::{run_figure, Measure};
 pub use scenario::{Operation, Scenario, Workload};

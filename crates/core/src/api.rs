@@ -27,6 +27,15 @@ pub trait DynamicConnectivity: Send + Sync {
 
     /// Number of vertices of the underlying graph.
     fn num_vertices(&self) -> usize;
+
+    /// Read-path root-hint cache counters as `(hits, misses)`, if this
+    /// implementation exposes them (see `dc_ett::hints`). `None` means the
+    /// variant has no hint-backed read path to report on; the benchmark
+    /// harness uses this to attribute hit rates per variant without
+    /// reaching through the trait object.
+    fn read_hint_counters(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// One operation of a batch submitted through [`BatchConnectivity`].

@@ -106,6 +106,13 @@ pub struct StatsSnapshot {
     pub non_spanning_removals: u64,
     /// Spanning-edge removals that found a replacement.
     pub replacements_found: u64,
+    /// Query endpoint resolutions answered purely from the level-0
+    /// root-hint cache — no tree traversal at all (a two-endpoint query
+    /// contributes two counts).
+    pub read_hint_hits: u64,
+    /// Query endpoint resolutions that fell back to a parent-pointer climb
+    /// (cold or stale hints; with the cache disabled nothing is counted).
+    pub read_hint_misses: u64,
 }
 
 impl StatsSnapshot {
@@ -124,6 +131,16 @@ impl StatsSnapshot {
             0.0
         } else {
             100.0 * self.non_spanning_removals as f64 / self.removals as f64
+        }
+    }
+
+    /// Percentage of hint-cache consultations that hit (avoided the climb).
+    pub fn read_hint_hit_rate(&self) -> f64 {
+        let total = self.read_hint_hits + self.read_hint_misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.read_hint_hits as f64 / total as f64
         }
     }
 }
@@ -224,13 +241,29 @@ impl Hdt {
 
     /// Snapshot of the operation counters.
     pub fn stats(&self) -> StatsSnapshot {
+        // Read-path hint counters live in the level-0 forest (the one that
+        // answers every query).
+        let (read_hint_hits, read_hint_misses) = self.forest(0).read_hint_stats();
         StatsSnapshot {
             additions: self.stats.additions.load(Ordering::Relaxed),
             non_spanning_additions: self.stats.non_spanning_additions.load(Ordering::Relaxed),
             removals: self.stats.removals.load(Ordering::Relaxed),
             non_spanning_removals: self.stats.non_spanning_removals.load(Ordering::Relaxed),
             replacements_found: self.stats.replacements_found.load(Ordering::Relaxed),
+            read_hint_hits,
+            read_hint_misses,
         }
+    }
+
+    /// Enables or disables the level-0 root-hint read fast path (strictly
+    /// an accelerator; both settings are correct).
+    pub fn set_read_hints(&self, enabled: bool) {
+        self.forest(0).set_read_hints(enabled);
+    }
+
+    /// Whether the level-0 root-hint read fast path is enabled.
+    pub fn read_hints_enabled(&self) -> bool {
+        self.forest(0).read_hints_enabled()
     }
 
     // ----- queries -----------------------------------------------------------
@@ -518,11 +551,14 @@ impl Hdt {
     /// any number of threads concurrently (the batch engine fans a query run
     /// out across threads, each answering a chunk against the same
     /// consistent post-update state).
+    ///
+    /// Unlike a loop over [`Hdt::connected`], the run resolves each
+    /// *distinct* endpoint's root at most once (sorted endpoint memo) and
+    /// revalidates it per pair with a few version loads — repeated roots
+    /// never re-climb within one call, even when the hint cache is cold or
+    /// disabled. Each answer is still individually linearizable.
     pub fn connected_many(&self, pairs: &[(u32, u32)], out: &mut Vec<bool>) {
-        out.reserve(pairs.len());
-        for &(u, v) in pairs {
-            out.push(self.connected(u, v));
-        }
+        self.forest(0).connected_many_into(pairs, out);
     }
 
     // ----- internal helpers ---------------------------------------------------
@@ -1023,6 +1059,10 @@ mod tests {
             "promotions must have reached level 1"
         );
         assert!(hdt.materialized_forest_levels() <= hdt.num_levels());
+        assert!(
+            !hdt.forest(1).hints_materialized(),
+            "upper-level forests are never queried, so they must not pay the hint table"
+        );
         hdt.validate();
     }
 
@@ -1160,6 +1200,41 @@ mod tests {
         assert_eq!(stats.non_spanning_removals, 1);
         assert!((stats.non_spanning_addition_rate() - 100.0 / 3.0).abs() < 1e-9);
         assert!((stats.non_spanning_removal_rate() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn connected_many_matches_per_pair_connected() {
+        let hdt = Hdt::new(16);
+        for v in 0..7 {
+            hdt.add_edge_locked(v, v + 1); // one path component 0..=7
+        }
+        hdt.add_edge_locked(9, 10);
+        let pairs: Vec<(u32, u32)> = vec![
+            (0, 7),
+            (3, 3),
+            (0, 9),
+            (9, 10),
+            (10, 9), // repeated pair, other orientation
+            (5, 2),
+            (11, 12),
+            (0, 7), // repeated pair
+        ];
+        // Cold cache, warm cache, and hints-off must all agree with the
+        // one-at-a-time protocol.
+        for enabled in [true, true, false] {
+            hdt.set_read_hints(enabled);
+            let mut bulk = Vec::new();
+            hdt.connected_many(&pairs, &mut bulk);
+            let single: Vec<bool> = pairs.iter().map(|&(u, v)| hdt.connected(u, v)).collect();
+            assert_eq!(bulk, single);
+            assert_eq!(bulk, vec![true, true, false, true, true, true, false, true]);
+        }
+        hdt.set_read_hints(true);
+        let stats = hdt.stats();
+        assert!(
+            stats.read_hint_hits > 0,
+            "warm bulk queries must hit the hint cache: {stats:?}"
+        );
     }
 
     #[test]

@@ -178,6 +178,11 @@ impl<L: UpdateLocking> DynamicConnectivity for NonBlockingVariant<L> {
     fn num_vertices(&self) -> usize {
         self.hdt.num_vertices()
     }
+
+    fn read_hint_counters(&self) -> Option<(u64, u64)> {
+        let stats = self.hdt.stats();
+        Some((stats.read_hint_hits, stats.read_hint_misses))
+    }
 }
 
 #[cfg(test)]

@@ -106,6 +106,11 @@ impl<L: UpdateLocking> DynamicConnectivity for LockedVariant<L> {
     fn num_vertices(&self) -> usize {
         self.hdt.num_vertices()
     }
+
+    fn read_hint_counters(&self) -> Option<(u64, u64)> {
+        let stats = self.hdt.stats();
+        Some((stats.read_hint_hits, stats.read_hint_misses))
+    }
 }
 
 /// Variant 2: a single global readers-writer lock; queries take the read
@@ -150,6 +155,11 @@ impl DynamicConnectivity for CoarseRwVariant {
 
     fn num_vertices(&self) -> usize {
         self.hdt.num_vertices()
+    }
+
+    fn read_hint_counters(&self) -> Option<(u64, u64)> {
+        let stats = self.hdt.stats();
+        Some((stats.read_hint_hits, stats.read_hint_misses))
     }
 }
 
@@ -201,6 +211,11 @@ impl DynamicConnectivity for FineRwVariant {
 
     fn num_vertices(&self) -> usize {
         self.hdt.num_vertices()
+    }
+
+    fn read_hint_counters(&self) -> Option<(u64, u64)> {
+        let stats = self.hdt.stats();
+        Some((stats.read_hint_hits, stats.read_hint_misses))
     }
 }
 

@@ -38,12 +38,26 @@
 //! [`EulerForest::commit_cut`] (which retires the pair) or
 //! [`EulerForest::retire_cut_nodes`] (for the replacement-found path that
 //! relinks the pieces instead of committing).
+//!
+//! # The root-hint fast path
+//!
+//! On top of the Listing-1 protocol sits a per-vertex [`HintCache`]: a
+//! validated `(root_vertex, version)` snapshot per vertex, installed by
+//! readers on the way out of a successful climb.  Because writers bump a
+//! root's version *before* any structural change to its component, "the
+//! hinted root's version is still the recorded one" proves the component —
+//! and hence the vertex's membership — is unchanged since the snapshot, so
+//! a repeat query on a stable component is a handful of loads instead of
+//! two O(depth) pointer climbs.  Stale hints fail validation and fall back
+//! to the climb (which refreshes them); see `DESIGN.md` §8 for the safety
+//! argument and [`crate::hints`] for the encoding.
 
 use crate::arena::{Arena, NodeRef};
+use crate::hints::HintCache;
 use crate::node::{Mark, Node};
 use dc_sync::epoch::EpochGuard;
 use dc_sync::{RawRwLock, ShardedMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 /// Normalizes an undirected edge key.
@@ -105,6 +119,16 @@ pub struct EulerForest {
     /// Per-vertex component lock, taken by the dynamic connectivity layer
     /// on level-0 representatives. Lazy: upper-level forests never touch it.
     locks: OnceLock<Box<[RawRwLock]>>,
+    /// Per-vertex validated root hints (the lock-free read fast path).
+    /// Lazy like `locks`: only the forest that answers queries (level 0 of
+    /// an HDT structure) ever consults it, so upper-level forests never pay
+    /// the O(n) table.
+    hints: OnceLock<HintCache>,
+    /// Enable/disable requested before the cache materialized: 0 = none
+    /// (adopt the process default at materialization), 1 = forced off,
+    /// 2 = forced on. Lets `set_read_hints(false)` on a never-queried
+    /// forest stay allocation-free.
+    hints_override: AtomicU8,
     prio_state: AtomicU64,
 }
 
@@ -123,6 +147,8 @@ impl EulerForest {
             edge_nodes: ShardedMap::new(),
             versions: (0..n).map(|_| AtomicU64::new(0)).collect(),
             locks: OnceLock::new(),
+            hints: OnceLock::new(),
+            hints_override: AtomicU8::new(0),
             prio_state: AtomicU64::new(seed | 1),
         };
         let mut forest = forest;
@@ -217,16 +243,42 @@ impl EulerForest {
     }
 
     /// Reads the root version of representative `r` (paper Listing 1).
+    ///
+    /// Acquire, not SeqCst. The read protocol needs exactly three things
+    /// from these loads (memory-ordering table in `DESIGN.md` §8):
+    /// (a) per-word monotonicity — coherence gives it for free at any
+    /// ordering; (b) the validation loads of a sandwich (hint fast path,
+    /// Listing-1 double-check) must stay in program order — Acquire forbids
+    /// hoisting a later load above an earlier one; (c) a reader whose
+    /// validation *fails* must observe a fully published structure when it
+    /// re-walks — reading the Release bump synchronizes-with the writer.
+    /// No total order across different version words is required.
     #[inline]
     pub fn root_version(&self, r: NodeRef) -> u64 {
-        self.versions[self.root_vertex(r) as usize].load(Ordering::SeqCst)
+        self.version_of_vertex(self.root_vertex(r))
+    }
+
+    /// Reads a root version by the representative's vertex id (the hint
+    /// validation path, which has no [`NodeRef`] in hand).
+    #[inline]
+    fn version_of_vertex(&self, root: u32) -> u64 {
+        self.versions[root as usize].load(Ordering::Acquire)
     }
 
     /// Bumps the root version of representative `r` (writer only, before a
     /// merge/split of its component).
+    ///
+    /// Release, not SeqCst. The invariant readers rely on is *bump visible
+    /// no later than the structural change*: the bump is sequenced before
+    /// the operation's first Release parent-pointer store, so any reader
+    /// that observed restructured pointers through an Acquire parent load
+    /// also observes the bump — that holds even for a Relaxed bump.
+    /// Release (rather than Relaxed) additionally publishes the writer's
+    /// earlier bookkeeping to readers whose validation load observes the
+    /// new version word directly, sparing them a fence before the re-walk.
     #[inline]
     pub fn bump_root_version(&self, r: NodeRef) {
-        self.versions[self.root_vertex(r) as usize].fetch_add(1, Ordering::SeqCst);
+        self.versions[self.root_vertex(r) as usize].fetch_add(1, Ordering::Release);
     }
 
     /// The per-component lock of representative `r` (level-0 only; the table
@@ -266,10 +318,10 @@ impl EulerForest {
         self.edge_nodes.contains_key(&norm(u, v))
     }
 
-    // ----- lock-free read operations (Listing 1) ---------------------------
+    // ----- lock-free read operations (Listing 1 + root hints) --------------
 
-    /// Follows parent links from `v`'s node to the current root and returns
-    /// the root together with its version (paper Listing 1, `find_root`).
+    /// The raw climb of paper Listing 1: follows parent links from `v`'s
+    /// node to the current root and returns the root with its version.
     ///
     /// Safe to call concurrently with structural operations: the walk pins
     /// the reclamation domain, so no node it can reach is recycled under
@@ -279,7 +331,7 @@ impl EulerForest {
     /// lets the epoch advance under sustained read pressure: a pin held
     /// across a whole retrying query would stall reclamation exactly when
     /// the structure churns hardest.
-    pub fn find_root(&self, v: u32) -> (NodeRef, u64) {
+    fn find_root_walk(&self, v: u32) -> (NodeRef, u64) {
         let _guard = self.arena.pin();
         let mut cur = self.vertex_node_ref(v);
         loop {
@@ -292,35 +344,297 @@ impl EulerForest {
         (cur, self.root_version(cur))
     }
 
-    /// The current root node of `v`'s component (without the version).
-    pub fn find_root_node(&self, v: u32) -> NodeRef {
-        self.find_root(v).0
+    /// The forest's hint cache, materialized on first consultation (first
+    /// query against this forest) so never-queried forests — every HDT
+    /// level above 0 — skip the O(n) table entirely.
+    #[inline]
+    fn hints(&self) -> &HintCache {
+        self.hints.get_or_init(|| {
+            let cache = HintCache::new(self.vertex_nodes.len());
+            match self.hints_override.load(Ordering::Relaxed) {
+                1 => cache.set_enabled(false),
+                2 => cache.set_enabled(true),
+                _ => {} // adopt the process default HintCache::new read
+            }
+            cache
+        })
     }
 
-    /// Linearizable, non-blocking connectivity check (paper Listing 1).
+    /// Whether the hint fast path is active, *without* materializing the
+    /// table: an unmaterialized cache reports the pending override if one
+    /// was set, else the process-wide construction default (what it would
+    /// be built with) — so hints-disabled forests stay table-free through
+    /// any number of queries.
+    #[inline]
+    fn hints_enabled(&self) -> bool {
+        match self.hints.get() {
+            Some(hints) => hints.is_enabled(),
+            None => match self.hints_override.load(Ordering::Relaxed) {
+                1 => false,
+                2 => true,
+                _ => crate::hints::default_read_hints(),
+            },
+        }
+    }
+
+    /// Validates a raw hint slot value: `Some((root_vertex,
+    /// current_version))` iff the hinted root's version still matches the
+    /// recorded snapshot. A hit proves the slot's vertex roots at
+    /// `root_vertex` *right now* (at the validation load) — no pin, no
+    /// traversal; see `DESIGN.md` §8. Takes the already-loaded raw value so
+    /// callers read each slot exactly once.
+    #[inline]
+    fn validate_hint(&self, raw: u64) -> Option<(u32, u64)> {
+        let (root, ver32) = HintCache::decode(raw)?;
+        let cur = self.version_of_vertex(root);
+        (cur as u32 == ver32).then_some((root, cur))
+    }
+
+    /// Resolves `v`'s current root together with its version (paper
+    /// Listing 1, `find_root`), short-circuited by a validated root hint
+    /// when one is present. Goes through the same resolution path as
+    /// `connected`, so its consultations count in the hit/miss statistics
+    /// and a miss warms the hint slot on the way out; the returned pair is
+    /// always a validated claim (simultaneously current at some instant).
+    pub fn find_root(&self, v: u32) -> (NodeRef, u64) {
+        let (root, version) = self.resolve_root_validated(v);
+        (self.vertex_node_ref(root), version)
+    }
+
+    /// The current root node of `v`'s component (without the version),
+    /// always resolved by a raw climb — never through the hint cache.
     ///
-    /// Each `find_root` pins the reclamation domain independently; the
+    /// The callers of this method are *protocol-critical* writer-side
+    /// paths: per-component lock acquisition and the published-removal
+    /// conflict handshake. Those must be exact, not probabilistic — the
+    /// hint fast path carries the (astronomically improbable, but real)
+    /// 32-bit version-wraparound caveat of `DESIGN.md` §8, which is an
+    /// acceptable risk for one stale query answer but not for mutual
+    /// exclusion. Keeping this walk-based confines the caveat strictly to
+    /// the read side.
+    pub fn find_root_node(&self, v: u32) -> NodeRef {
+        self.find_root_walk(v).0
+    }
+
+    /// Linearizable, non-blocking connectivity check: the root-hint fast
+    /// path over paper Listing 1.
+    ///
+    /// With hints enabled, each endpoint is resolved to a *validated*
+    /// `(root, version)` claim independently — a hot endpoint costs one
+    /// hint load plus one version load, and only a cold/stale endpoint
+    /// pays a climb — and the two claims are then proved simultaneous with
+    /// at most three more version loads (`DESIGN.md` §8). A query whose
+    /// both endpoints are hot is therefore two hint loads plus two version
+    /// loads, no tree traversal and no epoch pin at all. With hints
+    /// disabled this is exactly the paper's climbing protocol.
+    pub fn connected(&self, u: u32, v: u32) -> bool {
+        if self.hints_enabled() {
+            self.connected_resolve(u, v)
+        } else {
+            self.connected_climb(u, v)
+        }
+    }
+
+    /// The hint-backed protocol: two validated endpoint resolutions plus a
+    /// version sandwich proving them simultaneous.
+    fn connected_resolve(&self, u: u32, v: u32) -> bool {
+        loop {
+            let (ru, ver_u) = self.resolve_root_validated(u);
+            let (rv, ver_v) = self.resolve_root_validated(v);
+            if ru == rv {
+                // Same root: each claim proves `versions[ru] == ver` at its
+                // own instant, so equal versions mean the word was constant
+                // between the two instants (monotonicity) — both claims
+                // held at once, hence connected. No extra load needed.
+                if ver_u == ver_v {
+                    return true;
+                }
+            } else {
+                // Different roots: validate u, then v, then u again. If all
+                // three loads match, both components were unchanged at the
+                // instant of the middle load, where the answer linearizes.
+                if self.version_of_vertex(ru) == ver_u
+                    && self.version_of_vertex(rv) == ver_v
+                    && self.version_of_vertex(ru) == ver_u
+                {
+                    return false;
+                }
+            }
+            // A writer moved one of the components mid-query; re-resolve
+            // (the stale side will miss its hint and re-climb).
+        }
+    }
+
+    /// The climbing protocol of paper Listing 1, verbatim (the hints-off
+    /// read path, and the reference the hint protocol is measured against).
+    ///
+    /// Each `find_root_walk` pins the reclamation domain independently; the
     /// comparisons below only involve the returned values, never a
     /// dereference of a node from an earlier walk.
-    pub fn connected(&self, u: u32, v: u32) -> bool {
+    fn connected_climb(&self, u: u32, v: u32) -> bool {
         loop {
-            let (u_root, u_version) = self.find_root(u);
-            let (v_root, v_version) = self.find_root(v);
+            let (u_root, u_version) = self.find_root_walk(u);
+            let (v_root, v_version) = self.find_root_walk(v);
             // Has the component of `u` changed while we looked at `v`?
-            if self.find_root(u) != (u_root, u_version) {
+            if self.find_root_walk(u) != (u_root, u_version) {
                 continue;
             }
             if u_root != v_root {
                 // `u` and `v` are likely in different components; re-check
                 // that both roots were snapshotted atomically.
-                if self.find_root(v) != (v_root, v_version) {
+                if self.find_root_walk(v) != (v_root, v_version) {
                     continue;
                 }
-                if self.find_root(u) != (u_root, u_version) {
+                if self.find_root_walk(u) != (u_root, u_version) {
                     continue;
                 }
             }
             return u_root == v_root;
+        }
+    }
+
+    /// Resolves `v`'s component root as a *validated* `(root_vertex,
+    /// version)` claim — the pair was simultaneously current at some
+    /// instant — consulting the hint cache first and double-walking on a
+    /// miss (installing the fresh hint on the way out).
+    ///
+    /// This is the building block bulk query paths share: resolve each
+    /// distinct endpoint once, then compare and revalidate per pair
+    /// ([`EulerForest::connected_many_into`]).
+    pub fn resolve_root_validated(&self, v: u32) -> (u32, u64) {
+        // Bind the cache once (or not at all: a disabled cache is never
+        // touched, so hints-off forests stay table-free). The slot is read
+        // exactly once; the same value is validated here and handed to the
+        // install CAS below, so a hint installed concurrently is never
+        // clobbered by mistake.
+        let hints = self.hints_enabled().then(|| self.hints());
+        let observed = hints.map(|h| h.raw(v));
+        if let (Some(hints), Some(observed)) = (hints, observed) {
+            if let Some((root, version)) = self.validate_hint(observed) {
+                hints.record_hit();
+                return (root, version);
+            }
+            hints.record_miss();
+        }
+        loop {
+            let (r, version) = self.find_root_walk(v);
+            if self.find_root_walk(v) == (r, version) {
+                let root = self.root_vertex(r);
+                if let (Some(hints), Some(observed)) = (hints, observed) {
+                    hints.install(v, observed, root, version);
+                }
+                return (root, version);
+            }
+        }
+    }
+
+    /// Answers a run of connectivity queries, resolving each *distinct*
+    /// endpoint's root at most once and reusing it across the run: repeated
+    /// roots validate with a couple of version loads per pair instead of
+    /// re-climbing, even when the hint cache is cold or disabled. Answers
+    /// are appended to `out` in pair order; each answer is individually
+    /// linearizable (stale memo entries are revalidated per pair and
+    /// refreshed on failure, exactly like hint misses).
+    pub fn connected_many_into(&self, pairs: &[(u32, u32)], out: &mut Vec<bool>) {
+        out.reserve(pairs.len());
+        // Tiny runs: the memo costs more than it saves.
+        if pairs.len() < 4 {
+            for &(u, v) in pairs {
+                out.push(u == v || self.connected(u, v));
+            }
+            return;
+        }
+        let mut endpoints: Vec<u32> = Vec::with_capacity(pairs.len() * 2);
+        for &(u, v) in pairs {
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        let mut memo: Vec<(u32, u64)> = endpoints
+            .iter()
+            .map(|&e| self.resolve_root_validated(e))
+            .collect();
+        let index = |x: u32| {
+            endpoints
+                .binary_search(&x)
+                .expect("endpoint collected above")
+        };
+        for &(u, v) in pairs {
+            if u == v {
+                out.push(true);
+                continue;
+            }
+            let (iu, iv) = (index(u), index(v));
+            loop {
+                let (ru, ver_u) = memo[iu];
+                let (rv, ver_v) = memo[iv];
+                // The same sandwich as `connected_resolve`, against the
+                // full 64-bit versions the memo carries.
+                let valid = if ru == rv {
+                    ver_u == ver_v
+                } else {
+                    self.version_of_vertex(ru) == ver_u
+                        && self.version_of_vertex(rv) == ver_v
+                        && self.version_of_vertex(ru) == ver_u
+                };
+                if valid {
+                    out.push(ru == rv);
+                    break;
+                }
+                memo[iu] = self.resolve_root_validated(u);
+                memo[iv] = self.resolve_root_validated(v);
+            }
+        }
+    }
+
+    // ----- hint-cache observability ----------------------------------------
+
+    /// Read-path hint counters: `(hits, misses)`, counted per *endpoint
+    /// resolution*. A hit resolved an endpoint's root purely from a
+    /// validated hint; a miss fell back to the double-walk climb (and
+    /// reinstalled the hint). A two-endpoint query contributes two counts.
+    pub fn read_hint_stats(&self) -> (u64, u64) {
+        match self.hints.get() {
+            Some(hints) => (hints.hits(), hints.misses()),
+            None => (0, 0),
+        }
+    }
+
+    /// Enables or disables the root-hint fast path on this forest (both
+    /// settings are correct; hints are strictly an accelerator).
+    ///
+    /// Allocation-free on a never-queried forest: the request is recorded
+    /// as a pending override and applied when (if ever) the table
+    /// materializes. Racing this with a concurrent first query can leave
+    /// the cache on the old setting — harmless, since correctness never
+    /// depends on the flag — so callers wanting a deterministic state set
+    /// it before publishing the forest to readers (what the benches do).
+    pub fn set_read_hints(&self, enabled: bool) {
+        self.hints_override
+            .store(if enabled { 2 } else { 1 }, Ordering::Relaxed);
+        if let Some(hints) = self.hints.get() {
+            hints.set_enabled(enabled);
+        }
+    }
+
+    /// Whether the root-hint fast path is enabled on this forest.
+    pub fn read_hints_enabled(&self) -> bool {
+        self.hints_enabled()
+    }
+
+    /// Whether this forest's hint table has been materialized (it happens
+    /// on the first query; never-queried forests — HDT levels above 0 —
+    /// stay table-free). Diagnostics and tests.
+    pub fn hints_materialized(&self) -> bool {
+        self.hints.get().is_some()
+    }
+
+    /// Diagnostics/tests: does `v` currently hold a hint that validates?
+    pub fn hint_valid(&self, v: u32) -> bool {
+        match self.hints.get().map(|h| HintCache::decode(h.raw(v))) {
+            Some(Some((root, ver32))) => self.version_of_vertex(root) as u32 == ver32,
+            _ => false,
         }
     }
 
@@ -393,6 +707,16 @@ impl EulerForest {
         // Logical merge — the linearization point of the edge addition: from
         // here on every node of both trees reaches `hi`.
         self.node(lo).set_parent(hi);
+
+        // `lo` stops being a representative at the store above, so bump it
+        // *again*, after the store: a root-hint claim "(v, lo, version)"
+        // installed by a reader inside the bump→store window was true when
+        // installed, but nothing else would ever move `lo`'s version again
+        // (future ops bump `hi`), so without this bump the claim would keep
+        // validating — and keep answering stale `false`s — forever
+        // (`DESIGN.md` §8; caught by
+        // `forest_concurrent::readers_terminate_under_continuous_writes`).
+        self.bump_root_version(lo);
 
         // Physical merge: rotate both tours to start at the edge endpoints
         // and concatenate them with the two new Euler-tour edge nodes.
@@ -487,6 +811,16 @@ impl EulerForest {
         // modification of the new component still detect the change.
         self.bump_root_version(cut.detached_root);
         self.node(cut.detached_root).set_parent(NodeRef::NONE);
+        // The retained root stops representing the detached piece at the
+        // store above, so bump it *after* the store: root-hint claims
+        // "(v, retained_root, version)" installed during the prepared
+        // window (walks from the detached piece still ended at the retained
+        // root — one logical component) were true when installed, but no
+        // future operation of the detached component would ever move the
+        // retained root's version, so without this bump they would keep
+        // validating after the split and answer `connected` wrongly
+        // (`DESIGN.md` §8; pinned by `crates/ett/tests/root_hints.rs`).
+        self.bump_root_version(cut.retained_root);
         self.retire_cut_nodes(cut);
     }
 

@@ -18,6 +18,11 @@
 //!   being **committed** (logically split), which is what lets the dynamic
 //!   connectivity layer search for a replacement edge without readers ever
 //!   observing a transiently disconnected component.
+//! * A per-vertex **root-hint cache** ([`hints`]) makes repeat queries on
+//!   stable components O(1): a validated `(root, version)` snapshot answers
+//!   `connected` with a handful of loads and no tree traversal, falling
+//!   back to the climbing protocol (which refreshes the hint) whenever the
+//!   component changed.
 //!
 //! # Example
 //!
@@ -38,9 +43,11 @@
 
 pub mod arena;
 pub mod forest;
+pub mod hints;
 pub mod node;
 mod treap;
 
 pub use arena::NodeRef;
 pub use forest::{EulerForest, PreparedCut};
+pub use hints::{default_read_hints, set_default_read_hints, HintCache};
 pub use node::{Mark, Node};

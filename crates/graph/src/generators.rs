@@ -179,6 +179,40 @@ pub fn preferential_attachment(n: usize, m_per_vertex: usize, seed: u64) -> Grap
     Graph::from_edges(n, edges)
 }
 
+/// Generates a forest of `communities` *disjoint* preferential-attachment
+/// clusters of `community_n` vertices each (community `c` owns the vertex
+/// range `c * community_n ..`), every cluster an independent power-law
+/// graph drawn with its own seed.
+///
+/// This is the multi-tenant service shape: power-law degree skew *within*
+/// a community, no edges between communities. For dynamic connectivity it
+/// isolates structural churn — a spanning change in one community never
+/// touches the others — which is exactly the regime where per-component
+/// state (component locks, root versions, root hints) pays off, as opposed
+/// to the single giant component of [`preferential_attachment`] where any
+/// structural change is global. `n = communities * community_n`.
+pub fn power_law_communities(
+    communities: usize,
+    community_n: usize,
+    m_per_vertex: usize,
+    seed: u64,
+) -> Graph {
+    assert!(communities >= 1 && community_n >= 2);
+    let n = communities * community_n;
+    let mut edges: Vec<(VertexId, VertexId)> =
+        Vec::with_capacity(communities * community_n * m_per_vertex);
+    for c in 0..communities {
+        let base = (c * community_n) as VertexId;
+        let cluster = preferential_attachment(
+            community_n,
+            m_per_vertex,
+            seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        edges.extend(cluster.edges().iter().map(|e| (base + e.u(), base + e.v())));
+    }
+    Graph::from_edges(n, edges)
+}
+
 /// Generates an RMAT (recursive-matrix) graph, the generator behind the
 /// Graph500/Kronecker datasets ("Kron" in Table 2). `scale` gives
 /// `n = 2^scale` vertices and `m` is the target edge count; `(a, b, c)` are
@@ -322,6 +356,31 @@ pub fn star_forest(stars: usize, leaves: usize) -> Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn power_law_communities_are_disjoint_and_power_law() {
+        let communities = 8;
+        let community_n = 64;
+        let g = power_law_communities(communities, community_n, 3, 5);
+        assert_eq!(g.num_vertices(), communities * community_n);
+        assert_eq!(g.connected_components(), communities);
+        for e in g.edges() {
+            assert_eq!(
+                e.u() as usize / community_n,
+                e.v() as usize / community_n,
+                "edge {e:?} crosses communities"
+            );
+        }
+        // Deterministic per seed, different across seeds.
+        assert_eq!(
+            power_law_communities(4, 32, 2, 9).edges(),
+            power_law_communities(4, 32, 2, 9).edges()
+        );
+        assert_ne!(
+            power_law_communities(4, 32, 2, 9).edges(),
+            power_law_communities(4, 32, 2, 10).edges()
+        );
+    }
 
     #[test]
     fn erdos_renyi_exact_edge_count() {

@@ -4,8 +4,9 @@
 //! incremental and decremental — live here as preset generators (the
 //! `dc_bench::scenario` module is a thin wrapper over them), joined by the
 //! presets the phased model opens up: the four-phase
-//! `load → churn-burst → read-storm → teardown` lifecycle and the temporal
-//! sliding-window stream.
+//! `load → churn-burst → read-storm → teardown` lifecycle, the standalone
+//! query-dominated [`read_storm`] mix driving the read-path bench tier, and
+//! the temporal sliding-window stream.
 //!
 //! All presets are deterministic per `(graph, parameters, seed)`.
 
@@ -134,6 +135,36 @@ pub fn lifecycle(
                 .zipf(0.99),
         )
         .phase(Phase::new("teardown", ops_per_thread).mix(0, 0, 100))
+        .generate(graph)
+}
+
+/// The read-storm preset: the query-dominated regime of the read-path
+/// benchmark tier — a single phase of 95% reads / 3% adds / 2% removes over
+/// a flash-crowd Zipf (θ = 1.2: the θ > 1 regime, where a bounded hot set
+/// absorbs most of the traffic) hot-edge set, with 90% of the edge
+/// universe preloaded.
+///
+/// The high preload makes components large, stable and mostly cyclic: the
+/// sparse churn lands overwhelmingly on non-spanning edges, which never
+/// restructure the spanning forest — exactly the regime where the
+/// version-validated root-hint cache (`DESIGN.md` §8) turns repeat queries
+/// into O(1). The canonical driver pairs this preset with disjoint
+/// power-law communities (`Topology::PowerLawCommunities`; `dc_bench`'s
+/// read tier, `BENCH_reads.json`), so a structural change only invalidates
+/// its own community's hints.
+pub fn read_storm(
+    graph: &Graph,
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+) -> GeneratedWorkload {
+    WorkloadSpec::new(threads, seed)
+        .preload(0.9)
+        .phase(
+            Phase::new("read-storm", ops_per_thread)
+                .mix(95, 3, 2)
+                .zipf(1.2),
+        )
         .generate(graph)
 }
 
@@ -293,6 +324,31 @@ mod tests {
             );
             assert!(live.is_empty(), "stream did not drain: {} live", live.len());
         }
+    }
+
+    #[test]
+    fn read_storm_is_read_dominated_and_preloaded() {
+        let g = graph();
+        let w = read_storm(&g, 3, 2_000, 11);
+        assert_eq!(w.phases.len(), 1);
+        assert_eq!(w.phases[0].name, "read-storm");
+        assert_eq!(w.preload.len(), (g.num_edges() as f64 * 0.9) as usize);
+        let total = w.phases[0].total_operations();
+        let count = |pred: fn(&Op) -> bool| {
+            w.phases[0]
+                .per_thread
+                .iter()
+                .flatten()
+                .filter(|o| pred(o))
+                .count() as f64
+                / total as f64
+        };
+        let reads = count(|o| matches!(o, Op::Query(..)));
+        let adds = count(|o| matches!(o, Op::Add(..)));
+        let removes = count(|o| matches!(o, Op::Remove(..)));
+        assert!((reads - 0.95).abs() < 0.02, "read fraction {reads}");
+        assert!((adds - 0.03).abs() < 0.02, "add fraction {adds}");
+        assert!((removes - 0.02).abs() < 0.02, "remove fraction {removes}");
     }
 
     #[test]

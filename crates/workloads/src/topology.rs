@@ -32,6 +32,18 @@ pub enum Topology {
         /// Edges added per new vertex.
         m_per_vertex: usize,
     },
+    /// A forest of disjoint preferential-attachment clusters: power-law
+    /// degree skew within each community, no edges between them (the
+    /// multi-tenant service shape — structural churn in one community never
+    /// invalidates per-component state of another).
+    PowerLawCommunities {
+        /// Number of disjoint communities.
+        communities: usize,
+        /// Vertices per community.
+        community_n: usize,
+        /// Edges added per new vertex within a community.
+        m_per_vertex: usize,
+    },
     /// `cliques` complete graphs of `clique_size` vertices joined into a
     /// ring by single bridge edges, plus `extra_bridges` random
     /// inter-clique edges.
@@ -85,6 +97,11 @@ impl Topology {
             Topology::PowerLaw { n, m_per_vertex } => {
                 generators::preferential_attachment(n, m_per_vertex, seed)
             }
+            Topology::PowerLawCommunities {
+                communities,
+                community_n,
+                m_per_vertex,
+            } => generators::power_law_communities(communities, community_n, m_per_vertex, seed),
             Topology::RingOfCliques {
                 cliques,
                 clique_size,
@@ -103,6 +120,11 @@ impl Topology {
     pub fn name(&self) -> String {
         match *self {
             Topology::PowerLaw { n, m_per_vertex } => format!("power-law(n={n}, m={m_per_vertex})"),
+            Topology::PowerLawCommunities {
+                communities,
+                community_n,
+                m_per_vertex,
+            } => format!("power-law-communities({communities}x{community_n}, m={m_per_vertex})"),
             Topology::RingOfCliques {
                 cliques,
                 clique_size,

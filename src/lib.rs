@@ -13,7 +13,9 @@
 //! * [`ett`] — the single-writer, multi-reader concurrent Euler Tour Tree
 //!   (paper Section 3);
 //! * [`dynconn`] — the HDT-based dynamic connectivity core and all thirteen
-//!   algorithm variants of the paper's evaluation (paper Section 4);
+//!   algorithm variants of the paper's evaluation (paper Section 4), with
+//!   the version-validated root-hint cache that makes repeat queries on
+//!   stable components O(1) (`DESIGN.md` §8);
 //! * [`batch`] — the batch-parallel operation engine (`dc_batch`): sharded
 //!   intake, batch annihilation, combined-pass updates and
 //!   snapshot-consistent bulk queries on top of the HDT core (`DESIGN.md`
@@ -62,7 +64,7 @@ pub use dc_workloads as workloads;
 pub use dynconn;
 
 pub use dc_batch::BatchEngine;
-pub use dc_ett::EulerForest;
+pub use dc_ett::{set_default_read_hints, EulerForest};
 pub use dc_graph::{Edge, Graph};
 pub use dc_workloads::{Topology, Trace, WorkloadSpec};
 pub use dynconn::{
