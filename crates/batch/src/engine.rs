@@ -53,6 +53,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// much work.
 const PARALLEL_QUERY_CHUNK: usize = 256;
 
+/// A commit hook, invoked once per non-empty compacted batch, on the leader
+/// thread, immediately after the batch was applied and *before* any of the
+/// batch's callers are released — batch boundaries are the linearization
+/// points (DESIGN.md §5), so this is exactly the place a write-ahead log
+/// must observe the update stream. The hook receives the structure (already
+/// reflecting the batch; write-quiescent for the duration of the call — the
+/// durable layer serializes checkpoints through it) and the compacted
+/// `adds` / `removes` slices that were applied.
+pub type CommitHook = Box<dyn Fn(&Hdt, &[Edge], &[Edge]) + Send + Sync>;
+
 /// Operation counters of a [`BatchEngine`].
 #[derive(Debug, Default)]
 struct EngineCounters {
@@ -130,6 +140,7 @@ pub struct BatchEngine {
     scratch: UnsafeCell<Scratch>,
     counters: EngineCounters,
     query_threads: usize,
+    commit_hook: Option<CommitHook>,
 }
 
 // SAFETY: `scratch` is only accessed while `leader` is held (the bulk door
@@ -153,19 +164,46 @@ impl BatchEngine {
     /// threads) and bulk-query fan-out width (`1` answers every query run
     /// inline).
     pub fn with_options(n: usize, intake_capacity: usize, query_threads: usize) -> Self {
+        Self::from_hdt(Hdt::new(n), intake_capacity, query_threads)
+    }
+
+    /// Wraps an engine around an existing structure — the recovery door:
+    /// `dc_durable` rebuilds an [`Hdt`] from a checkpoint plus the WAL tail
+    /// and then hands it to the engine, which becomes its single writer.
+    pub fn from_hdt(hdt: Hdt, intake_capacity: usize, query_threads: usize) -> Self {
         BatchEngine {
-            hdt: Hdt::new(n),
+            hdt,
             intake: IntakeArray::with_capacity(intake_capacity),
             leader: RawSpinLock::new(),
             scratch: UnsafeCell::new(Scratch::default()),
             counters: EngineCounters::default(),
             query_threads: query_threads.max(1),
+            commit_hook: None,
         }
+    }
+
+    /// Installs the commit hook (see [`CommitHook`]). Takes `&mut self` on
+    /// purpose: the hook must be in place before the engine is shared, so
+    /// no batch can ever slip past the log unobserved.
+    pub fn set_commit_hook(&mut self, hook: CommitHook) {
+        self.commit_hook = Some(hook);
     }
 
     /// The underlying structure (tests, statistics, lock-free reads).
     pub fn hdt(&self) -> &Hdt {
         &self.hdt
+    }
+
+    /// Runs `f` with the leader lock held: the structure is write-quiescent
+    /// for the duration (adapter and bulk batches wait it out; lock-free
+    /// readers proceed). This is the manual-checkpoint door used by
+    /// `dc_durable` — and any other caller that needs a consistent walk of
+    /// the live structure.
+    pub fn with_exclusive<R>(&self, f: impl FnOnce(&Hdt) -> R) -> R {
+        self.leader.lock();
+        let result = f(&self.hdt);
+        self.leader.unlock();
+        result
     }
 
     /// Snapshot of the engine counters.
@@ -284,6 +322,15 @@ impl BatchEngine {
             .applied_updates
             .fetch_add(survivors as u64, Ordering::Relaxed);
         self.hdt.apply_compacted_batch_locked(adds, removes);
+        // The batch is applied but none of its callers have been released:
+        // the commit hook observes every batch at its linearization point,
+        // with the structure quiescent. Fully annihilated batches changed
+        // nothing and are invisible to recovery, so they are not reported.
+        if survivors > 0 {
+            if let Some(hook) = &self.commit_hook {
+                hook(&self.hdt, adds, removes);
+            }
+        }
         plan.clear();
     }
 

@@ -53,7 +53,7 @@
 pub mod engine;
 pub mod plan;
 
-pub use engine::{BatchEngine, BatchStats};
+pub use engine::{BatchEngine, BatchStats, CommitHook};
 pub use plan::UpdatePlan;
 
 // Re-export the operation vocabulary so users of this crate need not also

@@ -9,9 +9,9 @@
 
 use dc_bench::runner::run_adjacency_baseline;
 use dc_bench::{
-    run_batch_bench, run_ett_bench, run_read_bench, run_throughput, run_workload_bench,
-    BatchBenchConfig, BenchConfig, EttBenchConfig, ReadBenchConfig, Scenario, Workload,
-    WorkloadBenchConfig,
+    run_batch_bench, run_durability_bench, run_ett_bench, run_read_bench, run_throughput,
+    run_workload_bench, BatchBenchConfig, BenchConfig, DurabilityBenchConfig, EttBenchConfig,
+    ReadBenchConfig, Scenario, Workload, WorkloadBenchConfig,
 };
 use dc_graph::GraphSpec;
 use dynconn::Variant;
@@ -51,6 +51,13 @@ fn main() {
         .unwrap_or(false)
     {
         emit_read_baseline();
+        return;
+    }
+    if std::env::var("DC_BENCH_DURABILITY_ONLY")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        emit_durability_baseline();
         return;
     }
     let threads = *config.thread_counts.last().unwrap_or(&1);
@@ -97,6 +104,50 @@ fn main() {
     emit_batch_baseline();
     emit_workload_baseline();
     emit_read_baseline();
+    emit_durability_baseline();
+}
+
+/// Measures the durability tier (WAL overhead per fsync policy, recovery
+/// time across a checkpoint-interval sweep), writes `BENCH_durability.json`
+/// and gates on the point of checkpoints: at the default interval,
+/// checkpoint-load + tail-replay must recover at least 5x faster than
+/// replaying the whole log from scratch.
+fn emit_durability_baseline() {
+    let config = DurabilityBenchConfig::from_env();
+    let baseline = run_durability_bench(&config);
+    print!("{}", baseline.render_text());
+    let path = "BENCH_durability.json";
+    match std::fs::write(path, baseline.to_json()) {
+        Ok(()) => println!("durability baseline written to {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    let Some(cell) = baseline.default_interval_cell() else {
+        eprintln!(
+            "gate FAILED: default checkpoint interval {} missing from the recovery sweep",
+            config.default_checkpoint_interval
+        );
+        std::process::exit(1);
+    };
+    if cell.speedup_vs_full_replay >= 5.0 {
+        println!(
+            "gate: checkpoint + tail replay at interval {} is {:.1}x faster than full replay \
+             ({:.2} ms vs {:.2} ms)",
+            cell.checkpoint_interval,
+            cell.speedup_vs_full_replay,
+            cell.recover_ms,
+            baseline.full_replay_ms
+        );
+    } else {
+        eprintln!(
+            "gate FAILED: checkpoint + tail replay at interval {} is only {:.1}x faster than \
+             full replay ({:.2} ms vs {:.2} ms), need >= 5x",
+            cell.checkpoint_interval,
+            cell.speedup_vs_full_replay,
+            cell.recover_ms,
+            baseline.full_replay_ms
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Measures the read-path tier (read-storm, zipf-read, mixed-churn — all

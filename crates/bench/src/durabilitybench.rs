@@ -1,0 +1,548 @@
+//! The durability benchmark tier, emitted as `BENCH_durability.json`.
+//!
+//! Two questions decide whether the WAL + checkpoint layer (`DESIGN.md` §9)
+//! is usable: what does logging *cost* on the write path, and what does a
+//! checkpoint *buy* at recovery time?
+//!
+//! * **WAL overhead** — the same effective-churn batch stream is driven
+//!   through a plain [`dc_batch::BatchEngine`] (no log) and through
+//!   [`dc_durable::DurableConnectivity`] under each fsync policy
+//!   ([`FsyncPolicy::Always`] / [`FsyncPolicy::EveryN`] /
+//!   [`FsyncPolicy::Off`]), with automatic checkpointing at the default
+//!   interval. Each cell reports throughput, the overhead versus the plain
+//!   engine, and the bytes the run left on disk (segments and checkpoints
+//!   separately).
+//! * **Recovery** — one history is logged per checkpoint interval in a
+//!   sweep (plus interval 0, the full-trace-replay baseline with no
+//!   checkpoint at all), the writer is dropped mid-life, and
+//!   [`DurableConnectivity::recover`] is timed. The headline cell is the
+//!   default interval: checkpoint-load + tail-replay must beat replaying
+//!   the entire log from scratch by a wide margin — the CI gate asserts
+//!   at least 5x (`summary` binary, `DC_BENCH_DURABILITY_ONLY=1`).
+//!
+//! Recovery runs read the real files (fault injection is the test suite's
+//! job, not the benchmark's); timings are best-of-`repeats` like the rest
+//! of the harness.
+
+use crate::report::{json_number, json_string};
+use dc_batch::BatchEngine;
+use dc_durable::{DurableConnectivity, DurableOptions, FsyncPolicy};
+use dynconn::{BatchConnectivity, BatchOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Scenario parameters for the durability benchmark.
+#[derive(Clone, Debug)]
+pub struct DurabilityBenchConfig {
+    /// Vertex universe.
+    pub n: usize,
+    /// Total update operations in the history.
+    pub total_ops: usize,
+    /// Operations per bulk batch (one batch = one WAL commit).
+    pub batch_ops: usize,
+    /// The `n` of the [`FsyncPolicy::EveryN`] overhead cell.
+    pub every_n: u32,
+    /// The checkpoint interval (in committed batches) of the headline
+    /// recovery cell and of the WAL-overhead runs.
+    pub default_checkpoint_interval: u64,
+    /// Checkpoint intervals swept on the recovery side (the full-replay
+    /// baseline at interval 0 is always measured and is not listed here).
+    pub intervals: Vec<u64>,
+    /// Repetitions; the best (lowest) time per cell is kept.
+    pub repeats: usize,
+    /// PRNG seed for the operation history.
+    pub seed: u64,
+}
+
+impl DurabilityBenchConfig {
+    /// The tracked configuration (shrunk under `DC_BENCH_QUICK=1`).
+    pub fn from_env() -> Self {
+        let quick = std::env::var("DC_BENCH_QUICK")
+            .map(|v| v != "0")
+            .unwrap_or(false);
+        if quick {
+            DurabilityBenchConfig {
+                n: 256,
+                total_ops: 4_000,
+                batch_ops: 128,
+                every_n: 8,
+                default_checkpoint_interval: 8,
+                intervals: vec![2, 8],
+                repeats: 1,
+                seed: 0xD15C,
+            }
+        } else {
+            DurabilityBenchConfig {
+                n: 2_048,
+                total_ops: 40_000,
+                batch_ops: 256,
+                every_n: 8,
+                default_checkpoint_interval: 16,
+                intervals: vec![4, 16, 64],
+                repeats: 3,
+                seed: 0xD15C,
+            }
+        }
+    }
+
+    fn durable_options(&self, fsync: FsyncPolicy, checkpoint_interval: u64) -> DurableOptions {
+        DurableOptions {
+            fsync,
+            checkpoint_interval,
+            ..DurableOptions::default()
+        }
+    }
+}
+
+/// One fsync-policy cell of the WAL-overhead table.
+#[derive(Clone, Debug)]
+pub struct WalOverheadCell {
+    /// Policy label (`always`, `everyN`, `off`).
+    pub policy: String,
+    /// Updates per second through the durable store.
+    pub ops_per_sec: f64,
+    /// Wall time of the kept run, milliseconds.
+    pub millis: f64,
+    /// Slowdown versus the plain (log-free) engine, in percent.
+    pub overhead_percent: f64,
+    /// Bytes of WAL segments left on disk after the run.
+    pub wal_bytes: u64,
+    /// Bytes of checkpoint files left on disk after the run.
+    pub checkpoint_bytes: u64,
+    /// Last committed sequence number (confirms every batch was logged).
+    pub last_seq: u64,
+}
+
+/// One checkpoint-interval cell of the recovery table.
+#[derive(Clone, Debug)]
+pub struct RecoveryCell {
+    /// Checkpoint interval of the history (committed batches).
+    pub checkpoint_interval: u64,
+    /// Best-of-`repeats` recovery time, milliseconds.
+    pub recover_ms: f64,
+    /// WAL batches replayed past the checkpoint.
+    pub batches_replayed: u64,
+    /// `covered_seq` of the checkpoint recovery loaded (0 = none).
+    pub checkpoint_seq: u64,
+    /// Full-trace-replay time divided by this cell's recovery time.
+    pub speedup_vs_full_replay: f64,
+}
+
+/// Everything the durability tier measured, serializable as
+/// `BENCH_durability.json`.
+#[derive(Clone, Debug)]
+pub struct DurabilityBaseline {
+    /// `git rev-parse --short HEAD` at measurement time.
+    pub git_rev: String,
+    /// The configuration that produced the numbers.
+    pub config: DurabilityBenchConfig,
+    /// Plain-engine throughput on the same batch stream (updates/sec).
+    pub plain_ops_per_sec: f64,
+    /// Plain-engine wall time, milliseconds.
+    pub plain_millis: f64,
+    /// One cell per fsync policy.
+    pub wal_overhead: Vec<WalOverheadCell>,
+    /// Recovery time with no checkpoint at all (every batch replayed).
+    pub full_replay_ms: f64,
+    /// Batches the full replay processed (the whole history).
+    pub full_replay_batches: u64,
+    /// One cell per swept checkpoint interval.
+    pub recovery: Vec<RecoveryCell>,
+}
+
+impl DurabilityBaseline {
+    /// The headline recovery cell: the default checkpoint interval.
+    pub fn default_interval_cell(&self) -> Option<&RecoveryCell> {
+        self.recovery
+            .iter()
+            .find(|c| c.checkpoint_interval == self.config.default_checkpoint_interval)
+    }
+
+    /// Serializes as the `dc-bench/durability/v1` JSON document
+    /// (`docs/bench-schema.md`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"dc-bench/durability/v1\",\n");
+        out.push_str(&format!("  \"git_rev\": {},\n", json_string(&self.git_rev)));
+        out.push_str("  \"config\": {\n");
+        out.push_str(&format!("    \"n\": {},\n", self.config.n));
+        out.push_str(&format!("    \"total_ops\": {},\n", self.config.total_ops));
+        out.push_str(&format!("    \"batch_ops\": {},\n", self.config.batch_ops));
+        out.push_str(&format!("    \"every_n\": {},\n", self.config.every_n));
+        out.push_str(&format!(
+            "    \"default_checkpoint_interval\": {},\n",
+            self.config.default_checkpoint_interval
+        ));
+        out.push_str(&format!("    \"repeats\": {},\n", self.config.repeats));
+        out.push_str(&format!("    \"seed\": {}\n", self.config.seed));
+        out.push_str("  },\n");
+        out.push_str("  \"plain\": {\n");
+        out.push_str(&format!(
+            "    \"ops_per_sec\": {},\n",
+            json_number(self.plain_ops_per_sec)
+        ));
+        out.push_str(&format!(
+            "    \"millis\": {}\n",
+            json_number(self.plain_millis)
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"wal_overhead\": [");
+        for (i, cell) in self.wal_overhead.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!(
+                "      \"policy\": {},\n",
+                json_string(&cell.policy)
+            ));
+            out.push_str(&format!(
+                "      \"ops_per_sec\": {},\n",
+                json_number(cell.ops_per_sec)
+            ));
+            out.push_str(&format!(
+                "      \"millis\": {},\n",
+                json_number(cell.millis)
+            ));
+            out.push_str(&format!(
+                "      \"overhead_percent\": {},\n",
+                json_number(cell.overhead_percent)
+            ));
+            out.push_str(&format!("      \"wal_bytes\": {},\n", cell.wal_bytes));
+            out.push_str(&format!(
+                "      \"checkpoint_bytes\": {},\n",
+                cell.checkpoint_bytes
+            ));
+            out.push_str(&format!("      \"last_seq\": {}\n", cell.last_seq));
+            out.push_str("    }");
+        }
+        out.push_str("\n  ],\n");
+        out.push_str("  \"full_replay\": {\n");
+        out.push_str(&format!(
+            "    \"recover_ms\": {},\n",
+            json_number(self.full_replay_ms)
+        ));
+        out.push_str(&format!(
+            "    \"batches_replayed\": {}\n",
+            self.full_replay_batches
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"recovery\": [");
+        for (i, cell) in self.recovery.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!(
+                "      \"checkpoint_interval\": {},\n",
+                cell.checkpoint_interval
+            ));
+            out.push_str(&format!(
+                "      \"recover_ms\": {},\n",
+                json_number(cell.recover_ms)
+            ));
+            out.push_str(&format!(
+                "      \"batches_replayed\": {},\n",
+                cell.batches_replayed
+            ));
+            out.push_str(&format!(
+                "      \"checkpoint_seq\": {},\n",
+                cell.checkpoint_seq
+            ));
+            out.push_str(&format!(
+                "      \"speedup_vs_full_replay\": {}\n",
+                json_number(cell.speedup_vs_full_replay)
+            ));
+            out.push_str("    }");
+        }
+        out.push_str("\n  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable result tables.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== Durability tier: {} ops in batches of {} over {} vertices ==\n",
+            self.config.total_ops, self.config.batch_ops, self.config.n
+        ));
+        out.push_str(&format!(
+            "plain engine (no WAL): {:>12.0} updates/sec\n",
+            self.plain_ops_per_sec
+        ));
+        out.push_str(&format!(
+            "{:<12}{:>14}{:>12}{:>12}{:>12}\n",
+            "fsync", "updates/sec", "overhead", "wal KiB", "ckpt KiB"
+        ));
+        for cell in &self.wal_overhead {
+            out.push_str(&format!(
+                "{:<12}{:>14.0}{:>11.1}%{:>12.1}{:>12.1}\n",
+                cell.policy,
+                cell.ops_per_sec,
+                cell.overhead_percent,
+                cell.wal_bytes as f64 / 1024.0,
+                cell.checkpoint_bytes as f64 / 1024.0
+            ));
+        }
+        out.push_str(&format!(
+            "\nfull-trace replay (no checkpoint): {:.2} ms ({} batches)\n",
+            self.full_replay_ms, self.full_replay_batches
+        ));
+        out.push_str(&format!(
+            "{:<12}{:>12}{:>14}{:>14}\n",
+            "interval", "recover ms", "tail batches", "speedup"
+        ));
+        for cell in &self.recovery {
+            out.push_str(&format!(
+                "{:<12}{:>12.2}{:>14}{:>13.1}x\n",
+                cell.checkpoint_interval,
+                cell.recover_ms,
+                cell.batches_replayed,
+                cell.speedup_vs_full_replay
+            ));
+        }
+        out
+    }
+}
+
+/// Generates `count` always-effective update operations: adds of absent
+/// edges, removes of present ones, from a shadow edge set (the same idiom
+/// as the recovery differential tests — every op changes state, so every
+/// batch carries real work into the log).
+fn effective_ops(n: usize, count: usize, seed: u64) -> Vec<BatchOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut present: Vec<(u32, u32)> = Vec::new();
+    let mut index: HashSet<(u32, u32)> = HashSet::new();
+    let mut ops = Vec::with_capacity(count);
+    while ops.len() < count {
+        if present.is_empty() || rng.gen_bool(0.62) {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if !index.insert(key) {
+                continue;
+            }
+            present.push(key);
+            ops.push(BatchOp::Add(u, v));
+        } else {
+            let i = rng.gen_range(0..present.len());
+            let (u, v) = present.swap_remove(i);
+            index.remove(&(u, v));
+            ops.push(BatchOp::Remove(u, v));
+        }
+    }
+    ops
+}
+
+/// Drives the batch stream through any batch door and returns wall millis.
+fn time_batches(store: &dyn BatchConnectivity, ops: &[BatchOp], batch_ops: usize) -> f64 {
+    let start = Instant::now();
+    for chunk in ops.chunks(batch_ops) {
+        std::hint::black_box(store.apply_batch(chunk));
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// A scratch directory under the system temp dir, cleaned before use.
+fn bench_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dc-bench-durability-{}-{label}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Sums file sizes in `dir` by extension: (`.dcw` WAL bytes, `.dcc`
+/// checkpoint bytes).
+fn disk_usage(dir: &Path) -> (u64, u64) {
+    let (mut wal, mut ckpt) = (0, 0);
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            match entry.path().extension().and_then(|e| e.to_str()) {
+                Some("dcw") => wal += len,
+                Some("dcc") => ckpt += len,
+                _ => {}
+            }
+        }
+    }
+    (wal, ckpt)
+}
+
+/// Runs the full durability tier.
+pub fn run_durability_bench(config: &DurabilityBenchConfig) -> DurabilityBaseline {
+    let ops = effective_ops(config.n, config.total_ops, config.seed);
+
+    // Plain-engine baseline: the identical batch stream, no log at all.
+    let mut plain_millis = f64::INFINITY;
+    for _ in 0..config.repeats.max(1) {
+        let engine = BatchEngine::with_options(config.n, 64, 1);
+        plain_millis = plain_millis.min(time_batches(&engine, &ops, config.batch_ops));
+    }
+    let plain_ops_per_sec = config.total_ops as f64 / (plain_millis / 1e3);
+
+    // WAL overhead, one cell per fsync policy.
+    let policies = [
+        ("always".to_string(), FsyncPolicy::Always),
+        (
+            format!("every{}", config.every_n),
+            FsyncPolicy::EveryN(config.every_n),
+        ),
+        ("off".to_string(), FsyncPolicy::Off),
+    ];
+    let mut wal_overhead = Vec::new();
+    for (label, policy) in policies {
+        let mut best_millis = f64::INFINITY;
+        let mut wal_bytes = 0;
+        let mut checkpoint_bytes = 0;
+        let mut last_seq = 0;
+        for repeat in 0..config.repeats.max(1) {
+            let dir = bench_dir(&format!("wal-{label}-{repeat}"));
+            let opts = config.durable_options(policy, config.default_checkpoint_interval);
+            let store =
+                DurableConnectivity::create(&dir, config.n, opts).expect("bench store must create");
+            let millis = time_batches(&store, &ops, config.batch_ops);
+            assert!(!store.is_poisoned(), "bench run must not poison the log");
+            if millis < best_millis {
+                best_millis = millis;
+                let (w, c) = disk_usage(&dir);
+                wal_bytes = w;
+                checkpoint_bytes = c;
+                last_seq = store.last_seq();
+            }
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        wal_overhead.push(WalOverheadCell {
+            policy: label,
+            ops_per_sec: config.total_ops as f64 / (best_millis / 1e3),
+            millis: best_millis,
+            overhead_percent: (best_millis / plain_millis - 1.0) * 100.0,
+            wal_bytes,
+            checkpoint_bytes,
+            last_seq,
+        });
+    }
+
+    // Recovery: log one history per interval (fsync off — write-side speed
+    // is not under test here), drop the writer, time `recover`. Interval 0
+    // is the full-trace-replay baseline every other cell is compared to.
+    let measure_recovery = |interval: u64, label: &str| -> (f64, u64, u64) {
+        let dir = bench_dir(label);
+        let opts = config.durable_options(FsyncPolicy::Off, interval);
+        {
+            let store =
+                DurableConnectivity::create(&dir, config.n, opts).expect("bench store must create");
+            for chunk in ops.chunks(config.batch_ops) {
+                store.apply_batch(chunk);
+            }
+            assert!(!store.is_poisoned(), "bench run must not poison the log");
+        }
+        let mut best_ms = f64::INFINITY;
+        let mut batches_replayed = 0;
+        let mut checkpoint_seq = 0;
+        for _ in 0..config.repeats.max(1) {
+            let start = Instant::now();
+            let (store, report) =
+                DurableConnectivity::recover(&dir, opts).expect("bench history must recover");
+            best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            batches_replayed = report.batches_replayed;
+            checkpoint_seq = report.checkpoint_seq;
+            drop(store);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        (best_ms, batches_replayed, checkpoint_seq)
+    };
+    let (full_replay_ms, full_replay_batches, _) = measure_recovery(0, "replay-full");
+    let mut recovery = Vec::new();
+    for &interval in &config.intervals {
+        let (recover_ms, batches_replayed, checkpoint_seq) =
+            measure_recovery(interval, &format!("replay-ck{interval}"));
+        recovery.push(RecoveryCell {
+            checkpoint_interval: interval,
+            recover_ms,
+            batches_replayed,
+            checkpoint_seq,
+            speedup_vs_full_replay: full_replay_ms / recover_ms.max(1e-9),
+        });
+    }
+
+    DurabilityBaseline {
+        git_rev: crate::ettbench::git_rev(),
+        config: config.clone(),
+        plain_ops_per_sec,
+        plain_millis,
+        wal_overhead,
+        full_replay_ms,
+        full_replay_batches,
+        recovery,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_instance_smoke() {
+        let config = DurabilityBenchConfig {
+            n: 64,
+            total_ops: 400,
+            batch_ops: 32,
+            every_n: 4,
+            default_checkpoint_interval: 2,
+            intervals: vec![2],
+            repeats: 1,
+            seed: 7,
+        };
+        let baseline = run_durability_bench(&config);
+        assert_eq!(baseline.wal_overhead.len(), 3);
+        for cell in &baseline.wal_overhead {
+            assert!(cell.ops_per_sec > 0.0);
+            assert!(
+                cell.wal_bytes > 0,
+                "policy {} left no WAL bytes",
+                cell.policy
+            );
+            assert_eq!(cell.last_seq, (400 / 32) as u64 + 1); // 400/32 = 12.5 -> 13 batches
+        }
+        assert_eq!(baseline.full_replay_batches, 13);
+        let cell = baseline
+            .default_interval_cell()
+            .expect("default interval measured");
+        assert!(
+            cell.checkpoint_seq > 0,
+            "default-interval run must checkpoint"
+        );
+        assert!(cell.batches_replayed < baseline.full_replay_batches);
+        let json = baseline.to_json();
+        assert!(json.contains("\"schema\": \"dc-bench/durability/v1\""));
+        assert!(json.contains("\"speedup_vs_full_replay\""));
+        assert!(!baseline.render_text().is_empty());
+    }
+
+    #[test]
+    fn effective_ops_are_always_effective() {
+        let ops = effective_ops(32, 500, 3);
+        assert_eq!(ops.len(), 500);
+        let mut present = HashSet::new();
+        for op in &ops {
+            let (u, v) = op.endpoints();
+            let key = (u.min(v), u.max(v));
+            match op {
+                BatchOp::Add(..) => assert!(present.insert(key)),
+                BatchOp::Remove(..) => assert!(present.remove(&key)),
+                _ => panic!("update ops only"),
+            }
+        }
+    }
+}

@@ -15,6 +15,10 @@
 //! * the read-path tier — read-storm, zipf-read and mixed-churn scenarios
 //!   with the root-hint cache on and off across all fourteen variants,
 //!   emitted as `BENCH_reads.json` ([`readbench`]);
+//! * the durability tier — WAL write-path overhead under each fsync policy
+//!   and recovery time (checkpoint + tail replay vs full-trace replay)
+//!   across a checkpoint-interval sweep, emitted as
+//!   `BENCH_durability.json` ([`durabilitybench`]);
 //! * a multi-threaded throughput harness with warm-up, lock-wait accounting
 //!   and ops/ms reporting ([`throughput`]);
 //! * the statistics collector behind Tables 3 and 4 ([`stats`]);
@@ -25,11 +29,12 @@
 //!   machines.
 //!
 //! The machine-readable artifacts (`BENCH_adjacency.json`, `BENCH_ett.json`,
-//! `BENCH_batch.json`, `BENCH_workloads.json`, `BENCH_reads.json`) are
-//! documented in `docs/bench-schema.md`.
+//! `BENCH_batch.json`, `BENCH_workloads.json`, `BENCH_reads.json`,
+//! `BENCH_durability.json`) are documented in `docs/bench-schema.md`.
 
 pub mod batchbench;
 pub mod config;
+pub mod durabilitybench;
 pub mod ettbench;
 pub mod readbench;
 pub mod report;
@@ -41,6 +46,7 @@ pub mod workloadbench;
 
 pub use batchbench::{run_batch_bench, BatchBaseline, BatchBenchConfig};
 pub use config::BenchConfig;
+pub use durabilitybench::{run_durability_bench, DurabilityBaseline, DurabilityBenchConfig};
 pub use ettbench::{run_ett_bench, EttBaseline, EttBenchConfig};
 pub use readbench::{run_read_bench, ReadBaseline, ReadBenchConfig};
 pub use report::FigureData;

@@ -561,6 +561,122 @@ impl Hdt {
         self.forest(0).connected_many_into(pairs, out);
     }
 
+    // ----- durability hooks (used by the `dc_durable` checkpoint layer) ------
+
+    /// Exports the complete logical edge state for checkpoint serialization:
+    /// calls `spanning(u, v, level)` once per spanning edge at its exact
+    /// level and `nonspanning(u, v, level)` once per non-spanning edge at
+    /// its level.
+    ///
+    /// Spanning edges are walked out of the per-level ETT edge-node
+    /// registries top-down — an edge's exact level is the *highest* forest
+    /// that contains it, since a level-`l` spanning edge is linked into
+    /// forests `0..=l`. Non-spanning edges are walked out of the non-tree
+    /// adjacency store's materialized pages; each edge sits in both
+    /// endpoints' slots and only the copy at the smaller endpoint is
+    /// emitted. Both walks are cross-checked entry-by-entry (and in total)
+    /// against the edge-state map, so an internally inconsistent structure
+    /// panics here instead of producing a corrupt checkpoint.
+    ///
+    /// Same synchronization contract as [`Hdt::add_edge_locked`]: the
+    /// structure must be write-quiescent (concurrent lock-free readers are
+    /// fine).
+    pub fn export_edges_locked(
+        &self,
+        mut spanning: impl FnMut(u32, u32, u8),
+        mut nonspanning: impl FnMut(u32, u32, u8),
+    ) {
+        let mut seen: std::collections::HashSet<Edge> = std::collections::HashSet::new();
+        let mut spanning_count = 0usize;
+        for lvl in (0..self.levels.len()).rev() {
+            let Some(forest) = self.levels[lvl].get() else {
+                continue;
+            };
+            forest.for_each_tree_edge(|u, v| {
+                let edge = Edge::new(u, v);
+                if seen.insert(edge) {
+                    let state = self.states.get(&edge);
+                    assert!(
+                        matches!(&state, Some(st) if st.status == Status::Spanning
+                            && st.level as usize == lvl),
+                        "checkpoint export: forest {lvl} holds {edge:?} as its highest \
+                         level but the state map says {state:?}"
+                    );
+                    spanning(edge.u(), edge.v(), lvl as u8);
+                    spanning_count += 1;
+                }
+            });
+        }
+        assert_eq!(
+            spanning_count,
+            self.forest(0).num_tree_edges(),
+            "checkpoint export: spanning walk disagrees with the level-0 forest"
+        );
+        let mut nonspanning_count = 0usize;
+        self.nontree_adj
+            .for_each_entry(|level, vertex, edge: Edge| {
+                if vertex != edge.u() {
+                    return;
+                }
+                let state = self.states.get(&edge);
+                assert!(
+                    matches!(&state, Some(st) if st.status == Status::NonSpanning
+                    && st.level as usize == level),
+                    "checkpoint export: adjacency level {level} holds {edge:?} but the \
+                 state map says {state:?}"
+                );
+                nonspanning(edge.u(), edge.v(), level as u8);
+                nonspanning_count += 1;
+            });
+        assert_eq!(
+            spanning_count + nonspanning_count,
+            self.states.len(),
+            "checkpoint export: walks missed edges the state map holds"
+        );
+    }
+
+    /// Restores a spanning edge at its exact checkpoint level: links it into
+    /// forests `0..=level`, records the exact-level spanning adjacency and
+    /// raises the subtree flags — the inverse of one
+    /// [`Hdt::export_edges_locked`] `spanning` callback.
+    ///
+    /// Restore contract: the caller feeds back exactly an exported edge set
+    /// (all spanning edges first, then non-spanning), in any order within
+    /// each class, into a structure of the same vertex count with none of
+    /// those edges present. Single-writer, like all structural methods.
+    pub fn restore_spanning_edge_locked(&self, u: u32, v: u32, level: u8) {
+        let edge = Edge::new(u, v);
+        assert!(
+            !self.has_edge(u, v),
+            "restore of an already-present edge {edge:?}"
+        );
+        assert!((level as usize) < self.levels.len(), "level out of range");
+        self.make_spanning(edge, level as usize);
+        self.states
+            .insert(edge, EdgeState::new(Status::Spanning, level));
+    }
+
+    /// Restores a non-spanning edge at its exact checkpoint level: records
+    /// the adjacency info and raises the subtree flags — the inverse of one
+    /// [`Hdt::export_edges_locked`] `nonspanning` callback. Must run after
+    /// every spanning edge was restored (see
+    /// [`Hdt::restore_spanning_edge_locked`] for the full contract).
+    pub fn restore_nonspanning_edge_locked(&self, u: u32, v: u32, level: u8) {
+        let edge = Edge::new(u, v);
+        assert!(
+            !self.has_edge(u, v),
+            "restore of an already-present edge {edge:?}"
+        );
+        assert!((level as usize) < self.levels.len(), "level out of range");
+        debug_assert!(
+            self.forest(0).same_tree_locked(u, v),
+            "non-spanning restore of {edge:?} before its component's spanning edges"
+        );
+        self.add_nonspanning_info(level as usize, edge);
+        self.states
+            .insert(edge, EdgeState::new(Status::NonSpanning, level));
+    }
+
     // ----- internal helpers ---------------------------------------------------
 
     /// Inserts the adjacency information of a non-spanning edge at `level`

@@ -1,0 +1,115 @@
+//! Typed failure vocabulary and the recovery report.
+//!
+//! The whole point of a durability layer is that failures are *expected*
+//! inputs, not exceptional ones — a torn tail is the normal result of a
+//! crash, and recovery must classify what it finds rather than panic. The
+//! classification mirrors `dc_workloads::TraceError`'s split between
+//! recoverable truncation and fatal corruption, lifted to the multi-file
+//! store:
+//!
+//! * a torn **final** record/segment is what an interrupted writer leaves
+//!   behind — recovery truncates to the last valid checksum and continues
+//!   (reported in [`RecoveryReport`], never an error);
+//! * corruption anywhere **before** the tail means bytes that were once
+//!   durable have changed — [`DurableError::CorruptLog`], fatal, because
+//!   nothing after the damage can be trusted;
+//! * a corrupt checkpoint is skipped (an older one plus more WAL replay
+//!   gives the same state) and counted in the report.
+
+use std::fmt;
+use std::io;
+
+/// Why a durable-store operation failed.
+#[derive(Debug)]
+pub enum DurableError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Corruption strictly before the log's tail: a record in a non-final
+    /// segment (or before the final segment's torn region) failed its
+    /// checksum or structure. Fatal — the log cannot be replayed past it.
+    CorruptLog {
+        /// Index of the damaged segment.
+        segment: u64,
+        /// Byte offset of the damaged record within the segment.
+        offset: u64,
+        /// What exactly failed to parse or verify.
+        detail: String,
+    },
+    /// No usable store in the directory (missing segments, bad magic,
+    /// unsupported version, inconsistent vertex counts).
+    Malformed(String),
+    /// The instance stopped logging after an earlier write failure (real or
+    /// injected); updates are no longer being made durable and mutating
+    /// calls are refused. Recover from disk to resume.
+    Poisoned,
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "durable store I/O error: {e}"),
+            DurableError::CorruptLog {
+                segment,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt WAL record in segment {segment} at offset {offset}: {detail}"
+            ),
+            DurableError::Malformed(msg) => write!(f, "not a usable durable store: {msg}"),
+            DurableError::Poisoned => {
+                write!(f, "durable instance poisoned by an earlier write failure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DurableError {
+    fn from(e: io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+/// What recovery found and did — returned alongside the recovered instance
+/// so callers (and the differential tests) can assert on the exact path
+/// taken.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `covered_seq` of the checkpoint that seeded the structure; `0` when
+    /// recovery replayed the whole log from an empty structure.
+    pub checkpoint_seq: u64,
+    /// Checkpoint files that failed validation and were skipped in favor of
+    /// an older one (or none).
+    pub checkpoints_skipped: usize,
+    /// Leftover `.tmp` checkpoint files from interrupted writes, ignored.
+    pub tmp_checkpoints_ignored: usize,
+    /// WAL segment files scanned.
+    pub segments_scanned: usize,
+    /// Committed batches replayed from the WAL tail (those not already
+    /// covered by the checkpoint).
+    pub batches_replayed: u64,
+    /// Highest committed sequence number in the recovered state.
+    pub last_seq: u64,
+    /// Whether the final segment ended in a torn or uncommitted record that
+    /// recovery truncated away.
+    pub tail_truncated: bool,
+    /// Bytes dropped from the final segment by the truncation.
+    pub truncated_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// `true` when recovery used a checkpoint rather than replaying the log
+    /// from scratch.
+    pub fn used_checkpoint(&self) -> bool {
+        self.checkpoint_seq > 0
+    }
+}

@@ -1,0 +1,363 @@
+//! Fault injection: a writer that dies on schedule.
+//!
+//! Crash-safety claims are only as good as the crashes they were tested
+//! against, and real power loss is not available in CI. This module makes
+//! the *write side* of the store pluggable so tests can kill it at any byte:
+//!
+//! * [`FaultSchedule`] — a shared, thread-safe schedule saying when and how
+//!   to fail: stop cleanly after a byte budget, land a short (partial)
+//!   write, flip a bit in flight, or refuse a rename.
+//! * [`FaultWriter`] — wraps any [`Write`] + [`SyncWrite`] sink and applies
+//!   the schedule. Bytes admitted before the crash point reach the inner
+//!   sink (they "made it to disk"); everything after errors out.
+//! * [`DurableFs`] — the narrow filesystem surface the store writes through
+//!   ([`RealFs`] in production, [`FaultFs`] in tests), so file creation and
+//!   the checkpoint's atomic rename are also under the schedule's control.
+//!
+//! Recovery always reads the *real* files with `std::fs` — the injected
+//! faults shape what the crashed writer left behind, not what the reader
+//! sees.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A write sink that can also be forced to stable storage — the durability
+/// analogue of `fsync`. [`File`] maps it to `sync_data`; in-memory sinks
+/// used by unit tests make it a no-op.
+pub trait SyncWrite: Write {
+    /// Forces previously written bytes to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+impl SyncWrite for File {
+    fn sync(&mut self) -> io::Result<()> {
+        self.sync_data()
+    }
+}
+
+impl SyncWrite for Vec<u8> {
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// How the scheduled fault manifests.
+#[derive(Clone, Copy, Debug)]
+enum FaultMode {
+    /// No injected fault; writes pass through forever.
+    None,
+    /// A write that would cross the byte budget fails atomically — nothing
+    /// of it lands. Models a process kill between write syscalls.
+    CrashAfter { budget: u64 },
+    /// A write that crosses the budget lands *partially* — the prefix up to
+    /// the budget reaches the sink, then the writer dies. Models a torn
+    /// write: power loss mid-sector.
+    ShortWrite { budget: u64 },
+    /// One bit of the byte at absolute stream offset `offset` is flipped
+    /// with `mask`; writes otherwise succeed forever. Models silent media
+    /// corruption rather than a crash.
+    BitFlip { offset: u64, mask: u8 },
+}
+
+#[derive(Debug)]
+struct ScheduleState {
+    mode: FaultMode,
+    /// Total bytes admitted across every writer sharing this schedule.
+    written: u64,
+    /// Set once the fault has fired; everything fails afterwards.
+    crashed: bool,
+    /// When set, the next rename through a [`FaultFs`] fails and trips the
+    /// crash — the mid-checkpoint-rename crash point.
+    fail_renames: bool,
+}
+
+/// A shared crash schedule. Clone the [`Arc`] into every [`FaultWriter`]
+/// and the [`FaultFs`] so the byte budget is global across segment and
+/// checkpoint files — exactly like a real process with one power cord.
+#[derive(Debug)]
+pub struct FaultSchedule {
+    state: Mutex<ScheduleState>,
+}
+
+impl FaultSchedule {
+    fn with_mode(mode: FaultMode) -> Arc<Self> {
+        Arc::new(FaultSchedule {
+            state: Mutex::new(ScheduleState {
+                mode,
+                written: 0,
+                crashed: false,
+                fail_renames: false,
+            }),
+        })
+    }
+
+    /// A schedule that never fails (pass-through).
+    pub fn none() -> Arc<Self> {
+        Self::with_mode(FaultMode::None)
+    }
+
+    /// Dies cleanly once `budget` bytes have been admitted: the write that
+    /// would cross the budget fails without landing any of its bytes.
+    pub fn crash_after(budget: u64) -> Arc<Self> {
+        Self::with_mode(FaultMode::CrashAfter { budget })
+    }
+
+    /// Dies mid-write: the write crossing `budget` lands only its prefix.
+    pub fn short_write(budget: u64) -> Arc<Self> {
+        Self::with_mode(FaultMode::ShortWrite { budget })
+    }
+
+    /// Flips `mask` into the byte at absolute write offset `offset`; never
+    /// crashes.
+    pub fn bit_flip(offset: u64, mask: u8) -> Arc<Self> {
+        Self::with_mode(FaultMode::BitFlip { offset, mask })
+    }
+
+    /// Arms a rename failure: the next rename through a [`FaultFs`] errors
+    /// and trips the crashed state (checkpoint `.tmp` is left behind).
+    pub fn fail_next_rename(&self) {
+        self.state.lock().unwrap().fail_renames = true;
+    }
+
+    /// Whether the scheduled fault has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    /// Total bytes admitted so far across all writers on this schedule.
+    pub fn bytes_written(&self) -> u64 {
+        self.state.lock().unwrap().written
+    }
+
+    fn injected() -> io::Error {
+        io::Error::new(io::ErrorKind::BrokenPipe, "injected crash")
+    }
+
+    /// Decides the fate of a write of `buf`: how many bytes to admit, with
+    /// what content, and whether the writer is now dead.
+    fn admit(&self, buf: &[u8]) -> io::Result<(Vec<u8>, bool)> {
+        let mut st = self.state.lock().unwrap();
+        if st.crashed {
+            return Err(Self::injected());
+        }
+        match st.mode {
+            FaultMode::None => {
+                st.written += buf.len() as u64;
+                Ok((buf.to_vec(), false))
+            }
+            FaultMode::CrashAfter { budget } => {
+                if st.written + buf.len() as u64 > budget {
+                    st.crashed = true;
+                    Err(Self::injected())
+                } else {
+                    st.written += buf.len() as u64;
+                    Ok((buf.to_vec(), false))
+                }
+            }
+            FaultMode::ShortWrite { budget } => {
+                if st.written + buf.len() as u64 > budget {
+                    let keep = (budget.saturating_sub(st.written)) as usize;
+                    st.written += keep as u64;
+                    st.crashed = true;
+                    Ok((buf[..keep].to_vec(), true))
+                } else {
+                    st.written += buf.len() as u64;
+                    Ok((buf.to_vec(), false))
+                }
+            }
+            FaultMode::BitFlip { offset, mask } => {
+                let start = st.written;
+                let mut out = buf.to_vec();
+                if offset >= start && offset < start + buf.len() as u64 {
+                    out[(offset - start) as usize] ^= mask;
+                }
+                st.written += buf.len() as u64;
+                Ok((out, false))
+            }
+        }
+    }
+}
+
+/// Wraps a sink and applies a [`FaultSchedule`] to every write and sync.
+pub struct FaultWriter<W> {
+    inner: W,
+    schedule: Arc<FaultSchedule>,
+}
+
+impl<W: SyncWrite> FaultWriter<W> {
+    /// Wraps `inner` under `schedule`.
+    pub fn new(inner: W, schedule: Arc<FaultSchedule>) -> Self {
+        FaultWriter { inner, schedule }
+    }
+}
+
+impl<W: SyncWrite> Write for FaultWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let (admitted, dies_after) = self.schedule.admit(buf)?;
+        if !admitted.is_empty() {
+            self.inner.write_all(&admitted)?;
+            // A torn write is only observable if it reaches the platter
+            // before the "power" goes out.
+            if dies_after {
+                let _ = self.inner.sync();
+            }
+        }
+        if dies_after && admitted.is_empty() {
+            return Err(FaultSchedule::injected());
+        }
+        if dies_after {
+            // Report the partial length; the caller's next attempt to write
+            // the remainder dies on the crashed flag.
+            return Ok(admitted.len());
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.schedule.crashed() {
+            return Err(FaultSchedule::injected());
+        }
+        self.inner.flush()
+    }
+}
+
+impl<W: SyncWrite> SyncWrite for FaultWriter<W> {
+    fn sync(&mut self) -> io::Result<()> {
+        if self.schedule.crashed() {
+            return Err(FaultSchedule::injected());
+        }
+        self.inner.sync()
+    }
+}
+
+/// The narrow filesystem surface the durable store writes through. Reading
+/// is *not* here on purpose: recovery always reads the real files.
+pub trait DurableFs: Send + Sync {
+    /// Creates (truncating) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn SyncWrite + Send>>;
+    /// Atomically renames `from` to `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file (segment pruning).
+    fn remove(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The production filesystem: plain `std::fs`.
+#[derive(Debug, Default)]
+pub struct RealFs;
+
+impl DurableFs for RealFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn SyncWrite + Send>> {
+        Ok(Box::new(File::create(path)?))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+}
+
+/// A filesystem whose every write goes through a shared [`FaultSchedule`].
+/// Files are real files on disk — what survives the injected crash is
+/// exactly what recovery will read.
+pub struct FaultFs {
+    schedule: Arc<FaultSchedule>,
+}
+
+impl FaultFs {
+    /// A filesystem under the given schedule.
+    pub fn new(schedule: Arc<FaultSchedule>) -> Self {
+        FaultFs { schedule }
+    }
+}
+
+impl DurableFs for FaultFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn SyncWrite + Send>> {
+        if self.schedule.crashed() {
+            return Err(FaultSchedule::injected());
+        }
+        Ok(Box::new(FaultWriter::new(
+            File::create(path)?,
+            Arc::clone(&self.schedule),
+        )))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut st = self.schedule.state.lock().unwrap();
+        if st.crashed {
+            return Err(FaultSchedule::injected());
+        }
+        if st.fail_renames {
+            st.crashed = true;
+            return Err(FaultSchedule::injected());
+        }
+        drop(st);
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        if self.schedule.crashed() {
+            return Err(FaultSchedule::injected());
+        }
+        std::fs::remove_file(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_after_is_atomic_per_write() {
+        let schedule = FaultSchedule::crash_after(10);
+        let mut w = FaultWriter::new(Vec::new(), Arc::clone(&schedule));
+        w.write_all(&[1; 8]).unwrap();
+        // This 4-byte write would cross the 10-byte budget: nothing lands.
+        assert!(w.write_all(&[2; 4]).is_err());
+        assert!(schedule.crashed());
+        assert_eq!(w.inner, vec![1; 8]);
+        assert!(w.write_all(&[3; 1]).is_err(), "dead writers stay dead");
+        assert!(w.sync().is_err());
+    }
+
+    #[test]
+    fn short_write_lands_a_prefix() {
+        let schedule = FaultSchedule::short_write(10);
+        let mut w = FaultWriter::new(Vec::new(), Arc::clone(&schedule));
+        w.write_all(&[1; 8]).unwrap();
+        // The crossing write lands 2 of its 4 bytes, then the writer dies.
+        let err = w.write_all(&[2; 4]);
+        assert!(err.is_err());
+        assert!(schedule.crashed());
+        assert_eq!(w.inner.len(), 10);
+        assert_eq!(&w.inner[8..], &[2; 2]);
+    }
+
+    #[test]
+    fn bit_flip_corrupts_in_flight_without_crashing() {
+        let schedule = FaultSchedule::bit_flip(9, 0x80);
+        let mut w = FaultWriter::new(Vec::new(), Arc::clone(&schedule));
+        w.write_all(&[0; 8]).unwrap();
+        w.write_all(&[0; 8]).unwrap();
+        assert!(!schedule.crashed());
+        assert_eq!(w.inner[9], 0x80);
+        assert!(w.inner.iter().enumerate().all(|(i, &b)| i == 9 || b == 0));
+    }
+
+    #[test]
+    fn budget_is_shared_across_writers() {
+        let schedule = FaultSchedule::crash_after(6);
+        let mut a = FaultWriter::new(Vec::new(), Arc::clone(&schedule));
+        let mut b = FaultWriter::new(Vec::new(), Arc::clone(&schedule));
+        a.write_all(&[1; 4]).unwrap();
+        assert!(b.write_all(&[2; 4]).is_err(), "budget spans both writers");
+        assert!(a.write_all(&[1; 1]).is_err(), "crash is global");
+    }
+}

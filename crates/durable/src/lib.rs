@@ -1,0 +1,63 @@
+//! # dc_durable — crash-safe persistence for the batch engine
+//!
+//! The in-memory structure ([`dynconn::Hdt`] behind [`dc_batch::BatchEngine`])
+//! answers connectivity fast and concurrently — and forgets everything the
+//! moment the process dies. This crate makes it a *store*:
+//!
+//! * **Write-ahead log** ([`wal`]) — the engine's commit hook hands every
+//!   committed (compacted, annihilated) update batch to the log at its
+//!   linearization point, before the batch's callers are released. Records
+//!   reuse the `dc_sync::wire` primitives (LEB128 varints, per-record
+//!   FNV-1a checksums) shared with the `dc_workloads` trace format, framed
+//!   by explicit COMMIT records, in segmented files with an
+//!   [`FsyncPolicy`] knob ([`Always`](FsyncPolicy::Always) /
+//!   [`EveryN`](FsyncPolicy::EveryN) / [`Off`](FsyncPolicy::Off)).
+//! * **Checkpoints** ([`checkpoint`]) — the spanning forest and adjacency
+//!   levels, walked from the live Euler-tour forests and adjacency pages
+//!   under the leader lock, serialized with a checksum and written
+//!   atomically (write-then-rename). Restore is checkpoint-load plus
+//!   WAL-tail replay instead of full-history replay.
+//! * **Recovery** ([`DurableConnectivity::recover`]) — scans segments,
+//!   tolerates a torn final record (truncate at the last valid checksum,
+//!   never panic), and rejects mid-log corruption with a typed error
+//!   ([`DurableError::CorruptLog`]). Returns a [`RecoveryReport`] saying
+//!   exactly which path it took.
+//! * **Fault injection** ([`fault`]) — [`FaultWriter`] / [`FaultFs`] kill
+//!   the write side after a byte budget, land short writes, flip bits in
+//!   flight or refuse a rename, so the differential tests can prove that a
+//!   writer killed at *any* byte recovers to a state identical to an
+//!   oracle replaying the surviving prefix.
+//!
+//! See `DESIGN.md` §9 for the framing details and the crash-recovery
+//! safety argument.
+//!
+//! ```
+//! use dc_durable::{DurableConnectivity, DurableOptions};
+//! use dynconn::DynamicConnectivity;
+//!
+//! let dir = std::env::temp_dir().join(format!("dc-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let store = DurableConnectivity::create(&dir, 16, DurableOptions::default()).unwrap();
+//! store.add_edge(0, 1);
+//! store.add_edge(1, 2);
+//! assert!(store.connected(0, 2));
+//! assert_eq!(store.last_seq(), 2);
+//! drop(store); // "crash"
+//!
+//! let (recovered, report) = DurableConnectivity::recover(&dir, DurableOptions::default()).unwrap();
+//! assert!(recovered.connected(0, 2));
+//! assert_eq!(report.last_seq, 2);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+pub mod checkpoint;
+pub mod durable;
+pub mod error;
+pub mod fault;
+pub mod wal;
+
+pub use checkpoint::CHECKPOINT_VERSION;
+pub use durable::{DurableConnectivity, DurableOptions, FsyncPolicy};
+pub use error::{DurableError, RecoveryReport};
+pub use fault::{DurableFs, FaultFs, FaultSchedule, FaultWriter, RealFs, SyncWrite};
+pub use wal::WAL_VERSION;

@@ -1,0 +1,443 @@
+//! The segmented write-ahead log: wire format, appender and recovery scan.
+//!
+//! # Format (version 1)
+//!
+//! The log is a directory of segment files `wal-NNNNNNNN.dcw` (zero-padded
+//! decimal segment index). Multi-byte integers are LEB128 varints from
+//! [`dc_sync::wire`] unless noted; fixed header fields are little-endian.
+//! Checksums are FNV-1a 64 — the same primitive as the `dc_workloads` trace
+//! trailer, by design: one byte-level vocabulary across the repo's
+//! persistent formats.
+//!
+//! ```text
+//! segment header
+//!   magic      b"DCWS"            (4 bytes)
+//!   version    u16 LE             (currently 1)
+//!   segment    u64 LE             (this file's index)
+//!   first_seq  u64 LE             (lowest seq a batch here may carry)
+//!   vertices   u64 LE             (universe size, for checkpoint-free boot)
+//!   checksum   u64 LE             (FNV-1a of the 30 header bytes above)
+//!
+//! BATCH record                    (one per committed update batch)
+//!   tag        0xB1
+//!   seq        varint
+//!   n_adds     varint, then per edge: varint u, varint v
+//!   n_removes  varint, then per edge: varint u, varint v
+//!   checksum   u64 LE             (FNV-1a of tag..last payload byte)
+//!
+//! COMMIT record
+//!   tag        0xC1
+//!   seq        varint             (must equal the preceding BATCH's seq)
+//!   checksum   u64 LE             (FNV-1a of tag + seq bytes)
+//! ```
+//!
+//! A batch is durable iff its BATCH record *and* the matching COMMIT record
+//! are both intact — the commit record is the group-commit boundary, so a
+//! crash between the two leaves an uncommitted batch that recovery drops.
+//! Records never span segments.
+//!
+//! The scan rule (see `DESIGN.md` §9): any parse or checksum failure in the
+//! **final** segment is a torn tail — the file is truncated back to the end
+//! of the last committed batch and recovery continues. The same failure in
+//! any earlier segment is mid-log corruption and fatal, because bytes that
+//! were once acknowledged as durable have changed underneath us.
+
+use crate::error::DurableError;
+use crate::fault::{DurableFs, SyncWrite};
+use dc_graph::Edge;
+use dc_sync::wire::{self, Fnv64};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// WAL format version.
+pub const WAL_VERSION: u16 = 1;
+
+pub(crate) const WAL_MAGIC: [u8; 4] = *b"DCWS";
+pub(crate) const TAG_BATCH: u8 = 0xB1;
+pub(crate) const TAG_COMMIT: u8 = 0xC1;
+
+/// Segment file name for an index: `wal-00000042.dcw`.
+pub(crate) fn segment_file_name(index: u64) -> String {
+    format!("wal-{index:08}.dcw")
+}
+
+/// Parses a segment index back out of a file name, if it is one.
+pub(crate) fn parse_segment_file_name(name: &str) -> Option<u64> {
+    let stem = name.strip_prefix("wal-")?.strip_suffix(".dcw")?;
+    if stem.len() < 8 || !stem.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    stem.parse().ok()
+}
+
+/// Serializes a segment header.
+pub(crate) fn encode_segment_header(segment: u64, first_seq: u64, vertices: u64) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(38);
+    bytes.extend_from_slice(&WAL_MAGIC);
+    bytes.extend_from_slice(&WAL_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&segment.to_le_bytes());
+    bytes.extend_from_slice(&first_seq.to_le_bytes());
+    bytes.extend_from_slice(&vertices.to_le_bytes());
+    let checksum = Fnv64::hash(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+/// Serializes one committed batch: BATCH record followed by its COMMIT
+/// record, ready to append in a single write.
+pub(crate) fn encode_batch(seq: u64, adds: &[Edge], removes: &[Edge]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(16 + 4 * (adds.len() + removes.len()));
+    bytes.push(TAG_BATCH);
+    wire::push_varint(&mut bytes, seq);
+    wire::push_varint(&mut bytes, adds.len() as u64);
+    for e in adds {
+        wire::push_varint(&mut bytes, e.u() as u64);
+        wire::push_varint(&mut bytes, e.v() as u64);
+    }
+    wire::push_varint(&mut bytes, removes.len() as u64);
+    for e in removes {
+        wire::push_varint(&mut bytes, e.u() as u64);
+        wire::push_varint(&mut bytes, e.v() as u64);
+    }
+    let checksum = Fnv64::hash(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+
+    let commit_start = bytes.len();
+    bytes.push(TAG_COMMIT);
+    wire::push_varint(&mut bytes, seq);
+    let checksum = Fnv64::hash(&bytes[commit_start..]);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+/// An open, appendable segment.
+pub(crate) struct SegmentWriter {
+    writer: Box<dyn SyncWrite + Send>,
+    pub(crate) index: u64,
+    pub(crate) bytes_written: u64,
+}
+
+impl SegmentWriter {
+    /// Creates segment `index` in `dir` and writes its header.
+    pub(crate) fn create(
+        fs: &dyn DurableFs,
+        dir: &Path,
+        index: u64,
+        first_seq: u64,
+        vertices: u64,
+    ) -> io::Result<Self> {
+        let mut writer = fs.create(&dir.join(segment_file_name(index)))?;
+        let header = encode_segment_header(index, first_seq, vertices);
+        writer.write_all(&header)?;
+        Ok(SegmentWriter {
+            writer,
+            index,
+            bytes_written: header.len() as u64,
+        })
+    }
+
+    pub(crate) fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.bytes_written += bytes.len() as u64;
+        Ok(())
+    }
+
+    pub(crate) fn sync(&mut self) -> io::Result<()> {
+        self.writer.sync()
+    }
+}
+
+/// One committed batch decoded from the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct WalBatch {
+    pub(crate) seq: u64,
+    pub(crate) adds: Vec<Edge>,
+    pub(crate) removes: Vec<Edge>,
+}
+
+/// What scanning one segment produced.
+pub(crate) struct SegmentScan {
+    pub(crate) first_seq: u64,
+    pub(crate) vertices: u64,
+    pub(crate) batches: Vec<WalBatch>,
+    /// Offset just past the last fully committed batch — the truncation
+    /// point if the tail beyond it is torn.
+    pub(crate) committed_end: u64,
+    /// `Some(detail)` when parsing stopped before the end of the file (or
+    /// mid-record at EOF): a torn tail if this is the final segment, fatal
+    /// corruption otherwise. The offset is where the bad record starts.
+    pub(crate) damage: Option<(u64, String)>,
+}
+
+/// Decodes a whole segment from bytes (recovery reads real files).
+pub(crate) fn scan_segment(path: &Path, bytes: &[u8]) -> Result<SegmentScan, DurableError> {
+    let header_malformed = |detail: &str| -> SegmentScan {
+        // A header that never made it to disk whole is damage at offset 0:
+        // tolerable (as an empty segment) only at the log's very tail.
+        SegmentScan {
+            first_seq: 0,
+            vertices: 0,
+            batches: Vec::new(),
+            committed_end: 0,
+            damage: Some((0, format!("segment header: {detail}"))),
+        }
+    };
+    if bytes.len() < 38 {
+        return Ok(header_malformed("truncated"));
+    }
+    if bytes[0..4] != WAL_MAGIC {
+        return Err(DurableError::Malformed(format!(
+            "{} is not a WAL segment (bad magic)",
+            path.display()
+        )));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != WAL_VERSION {
+        return Err(DurableError::Malformed(format!(
+            "{}: unsupported WAL version {version}",
+            path.display()
+        )));
+    }
+    let expect = Fnv64::hash(&bytes[..30]);
+    let found = u64::from_le_bytes(bytes[30..38].try_into().unwrap());
+    if expect != found {
+        return Ok(header_malformed("checksum mismatch"));
+    }
+    let first_seq = u64::from_le_bytes(bytes[14..22].try_into().unwrap());
+    let vertices = u64::from_le_bytes(bytes[22..30].try_into().unwrap());
+
+    let mut batches = Vec::new();
+    let mut pos: usize = 38;
+    let mut committed_end = pos as u64;
+    let mut pending: Option<WalBatch> = None;
+    let mut damage = None;
+
+    'scan: while pos < bytes.len() {
+        let record_start = pos;
+        macro_rules! torn {
+            ($($arg:tt)*) => {{
+                damage = Some((record_start as u64, format!($($arg)*)));
+                break 'scan;
+            }};
+        }
+        macro_rules! try_varint {
+            ($what:expr) => {
+                match wire::varint_decode_slice(bytes, &mut pos) {
+                    Some(v) => v,
+                    None => torn!("truncated {} varint", $what),
+                }
+            };
+        }
+        let tag = bytes[pos];
+        pos += 1;
+        match tag {
+            TAG_BATCH => {
+                if pending.is_some() {
+                    torn!("BATCH record while previous batch is uncommitted");
+                }
+                let seq = try_varint!("seq");
+                let read_edges = |pos: &mut usize| -> Result<Option<Vec<Edge>>, String> {
+                    let n = match wire::varint_decode_slice(bytes, pos) {
+                        Some(v) => v,
+                        None => return Ok(None),
+                    };
+                    if n > (bytes.len() - *pos) as u64 {
+                        // An impossible count (each edge needs ≥2 bytes):
+                        // treat as damage rather than attempting a huge
+                        // allocation from garbage bytes.
+                        return Err(format!("edge count {n} exceeds segment size"));
+                    }
+                    let mut edges = Vec::with_capacity(n as usize);
+                    for _ in 0..n {
+                        let u = match wire::varint_decode_slice(bytes, pos) {
+                            Some(v) => v,
+                            None => return Ok(None),
+                        };
+                        let v = match wire::varint_decode_slice(bytes, pos) {
+                            Some(v) => v,
+                            None => return Ok(None),
+                        };
+                        if u == v || u > u32::MAX as u64 || v > u32::MAX as u64 {
+                            return Err(format!("invalid edge ({u}, {v})"));
+                        }
+                        edges.push(Edge::new(u as u32, v as u32));
+                    }
+                    Ok(Some(edges))
+                };
+                let adds = match read_edges(&mut pos) {
+                    Ok(Some(e)) => e,
+                    Ok(None) => torn!("truncated adds"),
+                    Err(detail) => torn!("{detail}"),
+                };
+                let removes = match read_edges(&mut pos) {
+                    Ok(Some(e)) => e,
+                    Ok(None) => torn!("truncated removes"),
+                    Err(detail) => torn!("{detail}"),
+                };
+                if pos + 8 > bytes.len() {
+                    torn!("truncated BATCH checksum");
+                }
+                let expect = Fnv64::hash(&bytes[record_start..pos]);
+                let found = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+                pos += 8;
+                if expect != found {
+                    torn!("BATCH checksum mismatch (seq {seq})");
+                }
+                pending = Some(WalBatch { seq, adds, removes });
+            }
+            TAG_COMMIT => {
+                let seq = try_varint!("seq");
+                if pos + 8 > bytes.len() {
+                    torn!("truncated COMMIT checksum");
+                }
+                let expect = Fnv64::hash(&bytes[record_start..pos]);
+                let found = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+                pos += 8;
+                if expect != found {
+                    torn!("COMMIT checksum mismatch (seq {seq})");
+                }
+                match pending.take() {
+                    Some(batch) if batch.seq == seq => {
+                        batches.push(batch);
+                        committed_end = pos as u64;
+                    }
+                    Some(batch) => {
+                        torn!("COMMIT seq {seq} does not match BATCH seq {}", batch.seq)
+                    }
+                    None => torn!("COMMIT without a preceding BATCH (seq {seq})"),
+                }
+            }
+            other => torn!("unknown record tag {other:#04x}"),
+        }
+    }
+    // A BATCH that parsed cleanly but whose COMMIT never made it is an
+    // uncommitted tail — same treatment as a torn record.
+    if damage.is_none() && pending.is_some() {
+        damage = Some((committed_end, "uncommitted batch at end of segment".into()));
+    }
+    Ok(SegmentScan {
+        first_seq,
+        vertices,
+        batches,
+        committed_end,
+        damage,
+    })
+}
+
+/// Lists the segment files in `dir`, sorted ascending by index.
+pub(crate) fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(name) = entry.file_name().to_str() {
+            if let Some(index) = parse_segment_file_name(name) {
+                segments.push((index, entry.path()));
+            }
+        }
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segment_with(batches: &[(u64, Vec<Edge>, Vec<Edge>)]) -> Vec<u8> {
+        let mut bytes = encode_segment_header(1, 1, 64);
+        for (seq, adds, removes) in batches {
+            bytes.extend_from_slice(&encode_batch(*seq, adds, removes));
+        }
+        bytes
+    }
+
+    fn e(u: u32, v: u32) -> Edge {
+        Edge::new(u, v)
+    }
+
+    #[test]
+    fn segment_file_names_round_trip() {
+        assert_eq!(segment_file_name(42), "wal-00000042.dcw");
+        assert_eq!(parse_segment_file_name("wal-00000042.dcw"), Some(42));
+        assert_eq!(parse_segment_file_name("wal-xxx.dcw"), None);
+        assert_eq!(parse_segment_file_name("ck-00000042.dcc"), None);
+        assert_eq!(parse_segment_file_name("wal-00000042.dcw.tmp"), None);
+    }
+
+    #[test]
+    fn clean_segment_scans_fully() {
+        let bytes = segment_with(&[
+            (1, vec![e(0, 1), e(1, 2)], vec![]),
+            (2, vec![e(2, 3)], vec![e(0, 1)]),
+        ]);
+        let scan = scan_segment(&PathBuf::from("t"), &bytes).unwrap();
+        assert!(scan.damage.is_none());
+        assert_eq!(scan.first_seq, 1);
+        assert_eq!(scan.vertices, 64);
+        assert_eq!(scan.batches.len(), 2);
+        assert_eq!(scan.batches[1].seq, 2);
+        assert_eq!(scan.batches[1].removes, vec![e(0, 1)]);
+        assert_eq!(scan.committed_end, bytes.len() as u64);
+    }
+
+    #[test]
+    fn torn_tail_keeps_committed_prefix() {
+        let full = segment_with(&[(1, vec![e(0, 1)], vec![]), (2, vec![e(1, 2)], vec![])]);
+        let prefix = segment_with(&[(1, vec![e(0, 1)], vec![])]);
+        // Cut the second batch anywhere: the first must survive untouched.
+        for cut in prefix.len() + 1..full.len() {
+            let scan = scan_segment(&PathBuf::from("t"), &full[..cut]).unwrap();
+            assert_eq!(scan.batches.len(), 1, "cut at {cut}");
+            assert!(scan.damage.is_some(), "cut at {cut}");
+            assert_eq!(scan.committed_end, prefix.len() as u64, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_reported_as_damage_at_the_record() {
+        let bytes = segment_with(&[(1, vec![e(0, 1)], vec![]), (2, vec![e(1, 2)], vec![])]);
+        let prefix_len = segment_with(&[(1, vec![e(0, 1)], vec![])]).len();
+        let mut corrupt = bytes.clone();
+        corrupt[prefix_len + 3] ^= 0x10; // inside the second BATCH record
+        let scan = scan_segment(&PathBuf::from("t"), &corrupt).unwrap();
+        assert_eq!(scan.batches.len(), 1);
+        let (offset, _) = scan.damage.expect("flip must be detected");
+        assert_eq!(offset, prefix_len as u64);
+    }
+
+    #[test]
+    fn uncommitted_batch_is_damage() {
+        let mut bytes = segment_with(&[(1, vec![e(0, 1)], vec![])]);
+        let committed = bytes.len() as u64;
+        // Append a BATCH record with no COMMIT after it.
+        let batch_and_commit = encode_batch(2, &[e(1, 2)], &[]);
+        let commit_len = {
+            let mut c = vec![TAG_COMMIT];
+            wire::push_varint(&mut c, 2);
+            c.len() + 8
+        };
+        bytes.extend_from_slice(&batch_and_commit[..batch_and_commit.len() - commit_len]);
+        let scan = scan_segment(&PathBuf::from("t"), &bytes).unwrap();
+        assert_eq!(scan.batches.len(), 1);
+        assert_eq!(scan.committed_end, committed);
+        assert!(scan.damage.is_some());
+    }
+
+    #[test]
+    fn wrong_magic_is_malformed_not_damage() {
+        let mut bytes = segment_with(&[]);
+        bytes[0] = b'X';
+        assert!(matches!(
+            scan_segment(&PathBuf::from("t"), &bytes),
+            Err(DurableError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn torn_header_is_damage_at_zero() {
+        let bytes = segment_with(&[]);
+        let scan = scan_segment(&PathBuf::from("t"), &bytes[..20]).unwrap();
+        assert_eq!(scan.damage, Some((0, "segment header: truncated".into())));
+        assert_eq!(scan.committed_end, 0);
+    }
+}

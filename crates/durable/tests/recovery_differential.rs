@@ -1,0 +1,389 @@
+//! The crash-recovery differential: kill the durable writer at dozens of
+//! randomized byte budgets — mid-record, mid-segment, mid-checkpoint, at
+//! the checkpoint rename — and prove that the recovered instance answers
+//! `connected` exactly like a [`RecomputeOracle`] replaying the surviving
+//! operation prefix.
+//!
+//! The setup makes the prefix well-defined: operations go through the
+//! single-op adapter door one at a time (one op = one batch = one WAL
+//! sequence number) and every generated update is *effective* (adds of
+//! absent edges, removes of present edges, drawn against a shadow edge
+//! set), so nothing annihilates and WAL seq `k` is exactly op `k`. With
+//! [`FsyncPolicy::Always`], recovery's `last_seq` must then be within one
+//! of the count of operations the writer acknowledged before dying — and
+//! the recovered graph must match the oracle on that prefix, pair for pair.
+
+use dc_durable::{
+    DurableConnectivity, DurableError, DurableOptions, FaultFs, FaultSchedule, FsyncPolicy,
+    RecoveryReport,
+};
+use dynconn::{DynamicConnectivity, RecomputeOracle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const N: u32 = 48;
+
+#[derive(Clone, Copy, Debug)]
+enum UOp {
+    Add(u32, u32),
+    Remove(u32, u32),
+}
+
+/// Generates `count` always-effective updates: each add inserts an absent
+/// edge, each remove deletes a present one (tracked in a shadow set), so
+/// every op survives the batch preprocessor and gets its own WAL sequence
+/// number.
+fn effective_ops(seed: u64, count: usize) -> Vec<UOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut present: Vec<(u32, u32)> = Vec::new();
+    let mut member: HashSet<(u32, u32)> = HashSet::new();
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        if present.is_empty() || rng.gen_bool(0.62) {
+            let (u, v) = loop {
+                let a = rng.gen_range(0..N);
+                let b = rng.gen_range(0..N);
+                if a == b {
+                    continue;
+                }
+                let key = (a.min(b), a.max(b));
+                if !member.contains(&key) {
+                    break key;
+                }
+            };
+            member.insert((u, v));
+            present.push((u, v));
+            ops.push(UOp::Add(u, v));
+        } else {
+            let idx = rng.gen_range(0..present.len());
+            let (u, v) = present.swap_remove(idx);
+            member.remove(&(u, v));
+            ops.push(UOp::Remove(u, v));
+        }
+    }
+    ops
+}
+
+fn opts() -> DurableOptions {
+    DurableOptions {
+        fsync: FsyncPolicy::Always,
+        checkpoint_interval: 20,
+        segment_max_bytes: 1500,
+        prune_segments: true,
+        intake_capacity: 8,
+        query_threads: 1,
+    }
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dc-durable-differential-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs ops through a store writing via the given fault schedule. Returns
+/// how many ops executed (in memory) before the poison flag was observed,
+/// and whether it ever was.
+fn run_store(dir: &PathBuf, ops: &[UOp], schedule: &Arc<FaultSchedule>) -> (usize, bool) {
+    let fs = Arc::new(FaultFs::new(Arc::clone(schedule)));
+    let store = DurableConnectivity::create_with_fs(dir, N as usize, opts(), fs)
+        .expect("budgets are chosen above the segment-header size");
+    let mut executed = 0;
+    for &op in ops {
+        match op {
+            UOp::Add(u, v) => store.add_edge(u, v),
+            UOp::Remove(u, v) => store.remove_edge(u, v),
+        }
+        executed += 1;
+        if store.is_poisoned() {
+            return (executed, true);
+        }
+    }
+    (executed, false)
+}
+
+fn oracle_for_prefix(ops: &[UOp], prefix: usize) -> RecomputeOracle {
+    let oracle = RecomputeOracle::new(N as usize);
+    for &op in &ops[..prefix] {
+        match op {
+            UOp::Add(u, v) => oracle.add_edge(u, v),
+            UOp::Remove(u, v) => oracle.remove_edge(u, v),
+        }
+    }
+    oracle
+}
+
+fn assert_matches_oracle(recovered: &DurableConnectivity, oracle: &RecomputeOracle, label: &str) {
+    for u in 0..N {
+        for v in (u + 1)..N {
+            assert_eq!(
+                recovered.connected(u, v),
+                oracle.connected(u, v),
+                "{label}: connectivity diverged at pair ({u}, {v})"
+            );
+        }
+    }
+    recovered.engine().hdt().validate();
+}
+
+fn assert_prefix_bound(report: &RecoveryReport, executed: usize, poisoned: bool, label: &str) {
+    if poisoned {
+        // The op that tripped the poison may have died before its record
+        // landed (lost) or after it was fsynced but during the follow-up
+        // checkpoint/roll (durable). Nothing earlier may ever be lost and
+        // nothing later may ever appear.
+        assert!(
+            report.last_seq + 1 >= executed as u64,
+            "{label}: lost more than the in-flight op (executed {executed}, recovered {})",
+            report.last_seq
+        );
+        assert!(
+            report.last_seq <= executed as u64,
+            "{label}: recovered ops that were never acknowledged"
+        );
+    } else {
+        assert_eq!(
+            report.last_seq, executed as u64,
+            "{label}: clean run lost ops"
+        );
+    }
+}
+
+/// The headline test: ≥50 randomized crash points across both crash modes,
+/// each recovered and differentially checked against the oracle prefix.
+#[test]
+fn crash_recovery_differential_over_randomized_budgets() {
+    let ops = effective_ops(0xD1FF_5EED, 240);
+
+    // Fault-free baseline run: learn the total byte volume (WAL segments
+    // plus checkpoints) so budgets can be spread across the whole write
+    // history, and sanity-check lossless recovery.
+    let baseline = FaultSchedule::none();
+    let dir = test_dir("baseline");
+    let (executed, poisoned) = run_store(&dir, &ops, &baseline);
+    assert!(!poisoned);
+    assert_eq!(executed, ops.len());
+    let total_bytes = baseline.bytes_written();
+    let (recovered, report) = DurableConnectivity::recover(&dir, opts()).unwrap();
+    assert_prefix_bound(&report, executed, false, "baseline");
+    assert!(
+        report.used_checkpoint(),
+        "interval 20 over 240 ops must checkpoint"
+    );
+    assert!(
+        report.batches_replayed < ops.len() as u64,
+        "checkpoints must spare recovery a full replay"
+    );
+    assert_matches_oracle(&recovered, &oracle_for_prefix(&ops, ops.len()), "baseline");
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 56 randomized crash points, alternating clean process kills
+    // (crash-after) and torn writes (short-write). Budgets land mid-record,
+    // mid-segment-header and mid-checkpoint purely by density.
+    let mut rng = StdRng::seed_from_u64(0xC4A5_4B0D);
+    let mut crashed_runs = 0;
+    for point in 0..56 {
+        let budget = rng.gen_range(64..total_bytes);
+        let schedule = if point % 2 == 0 {
+            FaultSchedule::crash_after(budget)
+        } else {
+            FaultSchedule::short_write(budget)
+        };
+        let label = format!("crash point {point} (budget {budget})");
+        let dir = test_dir(&format!("pt{point}"));
+        let (executed, poisoned) = run_store(&dir, &ops, &schedule);
+        if poisoned {
+            crashed_runs += 1;
+        }
+        let (recovered, report) = DurableConnectivity::recover(&dir, opts())
+            .unwrap_or_else(|e| panic!("{label}: recovery failed: {e}"));
+        assert_prefix_bound(&report, executed, poisoned, &label);
+        let oracle = oracle_for_prefix(&ops, report.last_seq as usize);
+        assert_matches_oracle(&recovered, &oracle, &label);
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        crashed_runs > 40,
+        "budgets below the baseline volume should almost always crash the writer, got {crashed_runs}"
+    );
+}
+
+/// The checkpoint rename is its own crash point: the `.tmp` file is fully
+/// written and synced, the rename never happens. Recovery must ignore the
+/// orphan and rebuild purely from the log.
+#[test]
+fn crash_at_checkpoint_rename_recovers_from_the_log() {
+    let ops = effective_ops(0xAB5E, 30);
+    let schedule = FaultSchedule::none();
+    let dir = test_dir("rename");
+    let fs = Arc::new(FaultFs::new(Arc::clone(&schedule)));
+    let store = DurableConnectivity::create_with_fs(&dir, N as usize, opts(), fs).unwrap();
+    schedule.fail_next_rename();
+    let mut executed = 0;
+    for &op in &ops {
+        match op {
+            UOp::Add(u, v) => store.add_edge(u, v),
+            UOp::Remove(u, v) => store.remove_edge(u, v),
+        }
+        executed += 1;
+        if store.is_poisoned() {
+            break;
+        }
+    }
+    // The automatic checkpoint at batch 20 hits the armed rename failure.
+    assert_eq!(executed, 20, "poison must land on the checkpointing batch");
+    assert!(store.is_poisoned());
+    drop(store);
+
+    let (recovered, report) = DurableConnectivity::recover(&dir, opts()).unwrap();
+    assert_eq!(report.checkpoint_seq, 0, "no checkpoint may have landed");
+    assert!(
+        report.tmp_checkpoints_ignored >= 1,
+        "the orphan .tmp must be seen"
+    );
+    // Batch 20 was appended and fsynced before the checkpoint attempt.
+    assert_eq!(report.last_seq, 20);
+    assert_matches_oracle(&recovered, &oracle_for_prefix(&ops, 20), "rename crash");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A flipped bit in a *non-final* segment is not a torn tail — it means
+/// acknowledged-durable bytes changed. Recovery must refuse with the typed
+/// mid-log corruption error, not truncate or panic.
+#[test]
+fn mid_log_corruption_is_a_typed_fatal_error() {
+    let mut o = opts();
+    o.checkpoint_interval = 0; // keep every segment relevant
+    o.segment_max_bytes = 600; // force several segments
+    let ops = effective_ops(0xBADC0DE, 120);
+    let dir = test_dir("midlog");
+    let store = DurableConnectivity::create(&dir, N as usize, o).unwrap();
+    for &op in &ops {
+        match op {
+            UOp::Add(u, v) => store.add_edge(u, v),
+            UOp::Remove(u, v) => store.remove_edge(u, v),
+        }
+    }
+    assert!(!store.is_poisoned());
+    drop(store);
+
+    let mut segments: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "dcw"))
+        .collect();
+    segments.sort();
+    assert!(
+        segments.len() >= 3,
+        "need several segments, got {}",
+        segments.len()
+    );
+
+    // Flip one bit inside the first segment's record area.
+    let victim = &segments[0];
+    let mut bytes = std::fs::read(victim).unwrap();
+    bytes[45] ^= 0x08;
+    std::fs::write(victim, &bytes).unwrap();
+
+    match DurableConnectivity::recover(&dir, o) {
+        Err(DurableError::CorruptLog { segment, .. }) => assert_eq!(segment, 1),
+        other => panic!(
+            "expected CorruptLog, got {other:?}",
+            other = other.map(|_| ())
+        ),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Truncating the final segment mid-record (a torn tail "by hand") loses
+/// exactly the final batch, is reported, and leaves the store in a state a
+/// second recovery reads back cleanly.
+#[test]
+fn torn_tail_truncation_is_exact_and_idempotent() {
+    let mut o = opts();
+    o.checkpoint_interval = 0;
+    o.segment_max_bytes = 1 << 20; // keep everything in one segment
+    let ops = effective_ops(0x70A4, 40);
+    let dir = test_dir("torn");
+    let store = DurableConnectivity::create(&dir, N as usize, o).unwrap();
+    for &op in &ops {
+        match op {
+            UOp::Add(u, v) => store.add_edge(u, v),
+            UOp::Remove(u, v) => store.remove_edge(u, v),
+        }
+    }
+    drop(store);
+
+    // Tear 3 bytes off the single segment: the last batch's COMMIT record
+    // loses its checksum, so that batch must be dropped.
+    let segment = dir.join("wal-00000001.dcw");
+    let len = std::fs::metadata(&segment).unwrap().len();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&segment)
+        .unwrap();
+    file.set_len(len - 3).unwrap();
+    drop(file);
+
+    let (recovered, report) = DurableConnectivity::recover(&dir, o).unwrap();
+    assert!(report.tail_truncated);
+    assert!(report.truncated_bytes > 0);
+    assert_eq!(report.last_seq, ops.len() as u64 - 1);
+    assert_matches_oracle(
+        &recovered,
+        &oracle_for_prefix(&ops, ops.len() - 1),
+        "torn tail",
+    );
+    drop(recovered);
+
+    // Second recovery: the truncation must have left a clean log.
+    let (recovered, report) = DurableConnectivity::recover(&dir, o).unwrap();
+    assert!(
+        !report.tail_truncated,
+        "first recovery must have healed the tail"
+    );
+    assert_eq!(report.last_seq, ops.len() as u64 - 1);
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Recovery is not the end of life: the recovered instance keeps logging,
+/// and a second crash-recovery round sees both generations of writes.
+#[test]
+fn recovered_store_resumes_logging_across_generations() {
+    let ops = effective_ops(0x6E4, 90);
+    let (first, second) = ops.split_at(50);
+    let dir = test_dir("generations");
+    let store = DurableConnectivity::create(&dir, N as usize, opts()).unwrap();
+    for &op in first {
+        match op {
+            UOp::Add(u, v) => store.add_edge(u, v),
+            UOp::Remove(u, v) => store.remove_edge(u, v),
+        }
+    }
+    drop(store); // generation 1 "crashes" cleanly
+
+    let (store, report) = DurableConnectivity::recover(&dir, opts()).unwrap();
+    assert_eq!(report.last_seq, 50);
+    for &op in second {
+        match op {
+            UOp::Add(u, v) => store.add_edge(u, v),
+            UOp::Remove(u, v) => store.remove_edge(u, v),
+        }
+    }
+    assert_eq!(store.last_seq(), 90);
+    drop(store); // generation 2 crashes too
+
+    let (recovered, report) = DurableConnectivity::recover(&dir, opts()).unwrap();
+    assert_eq!(report.last_seq, 90);
+    assert_matches_oracle(&recovered, &oracle_for_prefix(&ops, 90), "generations");
+    let _ = std::fs::remove_dir_all(&dir);
+}

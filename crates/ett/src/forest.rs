@@ -923,6 +923,17 @@ impl EulerForest {
         out
     }
 
+    /// Visits every spanning edge currently in the forest, normalized
+    /// (`u < v`), exactly once — the checkpoint serialization walker.
+    ///
+    /// Writer-side: the walk iterates the edge-node registry that `link` /
+    /// `cut` maintain, so the caller must hold whatever synchronization
+    /// stops structural mutation (for the durable checkpoint path, the
+    /// batch engine's leader lock). Concurrent lock-free readers are fine.
+    pub fn for_each_tree_edge(&self, mut f: impl FnMut(u32, u32)) {
+        self.edge_nodes.for_each(|&(u, v), _| f(u, v));
+    }
+
     /// Collects the full Euler tour (node endpoints) of the tree rooted at
     /// `root`, in order. Vertex nodes appear as `(v, v)`.
     pub fn tour(&self, root: NodeRef) -> Vec<(u32, u32)> {

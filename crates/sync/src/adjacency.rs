@@ -841,6 +841,55 @@ impl<T: Copy + Eq + Hash> AdjacencyStore<T> {
             cursor = next_cursor;
         }
     }
+
+    /// Visits every distinct element of every materialized slot as
+    /// `(level, vertex, element)` — the checkpoint serialization walker.
+    ///
+    /// Pages are walked in flat-index order; each slot is copied out under
+    /// its stripe lock and `f` runs with the lock released. The walk is a
+    /// *consistent snapshot only when the store is quiescent* (single-writer
+    /// discipline: the caller holds whatever synchronization stops
+    /// structural mutation — for the durable checkpoint path, the batch
+    /// engine's leader lock). Under concurrent mutation it degrades to the
+    /// same best-effort guarantees as [`AdjacencyStore::for_each_edge`],
+    /// which is not good enough to serialize from.
+    pub fn for_each_entry(&self, mut f: impl FnMut(usize, u32, T)) {
+        let mut copies: Vec<T> = Vec::new();
+        let total = self.levels * self.n;
+        for (pi, page) in self.pages.iter().enumerate() {
+            let ptr = page.load(Ordering::Acquire);
+            if ptr.is_null() {
+                continue;
+            }
+            let page = unsafe { &*ptr };
+            for si in 0..PAGE_SLOTS {
+                let flat = pi * PAGE_SLOTS + si;
+                if flat >= total {
+                    break;
+                }
+                copies.clear();
+                let lock = self.stripe(flat);
+                lock.lock();
+                let slot = unsafe { &*page.slots[si].get() };
+                let mut buf: [Option<T>; CHUNK] = [None; CHUNK];
+                let mut cursor = 0;
+                loop {
+                    let (copied, next, exhausted) = slot.fill_chunk(cursor, &mut buf);
+                    copies.extend(buf.iter().take(copied).map(|v| v.expect("chunk hole")));
+                    if exhausted {
+                        break;
+                    }
+                    cursor = next;
+                }
+                lock.unlock();
+                let level = flat / self.n;
+                let vertex = (flat % self.n) as u32;
+                for &value in &copies {
+                    f(level, vertex, value);
+                }
+            }
+        }
+    }
 }
 
 impl<T> Drop for AdjacencyStore<T> {

@@ -30,6 +30,9 @@
 //!   `DESIGN.md` §4.
 //! * [`waitstats`] — global lock-wait accounting used to reproduce the
 //!   "active time rate" plots (Figures 7, 8, 11, 12).
+//! * [`wire`] — shared LEB128-varint and FNV-1a checksum primitives, the
+//!   single byte-level definition under both the `dc_workloads` trace
+//!   format and the `dc_durable` WAL / checkpoint files.
 
 pub mod adjacency;
 pub mod cmap;
@@ -42,6 +45,7 @@ pub mod multiset;
 pub mod rwspinlock;
 pub mod spinlock;
 pub mod waitstats;
+pub mod wire;
 
 pub use adjacency::AdjacencyStore;
 pub use cmap::ShardedMap;
@@ -53,3 +57,4 @@ pub use intake::{IntakeArray, SlotPoll};
 pub use multiset::ConcurrentMultiSet;
 pub use rwspinlock::RawRwLock;
 pub use spinlock::RawSpinLock;
+pub use wire::Fnv64;

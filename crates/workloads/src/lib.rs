@@ -51,5 +51,5 @@ pub mod zipf;
 
 pub use phases::{GeneratedWorkload, Op, OpMix, Phase, PhaseStream, WorkloadSpec};
 pub use topology::Topology;
-pub use trace::{Trace, TraceMeta, TraceReader, TraceWriter, TRACE_VERSION};
+pub use trace::{Trace, TraceError, TraceMeta, TraceReader, TraceWriter, TRACE_VERSION};
 pub use zipf::Zipf;

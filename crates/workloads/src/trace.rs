@@ -44,10 +44,92 @@
 
 use crate::phases::{GeneratedWorkload, Op};
 use dc_graph::Edge;
+use dc_sync::wire::{self, Fnv64};
+use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Current trace format version.
 pub const TRACE_VERSION: u16 = 1;
+
+/// Why reading a trace failed — and, crucially, *which kind* of failure it
+/// is. A consumer that owns the byte stream (the durability layer, a replay
+/// tool resuming from a partial download) needs to distinguish a stream
+/// that simply stops early from one whose bytes are wrong:
+///
+/// * [`TraceError::TruncatedTail`] — the stream ended mid-record. Every
+///   operation decoded *before* the cut is a valid prefix of the original
+///   trace; `ops_decoded` reports how many. Recoverable by re-fetching or
+///   by accepting the prefix.
+/// * [`TraceError::CorruptChecksum`] — all records parsed but the trailer
+///   checksum disagrees with the bytes. Some byte in the middle is wrong
+///   and there is no way to tell which: fatal, nothing can be trusted.
+/// * [`TraceError::Malformed`] — the bytes are structurally not a trace
+///   (bad magic, unsupported version, unknown tag, inconsistent counts).
+/// * [`TraceError::Io`] — the underlying reader failed for reasons other
+///   than a clean end-of-stream.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure (not a clean end-of-stream).
+    Io(io::Error),
+    /// The stream ended mid-record; the decoded prefix is valid.
+    TruncatedTail {
+        /// Operations successfully decoded before the stream ended.
+        ops_decoded: u64,
+    },
+    /// Trailer checksum mismatch: the stream is complete but corrupt.
+    CorruptChecksum {
+        /// Checksum recomputed over the bytes actually read.
+        expected: u64,
+        /// Checksum the trailer claims.
+        found: u64,
+    },
+    /// Structurally invalid data (bad magic, version, tag or counts).
+    Malformed(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::TruncatedTail { ops_decoded } => write!(
+                f,
+                "trace truncated mid-record ({ops_decoded} ops decoded before the cut)"
+            ),
+            TraceError::CorruptChecksum { expected, found } => write!(
+                f,
+                "trace checksum mismatch: computed {expected:#018x}, trailer {found:#018x}"
+            ),
+            TraceError::Malformed(msg) => write!(f, "malformed trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<TraceError> for io::Error {
+    fn from(e: TraceError) -> Self {
+        match e {
+            TraceError::Io(inner) => inner,
+            TraceError::TruncatedTail { .. } => {
+                io::Error::new(io::ErrorKind::UnexpectedEof, e.to_string())
+            }
+            _ => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+        }
+    }
+}
 
 const MAGIC: [u8; 4] = *b"DCTR";
 const TAG_ADD: u8 = 0;
@@ -121,8 +203,9 @@ impl Trace {
     }
 
     /// Deserializes a trace through a [`TraceReader`], validating magic,
-    /// version, markers, op count and checksum.
-    pub fn read_from<R: Read>(reader: R) -> io::Result<Trace> {
+    /// version, markers, op count and checksum. The error distinguishes a
+    /// truncated tail from mid-stream corruption — see [`TraceError`].
+    pub fn read_from<R: Read>(reader: R) -> Result<Trace, TraceError> {
         TraceReader::new(reader)?.read_trace()
     }
 
@@ -133,26 +216,8 @@ impl Trace {
     }
 
     /// Deserializes from bytes.
-    pub fn from_bytes(bytes: &[u8]) -> io::Result<Trace> {
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
         Self::read_from(bytes)
-    }
-}
-
-/// FNV-1a over a running byte stream.
-#[derive(Clone, Copy, Debug)]
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xCBF2_9CE4_8422_2325)
-    }
-
-    #[inline]
-    fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x1000_0000_01B3);
-        }
     }
 }
 
@@ -161,7 +226,7 @@ impl Fnv {
 /// [`TraceWriter::end_thread`], then call [`TraceWriter::finish`].
 pub struct TraceWriter<W: Write> {
     inner: W,
-    hash: Fnv,
+    hash: Fnv64,
     threads: u32,
     threads_ended: u32,
     ops_written: u64,
@@ -178,7 +243,7 @@ impl<W: Write> TraceWriter<W> {
     ) -> io::Result<Self> {
         let mut writer = TraceWriter {
             inner,
-            hash: Fnv::new(),
+            hash: Fnv64::new(),
             threads,
             threads_ended: 0,
             ops_written: 0,
@@ -240,7 +305,7 @@ impl<W: Write> TraceWriter<W> {
         self.raw(&[TAG_TRAILER])?;
         let ops = self.ops_written;
         self.varint(ops)?;
-        let checksum = self.hash.0;
+        let checksum = self.hash.value();
         self.inner.write_all(&checksum.to_le_bytes())?;
         Ok(self.inner)
     }
@@ -250,15 +315,9 @@ impl<W: Write> TraceWriter<W> {
         self.inner.write_all(bytes)
     }
 
-    fn varint(&mut self, mut value: u64) -> io::Result<()> {
-        loop {
-            let byte = (value & 0x7F) as u8;
-            value >>= 7;
-            if value == 0 {
-                return self.raw(&[byte]);
-            }
-            self.raw(&[byte | 0x80])?;
-        }
+    fn varint(&mut self, value: u64) -> io::Result<()> {
+        let (buf, len) = wire::varint_encode(value);
+        self.raw(&buf[..len])
     }
 }
 
@@ -267,17 +326,18 @@ impl<W: Write> TraceWriter<W> {
 /// [`TraceReader::read_trace`].
 pub struct TraceReader<R: Read> {
     inner: R,
-    hash: Fnv,
+    hash: Fnv64,
     meta: TraceMeta,
     preload: Vec<Edge>,
+    ops_read: u64,
 }
 
 impl<R: Read> TraceReader<R> {
     /// Reads and validates the header (magic, version, preload section).
-    pub fn new(inner: R) -> io::Result<Self> {
+    pub fn new(inner: R) -> Result<Self, TraceError> {
         let mut reader = TraceReader {
             inner,
-            hash: Fnv::new(),
+            hash: Fnv64::new(),
             meta: TraceMeta {
                 version: 0,
                 seed: 0,
@@ -285,6 +345,7 @@ impl<R: Read> TraceReader<R> {
                 threads: 0,
             },
             preload: Vec::new(),
+            ops_read: 0,
         };
         let mut magic = [0u8; 4];
         reader.raw(&mut magic)?;
@@ -330,9 +391,8 @@ impl<R: Read> TraceReader<R> {
 
     /// Reads the thread streams and trailer, validating the end-of-thread
     /// markers, the total op count and the checksum.
-    pub fn read_trace(mut self) -> io::Result<Trace> {
+    pub fn read_trace(mut self) -> Result<Trace, TraceError> {
         let mut per_thread: Vec<Vec<Op>> = Vec::with_capacity(self.meta.threads as usize);
-        let mut ops_read = 0u64;
         for _ in 0..self.meta.threads {
             let mut ops = Vec::new();
             loop {
@@ -349,7 +409,7 @@ impl<R: Read> TraceReader<R> {
                     }
                     other => return Err(bad(&format!("unexpected record tag {other}"))),
                 };
-                ops_read += 1;
+                self.ops_read += 1;
                 ops.push(op);
             }
             per_thread.push(ops);
@@ -359,19 +419,20 @@ impl<R: Read> TraceReader<R> {
             return Err(bad(&format!("expected trailer, found tag {tag}")));
         }
         let declared_ops = self.varint()?;
-        if declared_ops != ops_read {
+        if declared_ops != self.ops_read {
             return Err(bad(&format!(
-                "trailer declares {declared_ops} ops but {ops_read} were read"
+                "trailer declares {declared_ops} ops but {} were read",
+                self.ops_read
             )));
         }
-        let expected = self.hash.0;
+        let expected = self.hash.value();
         let mut checksum = [0u8; 8];
-        self.inner.read_exact(&mut checksum)?;
-        let checksum = u64::from_le_bytes(checksum);
-        if checksum != expected {
-            return Err(bad(&format!(
-                "checksum mismatch: trailer {checksum:#018x}, computed {expected:#018x}"
-            )));
+        self.inner
+            .read_exact(&mut checksum)
+            .map_err(|e| self.classify(e))?;
+        let found = u64::from_le_bytes(checksum);
+        if found != expected {
+            return Err(TraceError::CorruptChecksum { expected, found });
         }
         Ok(Trace {
             meta: self.meta,
@@ -380,37 +441,51 @@ impl<R: Read> TraceReader<R> {
         })
     }
 
-    fn raw(&mut self, buf: &mut [u8]) -> io::Result<()> {
-        self.inner.read_exact(buf)?;
+    /// A clean end-of-stream mid-record is a recoverable truncation (the
+    /// prefix decoded so far is intact); anything else is a hard I/O error.
+    fn classify(&self, e: io::Error) -> TraceError {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::TruncatedTail {
+                ops_decoded: self.ops_read,
+            }
+        } else {
+            TraceError::Io(e)
+        }
+    }
+
+    fn raw(&mut self, buf: &mut [u8]) -> Result<(), TraceError> {
+        self.inner.read_exact(buf).map_err(|e| self.classify(e))?;
         self.hash.update(buf);
         Ok(())
     }
 
-    fn byte(&mut self) -> io::Result<u8> {
+    fn byte(&mut self) -> Result<u8, TraceError> {
         let mut b = [0u8; 1];
         self.raw(&mut b)?;
         Ok(b[0])
     }
 
-    fn varint(&mut self) -> io::Result<u64> {
-        let mut value = 0u64;
-        let mut shift = 0u32;
-        loop {
-            let byte = self.byte()?;
-            value |= ((byte & 0x7F) as u64) << shift;
-            if byte & 0x80 == 0 {
-                return Ok(value);
+    fn varint(&mut self) -> Result<u64, TraceError> {
+        let inner = &mut self.inner;
+        let hash = &mut self.hash;
+        let decoded = wire::varint_decode(|| {
+            let mut b = [0u8; 1];
+            inner.read_exact(&mut b)?;
+            hash.update(&b);
+            Ok(b[0])
+        });
+        decoded.map_err(|e| {
+            if e.kind() == io::ErrorKind::InvalidData {
+                TraceError::Malformed(e.to_string())
+            } else {
+                self.classify(e)
             }
-            shift += 7;
-            if shift >= 64 {
-                return Err(bad("varint overflows u64"));
-            }
-        }
+        })
     }
 }
 
-fn bad(message: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+fn bad(message: &str) -> TraceError {
+    TraceError::Malformed(message.to_string())
 }
 
 #[cfg(test)]
@@ -474,6 +549,60 @@ mod tests {
         let mut bad_version = bytes;
         bad_version[4] = 0xFF;
         assert!(Trace::from_bytes(&bad_version).is_err());
+    }
+
+    #[test]
+    fn truncated_tail_is_typed_and_reports_decoded_prefix() {
+        let trace = sample_trace();
+        let bytes = trace.to_bytes();
+        let total = trace.total_operations() as u64;
+        // Cut the stream a few bytes into the op records: the reader must
+        // report a recoverable truncation with a non-trivial decoded prefix.
+        let cut = bytes.len() * 2 / 3;
+        match Trace::from_bytes(&bytes[..cut]) {
+            Err(TraceError::TruncatedTail { ops_decoded }) => {
+                assert!(ops_decoded > 0, "expected some ops before the cut");
+                assert!(ops_decoded < total, "cut stream cannot hold all ops");
+            }
+            other => panic!("expected TruncatedTail, got {other:?}"),
+        }
+        // Truncating inside the trailer checksum is still a truncation.
+        match Trace::from_bytes(&bytes[..bytes.len() - 3]) {
+            Err(TraceError::TruncatedTail { ops_decoded }) => {
+                assert_eq!(ops_decoded, total);
+            }
+            other => panic!("expected TruncatedTail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_is_typed_and_fatal() {
+        let bytes = sample_trace().to_bytes();
+        // Flip a bit in the stored trailer checksum itself: structure parses,
+        // but the recomputed hash disagrees with the trailer.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        match Trace::from_bytes(&corrupt) {
+            Err(TraceError::CorruptChecksum { expected, found }) => {
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected CorruptChecksum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_error_converts_to_io_error_kinds() {
+        let truncated = TraceError::TruncatedTail { ops_decoded: 7 };
+        assert_eq!(
+            io::Error::from(truncated).kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        let corrupt = TraceError::CorruptChecksum {
+            expected: 1,
+            found: 2,
+        };
+        assert_eq!(io::Error::from(corrupt).kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

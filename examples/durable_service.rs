@@ -1,0 +1,176 @@
+//! A crash-and-recover connectivity service.
+//!
+//! Runs the durable store through a full lifecycle: a churn burst of edge
+//! updates is logged through the write-ahead log with periodic checkpoints,
+//! then the "power cord is pulled" mid-burst with the fault-injection
+//! harness (a byte budget on the injected filesystem), and the service
+//! recovers from whatever survived on disk. A [`RecomputeOracle`] replaying
+//! the same operation stream cross-checks every answer — both before the
+//! crash and over the recovered prefix.
+//!
+//! Run with: `cargo run --release --example durable_service`
+
+use concurrent_dynamic_connectivity::durable::{DurableConnectivity, FaultFs, FaultSchedule};
+use concurrent_dynamic_connectivity::{
+    BatchConnectivity, BatchOp, DurableOptions, DynamicConnectivity, FsyncPolicy, RecomputeOracle,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+const N: usize = 512;
+const BURST_OPS: usize = 4_000;
+const BATCH: usize = 64;
+
+/// Always-effective churn: adds of absent edges, removes of present ones,
+/// drawn from a shadow edge set — so every operation changes state and the
+/// op index maps one-to-one onto logged work.
+fn churn_burst(seed: u64, count: usize) -> Vec<BatchOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut present: Vec<(u32, u32)> = Vec::new();
+    let mut index: HashSet<(u32, u32)> = HashSet::new();
+    let mut ops = Vec::with_capacity(count);
+    while ops.len() < count {
+        if present.is_empty() || rng.gen_bool(0.62) {
+            let u = rng.gen_range(0..N as u32);
+            let v = rng.gen_range(0..N as u32);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if !index.insert(key) {
+                continue;
+            }
+            present.push(key);
+            ops.push(BatchOp::Add(u, v));
+        } else {
+            let i = rng.gen_range(0..present.len());
+            let (u, v) = present.swap_remove(i);
+            index.remove(&(u, v));
+            ops.push(BatchOp::Remove(u, v));
+        }
+    }
+    ops
+}
+
+/// Compares all-pairs connectivity (sampled) between the store and the
+/// oracle and panics on the first divergence.
+fn cross_check(store: &DurableConnectivity, oracle: &RecomputeOracle, label: &str) {
+    let mut checked = 0u64;
+    for u in (0..N as u32).step_by(7) {
+        for v in ((u + 1)..N as u32).step_by(5) {
+            assert_eq!(
+                store.connected(u, v),
+                oracle.connected(u, v),
+                "{label}: pair ({u}, {v}) diverged"
+            );
+            checked += 1;
+        }
+    }
+    println!("  cross-check [{label}]: {checked} pairs agree with the oracle");
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("dc-durable-service-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = DurableOptions {
+        fsync: FsyncPolicy::Always,
+        checkpoint_interval: 16,
+        ..DurableOptions::default()
+    };
+    let ops = churn_burst(42, BURST_OPS);
+
+    // Phase 1: a healthy service logging a churn burst with checkpoints.
+    // The writer goes through a fault-injected filesystem whose byte budget
+    // is the "power cord": once the budget is spent, every write fails and
+    // the instance poisons itself exactly like a crashed process.
+    let budget_ops = BURST_OPS * 2 / 3;
+    let schedule = FaultSchedule::none();
+    let probe = Arc::clone(&schedule);
+    let store = DurableConnectivity::create_with_fs(&dir, N, opts, Arc::new(FaultFs::new(probe)))
+        .expect("fresh directory must create");
+    let oracle = RecomputeOracle::new(N);
+    let mut executed = 0usize;
+    let mut bytes_at_cut = 0u64;
+    for chunk in ops.chunks(BATCH) {
+        store.apply_batch(chunk);
+        oracle.apply_batch(chunk);
+        executed += chunk.len();
+        if executed >= budget_ops {
+            bytes_at_cut = schedule.bytes_written();
+            break;
+        }
+    }
+    println!(
+        "phase 1: {executed} ops logged ({} batches, {} KiB on disk)",
+        store.last_seq(),
+        bytes_at_cut / 1024
+    );
+    cross_check(&store, &oracle, "healthy");
+    drop(store);
+
+    // Phase 2: replay the same history, but this time the power cord is cut
+    // mid-burst — the schedule kills the writer after the byte budget from
+    // phase 1, so the crash lands inside the burst, possibly mid-record.
+    let _ = std::fs::remove_dir_all(&dir);
+    let schedule = FaultSchedule::crash_after(bytes_at_cut * 2 / 3);
+    let fs = Arc::new(FaultFs::new(Arc::clone(&schedule)));
+    let store = DurableConnectivity::create_with_fs(&dir, N, opts, fs)
+        .expect("fresh directory must create");
+    let mut executed = 0usize;
+    for chunk in ops.chunks(BATCH) {
+        store.apply_batch(chunk);
+        executed += chunk.len();
+        if store.is_poisoned() {
+            break;
+        }
+    }
+    assert!(schedule.crashed(), "the byte budget must have been spent");
+    println!(
+        "phase 2: power lost after {executed} ops — store poisoned at seq {}",
+        store.last_seq()
+    );
+    drop(store); // the crashed process is gone; only the disk remains
+
+    // Phase 3: recover. Torn final records are truncated, the newest valid
+    // checkpoint is loaded, and the WAL tail is replayed on top.
+    let (recovered, report) = DurableConnectivity::recover(&dir, opts).expect("recovery must work");
+    println!(
+        "phase 3: recovered to seq {} (checkpoint seq {}, {} batches replayed{})",
+        report.last_seq,
+        report.checkpoint_seq,
+        report.batches_replayed,
+        if report.tail_truncated {
+            ", torn tail truncated"
+        } else {
+            ""
+        }
+    );
+
+    // Every acknowledged batch must have survived: rebuild the oracle over
+    // exactly the durable prefix and compare.
+    let durable_ops = (report.last_seq as usize) * BATCH;
+    assert!(durable_ops <= executed, "recovery invented operations");
+    let oracle = RecomputeOracle::new(N);
+    oracle.apply_batch(&ops[..durable_ops.min(ops.len())]);
+    cross_check(&recovered, &oracle, "recovered");
+    recovered.engine().hdt().validate();
+
+    // Phase 4: the recovered service keeps serving — finish the burst.
+    let rest: Vec<BatchOp> = ops[durable_ops..].to_vec();
+    for chunk in rest.chunks(BATCH) {
+        recovered.apply_batch(chunk);
+        oracle.apply_batch(chunk);
+    }
+    recovered.sync().expect("healthy log must sync");
+    println!(
+        "phase 4: burst finished on the recovered store (seq {})",
+        recovered.last_seq()
+    );
+    cross_check(&recovered, &oracle, "resumed");
+
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("done: crash, recovery and resumption all agree with the oracle");
+}

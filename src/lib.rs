@@ -23,7 +23,11 @@
 //! * [`workloads`] — the scenario subsystem (`dc_workloads`): parameterized
 //!   topologies, phased operation-mix workloads with Zipf hot-edge skew,
 //!   and a binary trace format for byte-for-byte reproducible replay
-//!   (`DESIGN.md` §7).
+//!   (`DESIGN.md` §7);
+//! * [`durable`] — crash-safe persistence (`dc_durable`): a group-committed
+//!   write-ahead log under the batch engine, atomic checkpoints of the
+//!   level structure, torn-tail-tolerant recovery and a fault-injection
+//!   harness (`DESIGN.md` §9).
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -57,6 +61,7 @@
 //! ```
 
 pub use dc_batch as batch;
+pub use dc_durable as durable;
 pub use dc_ett as ett;
 pub use dc_graph as graph;
 pub use dc_sync as sync;
@@ -64,6 +69,7 @@ pub use dc_workloads as workloads;
 pub use dynconn;
 
 pub use dc_batch::BatchEngine;
+pub use dc_durable::{DurableConnectivity, DurableOptions, FsyncPolicy};
 pub use dc_ett::{set_default_read_hints, EulerForest};
 pub use dc_graph::{Edge, Graph};
 pub use dc_workloads::{Topology, Trace, WorkloadSpec};
