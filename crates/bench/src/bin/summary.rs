@@ -9,9 +9,9 @@
 
 use dc_bench::runner::run_adjacency_baseline;
 use dc_bench::{
-    run_batch_bench, run_durability_bench, run_ett_bench, run_read_bench, run_throughput,
-    run_workload_bench, BatchBenchConfig, BenchConfig, DurabilityBenchConfig, EttBenchConfig,
-    ReadBenchConfig, Scenario, Workload, WorkloadBenchConfig,
+    run_batch_bench, run_durability_bench, run_ett_bench, run_latency_bench, run_read_bench,
+    run_throughput, run_workload_bench, BatchBenchConfig, BenchConfig, DurabilityBenchConfig,
+    EttBenchConfig, LatencyBenchConfig, ReadBenchConfig, Scenario, Workload, WorkloadBenchConfig,
 };
 use dc_graph::GraphSpec;
 use dynconn::Variant;
@@ -60,6 +60,13 @@ fn main() {
         emit_durability_baseline();
         return;
     }
+    if std::env::var("DC_BENCH_LATENCY_ONLY")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        emit_latency_baseline();
+        return;
+    }
     let threads = *config.thread_counts.last().unwrap_or(&1);
     let catalog = config.catalog();
     for read_percent in [80u32, 99u32] {
@@ -105,6 +112,46 @@ fn main() {
     emit_workload_baseline();
     emit_read_baseline();
     emit_durability_baseline();
+    emit_latency_baseline();
+}
+
+/// Measures the huge-graph latency tier (scalar vs interleaved bulk reads,
+/// hints on/off, read-storm and zipf-read mixes), writes
+/// `BENCH_latency.json` and gates on the point of the interleaved engine:
+/// at full scale (n >= 10M) the cold-read cell must show at least the
+/// 1.3x speedup floor; at smaller scales (quick/CI runs) the differential
+/// agreement pass inside the run and the presence of both sides of the
+/// comparison are what is checked.
+fn emit_latency_baseline() {
+    let config = LatencyBenchConfig::from_env();
+    let baseline = run_latency_bench(&config);
+    print!("{}", baseline.render_text());
+    let path = "BENCH_latency.json";
+    match std::fs::write(path, baseline.to_json()) {
+        Ok(()) => println!("latency baseline written to {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    let speedup = baseline.read_storm_cold_speedup();
+    if baseline.gate_passes() {
+        println!(
+            "gate: cold-read speedup {:.2}x (floor {:.1}x, {})",
+            speedup.unwrap_or(0.0),
+            dc_bench::latencybench::GATE_SPEEDUP_FLOOR,
+            if baseline.gate_applies() {
+                "binding at full scale"
+            } else {
+                "not binding below 10M vertices"
+            }
+        );
+    } else {
+        eprintln!(
+            "gate FAILED: cold-read speedup {:.2}x below the {:.1}x floor at n={}",
+            speedup.unwrap_or(0.0),
+            dc_bench::latencybench::GATE_SPEEDUP_FLOOR,
+            baseline.vertices
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Measures the durability tier (WAL overhead per fsync policy, recovery

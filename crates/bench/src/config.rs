@@ -100,6 +100,30 @@ impl BenchConfig {
     }
 }
 
+/// The global scale multiplier from `DC_BENCH_SCALE`.
+///
+/// Benchmark tiers that target a fixed problem size (notably the huge-graph
+/// latency tier, which defaults to n = 10M vertices) multiply their size by
+/// this factor, so `DC_BENCH_SCALE=0.01` yields a fast sanity run and
+/// `DC_BENCH_SCALE=5` stretches the same cells to n = 50M.  Unset, empty or
+/// malformed values fall back to 1.0; finite values are clamped to
+/// `[0.0001, 100.0]` so a typo cannot request a zero-sized or
+/// memory-exhausting run.
+pub fn bench_scale() -> f64 {
+    parse_scale(std::env::var("DC_BENCH_SCALE").ok().as_deref())
+}
+
+/// Pure parsing/clamping behind [`bench_scale`], separated so it can be
+/// tested without mutating process-global environment state.
+pub fn parse_scale(raw: Option<&str>) -> f64 {
+    const MIN_SCALE: f64 = 0.0001;
+    const MAX_SCALE: f64 = 100.0;
+    match raw.and_then(|s| s.trim().parse::<f64>().ok()) {
+        Some(v) if v.is_finite() => v.clamp(MIN_SCALE, MAX_SCALE),
+        _ => 1.0,
+    }
+}
+
 fn default_thread_sweep(hw: usize) -> Vec<usize> {
     // Mirror the paper's 1,2,4,...,144 sweep, truncated to the host (with one
     // oversubscribed point to show the saturation tail).
@@ -137,6 +161,23 @@ mod tests {
             assert_eq!(sweep[0], 1);
             assert!(sweep.last().copied().unwrap() >= hw);
         }
+    }
+
+    #[test]
+    fn scale_parsing_clamps_and_defaults() {
+        // Missing / empty / garbage → the neutral 1.0.
+        assert_eq!(parse_scale(None), 1.0);
+        assert_eq!(parse_scale(Some("")), 1.0);
+        assert_eq!(parse_scale(Some("fast")), 1.0);
+        assert_eq!(parse_scale(Some("NaN")), 1.0);
+        assert_eq!(parse_scale(Some("inf")), 1.0);
+        // Well-formed values pass through (whitespace tolerated).
+        assert_eq!(parse_scale(Some("0.5")), 0.5);
+        assert_eq!(parse_scale(Some(" 2 ")), 2.0);
+        // Out-of-range values clamp instead of exploding the run.
+        assert_eq!(parse_scale(Some("0")), 0.0001);
+        assert_eq!(parse_scale(Some("-3")), 0.0001);
+        assert_eq!(parse_scale(Some("1e9")), 100.0);
     }
 
     #[test]

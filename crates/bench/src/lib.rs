@@ -19,6 +19,10 @@
 //!   and recovery time (checkpoint + tail replay vs full-trace replay)
 //!   across a checkpoint-interval sweep, emitted as
 //!   `BENCH_durability.json` ([`durabilitybench`]);
+//! * the huge-graph latency tier — per-query latency distributions
+//!   (p50/p90/p99/p999) of the scalar vs interleaved bulk-read engines on
+//!   streamed 10M+-vertex graphs, emitted as `BENCH_latency.json`
+//!   ([`latencybench`]);
 //! * a multi-threaded throughput harness with warm-up, lock-wait accounting
 //!   and ops/ms reporting ([`throughput`]);
 //! * the statistics collector behind Tables 3 and 4 ([`stats`]);
@@ -30,12 +34,14 @@
 //!
 //! The machine-readable artifacts (`BENCH_adjacency.json`, `BENCH_ett.json`,
 //! `BENCH_batch.json`, `BENCH_workloads.json`, `BENCH_reads.json`,
-//! `BENCH_durability.json`) are documented in `docs/bench-schema.md`.
+//! `BENCH_durability.json`, `BENCH_latency.json`) are documented in
+//! `docs/bench-schema.md`.
 
 pub mod batchbench;
 pub mod config;
 pub mod durabilitybench;
 pub mod ettbench;
+pub mod latencybench;
 pub mod readbench;
 pub mod report;
 pub mod runner;
@@ -48,6 +54,7 @@ pub use batchbench::{run_batch_bench, BatchBaseline, BatchBenchConfig};
 pub use config::BenchConfig;
 pub use durabilitybench::{run_durability_bench, DurabilityBaseline, DurabilityBenchConfig};
 pub use ettbench::{run_ett_bench, EttBaseline, EttBenchConfig};
+pub use latencybench::{run_latency_bench, LatencyBaseline, LatencyBenchConfig};
 pub use readbench::{run_read_bench, ReadBaseline, ReadBenchConfig};
 pub use report::FigureData;
 pub use runner::{run_figure, Measure};

@@ -124,6 +124,13 @@ pub struct AdjacencyCell {
     pub active_time_percent: f64,
     /// Total lock-wait time across all threads, in milliseconds.
     pub wait_ms: f64,
+    /// Sampled per-operation latency percentiles in microseconds
+    /// (p50/p99/p999), from the 1-in-16 sampling in the throughput harness.
+    pub p50_us: f64,
+    /// 99th-percentile per-operation latency in microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile per-operation latency in microseconds.
+    pub p999_us: f64,
 }
 
 /// The machine-readable adjacency perf baseline emitted as
@@ -151,7 +158,7 @@ impl AdjacencyBaseline {
     pub fn to_json(&self) -> String {
         use crate::report::{json_number, json_string};
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"dc-bench/adjacency-baseline/v2\",\n");
+        out.push_str("  \"schema\": \"dc-bench/adjacency-baseline/v3\",\n");
         out.push_str(&format!("  \"graph\": {},\n", json_string(&self.graph)));
         out.push_str(&format!("  \"vertices\": {},\n", self.vertices));
         out.push_str(&format!("  \"edges\": {},\n", self.edges));
@@ -184,11 +191,14 @@ impl AdjacencyBaseline {
                     // (the waitstats counters were collected by the harness
                     // all along but never serialized before).
                     out.push_str(&format!(
-                        "\n        {}: {{ \"ops_per_sec\": {}, \"active_time_percent\": {}, \"wait_ms\": {} }}",
+                        "\n        {}: {{ \"ops_per_sec\": {}, \"active_time_percent\": {}, \"wait_ms\": {}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {} }}",
                         json_string(&cell.variant),
                         json_number(cell.ops_per_sec),
                         json_number(cell.active_time_percent),
-                        json_number(cell.wait_ms)
+                        json_number(cell.wait_ms),
+                        json_number(cell.p50_us),
+                        json_number(cell.p99_us),
+                        json_number(cell.p999_us)
                     ));
                 }
                 out.push_str("\n      }");
@@ -247,6 +257,9 @@ pub fn run_adjacency_baseline(
                 ops_per_sec: result.ops_per_ms * 1e3,
                 active_time_percent: result.active_time_percent,
                 wait_ms: result.wait_nanos as f64 / 1e6,
+                p50_us: result.latency.p50() as f64 / 1e3,
+                p99_us: result.latency.p99() as f64 / 1e3,
+                p999_us: result.latency.p999() as f64 / 1e3,
             });
             let ours = NonBlockingVariant::new(graph.num_vertices(), FineLocking::new());
             let result = run_throughput(&ours, &workload);
@@ -257,6 +270,9 @@ pub fn run_adjacency_baseline(
                 ops_per_sec: result.ops_per_ms * 1e3,
                 active_time_percent: result.active_time_percent,
                 wait_ms: result.wait_nanos as f64 / 1e6,
+                p50_us: result.latency.p50() as f64 / 1e3,
+                p99_us: result.latency.p99() as f64 / 1e3,
+                p999_us: result.latency.p999() as f64 / 1e3,
             });
             last_ours = Some(ours);
         }
@@ -357,6 +373,7 @@ mod tests {
             active_time_percent: 93.0,
             wait_nanos: 1_400_000,
             wait_events: 7,
+            latency: crate::stats::LatencyHistogram::new(),
         };
         assert_eq!(Measure::Throughput.extract(&result), 10.0);
         assert_eq!(Measure::ActiveTime.extract(&result), 93.0);

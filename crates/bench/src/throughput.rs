@@ -8,10 +8,18 @@
 //! 11 and 12.
 
 use crate::scenario::{Operation, Workload};
+use crate::stats::LatencyHistogram;
 use dc_sync::waitstats;
 use dynconn::DynamicConnectivity;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// Every `LATENCY_SAMPLE_EVERY`-th operation of each worker is timed
+/// individually and recorded into that worker's [`LatencyHistogram`].
+/// Sampling (instead of timing every op) keeps the clock-read overhead off
+/// the measured throughput; 1-in-16 still yields thousands of samples per
+/// cell, plenty for p99 at the tracked op budgets.
+const LATENCY_SAMPLE_EVERY: usize = 16;
 
 /// The result of one throughput measurement.
 #[derive(Clone, Copy, Debug)]
@@ -31,6 +39,10 @@ pub struct ThroughputResult {
     pub wait_nanos: u64,
     /// Number of blocking acquisitions recorded during the measured phase.
     pub wait_events: u64,
+    /// Sampled per-operation latency distribution (1-in-16 operations per
+    /// worker, merged across workers); `p50()`/`p99()`/`p999()` give the
+    /// tail alongside the mean the ops/ms figure implies.
+    pub latency: LatencyHistogram,
 }
 
 /// Preloads `workload.preload` into `structure` and runs the per-thread
@@ -50,7 +62,7 @@ pub fn run_throughput(
     let start_flag = AtomicBool::new(false);
     let started = Instant::now();
 
-    std::thread::scope(|scope| {
+    let latency = std::thread::scope(|scope| {
         let handles: Vec<_> = workload
             .per_thread
             .iter()
@@ -62,14 +74,16 @@ pub fn run_throughput(
                     while !start_flag.load(Ordering::Acquire) {
                         std::hint::spin_loop();
                     }
-                    run_ops(structure, ops);
+                    run_ops(structure, ops)
                 })
             })
             .collect();
         start_flag.store(true, Ordering::Release);
+        let mut merged = LatencyHistogram::new();
         for handle in handles {
-            handle.join().expect("benchmark worker panicked");
+            merged.merge(&handle.join().expect("benchmark worker panicked"));
         }
+        merged
     });
 
     let elapsed = started.elapsed();
@@ -84,11 +98,15 @@ pub fn run_throughput(
         active_time_percent: waitstats::active_time_rate_percent(total_thread_nanos),
         wait_nanos: waitstats::total_wait_nanos(),
         wait_events: waitstats::wait_events(),
+        latency,
     }
 }
 
-fn run_ops(structure: &dyn DynamicConnectivity, ops: &[Operation]) {
-    for op in ops {
+fn run_ops(structure: &dyn DynamicConnectivity, ops: &[Operation]) -> LatencyHistogram {
+    let mut latency = LatencyHistogram::new();
+    for (i, op) in ops.iter().enumerate() {
+        let sampled = i % LATENCY_SAMPLE_EVERY == 0;
+        let before = if sampled { Some(Instant::now()) } else { None };
         match *op {
             Operation::Add(u, v) => structure.add_edge(u, v),
             Operation::Remove(u, v) => structure.remove_edge(u, v),
@@ -96,7 +114,11 @@ fn run_ops(structure: &dyn DynamicConnectivity, ops: &[Operation]) {
                 std::hint::black_box(structure.connected(u, v));
             }
         }
+        if let Some(before) = before {
+            latency.record(before.elapsed().as_nanos() as u64);
+        }
     }
+    latency
 }
 
 #[cfg(test)]
@@ -122,6 +144,12 @@ mod tests {
         assert_eq!(result.operations, 1000);
         assert!(result.ops_per_ms > 0.0);
         assert!(result.active_time_percent >= 0.0 && result.active_time_percent <= 100.0);
+        // 1-in-16 sampling over 1000 ops: the latency distribution is
+        // populated and ordered.
+        assert!(result.latency.count() >= 1000 / 16);
+        assert!(result.latency.p50() <= result.latency.p99());
+        assert!(result.latency.p99() <= result.latency.p999());
+        assert!(result.latency.p999() <= result.latency.max());
     }
 
     #[test]

@@ -266,6 +266,31 @@ impl Hdt {
         self.forest(0).read_hints_enabled()
     }
 
+    /// Enables or disables the interleaved, software-prefetched bulk read
+    /// engine behind [`Hdt::connected_many`] (strictly a latency
+    /// optimization; both settings answer identically — disabled, bulk
+    /// reads take the scalar memo path, the differential oracle).
+    pub fn set_interleaved_reads(&self, enabled: bool) {
+        self.forest(0).set_interleaved_reads(enabled);
+    }
+
+    /// Whether bulk reads go through the interleaved engine.
+    pub fn interleaved_reads_enabled(&self) -> bool {
+        self.forest(0).interleaved_reads_enabled()
+    }
+
+    /// Sets the interleaved engine's in-flight climb count (clamped to
+    /// `1..=dc_ett::MAX_INTERLEAVE_WIDTH`; the default of 8 suits most
+    /// hosts — see `DESIGN.md` §10).
+    pub fn set_interleave_width(&self, width: usize) {
+        self.forest(0).set_interleave_width(width);
+    }
+
+    /// The interleaved engine's in-flight climb count.
+    pub fn interleave_width(&self) -> usize {
+        self.forest(0).interleave_width()
+    }
+
     // ----- queries -----------------------------------------------------------
 
     /// Lock-free linearizable connectivity query (paper Listing 1 applied to
@@ -557,8 +582,20 @@ impl Hdt {
     /// revalidates it per pair with a few version loads — repeated roots
     /// never re-climb within one call, even when the hint cache is cold or
     /// disabled. Each answer is still individually linearizable.
+    ///
+    /// By default the run goes through the interleaved, software-prefetched
+    /// read engine (`DESIGN.md` §10), which overlaps the DRAM stalls of
+    /// independent climbs; [`Hdt::set_interleaved_reads`]`(false)` routes
+    /// it through the scalar memo path instead.
     pub fn connected_many(&self, pairs: &[(u32, u32)], out: &mut Vec<bool>) {
         self.forest(0).connected_many_into(pairs, out);
+    }
+
+    /// [`Hdt::connected_many`] forced through the scalar memo path
+    /// regardless of the interleaved toggle — the differential oracle the
+    /// interleaved engine is tested (and benchmarked) against.
+    pub fn connected_many_scalar(&self, pairs: &[(u32, u32)], out: &mut Vec<bool>) {
+        self.forest(0).connected_many_scalar_into(pairs, out);
     }
 
     // ----- durability hooks (used by the `dc_durable` checkpoint layer) ------

@@ -86,8 +86,12 @@ impl std::fmt::Debug for NodeRef {
 const CHUNK_BITS: u32 = 14;
 const CHUNK_SIZE: usize = 1 << CHUNK_BITS;
 const CHUNK_MASK: usize = CHUNK_SIZE - 1;
-/// Maximum number of chunks (allows up to ~67M nodes).
-const MAX_CHUNKS: usize = 4096;
+/// Maximum number of chunks (allows up to ~268M nodes — sized for the
+/// huge-graph bench tier, where a 50M-vertex forest with tens of millions
+/// of spanning edges needs well over the previous ~67M-slot ceiling; the
+/// directory itself is just `MAX_CHUNKS` atomic pointers, so the headroom
+/// costs 128 KiB regardless of use).
+const MAX_CHUNKS: usize = 16384;
 
 fn chunk_layout() -> Layout {
     Layout::array::<Node>(CHUNK_SIZE).expect("chunk layout")

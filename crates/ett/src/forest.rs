@@ -57,8 +57,26 @@ use crate::hints::HintCache;
 use crate::node::{Mark, Node};
 use dc_sync::epoch::EpochGuard;
 use dc_sync::{RawRwLock, ShardedMap};
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::OnceLock;
+
+/// Upper bound on the interleaved read engine's in-flight climb count (the
+/// per-group state array lives on the stack, so the cap keeps it small).
+pub const MAX_INTERLEAVE_WIDTH: usize = 32;
+
+/// Default number of in-flight climbs (see `DESIGN.md` §10: wide enough to
+/// cover a DRAM round-trip with useful work, narrow enough that the states
+/// themselves stay cache-resident).
+const DEFAULT_INTERLEAVE_WIDTH: usize = 8;
+
+/// How many times one in-flight climb may restart (validation failure under
+/// concurrent restructuring) before the group bails it out to the scalar
+/// retry loop — this bounds how long a group's epoch pin can be held.
+const INTERLEAVE_RETRY_CAP: u8 = 4;
+
+/// Hint-validation batch: slot lines are prefetched this many endpoints
+/// ahead of the loads that consume them.
+const HINT_PREFETCH_BATCH: usize = 16;
 
 /// Normalizes an undirected edge key.
 #[inline]
@@ -107,6 +125,67 @@ impl PreparedCut {
     }
 }
 
+/// Reusable buffers for the bulk read path
+/// ([`EulerForest::connected_many_with`]): the sorted distinct-endpoint
+/// list, its root memo, the raw hint words of the batched validation pass
+/// and the pending-climb worklist. Capacity accumulates across calls, so a
+/// warmed scratch makes the whole bulk read path allocation-free
+/// (asserted by `crates/ett/tests/alloc_free_reads.rs`).
+///
+/// [`EulerForest::connected_many_into`] keeps one per thread internally;
+/// callers managing their own buffers (the batch engine's fan-out workers)
+/// can hold one explicitly.
+#[derive(Debug, Default)]
+pub struct ReadScratch {
+    /// Sorted, deduplicated endpoints of the current run.
+    endpoints: Vec<u32>,
+    /// Validated `(root_vertex, version)` claim per endpoint.
+    memo: Vec<(u32, u64)>,
+    /// Raw hint word observed per endpoint (fed back to the install CAS).
+    raws: Vec<u64>,
+    /// Endpoint indices whose hint missed and still need a climb.
+    pending: Vec<u32>,
+}
+
+impl ReadScratch {
+    /// Creates an empty scratch (buffers grow on first use and are reused
+    /// from then on).
+    pub const fn new() -> Self {
+        ReadScratch {
+            endpoints: Vec::new(),
+            memo: Vec::new(),
+            raws: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    /// The per-thread scratch behind [`EulerForest::connected_many_into`]
+    /// (take/put so re-entrancy degrades to a fresh scratch, never aliasing).
+    static READ_SCRATCH: std::cell::Cell<ReadScratch> =
+        const { std::cell::Cell::new(ReadScratch::new()) };
+}
+
+/// One in-flight climb of the interleaved engine: which endpoint it
+/// resolves, where the climb currently stands, and the first completed
+/// walk's `(root, version)` claim awaiting confirmation by the second.
+#[derive(Clone, Copy)]
+struct Climb {
+    /// Index into `ReadScratch::endpoints`.
+    slot: u32,
+    /// The vertex node the walk (re)starts from.
+    start: NodeRef,
+    /// Current position of the walk.
+    cur: NodeRef,
+    /// Result of the previous completed walk, if any: a claim becomes
+    /// validated when the next walk reproduces it exactly.
+    first: Option<(NodeRef, u64)>,
+    /// Walk restarts consumed (validation failures under churn); at
+    /// `INTERLEAVE_RETRY_CAP` the climb is bailed out of the group.
+    retries: u8,
+}
+
 /// The Euler Tour Tree forest; see the module documentation.
 pub struct EulerForest {
     arena: Arena,
@@ -129,6 +208,13 @@ pub struct EulerForest {
     /// 2 = forced on. Lets `set_read_hints(false)` on a never-queried
     /// forest stay allocation-free.
     hints_override: AtomicU8,
+    /// Whether bulk reads go through the interleaved, prefetched climber
+    /// (`connected_many_into`); the scalar memo path remains available as
+    /// the differential oracle. Both settings are correct.
+    interleaved: AtomicBool,
+    /// In-flight climb count of the interleaved engine, clamped to
+    /// `1..=MAX_INTERLEAVE_WIDTH`.
+    interleave_width: AtomicU8,
     prio_state: AtomicU64,
 }
 
@@ -149,6 +235,8 @@ impl EulerForest {
             locks: OnceLock::new(),
             hints: OnceLock::new(),
             hints_override: AtomicU8::new(0),
+            interleaved: AtomicBool::new(true),
+            interleave_width: AtomicU8::new(DEFAULT_INTERLEAVE_WIDTH as u8),
             prio_state: AtomicU64::new(seed | 1),
         };
         let mut forest = forest;
@@ -535,7 +623,28 @@ impl EulerForest {
     /// are appended to `out` in pair order; each answer is individually
     /// linearizable (stale memo entries are revalidated per pair and
     /// refreshed on failure, exactly like hint misses).
+    ///
+    /// By default the run goes through the interleaved, software-prefetched
+    /// read engine (see [`EulerForest::connected_many_with`]); with
+    /// [`EulerForest::set_interleaved_reads`]`(false)` it takes the scalar
+    /// memo path ([`EulerForest::connected_many_scalar_into`]), the
+    /// differential oracle. Uses a per-thread [`ReadScratch`], so steady-
+    /// state calls allocate nothing beyond `out`'s own growth.
     pub fn connected_many_into(&self, pairs: &[(u32, u32)], out: &mut Vec<bool>) {
+        if !self.interleaved_reads_enabled() {
+            self.connected_many_scalar_into(pairs, out);
+            return;
+        }
+        let mut scratch = READ_SCRATCH.with(|s| s.take());
+        self.connected_many_with(pairs, &mut scratch, out);
+        READ_SCRATCH.with(|s| s.set(scratch));
+    }
+
+    /// The scalar bulk read path: per-endpoint [`EulerForest::
+    /// resolve_root_validated`] climbs into a sorted memo, no interleaving,
+    /// no prefetch. Kept verbatim as the differential oracle the
+    /// interleaved engine is tested against (and as a bench cell).
+    pub fn connected_many_scalar_into(&self, pairs: &[(u32, u32)], out: &mut Vec<bool>) {
         out.reserve(pairs.len());
         // Tiny runs: the memo costs more than it saves.
         if pairs.len() < 4 {
@@ -586,6 +695,304 @@ impl EulerForest {
                 memo[iv] = self.resolve_root_validated(v);
             }
         }
+    }
+
+    // ----- the interleaved, prefetched bulk read engine ---------------------
+
+    /// The memory-level-parallelism bulk read path (`DESIGN.md` §10): the
+    /// same memoized protocol as [`EulerForest::connected_many_scalar_into`]
+    /// — and the same answers — but endpoint resolution is restructured so
+    /// independent cache misses overlap instead of serializing:
+    ///
+    /// 1. **Batched hint validation.** Hint-slot lines are prefetched a
+    ///    batch ahead of the loads that consume them, and each decoded
+    ///    root's version word is prefetched as soon as the raw hint word is
+    ///    in hand — by the time the validation load executes, the line is
+    ///    (probabilistically) already in flight.
+    /// 2. **Interleaved climbing.** Endpoints whose hint missed are climbed
+    ///    in groups of up to `width` software-pipelined walks: each
+    ///    in-flight walk advances one parent hop per turn and prefetches
+    ///    its next node before the turn passes on, so up to `width` DRAM
+    ///    misses are outstanding at once instead of one.
+    /// 3. The per-pair version-sandwich validation, identical to the scalar
+    ///    path.
+    ///
+    /// Prefetching never changes what is *read*, so the Listing-1 /
+    /// root-hint safety arguments apply unchanged (`DESIGN.md` §10).
+    /// Explicit-scratch variant of [`EulerForest::connected_many_into`];
+    /// with a warmed `scratch` the call is allocation-free.
+    pub fn connected_many_with(
+        &self,
+        pairs: &[(u32, u32)],
+        scratch: &mut ReadScratch,
+        out: &mut Vec<bool>,
+    ) {
+        out.reserve(pairs.len());
+        // Tiny runs: the memo costs more than it saves (same cutoff as the
+        // scalar path).
+        if pairs.len() < 4 {
+            for &(u, v) in pairs {
+                out.push(u == v || self.connected(u, v));
+            }
+            return;
+        }
+        scratch.endpoints.clear();
+        scratch.endpoints.reserve(pairs.len() * 2);
+        for &(u, v) in pairs {
+            scratch.endpoints.push(u);
+            scratch.endpoints.push(v);
+        }
+        scratch.endpoints.sort_unstable();
+        scratch.endpoints.dedup();
+        let n = scratch.endpoints.len();
+        scratch.memo.clear();
+        scratch.memo.resize(n, (0, 0));
+        scratch.pending.clear();
+
+        let hints = self.hints_enabled().then(|| self.hints());
+        match hints {
+            Some(cache) => self.validate_hints_batched(cache, scratch),
+            None => scratch.pending.extend(0..n as u32),
+        }
+        self.climb_pending_interleaved(scratch, hints);
+
+        let ReadScratch {
+            endpoints, memo, ..
+        } = scratch;
+        let index = |x: u32| {
+            endpoints
+                .binary_search(&x)
+                .expect("endpoint collected above")
+        };
+        for &(u, v) in pairs {
+            if u == v {
+                out.push(true);
+                continue;
+            }
+            let (iu, iv) = (index(u), index(v));
+            loop {
+                let (ru, ver_u) = memo[iu];
+                let (rv, ver_v) = memo[iv];
+                // The same sandwich as `connected_resolve`, against the
+                // full 64-bit versions the memo carries.
+                let valid = if ru == rv {
+                    ver_u == ver_v
+                } else {
+                    self.version_of_vertex(ru) == ver_u
+                        && self.version_of_vertex(rv) == ver_v
+                        && self.version_of_vertex(ru) == ver_u
+                };
+                if valid {
+                    out.push(ru == rv);
+                    break;
+                }
+                memo[iu] = self.resolve_root_validated(u);
+                memo[iv] = self.resolve_root_validated(v);
+            }
+        }
+    }
+
+    /// Stage 1 of the interleaved engine: validates every endpoint's hint
+    /// with slot lines prefetched `HINT_PREFETCH_BATCH` endpoints ahead and
+    /// version lines prefetched as soon as each raw word decodes. Hits land
+    /// in `scratch.memo`; misses join `scratch.pending` for the climb
+    /// stage. Counters are recorded in bulk (one atomic add per outcome for
+    /// the whole run).
+    fn validate_hints_batched(&self, cache: &HintCache, scratch: &mut ReadScratch) {
+        let n = scratch.endpoints.len();
+        scratch.raws.clear();
+        scratch.raws.resize(n, 0);
+        for &e in &scratch.endpoints[..n.min(HINT_PREFETCH_BATCH)] {
+            cache.prefetch_slot(e);
+        }
+        for i in 0..n {
+            if let Some(&ahead) = scratch.endpoints.get(i + HINT_PREFETCH_BATCH) {
+                cache.prefetch_slot(ahead);
+            }
+            let raw = cache.raw(scratch.endpoints[i]);
+            scratch.raws[i] = raw;
+            if let Some((root, _)) = HintCache::decode(raw) {
+                self.prefetch_version(root);
+            }
+        }
+        let mut hits = 0u64;
+        for i in 0..n {
+            match self.validate_hint(scratch.raws[i]) {
+                Some(claim) => {
+                    scratch.memo[i] = claim;
+                    hits += 1;
+                }
+                None => scratch.pending.push(i as u32),
+            }
+        }
+        cache.record_hits_n(hits);
+        cache.record_misses_n(scratch.pending.len() as u64);
+    }
+
+    /// Stage 2 of the interleaved engine: resolves every pending endpoint by
+    /// the double-walk protocol, `width` walks in flight at a time.
+    ///
+    /// Each group of up to `width` climbs shares one epoch pin — pins grow
+    /// from walk-sized to group-sized, still bounded (`DESIGN.md` §10) —
+    /// and every in-flight walk advances one parent hop per turn, issuing a
+    /// prefetch for the hop after before yielding the turn. A walk that
+    /// reaches a root records `(root, version)`; the claim validates when
+    /// the *next* completed walk of the same climb reproduces it exactly
+    /// (precisely the Listing-1 double-walk condition — by version
+    /// monotonicity the word was constant between the two walk ends, so
+    /// the second walk ran against an unchanged component). A climb that
+    /// keeps failing validation under churn is bailed out at
+    /// `INTERLEAVE_RETRY_CAP` restarts and finished by the scalar retry
+    /// loop *after* the group's pin drops, so churn cannot stretch the pin
+    /// unboundedly.
+    fn climb_pending_interleaved(&self, scratch: &mut ReadScratch, hints: Option<&HintCache>) {
+        if scratch.pending.is_empty() {
+            return;
+        }
+        let width = self.interleave_width();
+        let ReadScratch {
+            endpoints,
+            memo,
+            raws,
+            pending,
+        } = scratch;
+        let mut bailed = [0u32; MAX_INTERLEAVE_WIDTH];
+        for group in pending.chunks(width) {
+            let mut states = [Climb {
+                slot: 0,
+                start: NodeRef::NONE,
+                cur: NodeRef::NONE,
+                first: None,
+                retries: 0,
+            }; MAX_INTERLEAVE_WIDTH];
+            let mut bail_count = 0usize;
+            {
+                let _guard = self.arena.pin();
+                for (state, &slot) in states.iter_mut().zip(group.iter()) {
+                    let start = self.vertex_node_ref(endpoints[slot as usize]);
+                    *state = Climb {
+                        slot,
+                        start,
+                        cur: start,
+                        first: None,
+                        retries: 0,
+                    };
+                    self.prefetch_node(start);
+                }
+                // `states[..active]` are in flight; finished/bailed climbs
+                // swap to the back. Round-robin one hop per live climb.
+                let mut active = group.len();
+                let mut i = 0;
+                while active > 0 {
+                    if i >= active {
+                        i = 0;
+                    }
+                    let state = &mut states[i];
+                    let parent = self.node(state.cur).parent();
+                    if parent.is_some() {
+                        state.cur = parent;
+                        self.prefetch_node(parent);
+                        i += 1;
+                        continue;
+                    }
+                    // Walk complete: `cur` is a root right now.
+                    let claim = (state.cur, self.root_version(state.cur));
+                    let mut retire = false;
+                    match state.first {
+                        Some(first) if first == claim => {
+                            // Two consecutive walks agree: validated.
+                            let root = self.root_vertex(claim.0);
+                            memo[state.slot as usize] = (root, claim.1);
+                            if let Some(cache) = hints {
+                                cache.install(
+                                    endpoints[state.slot as usize],
+                                    raws[state.slot as usize],
+                                    root,
+                                    claim.1,
+                                );
+                            }
+                            retire = true;
+                        }
+                        Some(_) => {
+                            // A writer moved the component between walks;
+                            // this walk becomes the new first of the pair.
+                            state.retries += 1;
+                            if state.retries >= INTERLEAVE_RETRY_CAP {
+                                bailed[bail_count] = state.slot;
+                                bail_count += 1;
+                                retire = true;
+                            } else {
+                                state.first = Some(claim);
+                                state.cur = state.start;
+                            }
+                        }
+                        None => {
+                            state.first = Some(claim);
+                            state.cur = state.start;
+                        }
+                    }
+                    if retire {
+                        states.swap(i, active - 1);
+                        active -= 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            // Pin dropped: finish churn-bailed climbs with the scalar
+            // protocol (re-pins per walk, retries unboundedly like
+            // `connected` itself — the group above just refuses to hold
+            // *its* pin that long).
+            for &slot in &bailed[..bail_count] {
+                memo[slot as usize] = self.resolve_root_validated(endpoints[slot as usize]);
+            }
+        }
+    }
+
+    /// Hints the CPU to pull `r`'s node into cache (no-op for `NONE`).
+    /// Node addresses are stable for the arena's lifetime, so computing one
+    /// is safe whether or not the node is still live — and a prefetch never
+    /// reads architecturally (see `dc_sync::prefetch`).
+    #[inline]
+    fn prefetch_node(&self, r: NodeRef) {
+        if r.is_some() {
+            dc_sync::prefetch_read(self.node(r) as *const Node);
+        }
+    }
+
+    /// Hints the CPU to pull `root`'s version word into cache.
+    #[inline]
+    fn prefetch_version(&self, root: u32) {
+        if let Some(word) = self.versions.get(root as usize) {
+            dc_sync::prefetch_read(word as *const AtomicU64);
+        }
+    }
+
+    /// Enables or disables the interleaved bulk read engine (both settings
+    /// answer identically; interleaving is strictly a latency optimization —
+    /// disabled, bulk reads take the scalar memo path, the differential
+    /// oracle).
+    pub fn set_interleaved_reads(&self, enabled: bool) {
+        self.interleaved.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether bulk reads go through the interleaved engine.
+    pub fn interleaved_reads_enabled(&self) -> bool {
+        self.interleaved.load(Ordering::Relaxed)
+    }
+
+    /// Sets the interleaved engine's in-flight climb count, clamped to
+    /// `1..=MAX_INTERLEAVE_WIDTH` (width 1 degenerates to sequential climbs
+    /// with next-hop prefetch — a bench cell, not a useful production
+    /// setting).
+    pub fn set_interleave_width(&self, width: usize) {
+        let clamped = width.clamp(1, MAX_INTERLEAVE_WIDTH) as u8;
+        self.interleave_width.store(clamped, Ordering::Relaxed);
+    }
+
+    /// The interleaved engine's in-flight climb count.
+    pub fn interleave_width(&self) -> usize {
+        self.interleave_width.load(Ordering::Relaxed) as usize
     }
 
     // ----- hint-cache observability ----------------------------------------

@@ -155,16 +155,45 @@ impl HintCache {
         );
     }
 
+    /// Hints the CPU to pull vertex `v`'s slot line into cache ahead of the
+    /// [`HintCache::raw`] load — the bulk read path issues these a batch
+    /// ahead so a run of slot loads overlaps its misses instead of paying
+    /// them serially. Pure hint: no architectural effect (see
+    /// `dc_sync::prefetch`).
+    #[inline]
+    pub fn prefetch_slot(&self, v: u32) {
+        if let Some(slot) = self.slots.get(v as usize) {
+            dc_sync::prefetch_read(slot as *const AtomicU64);
+        }
+    }
+
     /// Records an endpoint resolution answered from a validated hint.
     #[inline]
     pub fn record_hit(&self) {
-        STRIPE.with(|&s| self.counters[s].hits.fetch_add(1, Ordering::Relaxed));
+        self.record_hits_n(1);
     }
 
     /// Records an endpoint resolution that fell back to a climb.
     #[inline]
     pub fn record_miss(&self) {
-        STRIPE.with(|&s| self.counters[s].misses.fetch_add(1, Ordering::Relaxed));
+        self.record_misses_n(1);
+    }
+
+    /// Records `n` hint hits at once (the bulk validation pass counts a
+    /// whole run with one thread-local lookup and one atomic add).
+    #[inline]
+    pub fn record_hits_n(&self, n: u64) {
+        if n > 0 {
+            STRIPE.with(|&s| self.counters[s].hits.fetch_add(n, Ordering::Relaxed));
+        }
+    }
+
+    /// Records `n` hint misses at once (see [`HintCache::record_hits_n`]).
+    #[inline]
+    pub fn record_misses_n(&self, n: u64) {
+        if n > 0 {
+            STRIPE.with(|&s| self.counters[s].misses.fetch_add(n, Ordering::Relaxed));
+        }
     }
 
     /// Total endpoint resolutions answered from validated hints.

@@ -48,6 +48,6 @@ pub mod node;
 mod treap;
 
 pub use arena::NodeRef;
-pub use forest::{EulerForest, PreparedCut};
+pub use forest::{EulerForest, PreparedCut, ReadScratch, MAX_INTERLEAVE_WIDTH};
 pub use hints::{default_read_hints, set_default_read_hints, HintCache};
 pub use node::{Mark, Node};

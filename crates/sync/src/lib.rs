@@ -19,6 +19,8 @@
 //!   lean on); used by the Euler Tour Tree arena to recycle retired node
 //!   slots. See `DESIGN.md` §4.
 //! * [`hash::FxHasher`] — the shared fast integer hasher.
+//! * [`prefetch`] — the software-prefetch portability shim behind the
+//!   interleaved bulk read path (`_mm_prefetch` on x86-64, no-op elsewhere).
 //! * [`combining`] — a generic flat-combining / parallel-combining executor
 //!   (variants 12 and 13 of the evaluation).
 //! * [`intake`] — the sharded MPSC intake array (padded per-thread slots
@@ -42,6 +44,7 @@ pub mod epoch;
 pub mod hash;
 pub mod intake;
 pub mod multiset;
+pub mod prefetch;
 pub mod rwspinlock;
 pub mod spinlock;
 pub mod waitstats;
@@ -55,6 +58,7 @@ pub use epoch::{EpochDomain, EpochGuard, Limbo};
 pub use hash::{FxBuildHasher, FxHasher};
 pub use intake::{IntakeArray, SlotPoll};
 pub use multiset::ConcurrentMultiSet;
+pub use prefetch::prefetch_read;
 pub use rwspinlock::RawRwLock;
 pub use spinlock::RawSpinLock;
 pub use wire::Fnv64;

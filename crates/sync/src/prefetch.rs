@@ -1,0 +1,49 @@
+//! Software-prefetch portability shim.
+//!
+//! The interleaved bulk read path of the Euler Tour Tree
+//! (`dc_ett::EulerForest::connected_many_into`) overlaps the DRAM stalls of
+//! independent parent-pointer climbs by issuing a prefetch for each climb's
+//! next hop before advancing the other in-flight climbs.  Prefetch
+//! instructions are ISA-specific, so the single call site the rest of the
+//! workspace uses lives here: `_mm_prefetch` on x86-64, a no-op everywhere
+//! else (the interleaving itself is still profitable on other
+//! architectures whenever the out-of-order window can overlap the loads —
+//! the no-op fallback only loses the explicit hint).
+//!
+//! A prefetch is a *hint*: it never faults, never reads architecturally, and
+//! has no effect on the memory model.  Issuing one for any address —
+//! including addresses whose contents a racing writer is mutating — is
+//! therefore always sound; see `DESIGN.md` §10 for why this matters to the
+//! version-validation safety argument.
+
+/// Hints the CPU to pull the cache line containing `ptr` into all cache
+/// levels (temporal locality, `_MM_HINT_T0`). No-op on non-x86-64 targets.
+///
+/// Safe for any pointer value, mapped or not, aligned or not: prefetch
+/// instructions are architecturally side-effect-free and never fault.
+#[inline(always)]
+pub fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: PREFETCHT0 never faults and performs no architectural read;
+    // any address, valid or not, is fine.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_is_a_pure_hint() {
+        let value = 42u64;
+        prefetch_read(&value);
+        // Wild (unmapped) and null addresses must not fault either.
+        prefetch_read(std::ptr::null::<u64>());
+        prefetch_read(0xdead_beef_0000 as *const u64);
+        assert_eq!(value, 42);
+    }
+}
