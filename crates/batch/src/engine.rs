@@ -279,6 +279,10 @@ impl BatchEngine {
             return;
         }
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        let claimed = (scratch.update_slots.len() + scratch.query_slots.len()) as u64;
+        dc_obs::counter_add(dc_obs::Counter::BatchesDrained, 1);
+        dc_obs::gauge_set(dc_obs::Gauge::IntakeDepth, claimed);
+        dc_obs::event(dc_obs::EventKind::BatchBegin, claimed, 0);
 
         // Preprocess: move the update ops out of their slots into the plan.
         for &idx in &scratch.update_slots {
@@ -313,6 +317,7 @@ impl BatchEngine {
         }
         adds.clear();
         removes.clear();
+        let _span = dc_obs::span(dc_obs::SpanId::BatchFlush);
         let hdt = &self.hdt;
         let survivors = plan.compact_into(|e| hdt.has_edge(e.u(), e.v()), adds, removes);
         self.counters
@@ -321,6 +326,12 @@ impl BatchEngine {
         self.counters
             .applied_updates
             .fetch_add(survivors as u64, Ordering::Relaxed);
+        dc_obs::counter_add(dc_obs::Counter::BatchUpdatesApplied, survivors as u64);
+        dc_obs::event(
+            dc_obs::EventKind::BatchFlush,
+            survivors as u64,
+            (plan.submitted() - survivors) as u64,
+        );
         self.hdt.apply_compacted_batch_locked(adds, removes);
         // The batch is applied but none of its callers have been released:
         // the commit hook observes every batch at its linearization point,

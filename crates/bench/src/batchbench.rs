@@ -24,10 +24,12 @@
 //!   proving drop-in compatibility.
 //!
 //! Every cell carries the lock-wait statistics from [`dc_sync::waitstats`]
-//! alongside throughput.
+//! and batch-amortized latency percentiles (p50/p99/p999) alongside
+//! throughput.
 
 use crate::report::{json_number, json_string};
 use crate::scenario::{Scenario, Workload};
+use crate::stats::LatencyHistogram;
 use crate::throughput::run_throughput;
 use dc_batch::{BatchConnectivity, BatchEngine, BatchOp};
 use dc_graph::{generators, Edge};
@@ -134,6 +136,13 @@ pub struct BatchCell {
     pub active_time_percent: f64,
     /// Total lock-wait time across threads, milliseconds.
     pub wait_ms: f64,
+    /// Per-operation latency (batch-amortized for batched cells): median,
+    /// nanoseconds.
+    pub p50_nanos: u64,
+    /// Per-operation latency: 99th percentile, nanoseconds.
+    pub p99_nanos: u64,
+    /// Per-operation latency: 99.9th percentile, nanoseconds.
+    pub p999_nanos: u64,
 }
 
 /// One cell of the batch-size sweep.
@@ -171,12 +180,13 @@ pub struct BatchBaseline {
 }
 
 /// Measures `run` (which must execute `total_ops` operations across
-/// `threads` threads) with lock-wait accounting enabled.
-fn measure(total_ops: usize, threads: usize, run: impl FnOnce()) -> BatchCell {
+/// `threads` threads and return the latency samples it took) with
+/// lock-wait accounting enabled.
+fn measure(total_ops: usize, threads: usize, run: impl FnOnce() -> LatencyHistogram) -> BatchCell {
     waitstats::reset();
     waitstats::set_enabled(true);
     let start = Instant::now();
-    run();
+    let latency = run();
     let elapsed = start.elapsed();
     waitstats::set_enabled(false);
     let total_thread_nanos = (elapsed.as_nanos() as u64).saturating_mul(threads as u64);
@@ -185,6 +195,17 @@ fn measure(total_ops: usize, threads: usize, run: impl FnOnce()) -> BatchCell {
         ops_per_sec: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
         active_time_percent: waitstats::active_time_rate_percent(total_thread_nanos),
         wait_ms: waitstats::total_wait_nanos() as f64 / 1e6,
+        p50_nanos: latency.p50(),
+        p99_nanos: latency.p99(),
+        p999_nanos: latency.p999(),
+    }
+}
+
+/// Records one timed batch of `n` operations into `hist`, amortized: the
+/// per-op quotient carries the batch's full sample weight.
+fn record_batch(hist: &mut LatencyHistogram, elapsed_nanos: u64, n: usize) {
+    if n > 0 {
+        hist.record_n(elapsed_nanos / n as u64, n as u64);
     }
 }
 
@@ -243,9 +264,15 @@ fn burst_streams(config: &BatchBenchConfig) -> Vec<Vec<Vec<BatchOp>>> {
 }
 
 /// Runs each thread's bursts concurrently through `issue` (one call per
-/// burst), with a start barrier like the throughput harness.
-fn run_bursts(streams: &[Vec<Vec<BatchOp>>], issue: impl Fn(&[BatchOp]) + Sync) {
+/// burst), with a start barrier like the throughput harness. Each burst is
+/// timed and recorded amortized, so the merged histogram weighs every
+/// operation once.
+fn run_bursts(
+    streams: &[Vec<Vec<BatchOp>>],
+    issue: impl Fn(&[BatchOp]) + Sync,
+) -> LatencyHistogram {
     let start_flag = AtomicBool::new(false);
+    let mut latency = LatencyHistogram::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = streams
             .iter()
@@ -256,17 +283,22 @@ fn run_bursts(streams: &[Vec<Vec<BatchOp>>], issue: impl Fn(&[BatchOp]) + Sync) 
                     while !start_flag.load(Ordering::Acquire) {
                         std::hint::spin_loop();
                     }
+                    let mut hist = LatencyHistogram::new();
                     for burst in bursts {
+                        let start = Instant::now();
                         issue(burst);
+                        record_batch(&mut hist, start.elapsed().as_nanos() as u64, burst.len());
                     }
+                    hist
                 })
             })
             .collect();
         start_flag.store(true, Ordering::Release);
         for handle in handles {
-            handle.join().expect("burst worker panicked");
+            latency.merge(&handle.join().expect("burst worker panicked"));
         }
     });
+    latency
 }
 
 fn single_op(dc: &dyn DynamicConnectivity, op: BatchOp) {
@@ -318,7 +350,7 @@ pub fn run_batch_bench(config: &BatchBenchConfig) -> BatchBaseline {
         let cell = measure(total_ops, config.threads, || {
             run_bursts(&streams, |burst| {
                 std::hint::black_box(engine.apply_batch(burst));
-            });
+            })
         });
         // The compaction ratio must come from the same run as the published
         // throughput (annihilation depends on the interleaving, so repeats
@@ -335,7 +367,7 @@ pub fn run_batch_bench(config: &BatchBenchConfig) -> BatchBaseline {
                     for &op in burst {
                         single_op(dc.as_ref(), op);
                     }
-                });
+                })
             });
             keep_best(&mut baseline.burst, cell, variant.name());
         }
@@ -348,22 +380,34 @@ pub fn run_batch_bench(config: &BatchBenchConfig) -> BatchBaseline {
         );
         let engine = BatchEngine::new(bulk_graph.num_vertices());
         let cell = measure(bulk_graph.num_edges(), 1, || {
+            let mut hist = LatencyHistogram::new();
             let mut chunk = Vec::with_capacity(config.bulk_chunk);
             for e in bulk_graph.edges() {
                 chunk.push(BatchOp::Add(e.u(), e.v()));
                 if chunk.len() == config.bulk_chunk {
+                    let start = Instant::now();
                     engine.apply_batch(&chunk);
+                    record_batch(&mut hist, start.elapsed().as_nanos() as u64, chunk.len());
                     chunk.clear();
                 }
             }
+            let start = Instant::now();
             engine.apply_batch(&chunk);
+            record_batch(&mut hist, start.elapsed().as_nanos() as u64, chunk.len());
+            hist
         });
         keep_best(&mut baseline.bulk_load, cell, "batch bulk-load");
         let dc = Variant::OurAlgorithm.build(bulk_graph.num_vertices());
         let cell = measure(bulk_graph.num_edges(), 1, || {
-            for e in bulk_graph.edges() {
+            let mut hist = LatencyHistogram::new();
+            for (i, e) in bulk_graph.edges().iter().enumerate() {
+                let start = (i % 16 == 0).then(Instant::now);
                 dc.add_edge(e.u(), e.v());
+                if let Some(start) = start {
+                    hist.record(start.elapsed().as_nanos() as u64);
+                }
             }
+            hist
         });
         keep_best(&mut baseline.bulk_load, cell, "single-op load (variant 9)");
 
@@ -383,9 +427,13 @@ pub fn run_batch_bench(config: &BatchBenchConfig) -> BatchBaseline {
         for &batch in &config.batch_sizes {
             let engine = BatchEngine::new(config.n);
             let cell = measure(churn_ops.len(), 1, || {
+                let mut hist = LatencyHistogram::new();
                 for chunk in churn_ops.chunks(batch) {
+                    let start = Instant::now();
                     engine.apply_batch(chunk);
+                    record_batch(&mut hist, start.elapsed().as_nanos() as u64, chunk.len());
                 }
+                hist
             });
             let ratio = engine.stats().compaction_ratio();
             match baseline.sweep.iter_mut().find(|c| c.batch == batch) {
@@ -428,6 +476,9 @@ pub fn run_batch_bench(config: &BatchBenchConfig) -> BatchBaseline {
                     ops_per_sec: result.ops_per_ms * 1e3,
                     active_time_percent: result.active_time_percent,
                     wait_ms: result.wait_nanos as f64 / 1e6,
+                    p50_nanos: result.latency.p50(),
+                    p99_nanos: result.latency.p99(),
+                    p999_nanos: result.latency.p999(),
                 };
                 keep_best(
                     &mut baseline.adapter_scenarios,
@@ -473,11 +524,15 @@ fn push_cells(out: &mut String, cells: &[BatchCell]) {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    {}: {{ \"ops_per_sec\": {}, \"active_time_percent\": {}, \"wait_ms\": {} }}",
+            "\n    {}: {{ \"ops_per_sec\": {}, \"active_time_percent\": {}, \"wait_ms\": {}, \
+             \"p50_nanos\": {}, \"p99_nanos\": {}, \"p999_nanos\": {} }}",
             json_string(&cell.label),
             json_number(cell.ops_per_sec),
             json_number(cell.active_time_percent),
-            json_number(cell.wait_ms)
+            json_number(cell.wait_ms),
+            cell.p50_nanos,
+            cell.p99_nanos,
+            cell.p999_nanos
         ));
     }
 }
@@ -486,7 +541,7 @@ impl BatchBaseline {
     /// Renders the measurement as pretty JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"dc-bench/batch/v1\",\n");
+        out.push_str("  \"schema\": \"dc-bench/batch/v2\",\n");
         out.push_str(&format!("  \"git_rev\": {},\n", json_string(&self.git_rev)));
         if let Some(config) = &self.config {
             out.push_str("  \"scenario\": {\n");
@@ -614,6 +669,10 @@ mod tests {
         // One batch cell plus the 13 paper variants plus the adapter (14).
         assert_eq!(baseline.burst.len(), 15);
         assert!(baseline.burst.iter().all(|c| c.ops_per_sec > 0.0));
+        for cell in baseline.burst.iter().chain(&baseline.bulk_load) {
+            assert!(cell.p50_nanos > 0, "{}", cell.label);
+            assert!(cell.p50_nanos <= cell.p99_nanos && cell.p99_nanos <= cell.p999_nanos);
+        }
         assert!(
             baseline.burst_compaction_ratio > 0.0 && baseline.burst_compaction_ratio < 1.0,
             "churn-heavy bursts must annihilate some updates (ratio {})",
@@ -626,7 +685,8 @@ mod tests {
             .all(|c| c.compaction_ratio < 1.0 && c.ops_per_sec > 0.0));
         assert_eq!(baseline.adapter_scenarios.len(), 6);
         let json = baseline.to_json();
-        assert!(json.contains("dc-bench/batch/v1"));
+        assert!(json.contains("dc-bench/batch/v2"));
+        assert!(json.contains("p999_nanos"));
         assert!(json.contains("burst_speedup_vs_best_single"));
         assert!(json.contains("batch_size_sweep"));
         assert!(baseline.render_text().contains("compaction"));

@@ -9,9 +9,10 @@
 
 use dc_bench::runner::run_adjacency_baseline;
 use dc_bench::{
-    run_batch_bench, run_durability_bench, run_ett_bench, run_latency_bench, run_read_bench,
-    run_throughput, run_workload_bench, BatchBenchConfig, BenchConfig, DurabilityBenchConfig,
-    EttBenchConfig, LatencyBenchConfig, ReadBenchConfig, Scenario, Workload, WorkloadBenchConfig,
+    run_batch_bench, run_durability_bench, run_ett_bench, run_latency_bench, run_obs_bench,
+    run_read_bench, run_throughput, run_workload_bench, BatchBenchConfig, BenchConfig,
+    DurabilityBenchConfig, EttBenchConfig, LatencyBenchConfig, ObsBenchConfig, ReadBenchConfig,
+    Scenario, Workload, WorkloadBenchConfig,
 };
 use dc_graph::GraphSpec;
 use dynconn::Variant;
@@ -67,6 +68,13 @@ fn main() {
         emit_latency_baseline();
         return;
     }
+    if std::env::var("DC_BENCH_OBS_ONLY")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        emit_obs_baseline();
+        return;
+    }
     let threads = *config.thread_counts.last().unwrap_or(&1);
     let catalog = config.catalog();
     for read_percent in [80u32, 99u32] {
@@ -113,6 +121,38 @@ fn main() {
     emit_read_baseline();
     emit_durability_baseline();
     emit_latency_baseline();
+    emit_obs_baseline();
+}
+
+/// Measures the observability tier (the read-storm workload with `dc_obs`
+/// disabled, metrics-only and metrics+tracing against an untouched
+/// baseline), writes `BENCH_obs.json` and gates on the crate's core
+/// promise: switched off, the compiled-in instrumentation costs at most
+/// 3% of read-storm throughput.
+fn emit_obs_baseline() {
+    let config = ObsBenchConfig::from_env();
+    let baseline = run_obs_bench(&config);
+    print!("{}", baseline.render_text());
+    let path = "BENCH_obs.json";
+    match std::fs::write(path, baseline.to_json()) {
+        Ok(()) => println!("obs baseline written to {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    if baseline.gate_passes() {
+        println!(
+            "gate: disabled observability costs {:.2}% of read-storm throughput (ceiling {:.1}%)",
+            baseline.disabled_overhead_percent,
+            dc_bench::obsbench::GATE_MAX_DISABLED_OVERHEAD_PERCENT
+        );
+    } else {
+        eprintln!(
+            "gate FAILED: disabled observability costs {:.2}% of read-storm throughput, \
+             ceiling is {:.1}%",
+            baseline.disabled_overhead_percent,
+            dc_bench::obsbench::GATE_MAX_DISABLED_OVERHEAD_PERCENT
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Measures the huge-graph latency tier (scalar vs interleaved bulk reads,

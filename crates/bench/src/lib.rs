@@ -23,6 +23,10 @@
 //!   (p50/p90/p99/p999) of the scalar vs interleaved bulk-read engines on
 //!   streamed 10M+-vertex graphs, emitted as `BENCH_latency.json`
 //!   ([`latencybench`]);
+//! * the observability tier — the read-storm workload measured with
+//!   `dc_obs` disabled, metrics-only and metrics+tracing against an
+//!   untouched baseline, gating the disabled overhead, emitted as
+//!   `BENCH_obs.json` ([`obsbench`]);
 //! * a multi-threaded throughput harness with warm-up, lock-wait accounting
 //!   and ops/ms reporting ([`throughput`]);
 //! * the statistics collector behind Tables 3 and 4 ([`stats`]);
@@ -34,14 +38,15 @@
 //!
 //! The machine-readable artifacts (`BENCH_adjacency.json`, `BENCH_ett.json`,
 //! `BENCH_batch.json`, `BENCH_workloads.json`, `BENCH_reads.json`,
-//! `BENCH_durability.json`, `BENCH_latency.json`) are documented in
-//! `docs/bench-schema.md`.
+//! `BENCH_durability.json`, `BENCH_latency.json`, `BENCH_obs.json`) are
+//! documented in `docs/bench-schema.md`.
 
 pub mod batchbench;
 pub mod config;
 pub mod durabilitybench;
 pub mod ettbench;
 pub mod latencybench;
+pub mod obsbench;
 pub mod readbench;
 pub mod report;
 pub mod runner;
@@ -55,6 +60,7 @@ pub use config::BenchConfig;
 pub use durabilitybench::{run_durability_bench, DurabilityBaseline, DurabilityBenchConfig};
 pub use ettbench::{run_ett_bench, EttBaseline, EttBenchConfig};
 pub use latencybench::{run_latency_bench, LatencyBaseline, LatencyBenchConfig};
+pub use obsbench::{run_obs_bench, ObsBaseline, ObsBenchConfig};
 pub use readbench::{run_read_bench, ReadBaseline, ReadBenchConfig};
 pub use report::FigureData;
 pub use runner::{run_figure, Measure};

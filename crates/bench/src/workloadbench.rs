@@ -21,10 +21,12 @@
 //!   record/replay path costs nothing and the baseline double-decodes the
 //!   trace to assert byte-for-byte determinism (`replay_deterministic`).
 //!
-//! Every cell carries ops/s, active-time rate and lock-wait totals from
-//! [`dc_sync::waitstats`], keyed by phase name.
+//! Every cell carries ops/s, active-time rate, lock-wait totals from
+//! [`dc_sync::waitstats`] and sampled per-operation latency percentiles
+//! (p50/p99/p999, 1-in-16 sampled), keyed by phase name.
 
 use crate::report::{json_number, json_string};
+use crate::stats::LatencyHistogram;
 use dc_sync::waitstats;
 use dc_workloads::{presets, GeneratedWorkload, Op, Topology, Trace};
 use dynconn::{DynamicConnectivity, Variant};
@@ -100,6 +102,12 @@ pub struct PhaseCell {
     pub active_time_percent: f64,
     /// Total lock-wait time across threads, milliseconds.
     pub wait_ms: f64,
+    /// Sampled per-operation latency: median, nanoseconds.
+    pub p50_nanos: u64,
+    /// Sampled per-operation latency: 99th percentile, nanoseconds.
+    pub p99_nanos: u64,
+    /// Sampled per-operation latency: 99.9th percentile, nanoseconds.
+    pub p999_nanos: u64,
 }
 
 /// One variant's measurement under one scenario: per-phase cells plus the
@@ -149,8 +157,15 @@ pub struct WorkloadBaseline {
     pub replay_deterministic: bool,
 }
 
-fn run_ops(structure: &dyn DynamicConnectivity, ops: &[Op]) {
-    for op in ops {
+/// One operation in this many is individually timed for the percentile
+/// columns; the rest run untimed so the `Instant` calls stay off the
+/// throughput measurement.
+const LATENCY_SAMPLE_EVERY: usize = 16;
+
+fn run_ops(structure: &dyn DynamicConnectivity, ops: &[Op]) -> LatencyHistogram {
+    let mut hist = LatencyHistogram::new();
+    for (i, op) in ops.iter().enumerate() {
+        let start = (i % LATENCY_SAMPLE_EVERY == 0).then(Instant::now);
         match *op {
             Op::Add(u, v) => structure.add_edge(u, v),
             Op::Remove(u, v) => structure.remove_edge(u, v),
@@ -158,7 +173,11 @@ fn run_ops(structure: &dyn DynamicConnectivity, ops: &[Op]) {
                 std::hint::black_box(structure.connected(u, v));
             }
         }
+        if let Some(start) = start {
+            hist.record(start.elapsed().as_nanos() as u64);
+        }
     }
+    hist
 }
 
 /// Preloads the workload and runs its phases back-to-back with a barrier
@@ -176,6 +195,7 @@ fn run_phased(structure: &dyn DynamicConnectivity, workload: &GeneratedWorkload)
             waitstats::set_enabled(true);
             let start_flag = AtomicBool::new(false);
             let started = Instant::now();
+            let mut latency = LatencyHistogram::new();
             std::thread::scope(|scope| {
                 let handles: Vec<_> = phase
                     .per_thread
@@ -186,13 +206,13 @@ fn run_phased(structure: &dyn DynamicConnectivity, workload: &GeneratedWorkload)
                             while !start_flag.load(Ordering::Acquire) {
                                 std::hint::spin_loop();
                             }
-                            run_ops(structure, ops);
+                            run_ops(structure, ops)
                         })
                     })
                     .collect();
                 start_flag.store(true, Ordering::Release);
                 for handle in handles {
-                    handle.join().expect("workload worker panicked");
+                    latency.merge(&handle.join().expect("workload worker panicked"));
                 }
             });
             let elapsed = started.elapsed();
@@ -205,6 +225,9 @@ fn run_phased(structure: &dyn DynamicConnectivity, workload: &GeneratedWorkload)
                 ops_per_sec: operations as f64 / elapsed.as_secs_f64().max(1e-9),
                 active_time_percent: waitstats::active_time_rate_percent(total_thread_nanos),
                 wait_ms: waitstats::total_wait_nanos() as f64 / 1e6,
+                p50_nanos: latency.p50(),
+                p99_nanos: latency.p99(),
+                p999_nanos: latency.p999(),
             }
         })
         .collect()
@@ -375,7 +398,7 @@ impl WorkloadBaseline {
     /// Renders the measurement as pretty JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"dc-bench/workloads/v1\",\n");
+        out.push_str("  \"schema\": \"dc-bench/workloads/v2\",\n");
         out.push_str(&format!("  \"git_rev\": {},\n", json_string(&self.git_rev)));
         if let Some(config) = &self.config {
             out.push_str("  \"config\": {\n");
@@ -429,12 +452,16 @@ impl WorkloadBaseline {
                     }
                     out.push_str(&format!(
                         "\n            {}: {{ \"operations\": {}, \"ops_per_sec\": {}, \
-                         \"active_time_percent\": {}, \"wait_ms\": {} }}",
+                         \"active_time_percent\": {}, \"wait_ms\": {}, \
+                         \"p50_nanos\": {}, \"p99_nanos\": {}, \"p999_nanos\": {} }}",
                         json_string(&cell.phase),
                         cell.operations,
                         json_number(cell.ops_per_sec),
                         json_number(cell.active_time_percent),
-                        json_number(cell.wait_ms)
+                        json_number(cell.wait_ms),
+                        cell.p50_nanos,
+                        cell.p99_nanos,
+                        cell.p999_nanos
                     ));
                 }
                 out.push_str("\n          }\n        }");
@@ -539,13 +566,19 @@ mod tests {
                 for cell in &run.phases {
                     assert!(cell.ops_per_sec > 0.0);
                     assert!(cell.operations > 0);
+                    // 1-in-16 sampling over >= 100 ops always catches
+                    // something, and the quantiles must be ordered.
+                    assert!(cell.p50_nanos > 0, "{}/{}", run.variant, cell.phase);
+                    assert!(cell.p50_nanos <= cell.p99_nanos);
+                    assert!(cell.p99_nanos <= cell.p999_nanos);
                 }
             }
         }
         let lifecycle = &baseline.scenarios[2];
         assert_eq!(lifecycle.runs[0].phases.len(), 4);
         let json = baseline.to_json();
-        assert!(json.contains("dc-bench/workloads/v1"));
+        assert!(json.contains("dc-bench/workloads/v2"));
+        assert!(json.contains("p999_nanos"));
         assert!(json.contains("replay_deterministic"));
         assert!(json.contains("zipf-churn"));
         assert!(json.contains("read-storm"));

@@ -426,10 +426,12 @@ impl Hdt {
             return false;
         }
         self.stats.additions.fetch_add(1, Ordering::Relaxed);
+        dc_obs::counter_add(dc_obs::Counter::HdtAdditions, 1);
         if self.connected_locked(u, v) {
             self.stats
                 .non_spanning_additions
                 .fetch_add(1, Ordering::Relaxed);
+            dc_obs::counter_add(dc_obs::Counter::HdtNonSpanningAdditions, 1);
             self.add_nonspanning_info(0, edge);
             self.states
                 .insert(edge, EdgeState::new(Status::NonSpanning, 0));
@@ -454,11 +456,13 @@ impl Hdt {
             _ => return false,
         };
         self.stats.removals.fetch_add(1, Ordering::Relaxed);
+        dc_obs::counter_add(dc_obs::Counter::HdtRemovals, 1);
         match state.status {
             Status::NonSpanning => {
                 self.stats
                     .non_spanning_removals
                     .fetch_add(1, Ordering::Relaxed);
+                dc_obs::counter_add(dc_obs::Counter::HdtNonSpanningRemovals, 1);
                 self.remove_nonspanning_info(state.level as usize, edge);
                 self.states.remove(&edge);
             }
@@ -491,20 +495,24 @@ impl Hdt {
     /// non-blocking fast paths which bypass [`Hdt::add_edge_locked`]).
     pub(crate) fn record_addition(&self, non_spanning: bool) {
         self.stats.additions.fetch_add(1, Ordering::Relaxed);
+        dc_obs::counter_add(dc_obs::Counter::HdtAdditions, 1);
         if non_spanning {
             self.stats
                 .non_spanning_additions
                 .fetch_add(1, Ordering::Relaxed);
+            dc_obs::counter_add(dc_obs::Counter::HdtNonSpanningAdditions, 1);
         }
     }
 
     /// Records a completed removal in the statistics counters.
     pub(crate) fn record_removal(&self, non_spanning: bool) {
         self.stats.removals.fetch_add(1, Ordering::Relaxed);
+        dc_obs::counter_add(dc_obs::Counter::HdtRemovals, 1);
         if non_spanning {
             self.stats
                 .non_spanning_removals
                 .fetch_add(1, Ordering::Relaxed);
+            dc_obs::counter_add(dc_obs::Counter::HdtNonSpanningRemovals, 1);
         }
     }
 
@@ -748,6 +756,11 @@ impl Hdt {
     /// raises the spanning subtree flags. Caller must hold the locks.
     fn make_spanning(&self, edge: Edge, level: usize) {
         let (u, v) = edge.endpoints();
+        dc_obs::event(
+            dc_obs::EventKind::Link,
+            level as u64,
+            dc_obs::pack_edge(u, v),
+        );
         for lvl in 0..=level {
             self.forest(lvl).link(u, v);
         }
@@ -798,7 +811,13 @@ impl Hdt {
             }
         }
         let prepared = self.forest(0).prepare_cut(u, v);
+        dc_obs::event(
+            dc_obs::EventKind::Cut,
+            level as u64,
+            dc_obs::pack_edge(u, v),
+        );
 
+        let search_span = dc_obs::span(dc_obs::SpanId::ReplacementSearch);
         let mut replacement: Option<(Edge, usize)> = None;
         for lvl in (0..=level).rev() {
             let forest = self.forest(lvl);
@@ -819,15 +838,27 @@ impl Hdt {
                 break;
             }
         }
+        drop(search_span);
+        dc_obs::event(
+            dc_obs::EventKind::ReplacementSearch,
+            level as u64,
+            replacement.map_or(0, |(_, lvl)| lvl as u64 + 1),
+        );
 
         match replacement {
             Some((found, lvl)) => {
                 self.stats
                     .replacements_found
                     .fetch_add(1, Ordering::Relaxed);
+                dc_obs::counter_add(dc_obs::Counter::HdtReplacementsFound, 1);
                 // The scan already moved the edge's state to `Spanning(lvl)`.
                 self.remove_nonspanning_info(lvl, found);
                 let (fu, fv) = found.endpoints();
+                dc_obs::event(
+                    dc_obs::EventKind::Link,
+                    lvl as u64,
+                    dc_obs::pack_edge(fu, fv),
+                );
                 for l in 0..=lvl {
                     self.forest(l).link(fu, fv);
                 }
@@ -906,6 +937,7 @@ impl Hdt {
         let forest = self.forest(level);
         let n = forest.node(node);
         if let Some(vertex) = n.vertex() {
+            let mut promoted = 0u64;
             // Promotion is a drain: every copy in this slot either moves up
             // one level or is a stale duplicate to discard, so `pop` removes
             // entries one at a time with no snapshot allocation.
@@ -935,6 +967,10 @@ impl Hdt {
                 }
                 self.states
                     .insert(edge, state.with(Status::Spanning, next_level as u8));
+                promoted += 1;
+            }
+            if promoted > 0 {
+                dc_obs::event(dc_obs::EventKind::LevelPromotion, promoted, level as u64);
             }
             if self.tree_adj.is_empty(level, vertex) {
                 forest.set_vertex_self_mark(vertex, Mark::Spanning, false);

@@ -106,6 +106,15 @@ struct WalShared {
 }
 
 impl WalShared {
+    /// Marks the instance poisoned and emits a flight-recorder post-mortem:
+    /// the recorder's rings hold the last structural and WAL events leading
+    /// up to the failure. Best-effort — a failed (or empty) dump never
+    /// masks the original error.
+    fn poison(inner: &mut WalInner, why: &str) {
+        inner.poisoned = true;
+        let _ = dc_obs::auto_dump(why);
+    }
+
     /// The commit hook body: append + group-commit the batch, then handle
     /// segment rolling and automatic checkpointing. Runs on the leader
     /// thread with the structure quiescent. Any failure poisons the
@@ -118,17 +127,20 @@ impl WalShared {
         let seq = inner.last_seq + 1;
         let bytes = wal::encode_batch(seq, adds, removes);
         if self.append_locked(&mut inner, &bytes).is_err() {
-            inner.poisoned = true;
+            Self::poison(&mut inner, "wal-append-failed");
             return;
         }
         inner.last_seq = seq;
         inner.batches_since_checkpoint += 1;
+        dc_obs::counter_add(dc_obs::Counter::WalBatches, 1);
+        dc_obs::counter_add(dc_obs::Counter::WalBytes, bytes.len() as u64);
+        dc_obs::event(dc_obs::EventKind::WalCommit, seq, bytes.len() as u64);
         let auto_checkpoint = self.opts.checkpoint_interval > 0
             && inner.batches_since_checkpoint >= self.opts.checkpoint_interval;
         if auto_checkpoint {
             // Checkpointing rolls the segment itself.
             if self.checkpoint_locked(&mut inner, hdt).is_err() {
-                inner.poisoned = true;
+                Self::poison(&mut inner, "checkpoint-failed");
             }
             return;
         }
@@ -137,19 +149,26 @@ impl WalShared {
             .as_ref()
             .is_some_and(|s| s.bytes_written >= self.opts.segment_max_bytes);
         if over_size && self.roll_segment_locked(&mut inner).is_err() {
-            inner.poisoned = true;
+            Self::poison(&mut inner, "segment-roll-failed");
         }
+    }
+
+    /// One policy-driven or forced sync, span-profiled and counted.
+    fn timed_sync(segment: &mut SegmentWriter) -> io::Result<()> {
+        let _span = dc_obs::span(dc_obs::SpanId::WalFsync);
+        dc_obs::counter_add(dc_obs::Counter::WalFsyncs, 1);
+        segment.sync()
     }
 
     fn append_locked(&self, inner: &mut WalInner, bytes: &[u8]) -> io::Result<()> {
         let segment = inner.segment.as_mut().expect("open segment");
         segment.append(bytes)?;
         match self.opts.fsync {
-            FsyncPolicy::Always => segment.sync()?,
+            FsyncPolicy::Always => Self::timed_sync(segment)?,
             FsyncPolicy::EveryN(n) => {
                 inner.batches_since_sync += 1;
                 if inner.batches_since_sync >= n.max(1) {
-                    segment.sync()?;
+                    Self::timed_sync(segment)?;
                     inner.batches_since_sync = 0;
                 }
             }
@@ -163,7 +182,12 @@ impl WalShared {
     /// run with the leader lock held (`hdt` quiescent).
     fn checkpoint_locked(&self, inner: &mut WalInner, hdt: &Hdt) -> io::Result<u64> {
         let covered = inner.last_seq;
-        checkpoint::write_checkpoint(self.fs.as_ref(), &self.dir, hdt, covered)?;
+        {
+            let _span = dc_obs::span(dc_obs::SpanId::CheckpointWrite);
+            checkpoint::write_checkpoint(self.fs.as_ref(), &self.dir, hdt, covered)?;
+        }
+        dc_obs::counter_add(dc_obs::Counter::Checkpoints, 1);
+        dc_obs::event(dc_obs::EventKind::Checkpoint, covered, 0);
         self.roll_segment_locked(inner)?;
         inner.batches_since_checkpoint = 0;
         if self.opts.prune_segments {
@@ -187,7 +211,7 @@ impl WalShared {
         // lazy fsync policy had not yet flushed.
         if let Some(segment) = inner.segment.as_mut() {
             if self.opts.fsync != FsyncPolicy::Off {
-                segment.sync()?;
+                Self::timed_sync(segment)?;
             }
         }
         let next_index = inner
@@ -205,6 +229,8 @@ impl WalShared {
         )?;
         inner.segment = Some(segment);
         inner.batches_since_sync = 0;
+        dc_obs::counter_add(dc_obs::Counter::WalSegmentRolls, 1);
+        dc_obs::event(dc_obs::EventKind::WalSegmentRoll, next_index, 0);
         Ok(())
     }
 }
@@ -279,6 +305,23 @@ impl DurableConnectivity {
     /// real files via `std::fs` — injected faults shape what the crashed
     /// writer left behind, not what the reader sees.
     pub fn recover_with_fs(
+        dir: impl AsRef<Path>,
+        opts: DurableOptions,
+        fs: Arc<dyn DurableFs>,
+    ) -> Result<(Self, RecoveryReport), DurableError> {
+        match Self::recover_with_fs_inner(dir, opts, fs) {
+            Err(err @ DurableError::CorruptLog { .. }) => {
+                // Refusal is the one outcome an operator must investigate;
+                // leave them the flight-recorder tail as a post-mortem.
+                dc_obs::event(dc_obs::EventKind::RecoveryStep, 2, 0);
+                let _ = dc_obs::auto_dump("recovery-refused");
+                Err(err)
+            }
+            other => other,
+        }
+    }
+
+    fn recover_with_fs_inner(
         dir: impl AsRef<Path>,
         opts: DurableOptions,
         fs: Arc<dyn DurableFs>,
@@ -378,9 +421,11 @@ impl DurableConnectivity {
         if let Some(data) = &loaded {
             checkpoint::restore_into(&hdt, data);
             report.checkpoint_seq = data.covered_seq;
+            dc_obs::event(dc_obs::EventKind::RecoveryStep, 0, data.covered_seq);
         }
         let mut last_seq = covered;
         for (index, scan) in &scans {
+            dc_obs::event(dc_obs::EventKind::RecoveryStep, 1, *index);
             for batch in &scan.batches {
                 if batch.seq <= covered {
                     continue;
@@ -446,7 +491,7 @@ impl DurableConnectivity {
             match self.wal.checkpoint_locked(&mut inner, hdt) {
                 Ok(covered) => Ok(covered),
                 Err(e) => {
-                    inner.poisoned = true;
+                    WalShared::poison(&mut inner, "checkpoint-failed");
                     Err(DurableError::Io(e))
                 }
             }
@@ -460,14 +505,14 @@ impl DurableConnectivity {
         if inner.poisoned {
             return Err(DurableError::Poisoned);
         }
-        let result = inner.segment.as_mut().expect("open segment").sync();
+        let result = WalShared::timed_sync(inner.segment.as_mut().expect("open segment"));
         match result {
             Ok(()) => {
                 inner.batches_since_sync = 0;
                 Ok(())
             }
             Err(e) => {
-                inner.poisoned = true;
+                WalShared::poison(&mut inner, "forced-sync-failed");
                 Err(DurableError::Io(e))
             }
         }

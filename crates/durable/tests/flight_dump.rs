@@ -1,0 +1,105 @@
+//! Asserts the flight recorder's post-mortem actually lands on disk when
+//! recovery refuses a corrupt log.
+//!
+//! The recorder's reason to exist is the moment something goes wrong after
+//! the fact: an operator staring at a `CorruptLog` refusal should find a
+//! chronological event dump next to it without having asked for one. This
+//! test drives a traced store through real traffic (so the rings hold
+//! links, cuts, WAL commits and segment rolls), corrupts a non-final
+//! segment the way `recovery_differential` does, and then checks that the
+//! refusal wrote a `dc-flight-*-recovery-refused-*.log` into
+//! `DC_OBS_DUMP_DIR` containing both the pre-crash WAL traffic and the
+//! recovery steps that led to the refusal.
+//!
+//! The dump directory env var and the global tracing flag are process-wide,
+//! so this file holds exactly one `#[test]`.
+
+use dc_durable::{DurableConnectivity, DurableError, DurableOptions, FsyncPolicy};
+use dynconn::DynamicConnectivity;
+
+#[test]
+fn recovery_refusal_dumps_the_flight_recorder() {
+    let base = std::env::temp_dir().join(format!("dc-flight-dump-test-{}", std::process::id()));
+    let store_dir = base.join("store");
+    let dump_dir = base.join("dumps");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&store_dir).unwrap();
+    std::fs::create_dir_all(&dump_dir).unwrap();
+    // Must be set before any event is recorded; read at dump time.
+    std::env::set_var("DC_OBS_DUMP_DIR", &dump_dir);
+    dc_obs::set_tracing_enabled(true);
+
+    let opts = DurableOptions {
+        fsync: FsyncPolicy::Always,
+        checkpoint_interval: 0, // keep every segment relevant
+        segment_max_bytes: 200, // force several segments
+        prune_segments: true,
+        intake_capacity: 8,
+        query_threads: 1,
+    };
+    let store = DurableConnectivity::create(&store_dir, 32, opts).unwrap();
+    // A spanning path, then cut it apart: links, cuts, replacement
+    // searches, WAL commits and segment rolls all hit the rings.
+    for v in 0u32..31 {
+        store.add_edge(v, v + 1);
+    }
+    for v in (0u32..31).step_by(2) {
+        store.remove_edge(v, v + 1);
+    }
+    for v in (0u32..31).step_by(2) {
+        store.add_edge(v, v + 1);
+    }
+    assert!(!store.is_poisoned());
+    drop(store);
+
+    let mut segments: Vec<_> = std::fs::read_dir(&store_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "dcw"))
+        .collect();
+    segments.sort();
+    assert!(segments.len() >= 3, "need several segments");
+
+    // Flip one bit inside the first segment's record area: mid-log
+    // corruption, which recovery must refuse (not truncate).
+    let victim = &segments[0];
+    let mut bytes = std::fs::read(victim).unwrap();
+    bytes[45] ^= 0x08;
+    std::fs::write(victim, &bytes).unwrap();
+
+    match DurableConnectivity::recover(&store_dir, opts) {
+        Err(DurableError::CorruptLog { .. }) => {}
+        other => panic!(
+            "expected CorruptLog, got {other:?}",
+            other = other.map(|_| ())
+        ),
+    }
+    dc_obs::set_tracing_enabled(false);
+
+    let dumps: Vec<_> = std::fs::read_dir(&dump_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains("recovery-refused"))
+        })
+        .collect();
+    assert_eq!(dumps.len(), 1, "exactly one refusal dump: {dumps:?}");
+    let text = std::fs::read_to_string(&dumps[0]).unwrap();
+    assert!(
+        text.contains("recovery-refused"),
+        "dump must name its reason:\n{text}"
+    );
+    // The pre-crash traffic and the refusal's own trail must both be there.
+    for kind in [
+        "link",
+        "cut",
+        "wal_commit",
+        "wal_segment_roll",
+        "recovery_step",
+    ] {
+        assert!(text.contains(kind), "dump missing {kind} events:\n{text}");
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}

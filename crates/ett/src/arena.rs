@@ -297,6 +297,15 @@ impl Arena {
             self.free.lock().extend(drained);
             self.free_count.fetch_add(n as u32, Ordering::Relaxed);
         }
+        dc_obs::counter_add(dc_obs::Counter::EpochCollects, 1);
+        dc_obs::counter_add(dc_obs::Counter::EpochNodesReclaimed, n as u64);
+        if dc_obs::metrics_enabled() || dc_obs::tracing_enabled() {
+            let allocated = self.len.load(Ordering::Relaxed) as u64;
+            let free = self.free_count.load(Ordering::Relaxed) as u64;
+            let live = allocated.saturating_sub(free);
+            dc_obs::gauge_set(dc_obs::Gauge::ArenaOccupancy, live);
+            dc_obs::event(dc_obs::EventKind::EpochAdvance, n as u64, live);
+        }
         n
     }
 

@@ -366,7 +366,12 @@ impl EulerForest {
     /// new version word directly, sparing them a fence before the re-walk.
     #[inline]
     pub fn bump_root_version(&self, r: NodeRef) {
-        self.versions[self.root_vertex(r) as usize].fetch_add(1, Ordering::Release);
+        let root = self.root_vertex(r);
+        let version = self.versions[root as usize].fetch_add(1, Ordering::Release) + 1;
+        // Every bump invalidates the outstanding hints on this root
+        // (DESIGN.md §8); surface that as a counter + flight event.
+        dc_obs::counter_add(dc_obs::Counter::HintInvalidations, 1);
+        dc_obs::event(dc_obs::EventKind::HintInvalidation, root as u64, version);
     }
 
     /// The per-component lock of representative `r` (level-0 only; the table
@@ -858,6 +863,7 @@ impl EulerForest {
         } = scratch;
         let mut bailed = [0u32; MAX_INTERLEAVE_WIDTH];
         for group in pending.chunks(width) {
+            let _span = dc_obs::span(dc_obs::SpanId::InterleavedClimbGroup);
             let mut states = [Climb {
                 slot: 0,
                 start: NodeRef::NONE,

@@ -185,6 +185,7 @@ impl HintCache {
     pub fn record_hits_n(&self, n: u64) {
         if n > 0 {
             STRIPE.with(|&s| self.counters[s].hits.fetch_add(n, Ordering::Relaxed));
+            dc_obs::counter_add(dc_obs::Counter::HintHits, n);
         }
     }
 
@@ -193,6 +194,7 @@ impl HintCache {
     pub fn record_misses_n(&self, n: u64) {
         if n > 0 {
             STRIPE.with(|&s| self.counters[s].misses.fetch_add(n, Ordering::Relaxed));
+            dc_obs::counter_add(dc_obs::Counter::HintMisses, n);
         }
     }
 

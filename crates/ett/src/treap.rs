@@ -163,6 +163,7 @@ impl EulerForest {
         }
         debug_assert!(self.node(a).is_root(), "merge_roots: `a` is not a root");
         debug_assert!(self.node(b).is_root(), "merge_roots: `b` is not a root");
+        let _span = dc_obs::span(dc_obs::SpanId::TreapMerge);
         let root = self.merge_iter(a, b);
         let other = if root == a { b } else { a };
         self.node(other).set_is_root(false);
@@ -201,6 +202,7 @@ impl EulerForest {
     /// exactly the stale-true direction `recalculate_mark` is there to
     /// repair under the component lock.
     pub(crate) fn split_before(&self, x: NodeRef) -> (NodeRef, NodeRef) {
+        let _span = dc_obs::span(dc_obs::SpanId::TreapSplit);
         let xn = self.node(x);
         let x_old = xn.size();
         let mut left_piece = xn.left();
@@ -250,6 +252,7 @@ impl EulerForest {
     /// Aggregate maintenance as in [`EulerForest::split_before`]:
     /// register-carried size deltas, marks left conservatively stale.
     pub(crate) fn split_after(&self, x: NodeRef) -> (NodeRef, NodeRef) {
+        let _span = dc_obs::span(dc_obs::SpanId::TreapSplit);
         let xn = self.node(x);
         let x_old = xn.size();
         let mut right_piece = xn.right();

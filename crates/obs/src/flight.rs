@@ -1,0 +1,553 @@
+//! The flight recorder: per-thread fixed-capacity lock-free ring buffers of
+//! compact binary structural events, merged chronologically on demand.
+//!
+//! A metrics counter tells you *how much*; after a crash-shaped failure
+//! (WAL poisoning, a recovery refusal from `dc_durable`) you need to know
+//! *what happened last, in order*. Each thread records into its own ring,
+//! so the hot path is: one relaxed flag load when tracing is off; when on,
+//! one timestamp read and a handful of byte stores into thread-local
+//! memory — no locks, no allocation after the ring exists, no cross-thread
+//! cache traffic.
+//!
+//! **Record format** (all integers `dc_sync::wire` LEB128 varints):
+//!
+//! ```text
+//!   [len: u8] [kind: u8] [ts: varint] [a: varint] [b: varint]
+//! ```
+//!
+//! `len` is the total record length (3..=33 bytes), `ts` nanoseconds since
+//! the process-wide anchor, `a`/`b` two kind-specific payload words. The
+//! length prefix lets the writer evict whole stale records when the ring
+//! wraps, so the buffer always holds a parseable suffix of the stream.
+//!
+//! **Memory bound.** Rings are `DC_OBS_RING_BYTES` each (default 64 KiB,
+//! clamped to [4 KiB, 16 MiB]) and live for the process (a ring outlives
+//! its thread so post-mortem dumps include dead workers' tails). Total
+//! footprint is `ring_bytes × peak thread count`, fixed at thread birth.
+//!
+//! **Dump consistency.** The owning thread is the only writer; a dumper
+//! snapshots a ring through a seqlock (version odd while a write is in
+//! flight, `Acquire`/`Release` pairing on the version word) and retries a
+//! bounded number of times. If the ring is being written *continuously*
+//! (pathological), the dumper falls back to a best-effort copy; the parser
+//! validates every record (length bounds, known kind, varints that
+//! terminate inside the record) and drops torn prefixes rather than
+//! propagating garbage — acceptable for a diagnostic artifact, and the
+//! price of keeping the writer wait-free.
+
+use crate::metrics::tracing_enabled;
+use dc_sync::wire;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Largest possible record: len + kind + three maximal varints.
+const MAX_RECORD_LEN: usize = 2 + 3 * wire::MAX_VARINT_LEN;
+
+/// Smallest possible record: len + kind + three one-byte varints.
+const MIN_RECORD_LEN: usize = 5;
+
+/// Default per-thread ring capacity in bytes.
+const DEFAULT_RING_BYTES: usize = 64 * 1024;
+
+/// Bounds for the `DC_OBS_RING_BYTES` override.
+const MIN_RING_BYTES: usize = 4 * 1024;
+const MAX_RING_BYTES: usize = 16 * 1024 * 1024;
+
+/// Seqlock retries before a dump falls back to best-effort parsing.
+const SNAPSHOT_RETRIES: usize = 16;
+
+/// The event taxonomy. Payload words `a`/`b` are per-kind (documented on
+/// each variant); unused words are 0.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Spanning link at level `a` between the components of edge `(b>>32,
+    /// b & 0xffff_ffff)`.
+    Link = 1,
+    /// Spanning cut at level `a` of edge `(b>>32, b & 0xffff_ffff)`.
+    Cut = 2,
+    /// Replacement search finished: `a` = level of the cut edge, `b` =
+    /// level the replacement was found at plus one (0 = none found, the
+    /// component split).
+    ReplacementSearch = 3,
+    /// `a` edges promoted from level `b` to `b + 1`.
+    LevelPromotion = 4,
+    /// Batch leader claimed `a` operations from the intake array.
+    BatchBegin = 5,
+    /// Batch flush done: `a` = structural updates applied, `b` = updates
+    /// annihilated/deduplicated away by compaction.
+    BatchFlush = 6,
+    /// WAL group commit: `a` = batch sequence number, `b` = bytes appended.
+    WalCommit = 7,
+    /// WAL rolled to segment `a`.
+    WalSegmentRoll = 8,
+    /// Checkpoint installed covering batches up to sequence `a`.
+    Checkpoint = 9,
+    /// Recovery step `a` (0 = checkpoint loaded, 1 = segment replayed,
+    /// 2 = recovery refused) with step-specific payload `b`.
+    RecoveryStep = 10,
+    /// Epoch reclamation pass: `a` = nodes reclaimed, `b` = live nodes.
+    EpochAdvance = 11,
+    /// Root-version bump on vertex `a`'s component root (hint
+    /// invalidation), new version `b`.
+    HintInvalidation = 12,
+}
+
+impl EventKind {
+    fn from_u8(v: u8) -> Option<EventKind> {
+        Some(match v {
+            1 => EventKind::Link,
+            2 => EventKind::Cut,
+            3 => EventKind::ReplacementSearch,
+            4 => EventKind::LevelPromotion,
+            5 => EventKind::BatchBegin,
+            6 => EventKind::BatchFlush,
+            7 => EventKind::WalCommit,
+            8 => EventKind::WalSegmentRoll,
+            9 => EventKind::Checkpoint,
+            10 => EventKind::RecoveryStep,
+            11 => EventKind::EpochAdvance,
+            12 => EventKind::HintInvalidation,
+            _ => return None,
+        })
+    }
+
+    /// Stable name used in text dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Link => "link",
+            EventKind::Cut => "cut",
+            EventKind::ReplacementSearch => "replacement_search",
+            EventKind::LevelPromotion => "level_promotion",
+            EventKind::BatchBegin => "batch_begin",
+            EventKind::BatchFlush => "batch_flush",
+            EventKind::WalCommit => "wal_commit",
+            EventKind::WalSegmentRoll => "wal_segment_roll",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::RecoveryStep => "recovery_step",
+            EventKind::EpochAdvance => "epoch_advance",
+            EventKind::HintInvalidation => "hint_invalidation",
+        }
+    }
+}
+
+/// One decoded flight-recorder event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Recorder-assigned id of the recording thread (birth order).
+    pub thread: usize,
+    /// Nanoseconds since the process-wide anchor.
+    pub ts_nanos: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word (kind-specific).
+    pub a: u64,
+    /// Second payload word (kind-specific).
+    pub b: u64,
+}
+
+/// Packs an edge's endpoints into one payload word for
+/// [`EventKind::Link`]/[`EventKind::Cut`] events.
+#[inline]
+pub fn pack_edge(u: u32, v: u32) -> u64 {
+    ((u as u64) << 32) | v as u64
+}
+
+static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+/// Forces the timestamp anchor to exist (called when tracing is enabled so
+/// the first event doesn't pay the `OnceLock` initialization).
+pub(crate) fn anchor_now() {
+    let _ = ANCHOR.get_or_init(Instant::now);
+}
+
+#[inline]
+fn now_nanos() -> u64 {
+    ANCHOR.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// A single-writer byte ring. The owning thread writes; any thread may
+/// snapshot through the seqlock. Bytes are `AtomicU8` so concurrent
+/// snapshot reads are defined behavior; all byte traffic is relaxed — the
+/// version word's `Acquire`/`Release` edges order it for consistent
+/// snapshots, and torn best-effort snapshots are handled by parse-time
+/// validation.
+pub(crate) struct Ring {
+    thread: usize,
+    /// Seqlock version: odd while the owner is mid-write.
+    version: AtomicU64,
+    /// Total bytes ever written (monotone; ring offset is `head % cap`).
+    head: AtomicU64,
+    /// Stream position of the oldest intact record.
+    tail: AtomicU64,
+    buf: Box<[AtomicU8]>,
+}
+
+impl Ring {
+    pub(crate) fn with_capacity(thread: usize, capacity: usize) -> Ring {
+        assert!(capacity >= MAX_RECORD_LEN);
+        Ring {
+            thread,
+            version: AtomicU64::new(0),
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            buf: (0..capacity).map(|_| AtomicU8::new(0)).collect(),
+        }
+    }
+
+    /// Total bytes the owner has ever pushed (monotone even across wraps).
+    pub(crate) fn bytes_written(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Appends one encoded record. Owner thread only.
+    pub(crate) fn push(&self, record: &[u8]) {
+        debug_assert!((MIN_RECORD_LEN..=MAX_RECORD_LEN).contains(&record.len()));
+        let cap = self.buf.len() as u64;
+        self.version.fetch_add(1, Ordering::Release); // odd: write in flight
+        let head = self.head.load(Ordering::Relaxed);
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        // Evict whole stale records until the new one fits.
+        while head + record.len() as u64 - tail > cap {
+            let len = self.buf[(tail % cap) as usize].load(Ordering::Relaxed) as u64;
+            debug_assert!(len >= MIN_RECORD_LEN as u64);
+            tail += len.max(1); // defensive: never loop on a zero length
+        }
+        self.tail.store(tail, Ordering::Relaxed);
+        for (i, &byte) in record.iter().enumerate() {
+            self.buf[((head + i as u64) % cap) as usize].store(byte, Ordering::Relaxed);
+        }
+        self.head
+            .store(head + record.len() as u64, Ordering::Relaxed);
+        self.version.fetch_add(1, Ordering::Release); // even: quiescent
+    }
+
+    /// Copies the ring's live region (`tail..head`) into a linear buffer.
+    /// Returns `(bytes, consistent)`; `consistent` is false only if the
+    /// seqlock never settled within [`SNAPSHOT_RETRIES`].
+    fn snapshot(&self) -> (Vec<u8>, bool) {
+        let cap = self.buf.len() as u64;
+        for _ in 0..SNAPSHOT_RETRIES {
+            let v0 = self.version.load(Ordering::Acquire);
+            if v0 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let bytes = self.copy_live(cap);
+            let v1 = self.version.load(Ordering::Acquire);
+            if v0 == v1 {
+                return (bytes, true);
+            }
+        }
+        (self.copy_live(cap), false)
+    }
+
+    fn copy_live(&self, cap: u64) -> Vec<u8> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        let len = head.saturating_sub(tail).min(cap);
+        let mut out = Vec::with_capacity(len as usize);
+        for pos in tail..tail + len {
+            out.push(self.buf[(pos % cap) as usize].load(Ordering::Relaxed));
+        }
+        out
+    }
+
+    /// Parses a linearized live region into events, validating each record
+    /// and dropping anything torn.
+    pub(crate) fn parse(thread: usize, bytes: &[u8]) -> Vec<FlightEvent> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let len = bytes[pos] as usize;
+            if !(MIN_RECORD_LEN..=MAX_RECORD_LEN).contains(&len) || pos + len > bytes.len() {
+                break; // torn or corrupt: stop at the damage
+            }
+            let record = &bytes[pos + 1..pos + len];
+            pos += len;
+            let Some(kind) = EventKind::from_u8(record[0]) else {
+                continue;
+            };
+            let mut rp = 1usize;
+            let (Some(ts), Some(a), Some(b)) = (
+                wire::varint_decode_slice(record, &mut rp),
+                wire::varint_decode_slice(record, &mut rp),
+                wire::varint_decode_slice(record, &mut rp),
+            ) else {
+                continue;
+            };
+            if rp != record.len() {
+                continue; // trailing garbage: record is torn
+            }
+            out.push(FlightEvent {
+                thread,
+                ts_nanos: ts,
+                kind,
+                a,
+                b,
+            });
+        }
+        out
+    }
+
+    fn dump(&self) -> Vec<FlightEvent> {
+        let (bytes, _consistent) = self.snapshot();
+        Self::parse(self.thread, &bytes)
+    }
+}
+
+/// Every ring ever created, dump order = thread birth order. Rings are
+/// kept alive past their thread's death so post-mortems see final events.
+static RINGS: Mutex<Vec<Arc<Ring>>> = Mutex::new(Vec::new());
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+fn ring_bytes() -> usize {
+    static BYTES: OnceLock<usize> = OnceLock::new();
+    *BYTES.get_or_init(|| {
+        std::env::var("DC_OBS_RING_BYTES")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|v| v.clamp(MIN_RING_BYTES, MAX_RING_BYTES))
+            .unwrap_or(DEFAULT_RING_BYTES)
+    })
+}
+
+thread_local! {
+    static LOCAL_RING: std::cell::OnceCell<Arc<Ring>> = const { std::cell::OnceCell::new() };
+}
+
+fn with_local_ring(f: impl FnOnce(&Ring)) {
+    LOCAL_RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let ring = Arc::new(Ring::with_capacity(
+                NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+                ring_bytes(),
+            ));
+            RINGS.lock().push(ring.clone());
+            ring
+        });
+        f(ring);
+    });
+}
+
+/// Records one event. One relaxed load and a branch when tracing is off;
+/// when on, a timestamp read plus byte stores into the thread's own ring.
+#[inline]
+pub fn event(kind: EventKind, a: u64, b: u64) {
+    if tracing_enabled() {
+        record(kind, a, b);
+    }
+}
+
+#[inline(never)]
+fn record(kind: EventKind, a: u64, b: u64) {
+    let ts = now_nanos();
+    let mut buf = [0u8; MAX_RECORD_LEN];
+    buf[1] = kind as u8;
+    let mut len = 2usize;
+    for value in [ts, a, b] {
+        let (enc, n) = wire::varint_encode(value);
+        buf[len..len + n].copy_from_slice(&enc[..n]);
+        len += n;
+    }
+    buf[0] = len as u8;
+    with_local_ring(|ring| ring.push(&buf[..len]));
+}
+
+/// Merged chronological dump of every thread's live ring contents.
+pub fn dump_events() -> Vec<FlightEvent> {
+    let rings: Vec<Arc<Ring>> = RINGS.lock().clone();
+    let mut events: Vec<FlightEvent> = rings.iter().flat_map(|r| r.dump()).collect();
+    events.sort_by_key(|e| (e.ts_nanos, e.thread));
+    events
+}
+
+/// The merged dump rendered as text (one event per line, tab-separated:
+/// timestamp, thread, kind, payload words).
+pub fn dump_text(reason: &str) -> String {
+    use std::fmt::Write;
+    let events = dump_events();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# dc_obs flight recorder dump — reason: {reason}, events: {}",
+        events.len()
+    );
+    let _ = writeln!(out, "# ts_nanos\tthread\tkind\ta\tb");
+    for e in &events {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}",
+            e.ts_nanos,
+            e.thread,
+            e.kind.name(),
+            e.a,
+            e.b
+        );
+    }
+    out
+}
+
+static DUMP_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Writes a text dump to `DC_OBS_DUMP_DIR` (default: the system temp
+/// directory) and returns its path. Called automatically on WAL poisoning
+/// and recovery refusal; best-effort — returns `None` if the write fails
+/// (a failed post-mortem must never mask the original failure), or if the
+/// recorder never captured anything (a dump of nothing would just litter
+/// the dump directory — fault-injection suites poison instances by the
+/// dozen with tracing off).
+pub fn auto_dump(reason: &str) -> Option<std::path::PathBuf> {
+    if total_bytes_recorded() == 0 {
+        return None;
+    }
+    let dir = std::env::var_os("DC_OBS_DUMP_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let safe: String = reason
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let path = dir.join(format!(
+        "dc-flight-{}-{}-{}.log",
+        std::process::id(),
+        safe,
+        DUMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, dump_text(reason)).ok()?;
+    Some(path)
+}
+
+/// Total bytes ever recorded across all rings — the "no event writes while
+/// disabled" witness the disabled-cost test asserts on.
+pub fn total_bytes_recorded() -> u64 {
+    RINGS.lock().iter().map(|r| r.bytes_written()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{set_tracing_enabled, tests::TEST_GUARD};
+
+    fn encode(kind: EventKind, ts: u64, a: u64, b: u64) -> Vec<u8> {
+        let mut buf = vec![0u8, kind as u8];
+        for v in [ts, a, b] {
+            wire::push_varint(&mut buf, v);
+        }
+        buf[0] = buf.len() as u8;
+        buf
+    }
+
+    #[test]
+    fn records_round_trip_through_a_ring() {
+        let ring = Ring::with_capacity(3, 4096);
+        ring.push(&encode(EventKind::Link, 100, 7, 9));
+        ring.push(&encode(EventKind::WalCommit, 200, u64::MAX, 0));
+        let events = ring.dump();
+        assert_eq!(
+            events,
+            vec![
+                FlightEvent {
+                    thread: 3,
+                    ts_nanos: 100,
+                    kind: EventKind::Link,
+                    a: 7,
+                    b: 9
+                },
+                FlightEvent {
+                    thread: 3,
+                    ts_nanos: 200,
+                    kind: EventKind::WalCommit,
+                    a: u64::MAX,
+                    b: 0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn wraparound_evicts_oldest_whole_records() {
+        // Capacity fits only a handful of records; after many pushes the
+        // ring must hold a parseable *suffix* of the stream, newest last.
+        let ring = Ring::with_capacity(0, MAX_RECORD_LEN);
+        for i in 0..100u64 {
+            ring.push(&encode(EventKind::EpochAdvance, i, i * 2, i * 3));
+        }
+        let events = ring.dump();
+        assert!(!events.is_empty());
+        // Strictly consecutive suffix ending at the last record.
+        assert_eq!(events.last().unwrap().ts_nanos, 99);
+        for w in events.windows(2) {
+            assert_eq!(w[1].ts_nanos, w[0].ts_nanos + 1);
+        }
+        for e in &events {
+            assert_eq!(e.a, e.ts_nanos * 2);
+            assert_eq!(e.b, e.ts_nanos * 3);
+        }
+        // Wrapping never inflates the live region past capacity.
+        assert!(ring.bytes_written() > MAX_RECORD_LEN as u64);
+    }
+
+    #[test]
+    fn parse_stops_at_torn_bytes_and_skips_unknown_kinds() {
+        let mut bytes = encode(EventKind::Cut, 5, 6, 7);
+        let mut unknown = encode(EventKind::Cut, 8, 9, 10);
+        unknown[1] = 200; // not a valid kind: skipped, parsing continues
+        bytes.extend_from_slice(&unknown);
+        bytes.extend_from_slice(&encode(EventKind::Checkpoint, 11, 12, 13));
+        let mut torn = encode(EventKind::Link, 14, 15, 16);
+        torn.truncate(torn.len() - 2); // length prefix overruns the buffer
+        bytes.extend_from_slice(&torn);
+        let events = Ring::parse(0, &bytes);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Cut);
+        assert_eq!(events[1].kind, EventKind::Checkpoint);
+    }
+
+    #[test]
+    fn merged_dump_is_chronological_across_threads() {
+        let _g = TEST_GUARD.lock();
+        set_tracing_enabled(true);
+        let before = dump_events().len();
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                s.spawn(move || {
+                    for i in 0..10u64 {
+                        event(EventKind::BatchBegin, t, i);
+                    }
+                });
+            }
+        });
+        set_tracing_enabled(false);
+        let events = dump_events();
+        assert!(events.len() >= before + 30);
+        for w in events.windows(2) {
+            assert!(w[0].ts_nanos <= w[1].ts_nanos, "dump not time-ordered");
+        }
+    }
+
+    #[test]
+    fn dump_text_and_auto_dump_render_events() {
+        let _g = TEST_GUARD.lock();
+        set_tracing_enabled(true);
+        event(EventKind::RecoveryStep, 2, 0);
+        set_tracing_enabled(false);
+        let text = dump_text("unit-test");
+        assert!(text.starts_with("# dc_obs flight recorder dump"));
+        assert!(text.contains("recovery_step"));
+        let path = auto_dump("unit test").expect("auto_dump failed");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("reason: unit test"));
+        assert!(written.contains("recovery_step"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pack_edge_splits_back_out() {
+        let packed = pack_edge(0xDEAD_BEEF, 0x1234_5678);
+        assert_eq!((packed >> 32) as u32, 0xDEAD_BEEF);
+        assert_eq!(packed as u32, 0x1234_5678);
+    }
+}

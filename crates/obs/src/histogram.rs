@@ -1,0 +1,283 @@
+//! The fixed-bucket log-scale latency histogram behind all tail-latency
+//! reporting ([`LatencyHistogram`]): p50/p90/p99/p999 extraction alongside
+//! every throughput number, mergeable across threads without
+//! synchronization.
+//!
+//! Promoted out of `dc_bench::stats` so non-bench code — the metrics
+//! registry's span histograms in particular — can record latencies; the
+//! bench crate re-exports it from its old path.
+
+/// Number of histogram buckets: 4 exact single-nanosecond buckets for
+/// values 0–3 plus `4 * SUBS_PER_OCTAVE` log-scale buckets per power of two
+/// up to `u64::MAX` (64 octaves × 4 sub-buckets = 256 slots, of which the
+/// first few octave slots are unused by construction).
+pub(crate) const LATENCY_BUCKETS: usize = 256;
+
+/// Sub-buckets per octave (power of two; bounds the relative quantization
+/// error of a percentile at `1 / SUBS_PER_OCTAVE` = 25%).
+const SUBS_PER_OCTAVE: u64 = 4;
+
+/// A fixed-footprint log-scale latency histogram over nanosecond samples —
+/// the HDR-histogram idea shrunk to exactly what the bench tiers need.
+///
+/// * **Fixed buckets, no allocation:** 256 `u64` counters (2 KiB), `Copy`.
+///   Values 0–3 ns get exact buckets; every other value lands in one of 4
+///   sub-buckets of its octave, so a reported percentile overstates the
+///   true value by at most 25% (the bucket's upper bound is returned).
+/// * **Mergeable:** each worker thread records into its own histogram and
+///   the harness [`LatencyHistogram::merge`]s them after the join — no
+///   shared counters on the hot path.
+/// * **Weighted records:** bulk read paths time a whole batch and record
+///   the per-op quotient once per member
+///   ([`LatencyHistogram::record_n`]), so batch-amortized tiers produce
+///   distributions with the right mass.
+///
+/// Percentiles ([`LatencyHistogram::percentile`], and the `p50`…`p999`
+/// shorthands) return the upper bound of the bucket containing the
+/// requested rank; the exact maximum is tracked separately and caps the
+/// answer, so `p(1.0)` is the true maximum.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+            count: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index of `ns` (shared with the registry's atomic-bucket
+    /// histograms, which must agree bucket-for-bucket).
+    #[inline]
+    pub(crate) fn bucket_of(ns: u64) -> usize {
+        if ns < SUBS_PER_OCTAVE {
+            return ns as usize;
+        }
+        let msb = 63 - ns.leading_zeros() as usize; // >= 2
+        let sub = ((ns >> (msb - 2)) & (SUBS_PER_OCTAVE - 1)) as usize;
+        msb * SUBS_PER_OCTAVE as usize + sub
+    }
+
+    /// Inclusive upper bound of bucket `i` (the value percentiles report).
+    fn bucket_upper(i: usize) -> u64 {
+        if i < SUBS_PER_OCTAVE as usize {
+            return i as u64;
+        }
+        let msb = i / SUBS_PER_OCTAVE as usize;
+        let sub = (i % SUBS_PER_OCTAVE as usize) as u64;
+        if msb < 2 {
+            // Gap slots between the exact region and the first full octave
+            // (never occupied; pinned to the exact region's top so bucket
+            // lower bounds stay monotone).
+            return SUBS_PER_OCTAVE - 1;
+        }
+        if msb >= 63 {
+            return u64::MAX;
+        }
+        // Lowest value of the next sub-bucket, minus one.
+        ((SUBS_PER_OCTAVE + sub + 1) << (msb - 2)) - 1
+    }
+
+    /// Rebuilds a histogram from raw bucket counts and an exact max (the
+    /// registry snapshots its atomic-bucket histograms through this).
+    pub(crate) fn from_parts(buckets: [u64; LATENCY_BUCKETS], max: u64) -> Self {
+        let count = buckets.iter().sum();
+        LatencyHistogram {
+            buckets,
+            count,
+            max,
+        }
+    }
+
+    /// Records one sample of `ns` nanoseconds.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.record_n(ns, 1);
+    }
+
+    /// Records `n` samples of `ns` nanoseconds each (batch-amortized
+    /// recording: time a batch, record `elapsed / batch_len` with
+    /// `n = batch_len`).
+    #[inline]
+    pub fn record_n(&mut self, ns: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(ns)] += n;
+        self.count += n;
+        self.max = self.max.max(ns);
+    }
+
+    /// Folds `other`'s samples into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The exact largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`) in nanoseconds: the upper bound
+    /// of the bucket holding the sample of rank `ceil(q * count)`, capped
+    /// at the exact maximum. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median in nanoseconds.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile in nanoseconds.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile in nanoseconds.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th percentile in nanoseconds.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
+    /// The non-empty buckets as `(lower_ns, upper_ns, count)` triples, in
+    /// ascending order — the serialization the bench artifacts embed.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        let mut out = Vec::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                let lower = if i == 0 {
+                    0
+                } else {
+                    Self::bucket_upper(i - 1).saturating_add(1)
+                };
+                out.push((lower, Self::bucket_upper(i), n));
+            }
+        }
+        out
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_value_and_bounds_nest() {
+        // Every sample must land in a bucket whose [lower, upper] range
+        // contains it, with upper within 25% above the true value.
+        for ns in [0u64, 1, 2, 3, 4, 5, 7, 8, 100, 999, 4096, 1 << 40, u64::MAX] {
+            let mut h = LatencyHistogram::new();
+            h.record(ns);
+            let buckets = h.nonzero_buckets();
+            assert_eq!(buckets.len(), 1, "{ns}");
+            let (lower, upper, count) = buckets[0];
+            assert_eq!(count, 1);
+            assert!(
+                lower <= ns && ns <= upper,
+                "{ns} outside [{lower}, {upper}]"
+            );
+            if (4..(1 << 62)).contains(&ns) {
+                assert!(upper < ns + ns / 2, "{ns}: upper {upper} too loose");
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_of_a_known_distribution() {
+        let mut h = LatencyHistogram::new();
+        // 1000 samples at ~100ns, 10 at ~10µs, 1 at ~1ms.
+        h.record_n(100, 989);
+        h.record_n(10_000, 10);
+        h.record(1_000_000);
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1_000_000);
+        // p50/p90 sit in the 100ns bucket (upper bound <= 127).
+        assert!(h.p50() >= 100 && h.p50() < 128, "p50 = {}", h.p50());
+        assert!(h.p90() >= 100 && h.p90() < 128);
+        // p99 crosses into the 10µs bucket, p999+ reaches the outlier.
+        assert!(h.p99() >= 10_000 && h.p99() < 13_000, "p99 = {}", h.p99());
+        assert!(h.p999() >= 10_000, "p999 = {}", h.p999());
+        assert_eq!(h.percentile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn merge_is_sample_union() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_n(50, 100);
+        b.record_n(5_000, 100);
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.count(), 200);
+        assert_eq!(merged.max(), 5_000);
+        assert!(merged.p50() < 100);
+        assert!(merged.p99() >= 5_000 && merged.p99() < 6_500);
+        // Merge of empties stays empty.
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&LatencyHistogram::new());
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.p999(), 0);
+    }
+
+    #[test]
+    fn percentile_never_exceeds_exact_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(1000);
+        // The 1000ns bucket's upper bound is above 1000, but the reported
+        // percentile is capped at the true max.
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.percentile(q), 1000);
+        }
+    }
+
+    #[test]
+    fn from_parts_recomputes_count() {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        buckets[LatencyHistogram::bucket_of(100)] = 9;
+        buckets[LatencyHistogram::bucket_of(10_000)] = 1;
+        let h = LatencyHistogram::from_parts(buckets, 10_123);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), 10_123);
+        assert!(h.p50() >= 100 && h.p50() < 128);
+        assert_eq!(h.percentile(1.0), 10_123);
+    }
+}

@@ -1,0 +1,360 @@
+//! The unified metrics registry: typed counters, gauges and latency
+//! histograms behind one pair of process-wide enable flags.
+//!
+//! Seven PRs grew four disconnected telemetry mechanisms (global
+//! `dc_sync::waitstats`, per-`Hdt` `StatsSnapshot`, striped hint-hit
+//! counters, bench-only latency histograms). This registry is the one
+//! place they all surface: instrumented crates *mirror* their existing
+//! per-instance counters here (the per-instance APIs stay — they are the
+//! compatibility shims), and [`crate::ObsSnapshot`] reads everything back
+//! coherently.
+//!
+//! **Disabled cost.** The design constraint is the same as
+//! `dc_sync::waitstats::enabled()`: when metrics are off (the default),
+//! every recording call is one relaxed atomic load and a predictable
+//! branch — no allocation, no store, no fence. The registry is entirely
+//! static (striped counter cells, gauge words, atomic-bucket histograms),
+//! so enabling it allocates nothing either.
+//!
+//! **Ordering.** All cells are `Relaxed`. Metrics are monotone
+//! per-thread tallies read at quiescent points (snapshot after a join, a
+//! scrape loop); they carry no happens-before obligations, and no safety
+//! argument in `DESIGN.md` §3/§8 leans on them — see `DESIGN.md` §11.
+//!
+//! **Striping.** Counter increments from different threads must not
+//! serialize on one cache line, so counters are striped across
+//! `COUNTER_STRIPES` (16) 128-byte-aligned blocks with threads assigned
+//! round-robin on first use (the `dc_ett::hints` counter idiom). Gauges
+//! are last-write-wins single words; histograms are shared atomic-bucket
+//! tables fed by *sampled* spans (1-in-16), so their contention is already
+//! bounded.
+
+use crate::histogram::{LatencyHistogram, LATENCY_BUCKETS};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of padded counter stripes (power of two; threads hash onto them).
+const COUNTER_STRIPES: usize = 16;
+
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACING_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables metric recording (counters, gauges, span
+/// histograms). Off by default; flipping it is a plain relaxed store.
+pub fn set_metrics_enabled(enabled: bool) {
+    METRICS_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Returns `true` if metric recording is enabled — the one load every
+/// instrumentation site pays when disabled.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables flight-recorder event capture (see
+/// [`crate::flight`]). Independent of the metrics flag so the bench tier
+/// can price each layer separately.
+pub fn set_tracing_enabled(enabled: bool) {
+    if enabled {
+        // Anchor event timestamps before the first event is recorded so
+        // merged dumps never see a zero-epoch discontinuity.
+        crate::flight::anchor_now();
+    }
+    TRACING_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Returns `true` if flight-recorder capture is enabled.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING_ENABLED.load(Ordering::Relaxed)
+}
+
+macro_rules! metric_enum {
+    (
+        $(#[$meta:meta])*
+        $vis:vis enum $name:ident { $( $(#[$vmeta:meta])* $variant:ident => $text:literal, )+ }
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+        #[repr(usize)]
+        $vis enum $name {
+            $( $(#[$vmeta])* $variant, )+
+        }
+
+        impl $name {
+            /// Number of variants (the registry's array extent).
+            pub const COUNT: usize = [$( $name::$variant, )+].len();
+
+            /// Every variant, in declaration (= storage) order.
+            pub const ALL: [$name; Self::COUNT] = [$( $name::$variant, )+];
+
+            /// The stable snake_case name exporters emit.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $( $name::$variant => $text, )+
+                }
+            }
+        }
+    };
+}
+
+metric_enum! {
+    /// Monotone event tallies. Names are the Prometheus metric stems
+    /// (exported as `dc_<name>_total`).
+    pub enum Counter {
+        /// Edge additions applied (spanning or not) — mirrors
+        /// `dynconn::StatsSnapshot::additions` across all instances.
+        HdtAdditions => "hdt_additions",
+        /// Additions that closed a cycle (left the forest unchanged).
+        HdtNonSpanningAdditions => "hdt_non_spanning_additions",
+        /// Edge removals applied.
+        HdtRemovals => "hdt_removals",
+        /// Removals of non-spanning edges (no replacement search needed).
+        HdtNonSpanningRemovals => "hdt_non_spanning_removals",
+        /// Replacement searches that found a substitute edge.
+        HdtReplacementsFound => "hdt_replacements_found",
+        /// Read resolutions answered from a validated root hint.
+        HintHits => "hint_hits",
+        /// Read resolutions that fell back to a parent-pointer climb.
+        HintMisses => "hint_misses",
+        /// Root-version bumps (each invalidates that root's outstanding
+        /// hints — DESIGN.md §8).
+        HintInvalidations => "hint_invalidations",
+        /// Epoch-reclamation collection passes over an ETT arena.
+        EpochCollects => "epoch_collects",
+        /// Arena nodes recycled by those passes.
+        EpochNodesReclaimed => "epoch_nodes_reclaimed",
+        /// Batches drained by a `dc_batch` leader.
+        BatchesDrained => "batches_drained",
+        /// Structural updates applied by batch flushes (post-annihilation).
+        BatchUpdatesApplied => "batch_updates_applied",
+        /// Batch records group-committed to the WAL.
+        WalBatches => "wal_batches",
+        /// Bytes appended to the WAL (records + commit markers).
+        WalBytes => "wal_bytes",
+        /// `fsync`/`sync_data` calls issued by the WAL.
+        WalFsyncs => "wal_fsyncs",
+        /// WAL segment rolls.
+        WalSegmentRolls => "wal_segment_rolls",
+        /// Checkpoints written.
+        Checkpoints => "checkpoints",
+    }
+}
+
+metric_enum! {
+    /// Last-write-wins instantaneous values.
+    pub enum Gauge {
+        /// Live ETT arena slots at the last reclamation pass (level 0).
+        ArenaOccupancy => "arena_occupancy",
+        /// Operations claimed from the intake array by the most recent
+        /// batch leader (the drained batch's size).
+        IntakeDepth => "intake_depth",
+    }
+}
+
+metric_enum! {
+    /// Span-profiled hot paths; each feeds one registry histogram of
+    /// sampled durations in nanoseconds.
+    pub enum SpanId {
+        /// HDT replacement-edge search after a spanning-edge cut.
+        ReplacementSearch => "replacement_search",
+        /// Treap merge (iterative root merge on the tour sequence).
+        TreapMerge => "treap_merge",
+        /// Treap split (before/after a tour position).
+        TreapSplit => "treap_split",
+        /// Batch engine plan flush (compaction + apply + commit hook).
+        BatchFlush => "batch_flush",
+        /// WAL fsync/sync_data call.
+        WalFsync => "wal_fsync",
+        /// Checkpoint serialization + atomic install.
+        CheckpointWrite => "checkpoint_write",
+        /// One interleaved bulk-read climb group (DESIGN.md §10).
+        InterleavedClimbGroup => "interleaved_climb_group",
+    }
+}
+
+/// A padded block of counter cells: one cell per [`Counter`], no cache
+/// line shared with any other stripe.
+#[repr(align(128))]
+struct CounterStripe {
+    cells: [AtomicU64; Counter::COUNT],
+}
+
+/// A shared atomic-bucket histogram, bucket-compatible with
+/// [`LatencyHistogram`] so snapshots are a plain relaxed sweep.
+struct AtomicHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    max: AtomicU64,
+}
+
+static STRIPES: [CounterStripe; COUNTER_STRIPES] = [const {
+    CounterStripe {
+        cells: [const { AtomicU64::new(0) }; Counter::COUNT],
+    }
+}; COUNTER_STRIPES];
+
+static GAUGES: [AtomicU64; Gauge::COUNT] = [const { AtomicU64::new(0) }; Gauge::COUNT];
+
+static HISTOGRAMS: [AtomicHistogram; SpanId::COUNT] = [const {
+    AtomicHistogram {
+        buckets: [const { AtomicU64::new(0) }; LATENCY_BUCKETS],
+        max: AtomicU64::new(0),
+    }
+}; SpanId::COUNT];
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// The calling thread's counter stripe, assigned round-robin on first
+    /// use so worker pools spread evenly (the `dc_ett::hints` idiom).
+    static STRIPE: usize =
+        NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) & (COUNTER_STRIPES - 1);
+}
+
+/// Adds `n` to counter `c`. One relaxed load + branch when disabled.
+#[inline]
+pub fn counter_add(c: Counter, n: u64) {
+    if metrics_enabled() && n > 0 {
+        STRIPE.with(|&s| STRIPES[s].cells[c as usize].fetch_add(n, Ordering::Relaxed));
+    }
+}
+
+/// Sets gauge `g` to `v` (last write wins across threads).
+#[inline]
+pub fn gauge_set(g: Gauge, v: u64) {
+    if metrics_enabled() {
+        GAUGES[g as usize].store(v, Ordering::Relaxed);
+    }
+}
+
+/// Records a sampled duration of `ns` nanoseconds into span `id`'s
+/// histogram. Callers go through [`crate::span()`], which applies the 1-in-N
+/// sampling and the enabled check; this low-level door re-checks the flag
+/// so direct callers stay free when disabled.
+#[inline]
+pub fn span_record(id: SpanId, ns: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let h = &HISTOGRAMS[id as usize];
+    h.buckets[LatencyHistogram::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    h.max.fetch_max(ns, Ordering::Relaxed);
+}
+
+/// Current value of counter `c` (sum over stripes).
+pub fn counter_value(c: Counter) -> u64 {
+    STRIPES
+        .iter()
+        .map(|s| s.cells[c as usize].load(Ordering::Relaxed))
+        .sum()
+}
+
+/// Current value of gauge `g`.
+pub fn gauge_value(g: Gauge) -> u64 {
+    GAUGES[g as usize].load(Ordering::Relaxed)
+}
+
+/// Snapshot of span `id`'s histogram as a plain [`LatencyHistogram`].
+pub fn span_snapshot(id: SpanId) -> LatencyHistogram {
+    let h = &HISTOGRAMS[id as usize];
+    let mut buckets = [0u64; LATENCY_BUCKETS];
+    for (out, cell) in buckets.iter_mut().zip(h.buckets.iter()) {
+        *out = cell.load(Ordering::Relaxed);
+    }
+    LatencyHistogram::from_parts(buckets, h.max.load(Ordering::Relaxed))
+}
+
+/// Zeroes every counter, gauge and histogram (bench cells and tests reset
+/// between measurement intervals; concurrent recorders just land in the
+/// new interval).
+pub fn reset() {
+    for stripe in STRIPES.iter() {
+        for cell in stripe.cells.iter() {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+    for g in GAUGES.iter() {
+        g.store(0, Ordering::Relaxed);
+    }
+    for h in HISTOGRAMS.iter() {
+        for b in h.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    // The registry is global; tests that mutate it must serialize.
+    pub(crate) static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _g = TEST_GUARD.lock();
+        set_metrics_enabled(false);
+        reset();
+        counter_add(Counter::HdtAdditions, 5);
+        gauge_set(Gauge::IntakeDepth, 9);
+        span_record(SpanId::BatchFlush, 1234);
+        assert_eq!(counter_value(Counter::HdtAdditions), 0);
+        assert_eq!(gauge_value(Gauge::IntakeDepth), 0);
+        assert_eq!(span_snapshot(SpanId::BatchFlush).count(), 0);
+    }
+
+    #[test]
+    fn counters_accumulate_across_threads_and_stripes() {
+        let _g = TEST_GUARD.lock();
+        set_metrics_enabled(true);
+        reset();
+        counter_add(Counter::HintHits, 2);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| counter_add(Counter::HintHits, 3));
+            }
+        });
+        assert_eq!(counter_value(Counter::HintHits), 14);
+        set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let _g = TEST_GUARD.lock();
+        set_metrics_enabled(true);
+        reset();
+        gauge_set(Gauge::ArenaOccupancy, 10);
+        gauge_set(Gauge::ArenaOccupancy, 7);
+        assert_eq!(gauge_value(Gauge::ArenaOccupancy), 7);
+        set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn span_histograms_snapshot_and_reset() {
+        let _g = TEST_GUARD.lock();
+        set_metrics_enabled(true);
+        reset();
+        span_record(SpanId::WalFsync, 100);
+        span_record(SpanId::WalFsync, 10_000);
+        let snap = span_snapshot(SpanId::WalFsync);
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.max(), 10_000);
+        assert!(snap.p50() >= 100);
+        reset();
+        assert_eq!(span_snapshot(SpanId::WalFsync).count(), 0);
+        set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn enum_names_are_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.extend(Gauge::ALL.iter().map(|g| g.name()));
+        names.extend(SpanId::ALL.iter().map(|s| s.name()));
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+}

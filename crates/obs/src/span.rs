@@ -1,0 +1,94 @@
+//! Sampled scoped timers for hot-path span profiling.
+//!
+//! Wrapping a replacement search or a treap merge in an *unconditional*
+//! `Instant::now()` pair would tax exactly the paths the bench tiers
+//! measure. Spans therefore sample 1-in-[`SPAN_SAMPLE_EVERY`] per thread
+//! (the PR 7 op-sampling rate): the unsampled path is one relaxed flag
+//! load, a thread-local counter bump and a branch — no clock read — and
+//! the disabled path skips even the counter bump. Sampled durations feed
+//! the registry's atomic-bucket histograms
+//! ([`crate::metrics::span_snapshot`]); with uniform 1-in-N sampling the
+//! percentile *shape* is unbiased even though the counts are 1/N of the
+//! true op count.
+
+use crate::metrics::{metrics_enabled, span_record, SpanId};
+use std::cell::Cell;
+use std::time::Instant;
+
+/// One span is timed out of every `SPAN_SAMPLE_EVERY` entries per thread.
+pub const SPAN_SAMPLE_EVERY: u32 = 16;
+
+thread_local! {
+    static TICK: Cell<u32> = const { Cell::new(0) };
+}
+
+/// An in-flight (possibly unsampled) span; records on drop.
+#[must_use = "a span measures the scope it is bound to — bind it to a variable"]
+pub struct Span {
+    live: Option<(SpanId, Instant)>,
+}
+
+/// Opens a span over `id`'s hot path. Free when metrics are disabled;
+/// otherwise times 1-in-[`SPAN_SAMPLE_EVERY`] entries per thread.
+#[inline]
+pub fn span(id: SpanId) -> Span {
+    if !metrics_enabled() {
+        return Span { live: None };
+    }
+    let sampled = TICK.with(|t| {
+        let tick = t.get().wrapping_add(1);
+        t.set(tick);
+        tick % SPAN_SAMPLE_EVERY == 0
+    });
+    Span {
+        live: if sampled {
+            Some((id, Instant::now()))
+        } else {
+            None
+        },
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((id, start)) = self.live.take() {
+            span_record(id, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{reset, set_metrics_enabled, span_snapshot, tests::TEST_GUARD};
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = TEST_GUARD.lock();
+        set_metrics_enabled(false);
+        reset();
+        for _ in 0..100 {
+            let _s = span(SpanId::TreapMerge);
+        }
+        assert_eq!(span_snapshot(SpanId::TreapMerge).count(), 0);
+    }
+
+    #[test]
+    fn enabled_spans_sample_one_in_n() {
+        let _g = TEST_GUARD.lock();
+        set_metrics_enabled(true);
+        reset();
+        // Run on a fresh thread so the tick counter starts at a known
+        // phase: exactly 160 entries → exactly 10 samples.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..(10 * SPAN_SAMPLE_EVERY) {
+                    let _s = span(SpanId::TreapSplit);
+                }
+            });
+        });
+        assert_eq!(span_snapshot(SpanId::TreapSplit).count(), 10);
+        set_metrics_enabled(false);
+    }
+}

@@ -19,9 +19,18 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static TOTAL_WAIT_NANOS: AtomicU64 = AtomicU64::new(0);
 static WAIT_EVENTS: AtomicU64 = AtomicU64::new(0);
 
+// Ordering discipline (the DESIGN.md §8 style): every access in this
+// module is `Relaxed`. The counters are monotone tallies read at quiescent
+// points — the harness enables accounting, joins its workers, then reads —
+// so thread join/spawn edges already provide all the happens-before these
+// values need; no control or data decision downstream depends on observing
+// a wait "in time". Mixing `SeqCst` reads with `Relaxed` writes (as an
+// earlier revision did) bought nothing: a fence on the reader cannot
+// strengthen unfenced writers.
+
 /// Enables or disables wait-time accounting.
 pub fn set_enabled(enabled: bool) {
-    ENABLED.store(enabled, Ordering::SeqCst);
+    ENABLED.store(enabled, Ordering::Relaxed);
 }
 
 /// Returns `true` if accounting is currently enabled.
@@ -32,19 +41,19 @@ pub fn enabled() -> bool {
 
 /// Resets the accumulated counters to zero.
 pub fn reset() {
-    TOTAL_WAIT_NANOS.store(0, Ordering::SeqCst);
-    WAIT_EVENTS.store(0, Ordering::SeqCst);
+    TOTAL_WAIT_NANOS.store(0, Ordering::Relaxed);
+    WAIT_EVENTS.store(0, Ordering::Relaxed);
 }
 
 /// Total nanoseconds all threads spent blocked on instrumented locks since
 /// the last [`reset`].
 pub fn total_wait_nanos() -> u64 {
-    TOTAL_WAIT_NANOS.load(Ordering::SeqCst)
+    TOTAL_WAIT_NANOS.load(Ordering::Relaxed)
 }
 
 /// Number of blocking acquisitions recorded since the last [`reset`].
 pub fn wait_events() -> u64 {
-    WAIT_EVENTS.load(Ordering::SeqCst)
+    WAIT_EVENTS.load(Ordering::Relaxed)
 }
 
 /// Records `nanos` of lock waiting directly (used by wrappers that measure

@@ -1,10 +1,18 @@
-//! A sliding-window link-failure monitor.
+//! A sliding-window link-failure monitor with live observability.
 //!
 //! Models the paper's motivating communication-network scenario: a router
 //! network whose links flap (fail and recover) over time, while monitoring
 //! probes continuously ask "can data-centre A still reach data-centre B?".
 //! Probes vastly outnumber link events, which is exactly the read-dominated
 //! regime where the paper's non-blocking `connected` shines.
+//!
+//! On top of the traffic, this example turns on `dc_obs` and runs a
+//! *scrape loop* the way a metrics agent would: every interval it gathers
+//! an [`dc_obs::ObsSnapshot`] and prints the structural counters (links,
+//! cuts, replacement searches) and sampled span percentiles, live while
+//! the links flap. At the end it prints the Prometheus exposition text a
+//! real scraper would ingest, plus the tail of the flight recorder — the
+//! last structural events, merged chronologically across threads.
 //!
 //! Run with: `cargo run --release --example streaming_monitor`
 
@@ -14,6 +22,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     // A road-grid-like backbone: 40x40 grid with most links present.
@@ -25,6 +34,12 @@ fn main() {
         topology.num_edges(),
         topology.density()
     );
+
+    // Observability on: counters + spans and the flight recorder. Both
+    // default off; a production binary would flip these from a signal
+    // handler or admin endpoint.
+    dc_obs::set_metrics_enabled(true);
+    dc_obs::set_tracing_enabled(true);
 
     let dc: Arc<dyn DynamicConnectivity> = Arc::from(Variant::OurAlgorithm.build(n));
     for link in topology.edges() {
@@ -63,6 +78,36 @@ fn main() {
             });
         }
 
+        // The scrape loop: what a metrics agent sees while the links flap.
+        let stop_s = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut scrape = 0u32;
+            while !stop_s.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(100));
+                scrape += 1;
+                let snap = dc_obs::ObsSnapshot::gather();
+                println!(
+                    "scrape {scrape}: links={} cuts={} replacements={} hint_hits={} \
+                     hint_invalidations={}",
+                    snap.counter(dc_obs::Counter::HdtAdditions),
+                    snap.counter(dc_obs::Counter::HdtRemovals),
+                    snap.counter(dc_obs::Counter::HdtReplacementsFound),
+                    snap.counter(dc_obs::Counter::HintHits),
+                    snap.counter(dc_obs::Counter::HintInvalidations),
+                );
+                let search = snap.span(dc_obs::SpanId::ReplacementSearch);
+                if search.count() > 0 {
+                    println!(
+                        "  replacement search (sampled n={}): p50={}ns p99={}ns max={}ns",
+                        search.count(),
+                        search.p50(),
+                        search.p99(),
+                        search.max()
+                    );
+                }
+            }
+        });
+
         // The event stream: links flap in a sliding window. Each round takes
         // a window of links down and brings the previous window back up.
         let dc_w = Arc::clone(&dc);
@@ -100,7 +145,7 @@ fn main() {
     });
 
     println!(
-        "monitoring finished: {} probes, {} reachability alarms",
+        "\nmonitoring finished: {} probes, {} reachability alarms",
         probes.load(Ordering::Relaxed),
         alarms.load(Ordering::Relaxed)
     );
@@ -108,6 +153,28 @@ fn main() {
         println!(
             "  pair ({a:>4}, {b:>4}) reachable after recovery: {}",
             dc.connected(a, b)
+        );
+    }
+
+    // What a Prometheus scrape of this process would return.
+    println!("\n--- prometheus exposition ---");
+    print!("{}", dc_obs::ObsSnapshot::gather().to_prometheus());
+
+    // The flight recorder's tail: the last structural events, merged
+    // chronologically across every thread that recorded.
+    let events = dc_obs::dump_events();
+    println!(
+        "--- flight recorder: last 10 of {} live events ---",
+        events.len()
+    );
+    for e in events.iter().rev().take(10).rev() {
+        println!(
+            "  t={:>12}ns thread={} {} a={} b={}",
+            e.ts_nanos,
+            e.thread,
+            e.kind.name(),
+            e.a,
+            e.b
         );
     }
 }
