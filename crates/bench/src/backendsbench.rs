@@ -1,0 +1,596 @@
+//! The backend-shootout benchmark tier, emitted as `BENCH_backends.json`.
+//!
+//! The [`dc_ett::DynamicForest`] trait makes the HDT core generic over its
+//! forest representation; this tier answers the question that extraction
+//! raises: *what does each backend actually cost, per workload shape?* Every
+//! `(backend, variant)` combination the registry supports
+//! ([`Variant::all_for_backend`]) runs three scenarios:
+//!
+//! * **read-storm** — the [`dc_workloads::presets::read_storm`] preset over
+//!   power-law communities: the regime the ETT's O(1)-bump read protocol was
+//!   built for, and where the LCT pays its O(log n) deposed-apex bumps per
+//!   splay (`DESIGN.md` §12).
+//! * **churn** — an update-heavy 20/40/40 mix over a ring of cliques: here
+//!   the LCT's locality (splaying keeps hot paths shallow) competes against
+//!   the ETT's randomized-treap restructuring.
+//! * **bulk-load** — pure additions from an empty forest: sequential link
+//!   cost, the backend's floor.
+//!
+//! Each cell reports throughput plus the p50/p99/p999 of per-operation
+//! latency (one [`LatencyHistogram`] per worker, merged). Before anything is
+//! timed, an **agreement pass** drives both backends' lock-free-read and
+//! batch-engine variants against [`dynconn::RecomputeOracle`] on a shared
+//! deterministic op stream — a backend that answers wrong produces numbers
+//! not worth reporting, so the baseline records the outcome and the summary
+//! binary's `DC_BENCH_BACKENDS_ONLY=1` step turns it into a CI gate.
+
+use crate::report::{json_number, json_string};
+use crate::stats::LatencyHistogram;
+use dc_workloads::{presets, GeneratedWorkload, Op, Phase, Topology, WorkloadSpec};
+use dynconn::{DynamicConnectivity, ForestBackend, RecomputeOracle, Variant};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Scenario parameters for the backend shootout.
+#[derive(Clone, Debug)]
+pub struct BackendsBenchConfig {
+    /// Vertex budget for the generated topologies.
+    pub n: usize,
+    /// Power-law attachment degree (edge universe is roughly `n * m`).
+    pub m_per_vertex: usize,
+    /// Per-thread operation budget per scenario.
+    pub ops_per_thread: usize,
+    /// Concurrent threads.
+    pub threads: usize,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Repetitions; best throughput per cell is kept.
+    pub repeats: usize,
+    /// Operations of the per-backend oracle agreement pass.
+    pub agreement_ops: usize,
+}
+
+impl BackendsBenchConfig {
+    /// The tracked configuration (shrunk under `DC_BENCH_QUICK=1`, thread
+    /// count overridable via `DC_BENCH_THREADS`).
+    pub fn from_env() -> Self {
+        let quick = std::env::var("DC_BENCH_QUICK")
+            .map(|v| v != "0")
+            .unwrap_or(false);
+        let mut config = if quick {
+            BackendsBenchConfig {
+                n: 512,
+                m_per_vertex: 6,
+                ops_per_thread: 2_000,
+                threads: 4,
+                seed: 0xBAC0,
+                repeats: 1,
+                agreement_ops: 2_000,
+            }
+        } else {
+            BackendsBenchConfig {
+                n: 8_192,
+                m_per_vertex: 8,
+                ops_per_thread: 20_000,
+                threads: 8,
+                seed: 0xBAC0,
+                repeats: 3,
+                agreement_ops: 8_000,
+            }
+        };
+        if let Ok(v) = std::env::var("DC_BENCH_THREADS") {
+            if let Some(t) = v
+                .split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok())
+                .max()
+            {
+                config.threads = t.max(1);
+            }
+        }
+        config
+    }
+}
+
+/// One measured `(backend, variant, scenario)` cell.
+#[derive(Clone, Debug)]
+pub struct BackendCell {
+    /// Forest backend label ("ett" / "lct").
+    pub backend: String,
+    /// The variant's display name.
+    pub variant: String,
+    /// The variant's paper number (1–14).
+    pub number: u8,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+    /// Median per-operation latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th percentile, nanoseconds.
+    pub p999_ns: u64,
+}
+
+/// One scenario: the graph it ran on and every `(backend, variant)` cell.
+#[derive(Clone, Debug)]
+pub struct BackendScenarioResult {
+    /// Scenario key used in JSON ("read-storm", "churn", "bulk-load").
+    pub name: String,
+    /// Topology description.
+    pub topology: String,
+    /// Vertices of the universe.
+    pub vertices: usize,
+    /// Edges of the universe.
+    pub edges: usize,
+    /// Total operations per cell run.
+    pub total_operations: usize,
+    /// All cells, backend-major in paper-number order.
+    pub cells: Vec<BackendCell>,
+}
+
+impl BackendScenarioResult {
+    /// The cells of one backend, in paper-number order.
+    pub fn backend_cells(&self, backend: &str) -> Vec<&BackendCell> {
+        self.cells.iter().filter(|c| c.backend == backend).collect()
+    }
+}
+
+/// The oracle agreement outcome for one backend.
+#[derive(Clone, Debug)]
+pub struct AgreementResult {
+    /// Forest backend label.
+    pub backend: String,
+    /// Queries compared against the oracle.
+    pub checked: u64,
+    /// Whether every compared answer agreed.
+    pub passed: bool,
+}
+
+/// The full backend-shootout measurement, serialized as
+/// `BENCH_backends.json`.
+#[derive(Clone, Debug, Default)]
+pub struct BackendsBaseline {
+    /// Short git revision.
+    pub git_rev: String,
+    /// The configuration the numbers were measured at.
+    pub config: Option<BackendsBenchConfig>,
+    /// Per-backend oracle agreement outcomes.
+    pub agreement: Vec<AgreementResult>,
+    /// All scenarios.
+    pub scenarios: Vec<BackendScenarioResult>,
+}
+
+impl BackendsBaseline {
+    /// The scenario named `name`, if measured.
+    pub fn scenario(&self, name: &str) -> Option<&BackendScenarioResult> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// True when every backend's agreement pass ran and agreed — the CI
+    /// gate behind `DC_BENCH_BACKENDS_ONLY=1`.
+    pub fn agreement_passes(&self) -> bool {
+        self.agreement.len() == ForestBackend::all().len()
+            && self.agreement.iter().all(|a| a.checked > 0 && a.passed)
+    }
+}
+
+/// A tiny deterministic generator for the agreement stream (the bench must
+/// not perturb the measured runs' `rand` seeding).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Drives the backend's lock-free-read and batch-engine variants against
+/// the BFS oracle on one deterministic op stream.
+fn agreement_pass(backend: ForestBackend, ops: usize, seed: u64) -> AgreementResult {
+    let n = 128usize;
+    let mut checked = 0u64;
+    let mut passed = true;
+    for variant in [
+        Variant::CoarseNonBlockingReads,
+        Variant::FlatCombiningNonBlockingReads,
+        Variant::BatchEngine,
+    ] {
+        let dc = variant.build_with(n, backend);
+        let oracle = RecomputeOracle::new(n);
+        let mut state = seed ^ (variant.paper_number() as u64);
+        for _ in 0..ops {
+            let roll = splitmix(&mut state);
+            let u = (splitmix(&mut state) % n as u64) as u32;
+            let v = (splitmix(&mut state) % n as u64) as u32;
+            match roll % 100 {
+                0..=44 => {
+                    dc.add_edge(u, v);
+                    oracle.add_edge(u, v);
+                }
+                45..=74 => {
+                    dc.remove_edge(u, v);
+                    oracle.remove_edge(u, v);
+                }
+                _ => {
+                    checked += 1;
+                    if dc.connected(u, v) != oracle.connected(u, v) {
+                        eprintln!(
+                            "agreement FAILED: {}@{} diverged at connected({u}, {v})",
+                            variant.name(),
+                            backend.label()
+                        );
+                        passed = false;
+                    }
+                }
+            }
+        }
+    }
+    AgreementResult {
+        backend: backend.label().to_string(),
+        checked,
+        passed,
+    }
+}
+
+/// Runs one single-phase workload to completion, each worker recording
+/// per-operation latency into its own histogram; returns throughput plus
+/// the merged percentiles.
+fn measure(
+    structure: &dyn DynamicConnectivity,
+    workload: &GeneratedWorkload,
+) -> (f64, LatencyHistogram) {
+    for edge in &workload.preload {
+        structure.add_edge(edge.u(), edge.v());
+    }
+    let phase = &workload.phases[0];
+    let start_flag = AtomicBool::new(false);
+    let started = Instant::now();
+    let mut merged = LatencyHistogram::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = phase
+            .per_thread
+            .iter()
+            .map(|ops| {
+                let start_flag = &start_flag;
+                scope.spawn(move || {
+                    let mut histogram = LatencyHistogram::new();
+                    while !start_flag.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                    for op in ops {
+                        let before = Instant::now();
+                        match *op {
+                            Op::Add(u, v) => structure.add_edge(u, v),
+                            Op::Remove(u, v) => structure.remove_edge(u, v),
+                            Op::Query(u, v) => {
+                                std::hint::black_box(structure.connected(u, v));
+                            }
+                        }
+                        histogram.record(before.elapsed().as_nanos() as u64);
+                    }
+                    histogram
+                })
+            })
+            .collect();
+        start_flag.store(true, Ordering::Release);
+        for handle in handles {
+            merged.merge(&handle.join().expect("backend bench worker panicked"));
+        }
+    });
+    let elapsed = started.elapsed();
+    let operations = phase.total_operations();
+    (operations as f64 / elapsed.as_secs_f64().max(1e-9), merged)
+}
+
+/// Runs one scenario over every `(backend, variant)` combination, keeping
+/// the best-throughput cell across `repeats`.
+fn run_backend_scenario(
+    name: &str,
+    topology: &Topology,
+    graph: &dc_graph::Graph,
+    workload: &GeneratedWorkload,
+    repeats: usize,
+) -> BackendScenarioResult {
+    assert_eq!(
+        workload.phases.len(),
+        1,
+        "backend scenarios are single-phase by construction"
+    );
+    let mut cells: Vec<BackendCell> = Vec::new();
+    for _ in 0..repeats.max(1) {
+        for &backend in ForestBackend::all() {
+            for variant in Variant::all_for_backend(backend) {
+                let structure = variant.build_with(graph.num_vertices(), backend);
+                let (ops_per_sec, histogram) = measure(structure.as_ref(), workload);
+                let fresh = BackendCell {
+                    backend: backend.label().to_string(),
+                    variant: variant.name().to_string(),
+                    number: variant.paper_number(),
+                    ops_per_sec,
+                    p50_ns: histogram.p50(),
+                    p99_ns: histogram.p99(),
+                    p999_ns: histogram.p999(),
+                };
+                match cells
+                    .iter_mut()
+                    .find(|c| c.backend == fresh.backend && c.number == fresh.number)
+                {
+                    Some(cell) => {
+                        if fresh.ops_per_sec > cell.ops_per_sec {
+                            *cell = fresh;
+                        }
+                    }
+                    None => cells.push(fresh),
+                }
+            }
+        }
+    }
+    BackendScenarioResult {
+        name: name.to_string(),
+        topology: topology.name(),
+        vertices: graph.num_vertices(),
+        edges: graph.num_edges(),
+        total_operations: workload.total_operations(),
+        cells,
+    }
+}
+
+/// Measures the three backend-shootout scenarios across every supported
+/// `(backend, variant)` combination, after the oracle agreement pass.
+pub fn run_backends_bench(config: &BackendsBenchConfig) -> BackendsBaseline {
+    dc_batch::register_variant();
+    let mut baseline = BackendsBaseline {
+        git_rev: crate::ettbench::git_rev(),
+        config: Some(config.clone()),
+        ..Default::default()
+    };
+
+    // --- the agreement pass gates everything below -------------------------
+    for &backend in ForestBackend::all() {
+        baseline
+            .agreement
+            .push(agreement_pass(backend, config.agreement_ops, config.seed));
+    }
+
+    // --- read-storm: the hint-protocol regime ------------------------------
+    let community_n = 256.min(config.n / 2).max(8);
+    let topo = Topology::PowerLawCommunities {
+        communities: (config.n / community_n).max(1),
+        community_n,
+        m_per_vertex: config.m_per_vertex,
+    };
+    let graph = topo.build(config.seed);
+    let workload = presets::read_storm(&graph, config.threads, config.ops_per_thread, config.seed);
+    baseline.scenarios.push(run_backend_scenario(
+        "read-storm",
+        &topo,
+        &graph,
+        &workload,
+        config.repeats,
+    ));
+
+    // --- churn: the restructuring-heavy regime -----------------------------
+    let clique_size = 8;
+    let topo = Topology::RingOfCliques {
+        cliques: (config.n / clique_size).max(2),
+        clique_size,
+        extra_bridges: config.n / 16,
+    };
+    let graph = topo.build(config.seed ^ 0xC4);
+    let workload = WorkloadSpec::new(config.threads, config.seed ^ 0xC4)
+        .preload(0.5)
+        .phase(
+            Phase::new("churn", config.ops_per_thread)
+                .mix(20, 40, 40)
+                .zipf(0.8),
+        )
+        .generate(&graph);
+    baseline.scenarios.push(run_backend_scenario(
+        "churn",
+        &topo,
+        &graph,
+        &workload,
+        config.repeats,
+    ));
+
+    // --- bulk-load: pure additions from empty ------------------------------
+    let topo = Topology::PowerLaw {
+        n: config.n,
+        m_per_vertex: config.m_per_vertex,
+    };
+    let graph = topo.build(config.seed ^ 0xB1);
+    let workload = WorkloadSpec::new(config.threads, config.seed ^ 0xB1)
+        .phase(Phase::new("bulk-load", config.ops_per_thread).mix(0, 100, 0))
+        .generate(&graph);
+    baseline.scenarios.push(run_backend_scenario(
+        "bulk-load",
+        &topo,
+        &graph,
+        &workload,
+        config.repeats,
+    ));
+
+    baseline
+}
+
+impl BackendsBaseline {
+    /// Renders the measurement as pretty JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"dc-bench/backends/v1\",\n");
+        out.push_str(&format!("  \"git_rev\": {},\n", json_string(&self.git_rev)));
+        if let Some(config) = &self.config {
+            out.push_str("  \"config\": {\n");
+            out.push_str(&format!("    \"vertices\": {},\n", config.n));
+            out.push_str(&format!("    \"m_per_vertex\": {},\n", config.m_per_vertex));
+            out.push_str(&format!(
+                "    \"ops_per_thread\": {},\n",
+                config.ops_per_thread
+            ));
+            out.push_str(&format!("    \"threads\": {},\n", config.threads));
+            out.push_str(&format!("    \"seed\": {},\n", config.seed));
+            out.push_str(&format!("    \"repeats_best_of\": {},\n", config.repeats));
+            out.push_str(&format!(
+                "    \"agreement_ops\": {}\n",
+                config.agreement_ops
+            ));
+            out.push_str("  },\n");
+        }
+        out.push_str("  \"agreement\": {");
+        for (ai, agreement) in self.agreement.iter().enumerate() {
+            if ai > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{ \"checked\": {}, \"passed\": {} }}",
+                json_string(&agreement.backend),
+                agreement.checked,
+                agreement.passed
+            ));
+        }
+        out.push_str("\n  },\n");
+        out.push_str("  \"scenarios\": {");
+        for (si, scenario) in self.scenarios.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {{\n", json_string(&scenario.name)));
+            out.push_str(&format!(
+                "      \"topology\": {},\n",
+                json_string(&scenario.topology)
+            ));
+            out.push_str(&format!("      \"vertices\": {},\n", scenario.vertices));
+            out.push_str(&format!("      \"edges\": {},\n", scenario.edges));
+            out.push_str(&format!(
+                "      \"total_operations\": {},\n",
+                scenario.total_operations
+            ));
+            out.push_str("      \"backends\": {");
+            let mut first_backend = true;
+            for &backend in ForestBackend::all() {
+                let cells = scenario.backend_cells(backend.label());
+                if !first_backend {
+                    out.push(',');
+                }
+                first_backend = false;
+                out.push_str(&format!("\n        \"{}\": {{", backend.label()));
+                for (ci, cell) in cells.iter().enumerate() {
+                    if ci > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "\n          {}: {{ \"number\": {}, \"ops_per_sec\": {}, \
+                         \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {} }}",
+                        json_string(&cell.variant),
+                        cell.number,
+                        json_number(cell.ops_per_sec),
+                        cell.p50_ns,
+                        cell.p99_ns,
+                        cell.p999_ns
+                    ));
+                }
+                out.push_str("\n        }");
+            }
+            out.push_str("\n      }\n    }");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Renders aligned text tables, one per scenario.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let threads = self.config.as_ref().map(|c| c.threads).unwrap_or(0);
+        out.push_str(&format!(
+            "== Backend shootout ({} threads, rev {}) ==\n",
+            threads, self.git_rev
+        ));
+        for agreement in &self.agreement {
+            out.push_str(&format!(
+                "agreement[{}]: {} checks, {}\n",
+                agreement.backend,
+                agreement.checked,
+                if agreement.passed { "passed" } else { "FAILED" }
+            ));
+        }
+        for scenario in &self.scenarios {
+            out.push_str(&format!(
+                "\n-- {} on {} (|V|={}, |E|={}, {} ops) --\n",
+                scenario.name,
+                scenario.topology,
+                scenario.vertices,
+                scenario.edges,
+                scenario.total_operations
+            ));
+            out.push_str(&format!(
+                "{:<6}{:<44}{:>13}{:>10}{:>10}{:>10}\n",
+                "back", "variant", "ops/s", "p50 ns", "p99 ns", "p999 ns"
+            ));
+            for cell in &scenario.cells {
+                out.push_str(&format!(
+                    "{:<6}{:<44}{:>13.0}{:>10}{:>10}{:>10}\n",
+                    cell.backend,
+                    cell.variant,
+                    cell.ops_per_sec,
+                    cell.p50_ns,
+                    cell.p99_ns,
+                    cell.p999_ns
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backends_bench_runs_on_a_tiny_instance() {
+        let config = BackendsBenchConfig {
+            n: 96,
+            m_per_vertex: 4,
+            ops_per_thread: 300,
+            threads: 2,
+            seed: 7,
+            repeats: 1,
+            agreement_ops: 400,
+        };
+        let baseline = run_backends_bench(&config);
+        assert!(baseline.agreement_passes(), "{:?}", baseline.agreement);
+        let names: Vec<&str> = baseline.scenarios.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["read-storm", "churn", "bulk-load"]);
+        for scenario in &baseline.scenarios {
+            let ett = scenario.backend_cells("ett");
+            let lct = scenario.backend_cells("lct");
+            assert_eq!(ett.len(), 14, "{}: ETT runs every variant", scenario.name);
+            assert_eq!(
+                lct.len(),
+                Variant::all_for_backend(ForestBackend::Lct).len(),
+                "{}: LCT runs its supported subset",
+                scenario.name
+            );
+            for cell in &scenario.cells {
+                assert!(cell.ops_per_sec > 0.0, "{}@{}", cell.variant, cell.backend);
+                assert!(
+                    cell.p50_ns <= cell.p99_ns,
+                    "{}@{}",
+                    cell.variant,
+                    cell.backend
+                );
+                assert!(
+                    cell.p99_ns <= cell.p999_ns,
+                    "{}@{}",
+                    cell.variant,
+                    cell.backend
+                );
+            }
+        }
+        let json = baseline.to_json();
+        assert!(json.contains("dc-bench/backends/v1"));
+        assert!(json.contains("\"agreement\""));
+        assert!(json.contains("\"lct\""));
+        assert!(json.contains("p999_ns"));
+        assert!(baseline.render_text().contains("agreement[lct]"));
+    }
+}

@@ -9,10 +9,10 @@
 
 use dc_bench::runner::run_adjacency_baseline;
 use dc_bench::{
-    run_batch_bench, run_durability_bench, run_ett_bench, run_latency_bench, run_obs_bench,
-    run_read_bench, run_throughput, run_workload_bench, BatchBenchConfig, BenchConfig,
-    DurabilityBenchConfig, EttBenchConfig, LatencyBenchConfig, ObsBenchConfig, ReadBenchConfig,
-    Scenario, Workload, WorkloadBenchConfig,
+    run_backends_bench, run_batch_bench, run_durability_bench, run_ett_bench, run_latency_bench,
+    run_obs_bench, run_read_bench, run_throughput, run_workload_bench, BackendsBenchConfig,
+    BatchBenchConfig, BenchConfig, DurabilityBenchConfig, EttBenchConfig, LatencyBenchConfig,
+    ObsBenchConfig, ReadBenchConfig, Scenario, Workload, WorkloadBenchConfig,
 };
 use dc_graph::GraphSpec;
 use dynconn::Variant;
@@ -75,6 +75,13 @@ fn main() {
         emit_obs_baseline();
         return;
     }
+    if std::env::var("DC_BENCH_BACKENDS_ONLY")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        emit_backends_baseline();
+        return;
+    }
     let threads = *config.thread_counts.last().unwrap_or(&1);
     let catalog = config.catalog();
     for read_percent in [80u32, 99u32] {
@@ -122,6 +129,47 @@ fn main() {
     emit_durability_baseline();
     emit_latency_baseline();
     emit_obs_baseline();
+    emit_backends_baseline();
+}
+
+/// Measures the backend-shootout tier (every supported `(forest backend,
+/// variant)` combination under read-storm, churn and bulk-load), writes
+/// `BENCH_backends.json` and gates on the oracle agreement pass: a backend
+/// whose lock-free-read or batch-engine variant diverges from the BFS
+/// oracle fails the run outright.
+fn emit_backends_baseline() {
+    let config = BackendsBenchConfig::from_env();
+    let baseline = run_backends_bench(&config);
+    print!("{}", baseline.render_text());
+    let path = "BENCH_backends.json";
+    match std::fs::write(path, baseline.to_json()) {
+        Ok(()) => println!("backends baseline written to {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    if baseline.agreement_passes() {
+        for agreement in &baseline.agreement {
+            println!(
+                "gate: backend {} agreed with the oracle on {} checks",
+                agreement.backend, agreement.checked
+            );
+        }
+    } else {
+        for agreement in &baseline.agreement {
+            if agreement.checked == 0 || !agreement.passed {
+                eprintln!(
+                    "gate FAILED: backend {} agreement pass {} ({} checks)",
+                    agreement.backend,
+                    if agreement.passed {
+                        "ran dry"
+                    } else {
+                        "diverged"
+                    },
+                    agreement.checked
+                );
+            }
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Measures the observability tier (the read-storm workload with `dc_obs`

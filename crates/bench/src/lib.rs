@@ -23,6 +23,10 @@
 //!   (p50/p90/p99/p999) of the scalar vs interleaved bulk-read engines on
 //!   streamed 10M+-vertex graphs, emitted as `BENCH_latency.json`
 //!   ([`latencybench`]);
+//! * the backend-shootout tier — every `(forest backend, variant)`
+//!   combination the registry supports under read-storm, churn and
+//!   bulk-load, with per-operation p50/p99/p999 and an oracle agreement
+//!   gate, emitted as `BENCH_backends.json` ([`backendsbench`]);
 //! * the observability tier — the read-storm workload measured with
 //!   `dc_obs` disabled, metrics-only and metrics+tracing against an
 //!   untouched baseline, gating the disabled overhead, emitted as
@@ -38,9 +42,10 @@
 //!
 //! The machine-readable artifacts (`BENCH_adjacency.json`, `BENCH_ett.json`,
 //! `BENCH_batch.json`, `BENCH_workloads.json`, `BENCH_reads.json`,
-//! `BENCH_durability.json`, `BENCH_latency.json`, `BENCH_obs.json`) are
-//! documented in `docs/bench-schema.md`.
+//! `BENCH_durability.json`, `BENCH_latency.json`, `BENCH_obs.json`,
+//! `BENCH_backends.json`) are documented in `docs/bench-schema.md`.
 
+pub mod backendsbench;
 pub mod batchbench;
 pub mod config;
 pub mod durabilitybench;
@@ -55,6 +60,7 @@ pub mod stats;
 pub mod throughput;
 pub mod workloadbench;
 
+pub use backendsbench::{run_backends_bench, BackendsBaseline, BackendsBenchConfig};
 pub use batchbench::{run_batch_bench, BatchBaseline, BatchBenchConfig};
 pub use config::BenchConfig;
 pub use durabilitybench::{run_durability_bench, DurabilityBaseline, DurabilityBenchConfig};

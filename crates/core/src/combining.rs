@@ -11,6 +11,7 @@
 
 use crate::api::DynamicConnectivity;
 use crate::hdt::Hdt;
+use dc_ett::{DynamicForest, EulerForest};
 use dc_sync::{CombiningExecutor, CombiningMode, CombiningTarget};
 use std::sync::Arc;
 
@@ -35,11 +36,11 @@ pub enum CombinedRes {
 }
 
 /// The sequential structure driven by the combining executor.
-pub struct HdtTarget {
-    hdt: Arc<Hdt>,
+pub struct HdtTarget<F: DynamicForest = EulerForest> {
+    hdt: Arc<Hdt<F>>,
 }
 
-impl CombiningTarget for HdtTarget {
+impl<F: DynamicForest> CombiningTarget for HdtTarget<F> {
     type Op = CombinedOp;
     type Res = CombinedRes;
 
@@ -70,20 +71,27 @@ impl CombiningTarget for HdtTarget {
 }
 
 /// Variants 12 and 13 of the evaluation.
-pub struct CombiningVariant {
-    hdt: Arc<Hdt>,
-    executor: CombiningExecutor<HdtTarget>,
+pub struct CombiningVariant<F: DynamicForest = EulerForest> {
+    hdt: Arc<Hdt<F>>,
+    executor: CombiningExecutor<HdtTarget<F>>,
     lock_free_reads: bool,
 }
 
 impl CombiningVariant {
-    /// Creates the variant over `n` vertices.
+    /// Creates the variant over `n` vertices on the default (ETT) backend.
     ///
     /// `lock_free_reads` selects variant 13's behaviour (queries bypass the
-    /// combiner and use the concurrent ETT); otherwise queries are combined
-    /// like every other operation (variant 12).
+    /// combiner and use the concurrent forest); otherwise queries are
+    /// combined like every other operation (variant 12).
     pub fn new(n: usize, mode: CombiningMode, lock_free_reads: bool) -> Self {
-        let hdt = Arc::new(Hdt::new(n));
+        CombiningVariant::new_on(n, mode, lock_free_reads)
+    }
+}
+
+impl<F: DynamicForest> CombiningVariant<F> {
+    /// Creates the variant over `n` vertices on backend `F`.
+    pub fn new_on(n: usize, mode: CombiningMode, lock_free_reads: bool) -> Self {
+        let hdt = Arc::new(Hdt::new_on(n));
         let target = HdtTarget {
             hdt: Arc::clone(&hdt),
         };
@@ -95,12 +103,12 @@ impl CombiningVariant {
     }
 
     /// Access to the underlying structure (tests and statistics).
-    pub fn hdt(&self) -> &Hdt {
+    pub fn hdt(&self) -> &Hdt<F> {
         &self.hdt
     }
 }
 
-impl DynamicConnectivity for CombiningVariant {
+impl<F: DynamicForest> DynamicConnectivity for CombiningVariant<F> {
     fn add_edge(&self, u: u32, v: u32) {
         if u == v {
             return;

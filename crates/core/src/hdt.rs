@@ -57,7 +57,7 @@
 //!   publications).
 
 use crate::state::{EdgeState, RemovalOp, Status};
-use dc_ett::{EulerForest, Mark, NodeRef};
+use dc_ett::{DynamicForest, EulerForest, Mark, NodeRef};
 use dc_graph::Edge;
 use dc_sync::{AdjacencyStore, ShardedMap};
 use std::ops::ControlFlow;
@@ -68,15 +68,6 @@ use std::sync::{Arc, OnceLock};
 /// promoting non-replacement edges to the next level (the sampling heuristic
 /// of Iyer et al. that the paper enables for every algorithm).
 pub const DEFAULT_SAMPLING_LIMIT: usize = 16;
-
-thread_local! {
-    /// Reusable frame stack for the iterative subtree walks
-    /// ([`Hdt::promote_spanning_edges`], [`Hdt::scan_for_replacement`]):
-    /// the replacement search runs once per level per spanning-edge removal
-    /// and must not pay a heap allocation per walk.
-    static WALK_STACK: std::cell::Cell<Vec<(NodeRef, bool)>> =
-        const { std::cell::Cell::new(Vec::new()) };
-}
 
 /// Operation counters backing the Table 3 / Table 4 statistics.
 #[derive(Debug, Default)]
@@ -145,21 +136,28 @@ impl StatsSnapshot {
     }
 }
 
-/// Handle to the component locks acquired by [`Hdt::lock_components`].
+/// Handle to the component locks acquired by [`Hdt::lock_components`],
+/// generic over the backend's representative handle (`R = F::Root`).
 #[derive(Debug, Clone, Copy)]
-pub struct LockedComponents {
-    roots: [NodeRef; 2],
+pub struct LockedComponents<R = NodeRef> {
+    roots: [R; 2],
     count: usize,
     shared: bool,
 }
 
 /// The HDT dynamic connectivity core; see the module documentation.
-pub struct Hdt {
+///
+/// Generic over the per-level spanning-forest backend: any
+/// [`DynamicForest`] works (the treap-ETT [`EulerForest`] is the default;
+/// `dc_ett::LctForest` is the link-cut-tree alternative). The backend choice
+/// constrains which *variants* may drive the structure — see
+/// `Variant::supports_backend` and `DESIGN.md` §12.
+pub struct Hdt<F: DynamicForest = EulerForest> {
     n: usize,
     /// Per-level spanning forests. Level 0 is materialized at construction
     /// (it answers every query); levels `>= 1` are only built when the first
     /// promotion reaches them, so `Hdt::new` is O(n) instead of O(n log n).
-    levels: Vec<OnceLock<EulerForest>>,
+    levels: Vec<OnceLock<F>>,
     /// Adjacent non-spanning edges, slot `(level, vertex)`.
     nontree_adj: AdjacencyStore<Edge>,
     /// Adjacent spanning edges of exactly `level`, slot `(level, vertex)`.
@@ -168,29 +166,47 @@ pub struct Hdt {
     pub(crate) states: ShardedMap<Edge, EdgeState>,
     /// In-flight spanning-edge removals, keyed by the component's level-0
     /// root (the representative concurrent readers observe).
-    pub(crate) removal_ops: ShardedMap<NodeRef, Arc<RemovalOp>>,
+    pub(crate) removal_ops: ShardedMap<F::Root, Arc<RemovalOp>>,
     sampling_limit: usize,
     stats: OpStats,
 }
 
 impl Hdt {
-    /// Creates an empty structure over `n` vertices.
+    /// Creates an empty structure over `n` vertices on the default
+    /// (Euler-tour-tree) backend.
     pub fn new(n: usize) -> Self {
         Self::with_sampling(n, DEFAULT_SAMPLING_LIMIT)
     }
 
     /// Creates an empty structure with an explicit sampling budget for the
-    /// replacement search (0 disables the heuristic).
+    /// replacement search (0 disables the heuristic), on the default
+    /// backend.
     pub fn with_sampling(n: usize, sampling_limit: usize) -> Self {
+        Hdt::with_sampling_on(n, sampling_limit)
+    }
+}
+
+impl<F: DynamicForest> Hdt<F> {
+    /// Creates an empty structure over `n` vertices on backend `F`.
+    pub fn new_on(n: usize) -> Self {
+        Self::with_sampling_on(n, DEFAULT_SAMPLING_LIMIT)
+    }
+
+    /// Creates an empty structure on backend `F` with an explicit sampling
+    /// budget for the replacement search (0 disables the heuristic).
+    pub fn with_sampling_on(n: usize, sampling_limit: usize) -> Self {
         assert!(n >= 1, "the structure needs at least one vertex");
         let lmax = (n.max(2) as f64).log2().floor() as usize;
         let num_levels = lmax + 2; // levels 0..=lmax plus one spill level
-        let levels: Vec<OnceLock<EulerForest>> = (0..num_levels).map(|_| OnceLock::new()).collect();
+        let levels: Vec<OnceLock<F>> = (0..num_levels).map(|_| OnceLock::new()).collect();
         // Queries read the level-0 forest with no synchronization, so it is
         // the one level built eagerly.
-        levels[0]
-            .set(EulerForest::with_seed(n, Self::forest_seed(0)))
-            .unwrap_or_else(|_| unreachable!("level 0 initialized twice"));
+        if levels[0]
+            .set(F::with_seed(n, Self::forest_seed(0)))
+            .is_err()
+        {
+            unreachable!("level 0 initialized twice");
+        }
         Hdt {
             n,
             levels,
@@ -220,8 +236,8 @@ impl Hdt {
 
     /// The level-`i` spanning forest (the level-0 forest is the one queries
     /// read). Forests above level 0 materialize on first access.
-    pub fn forest(&self, level: usize) -> &EulerForest {
-        self.levels[level].get_or_init(|| EulerForest::with_seed(self.n, Self::forest_seed(level)))
+    pub fn forest(&self, level: usize) -> &F {
+        self.levels[level].get_or_init(|| F::with_seed(self.n, Self::forest_seed(level)))
     }
 
     /// Number of level forests that have been materialized so far.
@@ -327,25 +343,25 @@ impl Hdt {
 
     // ----- per-component locking (paper Listing 2) ---------------------------
 
-    fn lock_components_inner(&self, u: u32, v: u32, shared: bool) -> LockedComponents {
+    fn lock_components_inner(&self, u: u32, v: u32, shared: bool) -> LockedComponents<F::Root> {
         let forest = self.forest(0);
         loop {
             let u_root = forest.find_root_node(u);
             let v_root = forest.find_root_node(v);
             // Always acquire in the same global order to avoid deadlock.
-            let (first, second) = if u_root.0 <= v_root.0 {
+            let (first, second) = if u_root <= v_root {
                 (u_root, v_root)
             } else {
                 (v_root, u_root)
             };
-            let lock = |r: NodeRef| {
+            let lock = |r: F::Root| {
                 if shared {
                     forest.root_lock(r).read_lock()
                 } else {
                     forest.root_lock(r).lock()
                 }
             };
-            let unlock = |r: NodeRef| {
+            let unlock = |r: F::Root| {
                 if shared {
                     forest.root_lock(r).read_unlock()
                 } else {
@@ -357,8 +373,7 @@ impl Hdt {
                 lock(second);
             }
             // Re-check that we locked the current representatives.
-            let still_roots =
-                forest.node(u_root).parent().is_none() && forest.node(v_root).parent().is_none();
+            let still_roots = forest.is_current_root(u_root) && forest.is_current_root(v_root);
             let still_current =
                 forest.find_root_node(u) == u_root && forest.find_root_node(v) == v_root;
             if still_roots && still_current {
@@ -379,19 +394,19 @@ impl Hdt {
     /// Acquires the per-component locks for the components of `u` and `v`
     /// (one lock if they are in the same component), following the retry
     /// protocol of paper Listing 2.
-    pub fn lock_components(&self, u: u32, v: u32) -> LockedComponents {
+    pub fn lock_components(&self, u: u32, v: u32) -> LockedComponents<F::Root> {
         self.lock_components_inner(u, v, false)
     }
 
     /// Shared-mode variant used by the fine-grained readers-writer algorithm
     /// for queries.
-    pub fn lock_components_shared(&self, u: u32, v: u32) -> LockedComponents {
+    pub fn lock_components_shared(&self, u: u32, v: u32) -> LockedComponents<F::Root> {
         self.lock_components_inner(u, v, true)
     }
 
     /// Releases locks acquired by [`Hdt::lock_components`] /
     /// [`Hdt::lock_components_shared`].
-    pub fn unlock_components(&self, locked: LockedComponents) {
+    pub fn unlock_components(&self, locked: LockedComponents<F::Root>) {
         let forest = self.forest(0);
         for i in 0..locked.count {
             let lock = forest.root_lock(locked.roots[i]);
@@ -477,17 +492,17 @@ impl Hdt {
 
     /// Publishes a removal marker for the component whose level-0 root is
     /// `root` (used by the lock-free protocol's conflict handshake).
-    pub(crate) fn publish_removal(&self, root: NodeRef, op: Arc<RemovalOp>) {
+    pub(crate) fn publish_removal(&self, root: F::Root, op: Arc<RemovalOp>) {
         self.removal_ops.insert(root, op);
     }
 
     /// Removes a previously published removal marker.
-    pub(crate) fn unpublish_removal(&self, root: NodeRef) {
+    pub(crate) fn unpublish_removal(&self, root: F::Root) {
         self.removal_ops.remove(&root);
     }
 
     /// Returns the removal marker currently published for `root`, if any.
-    pub(crate) fn published_removal(&self, root: NodeRef) -> Option<Arc<RemovalOp>> {
+    pub(crate) fn published_removal(&self, root: F::Root) -> Option<Arc<RemovalOp>> {
         self.removal_ops.get(&root)
     }
 
@@ -637,7 +652,7 @@ impl Hdt {
             let Some(forest) = self.levels[lvl].get() else {
                 continue;
             };
-            forest.for_each_tree_edge(|u, v| {
+            forest.for_each_tree_edge(&mut |u, v| {
                 let edge = Edge::new(u, v);
                 if seen.insert(edge) {
                     let state = self.states.get(&edge);
@@ -882,151 +897,88 @@ impl Hdt {
         self.unpublish_removal(component_root);
     }
 
-    /// Takes the calling thread's reusable tree-walk stack (the replacement
-    /// search is a hot path and must not allocate per scan; the walks never
-    /// nest, so one scratch buffer per thread suffices — debug-asserted by
-    /// the take/put discipline).
-    fn take_walk_stack() -> Vec<(NodeRef, bool)> {
-        WALK_STACK.with(|s| {
-            let mut stack = s.take();
-            debug_assert!(stack.is_empty(), "nested HDT tree walks");
-            stack.clear();
-            stack
-        })
-    }
-
-    fn put_walk_stack(mut stack: Vec<(NodeRef, bool)>) {
-        stack.clear();
-        WALK_STACK.with(|s| s.set(stack));
-    }
-
-    /// Promotes every spanning edge of exactly `level` inside the subtree of
-    /// `node` (in the level-`level` forest) to `level + 1`, guided by the
-    /// spanning subtree flags. Iterative (explicit two-phase stack) so deep
-    /// tours cannot overflow the call stack: a frame re-enters once with
-    /// `children_done` to recalculate its aggregate mark after both
-    /// subtrees were drained.
-    fn promote_spanning_edges(&self, level: usize, node: NodeRef) {
+    /// Promotes every spanning edge of exactly `level` inside the tree of
+    /// `root` (in the level-`level` forest) to `level + 1`, guided by the
+    /// backend's mark-filtered walk (the ETT prunes whole subtrees through
+    /// its aggregate flags and repairs them post-order; the LCT enumerates
+    /// the piece — see `DESIGN.md` §12 for the tradeoff).
+    fn promote_spanning_edges(&self, level: usize, root: F::Root) {
         let forest = self.forest(level);
-        let mut stack = Self::take_walk_stack();
-        stack.push((node, false));
-        while let Some((r, children_done)) = stack.pop() {
-            if children_done {
-                forest.recalculate_mark(r, Mark::Spanning);
-                continue;
+        forest.visit_marked_vertices(root, Mark::Spanning, &mut |vertex| {
+            self.promote_vertex_spanning_edges(level, vertex);
+            ControlFlow::Continue(())
+        });
+    }
+
+    /// The per-vertex payload of [`Hdt::promote_spanning_edges`]: drains the
+    /// exact-level spanning adjacency slot of `vertex`, promoting each edge
+    /// one level up. Harmless on vertices with an empty slot.
+    fn promote_vertex_spanning_edges(&self, level: usize, vertex: u32) {
+        let forest = self.forest(level);
+        let mut promoted = 0u64;
+        // Promotion is a drain: every copy in this slot either moves up
+        // one level or is a stale duplicate to discard, so `pop` removes
+        // entries one at a time with no snapshot allocation.
+        while let Some(edge) = self.tree_adj.pop(level, vertex) {
+            // The edge may have been promoted already through its other
+            // endpoint; the state map is the source of truth (a stale
+            // copy is simply dropped — `pop` already removed it).
+            let state = match self.states.get(&edge) {
+                Some(st) if st.status == Status::Spanning && st.level as usize == level => st,
+                _ => continue,
+            };
+            let next_level = level + 1;
+            assert!(
+                next_level < self.levels.len(),
+                "level structure overflow: component-size invariant violated"
+            );
+            let (eu, ev) = edge.endpoints();
+            // Move the exact-level adjacency up one level (our own copy
+            // is already popped; this clears the other endpoint's copy
+            // and lowers emptied self marks).
+            self.remove_tree_adj(level, edge);
+            self.forest(next_level).link(eu, ev);
+            let upper = self.forest(next_level);
+            for x in [eu, ev] {
+                self.tree_adj.add(next_level, x, edge);
+                upper.mark_path_upward(x, Mark::Spanning);
             }
-            if !forest.subtree_has_mark(r, Mark::Spanning) {
-                continue;
-            }
-            self.promote_vertex_spanning_edges(level, r);
-            let n = forest.node(r);
-            stack.push((r, true));
-            for child in [n.left(), n.right()] {
-                if child.is_some() {
-                    stack.push((child, false));
-                }
-            }
+            self.states
+                .insert(edge, state.with(Status::Spanning, next_level as u8));
+            promoted += 1;
         }
-        Self::put_walk_stack(stack);
-    }
-
-    /// The per-node payload of [`Hdt::promote_spanning_edges`]: drains the
-    /// exact-level spanning adjacency slot of `node`'s vertex (if it is a
-    /// vertex node), promoting each edge one level up.
-    fn promote_vertex_spanning_edges(&self, level: usize, node: NodeRef) {
-        let forest = self.forest(level);
-        let n = forest.node(node);
-        if let Some(vertex) = n.vertex() {
-            let mut promoted = 0u64;
-            // Promotion is a drain: every copy in this slot either moves up
-            // one level or is a stale duplicate to discard, so `pop` removes
-            // entries one at a time with no snapshot allocation.
-            while let Some(edge) = self.tree_adj.pop(level, vertex) {
-                // The edge may have been promoted already through its other
-                // endpoint; the state map is the source of truth (a stale
-                // copy is simply dropped — `pop` already removed it).
-                let state = match self.states.get(&edge) {
-                    Some(st) if st.status == Status::Spanning && st.level as usize == level => st,
-                    _ => continue,
-                };
-                let next_level = level + 1;
-                assert!(
-                    next_level < self.levels.len(),
-                    "level structure overflow: component-size invariant violated"
-                );
-                let (eu, ev) = edge.endpoints();
-                // Move the exact-level adjacency up one level (our own copy
-                // is already popped; this clears the other endpoint's copy
-                // and lowers emptied self marks).
-                self.remove_tree_adj(level, edge);
-                self.forest(next_level).link(eu, ev);
-                let upper = self.forest(next_level);
-                for x in [eu, ev] {
-                    self.tree_adj.add(next_level, x, edge);
-                    upper.mark_path_upward(x, Mark::Spanning);
-                }
-                self.states
-                    .insert(edge, state.with(Status::Spanning, next_level as u8));
-                promoted += 1;
-            }
-            if promoted > 0 {
-                dc_obs::event(dc_obs::EventKind::LevelPromotion, promoted, level as u64);
-            }
-            if self.tree_adj.is_empty(level, vertex) {
-                forest.set_vertex_self_mark(vertex, Mark::Spanning, false);
-            }
+        if promoted > 0 {
+            dc_obs::event(dc_obs::EventKind::LevelPromotion, promoted, level as u64);
+        }
+        if self.tree_adj.is_empty(level, vertex) {
+            forest.set_vertex_self_mark(vertex, Mark::Spanning, false);
         }
     }
 
-    /// Scans the non-spanning edges of exactly `level` adjacent to the
-    /// subtree of `node`, promoting non-replacement edges (after the sampling
-    /// budget is exhausted) and returning the first replacement found.
+    /// Scans the non-spanning edges of exactly `level` adjacent to the tree
+    /// of `root`, promoting non-replacement edges (after the sampling budget
+    /// is exhausted) and returning the first replacement found.
     ///
     /// When a replacement is found its state has already been advanced to
-    /// `Spanning(level)`; the caller links it into the forests.
-    /// Iterative pre-order scan with post-order mark repair (explicit
-    /// two-phase stack, same rationale as [`Hdt::promote_spanning_edges`]):
-    /// a found replacement aborts the whole walk — exactly like the
-    /// recursion, pending ancestors must *not* recalculate their marks,
-    /// since the subtree was not fully drained.
+    /// `Spanning(level)`; the caller links it into the forests. The break
+    /// aborts the backend's walk — pending aggregate repairs are skipped,
+    /// which is the conservative direction (see the trait contract).
     fn scan_for_replacement(
         &self,
         level: usize,
-        node: NodeRef,
+        root: F::Root,
         sampling_budget: &mut usize,
     ) -> Option<Edge> {
         let forest = self.forest(level);
-        let mut stack = Self::take_walk_stack();
-        stack.push((node, false));
         let mut found = None;
-        while let Some((r, children_done)) = stack.pop() {
-            if children_done {
-                forest.recalculate_mark(r, Mark::NonSpanning);
-                continue;
+        forest.visit_marked_vertices(root, Mark::NonSpanning, &mut |vertex| {
+            found = self.scan_vertex(level, vertex, sampling_budget);
+            if found.is_some() {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
             }
-            if !forest.subtree_has_mark(r, Mark::NonSpanning) {
-                continue;
-            }
-            let n = forest.node(r);
-            if let Some(vertex) = n.vertex() {
-                found = self.scan_vertex(level, vertex, sampling_budget);
-                if found.is_some() {
-                    // Abort the walk: pending ancestors must not recalculate
-                    // their marks — their subtrees were not fully drained.
-                    break;
-                }
-            }
-            // Re-enter after the children; scan the left subtree first.
-            stack.push((r, true));
-            let (left, right) = (n.left(), n.right());
-            if right.is_some() {
-                stack.push((right, false));
-            }
-            if left.is_some() {
-                stack.push((left, false));
-            }
-        }
-        Self::put_walk_stack(stack);
+        });
         found
     }
 

@@ -1,0 +1,1303 @@
+//! A concurrent-hardened link-cut tree (Sleator–Tarjan ST-tree) backend for
+//! the [`crate::DynamicForest`] contract.
+//!
+//! # Structure
+//!
+//! The classic splay-path LCT: each represented tree is partitioned into
+//! preferred paths, each path stored in a splay tree keyed by depth; splay
+//! trees hang off each other through *path-parent* pointers, and subtrees
+//! demoted off a preferred path become *virtual* children (their sizes are
+//! folded into `vsize` so `size` counts whole represented pieces). All nodes
+//! are per-vertex and permanent — a forest of `n` vertices is exactly `n`
+//! nodes forever, so there is nothing to reclaim and
+//! [`LctForest::node_occupancy`] is constant.
+//!
+//! # The reader protocol
+//!
+//! Readers run the exact Listing-1 protocol of the ETT (`DESIGN.md` §8),
+//! unchanged: climb to a sink, read its version word (Acquire), double-walk
+//! to validate, with the version-validated root-hint cache
+//! ([`crate::HintCache`]) short-circuiting hot endpoints. The *only*
+//! reader-visible field of a node is its packed `up` word:
+//!
+//! ```text
+//!   bit 31:     kind — 0 = splay parent, 1 = path parent
+//!   bits 30..0: parent vertex id
+//!   u32::MAX:   none (this node is its component's reader-visible sink)
+//! ```
+//!
+//! Readers mask bit 31 and keep climbing — a component's *representative is
+//! its apex vertex* (the root of the topmost splay tree), which is always a
+//! vertex, making the per-vertex version/lock/hint side tables total. Child
+//! pointers, sizes and lazy-reversal flags are writer-only (Relaxed).
+//!
+//! # Concurrent hardening: the no-two-sinks store order
+//!
+//! The single safety invariant readers need is **at every instant, each
+//! component has exactly one reader-visible sink, and every `up` chain ends
+//! at it** — transient *cycles* (readers spin a bounded moment) are
+//! acceptable, transient *extra sinks* (readers observe a torn component and
+//! answer `false` non-linearizably) are not. Every rotation therefore
+//! stores in the order: transferred child first, then `p.up := x` (this may
+//! form a bounded 2-cycle if `p` was the apex), then `x.up := p`'s old word
+//! *verbatim* — the rising node inherits the deposed node's word, whatever
+//! it was. The reverse order would expose two sinks and is the one fatal
+//! bug class of this file.
+//!
+//! # The generalized two-rule bump discipline
+//!
+//! The ETT proves (DESIGN.md §8) that writers must (1) bump the component
+//! representative's version before the first reader-visible store and (2)
+//! re-bump every representative that stops representing part of its old
+//! component, after the deposing store. In an LCT the apex moves on *every*
+//! `access`, so rule 2 generalizes: **every rotation that deposes the
+//! current apex bumps the deposed vertex immediately after the deposing
+//! store** (and transfers the writer-side `F_SINK` marker). A hint claim
+//! installed on a transient apex is true at its instant and is killed by
+//! that apex's deposing bump. This is the LCT's structural cost: O(log n)
+//! bumps per operation against the ETT's O(1), which shows up as extra hint
+//! invalidation under churn (measured in `BENCH_backends.json`).
+//!
+//! # Prepared-cut windows
+//!
+//! `prepare_cut(u, v)` everts `u` and accesses `v`, leaving the preferred
+//! path exactly `[u, v]`; severing `v`'s left child physically splits the
+//! pieces while `u` *keeps its stale `up` word into the retained piece* —
+//! readers still observe one component. `u` is marked `F_SINK` so writer
+//! climbs see two pieces. Verbatim word inheritance through rotations means
+//! the stale word (and the flag) migrate correctly to whatever becomes the
+//! detached piece's apex if the window's pieces are restructured — which
+//! happens on the replacement-found path, where [`LctForest::link`] is
+//! called *across the window*. Its epilogue unconditionally clears the
+//! merged apex's `up` word: if the surviving apex came from the detached
+//! piece it still wears the stale word, which after the attach store would
+//! form a reader cycle *with no sink* — the clear (attach first, then
+//! clear, never the reverse) closes the window with at most a bounded
+//! transient cycle.
+//!
+//! # Marks
+//!
+//! The LCT keeps **no aggregate mark summaries** — splay-tree subtrees do
+//! not correspond to represented subtrees, so the ETT's aggregate pruning
+//! has no cheap analogue here. Self marks are per-vertex flag bits, and
+//! [`DynamicForest::visit_marked_vertices`] walks the piece through a
+//! spanning-tree adjacency table ([`dc_sync::AdjacencyStore`]) maintained
+//! by `link`/`prepare_cut`, filtering on self marks. Honest tradeoff: the
+//! ETT prunes unmarked subtrees in O(1), the LCT enumerates the whole
+//! piece — another measured backend difference, not a hidden one.
+
+use crate::hints::HintCache;
+use crate::node::Mark;
+use crate::traits::DynamicForest;
+use dc_sync::{AdjacencyStore, EpochDomain, EpochGuard, RawRwLock};
+use std::cell::Cell;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// "No parent": this vertex is its component's reader-visible sink.
+const UP_NONE: u32 = u32::MAX;
+
+/// Kind bit of the packed `up` word: set = path parent, clear = splay
+/// parent. Readers mask it; only writers care.
+const UP_PATH: u32 = 1 << 31;
+
+/// "No child" sentinel for the writer-only child pointers.
+const NONE: u32 = u32::MAX;
+
+// Writer-only flag bits (all accesses are RMW: the lock-free mark bits
+// share the byte with the writer's flip/sink bits, so plain stores would
+// lose concurrent updates).
+const F_FLIP: u8 = 1 << 0;
+const F_SINK: u8 = 1 << 1;
+const F_SELF_NONSPANNING: u8 = 1 << 2;
+const F_SELF_SPANNING: u8 = 1 << 3;
+
+fn self_mark_bit(mark: Mark) -> u8 {
+    match mark {
+        Mark::NonSpanning => F_SELF_NONSPANNING,
+        Mark::Spanning => F_SELF_SPANNING,
+    }
+}
+
+/// One per-vertex, permanent LCT node (24 bytes).
+struct LctNode {
+    /// The packed parent word — the **only** reader-visible field.
+    up: AtomicU32,
+    /// Splay-tree children (writer-only).
+    left: AtomicU32,
+    right: AtomicU32,
+    /// 1 + splay-subtree sizes + `vsize` — because virtual subtrees are
+    /// counted, the apex's `size` is its whole piece's vertex count.
+    size: AtomicU32,
+    /// Total vertices in this node's virtual (demoted) subtrees.
+    vsize: AtomicU32,
+    /// Flag byte: `F_FLIP` | `F_SINK` | self marks.
+    flags: AtomicU8,
+}
+
+impl LctNode {
+    fn new() -> Self {
+        LctNode {
+            up: AtomicU32::new(UP_NONE),
+            left: AtomicU32::new(NONE),
+            right: AtomicU32::new(NONE),
+            size: AtomicU32::new(1),
+            vsize: AtomicU32::new(0),
+            flags: AtomicU8::new(F_SINK),
+        }
+    }
+}
+
+/// A prepared (physically split, logically intact) cut; see
+/// [`LctForest::prepare_cut`].
+pub struct PreparedLctCut {
+    /// Apex of the piece that keeps the (reader-visible) old representative.
+    pub retained_root: u32,
+    /// Apex of the piece that will become a new component on commit.
+    pub detached_root: u32,
+    /// Vertex count of the retained piece.
+    pub retained_size: u32,
+    /// Vertex count of the detached piece.
+    pub detached_size: u32,
+}
+
+impl PreparedLctCut {
+    /// The smaller piece's apex and size (ties go to the detached piece).
+    pub fn smaller_piece(&self) -> (u32, u32) {
+        if self.detached_size <= self.retained_size {
+            (self.detached_root, self.detached_size)
+        } else {
+            (self.retained_root, self.retained_size)
+        }
+    }
+}
+
+thread_local! {
+    /// Splay-path scratch (ancestor collection for top-down flip pushes).
+    static SPLAY_PATH: Cell<Vec<u32>> = const { Cell::new(Vec::new()) };
+    /// Mark-walk DFS scratch: `(vertex, parent)` frames.
+    static DFS_STACK: Cell<Vec<(u32, u32)>> = const { Cell::new(Vec::new()) };
+}
+
+/// The concurrent link-cut-tree spanning forest. See the module docs.
+pub struct LctForest {
+    nodes: Box<[LctNode]>,
+    /// Per-vertex root version words (Listing-1 protocol).
+    versions: Box<[AtomicU64]>,
+    /// Per-vertex component locks, materialized on first use.
+    locks: OnceLock<Box<[RawRwLock]>>,
+    /// Root-hint cache, materialized on first query.
+    hints: OnceLock<HintCache>,
+    /// Pending hint toggle for an unmaterialized cache (0 = process
+    /// default, 1 = off, 2 = on).
+    hints_override: AtomicU8,
+    /// Advisory interleave knobs: the LCT has no interleaved read engine —
+    /// bulk reads always take the scalar memo path — but the knobs are
+    /// stored and reported so backend-generic callers can flip them freely.
+    interleaved: AtomicBool,
+    interleave_width: AtomicU8,
+    /// Spanning-tree neighbor lists (one level), maintained by
+    /// `link`/`prepare_cut`; drives mark walks and edge enumeration.
+    nbrs: AdjacencyStore<u32>,
+    tree_edges: AtomicUsize,
+    /// Reclamation domain: nothing is ever retired (nodes are permanent),
+    /// but the domain makes [`DynamicForest::pin`] meaningful and keeps the
+    /// trait's epoch integration uniform across backends.
+    epoch: EpochDomain,
+}
+
+impl LctForest {
+    /// Creates a forest of `n` isolated vertices. The seed is accepted for
+    /// [`DynamicForest::with_seed`] symmetry and ignored — splay trees have
+    /// no random structure.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n < (1usize << 31),
+            "LctForest packs parent vertex ids in 31 bits (n = {n})"
+        );
+        LctForest {
+            nodes: (0..n).map(|_| LctNode::new()).collect(),
+            versions: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            locks: OnceLock::new(),
+            hints: OnceLock::new(),
+            hints_override: AtomicU8::new(0),
+            interleaved: AtomicBool::new(false),
+            interleave_width: AtomicU8::new(crate::forest::MAX_INTERLEAVE_WIDTH as u8 / 4),
+            nbrs: AdjacencyStore::new(1, n),
+            tree_edges: AtomicUsize::new(0),
+            epoch: EpochDomain::new(),
+        }
+    }
+
+    // ----- field helpers ----------------------------------------------------
+
+    #[inline]
+    fn up_word(&self, x: u32) -> u32 {
+        self.nodes[x as usize].up.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn set_up_word(&self, x: u32, word: u32) {
+        self.nodes[x as usize].up.store(word, Ordering::Release);
+    }
+
+    #[inline]
+    fn left(&self, x: u32) -> u32 {
+        self.nodes[x as usize].left.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn right(&self, x: u32) -> u32 {
+        self.nodes[x as usize].right.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn set_left(&self, x: u32, c: u32) {
+        self.nodes[x as usize].left.store(c, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn set_right(&self, x: u32, c: u32) {
+        self.nodes[x as usize].right.store(c, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn size(&self, x: u32) -> u32 {
+        self.nodes[x as usize].size.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn size_of(&self, x: u32) -> u32 {
+        if x == NONE {
+            0
+        } else {
+            self.size(x)
+        }
+    }
+
+    #[inline]
+    fn vsize(&self, x: u32) -> u32 {
+        self.nodes[x as usize].vsize.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn set_vsize(&self, x: u32, v: u32) {
+        self.nodes[x as usize].vsize.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn flag(&self, x: u32, bit: u8) -> bool {
+        self.nodes[x as usize].flags.load(Ordering::Relaxed) & bit != 0
+    }
+
+    #[inline]
+    fn raise_flag(&self, x: u32, bit: u8) {
+        self.nodes[x as usize]
+            .flags
+            .fetch_or(bit, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn clear_flag(&self, x: u32, bit: u8) {
+        self.nodes[x as usize]
+            .flags
+            .fetch_and(!bit, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn toggle_flag(&self, x: u32, bit: u8) {
+        self.nodes[x as usize]
+            .flags
+            .fetch_xor(bit, Ordering::Relaxed);
+    }
+
+    /// Recomputes `size(x)` from children and `vsize` (writer-only).
+    #[inline]
+    fn update(&self, x: u32) {
+        let s = 1 + self.size_of(self.left(x)) + self.size_of(self.right(x)) + self.vsize(x);
+        self.nodes[x as usize].size.store(s, Ordering::Relaxed);
+    }
+
+    /// Reads a root version word (Acquire; see the ETT twin for the
+    /// memory-ordering rationale).
+    #[inline]
+    fn version_of_vertex(&self, root: u32) -> u64 {
+        self.versions[root as usize].load(Ordering::Acquire)
+    }
+
+    /// Bumps vertex `r`'s version word (Release) and surfaces the hint
+    /// invalidation, exactly like `EulerForest::bump_root_version`.
+    #[inline]
+    fn bump_vertex(&self, r: u32) {
+        let version = self.versions[r as usize].fetch_add(1, Ordering::Release) + 1;
+        dc_obs::counter_add(dc_obs::Counter::HintInvalidations, 1);
+        dc_obs::event(dc_obs::EventKind::HintInvalidation, r as u64, version);
+    }
+
+    // ----- writer-side navigation -------------------------------------------
+
+    /// Splay parent of `x`, bounded by the writer-side piece structure:
+    /// a node wearing `F_SINK` is a piece apex — its `up` word may be a
+    /// stale window word that *looks* like a splay word, so the flag is
+    /// checked first and splays can never rotate across a piece boundary.
+    #[inline]
+    fn splay_parent(&self, x: u32) -> Option<u32> {
+        if self.flag(x, F_SINK) {
+            return None;
+        }
+        let w = self.up_word(x);
+        if w == UP_NONE || w & UP_PATH != 0 {
+            None
+        } else {
+            Some(w)
+        }
+    }
+
+    /// Writer-exact apex of `v`'s piece: climb masked `up` words, stopping
+    /// at the `F_SINK` marker (not at `up == none`), so the climb is exact
+    /// even inside a prepared-cut window where the detached apex wears a
+    /// stale word. Valid only under the component's lock.
+    fn writer_root(&self, v: u32) -> u32 {
+        let mut cur = v;
+        while !self.flag(cur, F_SINK) {
+            let w = self.up_word(cur);
+            debug_assert_ne!(w, UP_NONE, "non-sink node {cur} has no parent");
+            cur = w & !UP_PATH;
+        }
+        cur
+    }
+
+    /// Pushes a pending lazy reversal one level down (writer-only: child
+    /// pointers swap, children's flip bits toggle, `up` words untouched —
+    /// which is what makes evert reader-invisible).
+    fn push_flip(&self, x: u32) {
+        if !self.flag(x, F_FLIP) {
+            return;
+        }
+        let l = self.left(x);
+        let r = self.right(x);
+        self.set_left(x, r);
+        self.set_right(x, l);
+        for c in [l, r] {
+            if c != NONE {
+                self.toggle_flag(c, F_FLIP);
+            }
+        }
+        self.clear_flag(x, F_FLIP);
+    }
+
+    /// One splay rotation of `x` over its splay parent.
+    ///
+    /// Store order is the safety-critical part (module docs): transferred
+    /// child, then `p.up := x` (possibly forming a bounded transient cycle
+    /// if `p` was the apex), then `x.up :=` p's old word **verbatim** —
+    /// including a stale prepared-window word, which is exactly how the
+    /// window migrates to the new apex. Never the reverse: clearing `x.up`
+    /// first would expose two sinks. If `p` was the piece apex, the
+    /// `F_SINK` marker transfers and the deposed `p` is bumped (generalized
+    /// rule 2).
+    ///
+    /// Flips must already be pushed at `p` and `x`.
+    fn rotate(&self, x: u32) {
+        let p = self
+            .splay_parent(x)
+            .expect("rotate requires a splay parent");
+        debug_assert!(!self.flag(p, F_FLIP) && !self.flag(x, F_FLIP));
+        let g_word = self.up_word(p);
+        let p_was_sink = self.flag(p, F_SINK);
+        let x_is_left = self.left(p) == x;
+        let b = if x_is_left {
+            self.right(x)
+        } else {
+            self.left(x)
+        };
+
+        // Writer-only rewiring first (invisible to readers).
+        if x_is_left {
+            self.set_left(p, b);
+            self.set_right(x, p);
+        } else {
+            self.set_right(p, b);
+            self.set_left(x, p);
+        }
+        // Fix the grandparent's child pointer — only when p's old word was a
+        // *real* splay word (an apex's stale window word may decode as one,
+        // but it points into another piece and must not be dereferenced).
+        if !p_was_sink && g_word != UP_NONE && g_word & UP_PATH == 0 {
+            if self.left(g_word) == p {
+                self.set_left(g_word, x);
+            } else {
+                debug_assert_eq!(self.right(g_word), p);
+                self.set_right(g_word, x);
+            }
+        }
+
+        // Reader-visible stores, in the no-two-sinks order.
+        if b != NONE {
+            self.set_up_word(b, p);
+        }
+        self.set_up_word(p, x);
+        self.set_up_word(x, g_word);
+
+        if p_was_sink {
+            self.clear_flag(p, F_SINK);
+            self.raise_flag(x, F_SINK);
+            // Generalized rule 2: p stopped being the apex at the store
+            // above; claims installed on it while it reigned must die.
+            self.bump_vertex(p);
+        }
+
+        self.update(p);
+        self.update(x);
+    }
+
+    /// Splays `x` to the root of its splay tree (bounded by the piece: the
+    /// collected ancestor path stops at path parents and at `F_SINK`).
+    fn splay(&self, x: u32) {
+        let mut path = SPLAY_PATH.with(|s| s.take());
+        path.clear();
+        path.push(x);
+        while let Some(&top) = path.last() {
+            match self.splay_parent(top) {
+                Some(p) => path.push(p),
+                None => break,
+            }
+        }
+        for &n in path.iter().rev() {
+            self.push_flip(n);
+        }
+        path.clear();
+        SPLAY_PATH.with(|s| s.set(path));
+
+        while let Some(p) = self.splay_parent(x) {
+            if let Some(g) = self.splay_parent(p) {
+                if (self.left(g) == p) == (self.left(p) == x) {
+                    self.rotate(p); // zig-zig
+                    self.rotate(x);
+                } else {
+                    self.rotate(x); // zig-zag
+                    self.rotate(x);
+                }
+            } else {
+                self.rotate(x); // zig
+            }
+        }
+    }
+
+    /// Makes the path from `v`'s piece root to `v` preferred and `v` the
+    /// apex of its piece's topmost splay tree (with `F_SINK` and the
+    /// piece's apex `up` word). Bumps the entering apex first (rule 1).
+    fn access(&self, v: u32) {
+        let apex = self.writer_root(v);
+        // Rule 1: bump before the first reader-visible store of this
+        // restructuring (over-bumping when no rotation follows is safe).
+        self.bump_vertex(apex);
+        self.splay(v);
+        // Demote v's preferred right (deeper) segment to a virtual subtree:
+        // a pure kind-bit flip — the pointer value is unchanged, so readers
+        // never notice.
+        let r = self.right(v);
+        if r != NONE {
+            self.set_right(v, NONE);
+            self.set_up_word(r, v | UP_PATH);
+            self.set_vsize(v, self.vsize(v) + self.size(r));
+            self.update(v);
+        }
+        // Hop path parents, splicing v's splay tree into each.
+        while !self.flag(v, F_SINK) {
+            let w_word = self.up_word(v);
+            debug_assert_ne!(w_word, UP_NONE, "non-apex splay root without parent");
+            debug_assert_ne!(w_word & UP_PATH, 0, "splay root's word must be a path word");
+            let w = w_word & !UP_PATH;
+            self.splay(w);
+            // Demote w's old preferred right segment...
+            let wr = self.right(w);
+            if wr != NONE {
+                self.set_up_word(wr, w | UP_PATH);
+                self.set_vsize(w, self.vsize(w) + self.size(wr));
+            }
+            // ...and promote v's segment in its place (again pure kind-bit
+            // flips: both stores keep the pointer values readers see).
+            self.set_right(w, v);
+            self.set_up_word(v, w);
+            self.set_vsize(w, self.vsize(w) - self.size(v));
+            self.update(w);
+            // One zig brings v to the top of w's splay tree (inheriting w's
+            // word — and the apex marker plus deposing bump if w was it).
+            self.rotate(v);
+        }
+    }
+
+    /// Makes `v` the represented root of its piece. Reader-invisible beyond
+    /// `access` itself: the reversal only toggles writer-side flip bits.
+    fn evert(&self, v: u32) {
+        self.access(v);
+        self.toggle_flag(v, F_FLIP);
+        self.push_flip(v);
+    }
+
+    // ----- lock-free reads (Listing 1 + root hints) -------------------------
+
+    /// The raw Listing-1 climb: masked `up` words to the sink, then the
+    /// sink's version (Acquire). No pin required — nodes are permanent.
+    fn find_root_walk(&self, v: u32) -> (u32, u64) {
+        let mut cur = v;
+        loop {
+            let w = self.nodes[cur as usize].up.load(Ordering::Acquire);
+            if w == UP_NONE {
+                break;
+            }
+            cur = w & !UP_PATH;
+        }
+        (cur, self.version_of_vertex(cur))
+    }
+
+    fn hints(&self) -> &HintCache {
+        self.hints.get_or_init(|| {
+            let cache = HintCache::new(self.nodes.len());
+            match self.hints_override.load(Ordering::Relaxed) {
+                1 => cache.set_enabled(false),
+                2 => cache.set_enabled(true),
+                _ => {}
+            }
+            cache
+        })
+    }
+
+    fn hints_enabled(&self) -> bool {
+        match self.hints.get() {
+            Some(hints) => hints.is_enabled(),
+            None => match self.hints_override.load(Ordering::Relaxed) {
+                1 => false,
+                2 => true,
+                _ => crate::hints::default_read_hints(),
+            },
+        }
+    }
+
+    fn validate_hint(&self, raw: u64) -> Option<(u32, u64)> {
+        let (root, ver32) = HintCache::decode(raw)?;
+        let cur = self.version_of_vertex(root);
+        (cur as u32 == ver32).then_some((root, cur))
+    }
+
+    /// Validated `(root_vertex, version)` resolution — the hint fast path
+    /// over the double-walk, identical in shape to the ETT's.
+    pub fn resolve_root_validated(&self, v: u32) -> (u32, u64) {
+        let hints = self.hints_enabled().then(|| self.hints());
+        let observed = hints.map(|h| h.raw(v));
+        if let (Some(hints), Some(observed)) = (hints, observed) {
+            if let Some((root, version)) = self.validate_hint(observed) {
+                hints.record_hit();
+                return (root, version);
+            }
+            hints.record_miss();
+        }
+        loop {
+            let (r, version) = self.find_root_walk(v);
+            if self.find_root_walk(v) == (r, version) {
+                if let (Some(hints), Some(observed)) = (hints, observed) {
+                    hints.install(v, observed, r, version);
+                }
+                return (r, version);
+            }
+        }
+    }
+
+    /// Linearizable, non-blocking connectivity check (Listing 1 with the
+    /// hint fast path; see `EulerForest::connected` for the protocol).
+    pub fn connected(&self, u: u32, v: u32) -> bool {
+        loop {
+            let (ru, ver_u) = self.resolve_root_validated(u);
+            let (rv, ver_v) = self.resolve_root_validated(v);
+            if ru == rv {
+                if ver_u == ver_v {
+                    return true;
+                }
+            } else if self.version_of_vertex(ru) == ver_u
+                && self.version_of_vertex(rv) == ver_v
+                && self.version_of_vertex(ru) == ver_u
+            {
+                return false;
+            }
+        }
+    }
+
+    /// The scalar memoized bulk read path (the same algorithm as
+    /// `EulerForest::connected_many_scalar_into`). The LCT has no
+    /// interleaved engine, so this *is* its bulk door.
+    pub fn connected_many_scalar_into(&self, pairs: &[(u32, u32)], out: &mut Vec<bool>) {
+        out.reserve(pairs.len());
+        if pairs.len() < 4 {
+            for &(u, v) in pairs {
+                out.push(u == v || self.connected(u, v));
+            }
+            return;
+        }
+        let mut endpoints: Vec<u32> = Vec::with_capacity(pairs.len() * 2);
+        for &(u, v) in pairs {
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        let mut memo: Vec<(u32, u64)> = endpoints
+            .iter()
+            .map(|&e| self.resolve_root_validated(e))
+            .collect();
+        let index = |x: u32| {
+            endpoints
+                .binary_search(&x)
+                .expect("endpoint collected above")
+        };
+        for &(u, v) in pairs {
+            if u == v {
+                out.push(true);
+                continue;
+            }
+            let (iu, iv) = (index(u), index(v));
+            loop {
+                let (ru, ver_u) = memo[iu];
+                let (rv, ver_v) = memo[iv];
+                let valid = if ru == rv {
+                    ver_u == ver_v
+                } else {
+                    self.version_of_vertex(ru) == ver_u
+                        && self.version_of_vertex(rv) == ver_v
+                        && self.version_of_vertex(ru) == ver_u
+                };
+                if valid {
+                    out.push(ru == rv);
+                    break;
+                }
+                memo[iu] = self.resolve_root_validated(u);
+                memo[iv] = self.resolve_root_validated(v);
+            }
+        }
+    }
+
+    // ----- structural operations (single writer per component) --------------
+
+    /// Adds the spanning edge `(u, v)`. The endpoints must be in different
+    /// trees — or different pieces of one prepared-cut window (the
+    /// replacement path), in which case this closes the window.
+    pub fn link(&self, u: u32, v: u32) {
+        debug_assert!(u != v, "self-loops cannot be spanning edges");
+        self.evert(u);
+        self.access(v);
+        debug_assert_ne!(u, self.writer_root(v), "link({u}, {v}): same piece");
+
+        // u is its piece's represented root and apex; hang the whole piece
+        // off v as a virtual child. The store is the linearization point of
+        // the merge.
+        self.clear_flag(u, F_SINK);
+        self.set_up_word(u, v | UP_PATH);
+        // Rule 2: u stopped being a representative at the store above.
+        self.bump_vertex(u);
+        self.set_vsize(v, self.vsize(v) + self.size(u));
+        self.update(v);
+
+        // Window-closing epilogue: if v's apex word is a stale prepared-cut
+        // word (v came from the detached piece of an open window), readers
+        // now loop detached-piece → v → stale word → retained piece → v
+        // with *no sink*; clearing after the attach (never before — that
+        // order would expose two sinks) breaks the cycle and ends the
+        // window. Outside a window this is a value no-op or the attach
+        // already overwrote the stale word.
+        if self.up_word(v) != UP_NONE {
+            self.set_up_word(v, UP_NONE);
+        }
+
+        self.nbrs.add(0, u, v);
+        self.nbrs.add(0, v, u);
+        self.tree_edges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Physically splits around spanning edge `(u, v)` while readers still
+    /// observe one component (see the module docs on windows).
+    pub fn prepare_cut(&self, u: u32, v: u32) -> PreparedLctCut {
+        debug_assert!(
+            self.nbrs.contains(0, u, &v),
+            "cut({u}, {v}): not a spanning edge"
+        );
+        self.evert(u);
+        self.access(v);
+        // The preferred path is now exactly [u, v]: u is v's left child.
+        debug_assert_eq!(self.left(v), u);
+        debug_assert_eq!(self.right(v), NONE);
+
+        let detached_size = self.size(u); // u + its virtual subtrees = u's whole piece
+        self.set_left(v, NONE);
+        self.update(v);
+        // u keeps its stale up word (= v, splay kind): readers still see one
+        // component. The writer-side sink marker opens the window.
+        self.raise_flag(u, F_SINK);
+
+        self.nbrs.remove(0, u, &v);
+        self.nbrs.remove(0, v, &u);
+        self.tree_edges.fetch_sub(1, Ordering::Relaxed);
+
+        PreparedLctCut {
+            retained_root: v,
+            detached_root: u,
+            retained_size: self.size(v),
+            detached_size,
+        }
+    }
+
+    /// Logically applies a prepared cut — the linearization point of a
+    /// removal without replacement. Same bump order as the ETT: detached
+    /// before the store (rule 1 for the new component), retained after
+    /// (rule 2: it stops representing the detached piece).
+    pub fn commit_cut(&self, cut: &PreparedLctCut) {
+        self.bump_vertex(cut.detached_root);
+        self.set_up_word(cut.detached_root, UP_NONE);
+        self.bump_vertex(cut.retained_root);
+    }
+
+    /// The replacement-found path: nothing to release — LCT nodes are
+    /// permanent and [`LctForest::link`] already closed the window.
+    pub fn retire_cut_nodes(&self, _cut: &PreparedLctCut) {}
+
+    /// `prepare_cut` + `commit_cut`.
+    pub fn cut(&self, u: u32, v: u32) -> PreparedLctCut {
+        let cut = self.prepare_cut(u, v);
+        self.commit_cut(&cut);
+        cut
+    }
+
+    // ----- validation -------------------------------------------------------
+
+    /// Exhaustive structural check (writer-quiescent callers only).
+    pub fn validate(&self) {
+        let n = self.nodes.len();
+        let mut expected_vsize = vec![0u64; n];
+        let mut sinks_per_apex = vec![0u32; n];
+        let mut apex_of = vec![NONE; n];
+        for x in 0..n as u32 {
+            let w = self.up_word(x);
+            if w == UP_NONE {
+                assert!(
+                    self.flag(x, F_SINK),
+                    "vertex {x}: up == none but F_SINK is clear"
+                );
+            } else {
+                assert!(
+                    !self.flag(x, F_SINK),
+                    "vertex {x}: quiescent non-root wears F_SINK (open window?)"
+                );
+                let p = w & !UP_PATH;
+                assert!((p as usize) < n, "vertex {x}: parent {p} out of range");
+                if w & UP_PATH == 0 {
+                    assert!(
+                        self.left(p) == x || self.right(p) == x,
+                        "vertex {x}: splay parent {p} does not own it as a child"
+                    );
+                } else {
+                    assert!(
+                        self.left(p) != x && self.right(p) != x,
+                        "vertex {x}: path parent {p} also owns it as a splay child"
+                    );
+                    // A path child is the root of its own splay tree whose
+                    // whole piece-subtree counts into p's vsize.
+                    expected_vsize[p as usize] += self.size(x) as u64;
+                }
+            }
+            for c in [self.left(x), self.right(x)] {
+                if c != NONE {
+                    assert_eq!(
+                        self.up_word(c),
+                        x,
+                        "child {c} of {x} does not point back with a splay word"
+                    );
+                }
+            }
+            // Size recurrence (flip-invariant: reversal only swaps children).
+            assert_eq!(
+                self.size(x),
+                1 + self.size_of(self.left(x)) + self.size_of(self.right(x)) + self.vsize(x),
+                "vertex {x}: size recurrence violated"
+            );
+            let (apex, _) = self.find_root_walk(x);
+            apex_of[x as usize] = apex;
+        }
+        for x in 0..n as u32 {
+            assert_eq!(
+                self.vsize(x) as u64,
+                expected_vsize[x as usize],
+                "vertex {x}: vsize does not match its path children"
+            );
+            if self.up_word(x) == UP_NONE {
+                sinks_per_apex[x as usize] += 1;
+            }
+        }
+        // Component sizes: each apex's size counts exactly its climb set.
+        let mut members = vec![0u32; n];
+        for x in 0..n as u32 {
+            members[apex_of[x as usize] as usize] += 1;
+        }
+        for x in 0..n as u32 {
+            if self.up_word(x) == UP_NONE {
+                assert_eq!(sinks_per_apex[x as usize], 1);
+                assert_eq!(
+                    self.size(x),
+                    members[x as usize],
+                    "apex {x}: size != component vertex count"
+                );
+            }
+        }
+        // Adjacency: symmetric, consistent with the climb partition, and
+        // exactly 2 * tree_edges directed entries forming a forest.
+        let mut directed = 0usize;
+        self.nbrs.for_each_entry(|_, vertex, nbr| {
+            directed += 1;
+            assert!(
+                self.nbrs.contains(0, nbr, &vertex),
+                "adjacency not symmetric: ({vertex}, {nbr})"
+            );
+            assert_eq!(
+                apex_of[vertex as usize], apex_of[nbr as usize],
+                "tree edge ({vertex}, {nbr}) crosses components"
+            );
+        });
+        assert_eq!(directed, 2 * self.tree_edges.load(Ordering::Relaxed));
+        // Forest check: edges == vertices - components.
+        let components = (0..n as u32)
+            .filter(|&x| self.up_word(x) == UP_NONE)
+            .count();
+        assert_eq!(
+            self.tree_edges.load(Ordering::Relaxed),
+            n - components,
+            "tree-edge count is not vertices - components"
+        );
+    }
+}
+
+impl DynamicForest for LctForest {
+    type Root = u32;
+    type Prepared = PreparedLctCut;
+
+    const BACKEND: &'static str = "lct";
+
+    fn with_seed(n: usize, _seed: u64) -> Self {
+        LctForest::new(n)
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn num_tree_edges(&self) -> usize {
+        self.tree_edges.load(Ordering::Relaxed)
+    }
+
+    fn has_tree_edge(&self, u: u32, v: u32) -> bool {
+        self.nbrs.contains(0, u, &v)
+    }
+
+    fn connected(&self, u: u32, v: u32) -> bool {
+        LctForest::connected(self, u, v)
+    }
+
+    fn resolve_root_validated(&self, v: u32) -> (u32, u64) {
+        LctForest::resolve_root_validated(self, v)
+    }
+
+    fn connected_many_into(&self, pairs: &[(u32, u32)], out: &mut Vec<bool>) {
+        // No interleaved engine: the scalar memo path is the bulk door.
+        self.connected_many_scalar_into(pairs, out);
+    }
+
+    fn connected_many_scalar_into(&self, pairs: &[(u32, u32)], out: &mut Vec<bool>) {
+        LctForest::connected_many_scalar_into(self, pairs, out);
+    }
+
+    fn find_root_node(&self, v: u32) -> u32 {
+        // Exact reader-style climb; never the hint cache (protocol-critical
+        // callers — see the trait docs).
+        self.find_root_walk(v).0
+    }
+
+    fn is_current_root(&self, r: u32) -> bool {
+        self.up_word(r) == UP_NONE
+    }
+
+    fn root_lock(&self, r: u32) -> &RawRwLock {
+        let locks = self
+            .locks
+            .get_or_init(|| (0..self.nodes.len()).map(|_| RawRwLock::new()).collect());
+        &locks[r as usize]
+    }
+
+    fn pin(&self) -> EpochGuard<'_> {
+        self.epoch.pin()
+    }
+
+    fn node_occupancy(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn component_root(&self, v: u32) -> u32 {
+        self.writer_root(v)
+    }
+
+    fn same_tree_locked(&self, u: u32, v: u32) -> bool {
+        self.writer_root(u) == self.writer_root(v)
+    }
+
+    fn tree_size(&self, root: u32) -> u32 {
+        self.size(root)
+    }
+
+    fn component_size(&self, v: u32) -> u32 {
+        self.size(self.writer_root(v))
+    }
+
+    fn link(&self, u: u32, v: u32) {
+        LctForest::link(self, u, v)
+    }
+
+    fn prepare_cut(&self, u: u32, v: u32) -> PreparedLctCut {
+        LctForest::prepare_cut(self, u, v)
+    }
+
+    fn commit_cut(&self, cut: &PreparedLctCut) {
+        LctForest::commit_cut(self, cut)
+    }
+
+    fn retire_cut_nodes(&self, cut: &PreparedLctCut) {
+        LctForest::retire_cut_nodes(self, cut)
+    }
+
+    fn cut(&self, u: u32, v: u32) {
+        let _ = LctForest::cut(self, u, v);
+    }
+
+    fn smaller_piece(&self, cut: &PreparedLctCut) -> (u32, u32) {
+        cut.smaller_piece()
+    }
+
+    fn set_vertex_self_mark(&self, v: u32, mark: Mark, value: bool) {
+        if value {
+            self.raise_flag(v, self_mark_bit(mark));
+        } else {
+            self.clear_flag(v, self_mark_bit(mark));
+        }
+    }
+
+    fn vertex_self_mark(&self, v: u32, mark: Mark) -> bool {
+        self.flag(v, self_mark_bit(mark))
+    }
+
+    fn mark_path_upward(&self, v: u32, mark: Mark) {
+        // No aggregates to raise (module docs): the self mark alone makes
+        // the vertex visible to `visit_marked_vertices`' full-piece walk.
+        // RMW, so it is lock-free-safe against concurrent writer flag ops.
+        self.raise_flag(v, self_mark_bit(mark));
+    }
+
+    /// Parent-tracking DFS over the spanning-tree adjacency from the apex's
+    /// vertex, calling `f` for self-marked vertices. No aggregate pruning —
+    /// the whole piece is enumerated (module docs). The adjacency was
+    /// already severed by `prepare_cut`, so inside a window the walk stays
+    /// within `root`'s piece.
+    fn visit_marked_vertices(
+        &self,
+        root: u32,
+        mark: Mark,
+        f: &mut dyn FnMut(u32) -> ControlFlow<()>,
+    ) {
+        let bit = self_mark_bit(mark);
+        let mut stack = DFS_STACK.with(|s| s.take());
+        stack.clear();
+        stack.push((root, NONE));
+        while let Some((x, parent)) = stack.pop() {
+            if self.flag(x, bit) && f(x).is_break() {
+                break;
+            }
+            let _ = self.nbrs.for_each_edge(0, x, |y| {
+                if y != parent {
+                    stack.push((y, x));
+                }
+                ControlFlow::Continue(())
+            });
+        }
+        stack.clear();
+        DFS_STACK.with(|s| s.set(stack));
+    }
+
+    fn for_each_tree_edge(&self, f: &mut dyn FnMut(u32, u32)) {
+        self.nbrs.for_each_entry(|_, vertex, nbr| {
+            if vertex < nbr {
+                f(vertex, nbr);
+            }
+        });
+    }
+
+    fn set_read_hints(&self, enabled: bool) {
+        self.hints_override
+            .store(if enabled { 2 } else { 1 }, Ordering::Relaxed);
+        if let Some(hints) = self.hints.get() {
+            hints.set_enabled(enabled);
+        }
+    }
+
+    fn read_hints_enabled(&self) -> bool {
+        self.hints_enabled()
+    }
+
+    fn read_hint_stats(&self) -> (u64, u64) {
+        match self.hints.get() {
+            Some(hints) => (hints.hits(), hints.misses()),
+            None => (0, 0),
+        }
+    }
+
+    fn hints_materialized(&self) -> bool {
+        self.hints.get().is_some()
+    }
+
+    fn hint_valid(&self, v: u32) -> bool {
+        match self.hints.get().map(|h| HintCache::decode(h.raw(v))) {
+            Some(Some((root, ver32))) => self.version_of_vertex(root) as u32 == ver32,
+            _ => false,
+        }
+    }
+
+    fn set_interleaved_reads(&self, enabled: bool) {
+        self.interleaved.store(enabled, Ordering::Relaxed);
+    }
+
+    fn interleaved_reads_enabled(&self) -> bool {
+        self.interleaved.load(Ordering::Relaxed)
+    }
+
+    fn set_interleave_width(&self, width: usize) {
+        let clamped = width.clamp(1, crate::forest::MAX_INTERLEAVE_WIDTH) as u8;
+        self.interleave_width.store(clamped, Ordering::Relaxed);
+    }
+
+    fn interleave_width(&self) -> usize {
+        self.interleave_width.load(Ordering::Relaxed) as usize
+    }
+
+    fn validate(&self) {
+        LctForest::validate(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_cut_connected_basics() {
+        let f = LctForest::new(8);
+        assert!(!f.connected(0, 3));
+        f.link(0, 1);
+        f.link(1, 2);
+        f.link(2, 3);
+        f.validate();
+        assert!(f.connected(0, 3));
+        assert_eq!(DynamicForest::num_tree_edges(&f), 3);
+        assert_eq!(DynamicForest::component_size(&f, 0), 4);
+        let _ = f.cut(1, 2);
+        f.validate();
+        assert!(!f.connected(0, 3));
+        assert!(f.connected(0, 1));
+        assert!(f.connected(2, 3));
+        assert_eq!(DynamicForest::component_size(&f, 3), 2);
+    }
+
+    #[test]
+    fn cut_any_edge_of_a_star_and_a_path() {
+        // Paths and stars exercise both deep splay chains and wide virtual
+        // fans.
+        let f = LctForest::new(16);
+        for i in 1..16 {
+            f.link(0, i);
+        }
+        f.validate();
+        assert_eq!(DynamicForest::component_size(&f, 0), 16);
+        let _ = f.cut(0, 7);
+        f.validate();
+        assert!(!f.connected(3, 7));
+        assert_eq!(DynamicForest::component_size(&f, 7), 1);
+
+        let p = LctForest::new(16);
+        for i in 0..15 {
+            p.link(i, i + 1);
+        }
+        p.validate();
+        assert!(p.connected(0, 15));
+        let _ = p.cut(7, 8);
+        p.validate();
+        assert!(p.connected(0, 7));
+        assert!(p.connected(8, 15));
+        assert!(!p.connected(0, 15));
+    }
+
+    #[test]
+    fn prepared_window_reads_one_component_until_commit() {
+        let f = LctForest::new(6);
+        f.link(0, 1);
+        f.link(1, 2);
+        f.link(2, 3);
+        let cut = f.prepare_cut(1, 2);
+        // Physically split, logically whole: readers still see one
+        // component through the stale apex word.
+        assert!(f.connected(0, 3));
+        assert_eq!(cut.retained_size + cut.detached_size, 4);
+        // Writer-side sees two pieces.
+        assert_ne!(f.writer_root(0), f.writer_root(3));
+        f.commit_cut(&cut);
+        assert!(!f.connected(0, 3));
+        f.validate();
+    }
+
+    #[test]
+    fn replacement_link_inside_a_window_closes_it() {
+        let f = LctForest::new(6);
+        f.link(0, 1);
+        f.link(1, 2);
+        f.link(2, 3);
+        let cut = f.prepare_cut(1, 2);
+        // Replacement found in either orientation: link across the window.
+        f.link(0, 3);
+        f.retire_cut_nodes(&cut);
+        f.validate();
+        assert!(f.connected(1, 2));
+        assert_eq!(DynamicForest::component_size(&f, 0), 4);
+
+        // The other orientation: detached-side endpoint second.
+        let g = LctForest::new(6);
+        g.link(0, 1);
+        g.link(1, 2);
+        g.link(2, 3);
+        let cut = g.prepare_cut(1, 2);
+        g.link(3, 0);
+        g.retire_cut_nodes(&cut);
+        g.validate();
+        assert!(g.connected(1, 2));
+    }
+
+    #[test]
+    fn randomized_against_a_naive_forest() {
+        // Deterministic SplitMix64 walk over link/cut/connected against a
+        // recomputing oracle.
+        struct Oracle {
+            edges: Vec<(u32, u32)>,
+            n: u32,
+        }
+        impl Oracle {
+            fn connected(&self, u: u32, v: u32) -> bool {
+                let mut stack = vec![u];
+                let mut seen = vec![false; self.n as usize];
+                seen[u as usize] = true;
+                while let Some(x) = stack.pop() {
+                    if x == v {
+                        return true;
+                    }
+                    for &(a, b) in &self.edges {
+                        let y = if a == x {
+                            b
+                        } else if b == x {
+                            a
+                        } else {
+                            continue;
+                        };
+                        if !seen[y as usize] {
+                            seen[y as usize] = true;
+                            stack.push(y);
+                        }
+                    }
+                }
+                false
+            }
+        }
+        let n = 24u32;
+        let f = LctForest::new(n as usize);
+        let mut oracle = Oracle {
+            edges: Vec::new(),
+            n,
+        };
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for step in 0..4000 {
+            let u = (next() % n as u64) as u32;
+            let v = (next() % n as u64) as u32;
+            if u == v {
+                continue;
+            }
+            match next() % 3 {
+                0 => {
+                    if !oracle.connected(u, v) {
+                        f.link(u, v);
+                        oracle.edges.push((u.min(v), u.max(v)));
+                    }
+                }
+                1 => {
+                    if oracle.edges.contains(&(u.min(v), u.max(v))) {
+                        let _ = f.cut(u, v);
+                        oracle.edges.retain(|&e| e != (u.min(v), u.max(v)));
+                    }
+                }
+                _ => {
+                    assert_eq!(
+                        f.connected(u, v),
+                        oracle.connected(u, v),
+                        "step {step}: connected({u}, {v}) diverged"
+                    );
+                }
+            }
+            if step % 512 == 0 {
+                f.validate();
+            }
+        }
+        f.validate();
+    }
+
+    #[test]
+    fn marks_and_visits() {
+        let f = LctForest::new(8);
+        f.link(0, 1);
+        f.link(1, 2);
+        f.link(2, 3);
+        DynamicForest::mark_path_upward(&f, 2, Mark::NonSpanning);
+        let root = DynamicForest::component_root(&f, 0);
+        let mut seen = Vec::new();
+        DynamicForest::visit_marked_vertices(&f, root, Mark::NonSpanning, &mut |v| {
+            seen.push(v);
+            ControlFlow::Continue(())
+        });
+        assert_eq!(seen, vec![2]);
+        DynamicForest::set_vertex_self_mark(&f, 2, Mark::NonSpanning, false);
+        seen.clear();
+        DynamicForest::visit_marked_vertices(&f, root, Mark::NonSpanning, &mut |v| {
+            seen.push(v);
+            ControlFlow::Continue(())
+        });
+        assert!(seen.is_empty());
+    }
+
+    #[test]
+    fn tree_edge_enumeration_is_normalized() {
+        let f = LctForest::new(6);
+        f.link(3, 1);
+        f.link(1, 4);
+        let mut edges = Vec::new();
+        DynamicForest::for_each_tree_edge(&f, &mut |u, v| edges.push((u, v)));
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(1, 3), (1, 4)]);
+        assert!(DynamicForest::has_tree_edge(&f, 1, 3));
+        assert!(DynamicForest::has_tree_edge(&f, 3, 1));
+        assert!(!DynamicForest::has_tree_edge(&f, 3, 4));
+    }
+}

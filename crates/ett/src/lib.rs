@@ -44,10 +44,14 @@
 pub mod arena;
 pub mod forest;
 pub mod hints;
+pub mod lct;
 pub mod node;
+pub mod traits;
 mod treap;
 
 pub use arena::NodeRef;
 pub use forest::{EulerForest, PreparedCut, ReadScratch, MAX_INTERLEAVE_WIDTH};
 pub use hints::{default_read_hints, set_default_read_hints, HintCache};
+pub use lct::{LctForest, PreparedLctCut};
 pub use node::{Mark, Node};
+pub use traits::DynamicForest;

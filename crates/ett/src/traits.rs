@@ -1,0 +1,525 @@
+//! The [`DynamicForest`] backend contract: what the dynamic connectivity
+//! core needs from a concurrent spanning-forest structure.
+//!
+//! The HDT core (`dynconn::Hdt`) maintains one forest per level; everything
+//! it asks of a forest is captured here so the treap Euler Tour Tree
+//! ([`crate::EulerForest`]) and the splay-path link-cut tree
+//! ([`crate::LctForest`]) are interchangeable backends. The contract has
+//! three layers:
+//!
+//! * **Lock-free reads** — [`DynamicForest::connected`],
+//!   [`DynamicForest::resolve_root_validated`] and the bulk doors must
+//!   implement the paper's Listing-1 retry protocol over per-representative
+//!   version words, optionally short-circuited by the version-validated
+//!   root-hint cache ([`crate::HintCache`]). Readers never block and never
+//!   observe a torn component: at every instant each component has exactly
+//!   one reader-visible sink (a node whose reader-visible parent word is
+//!   "none"), and every reachable parent chain ends at it.
+//! * **The two-rule bump discipline** (`DESIGN.md` §8/§12) — a conforming
+//!   writer (1) bumps the version of a component's current representative
+//!   *before* the first reader-visible store of any structural change, and
+//!   (2) bumps every representative that *stops* representing part of its
+//!   old component immediately *after* the store that deposes it. Rule 2 is
+//!   what kills hints installed inside the bump→store window; without it a
+//!   deposed representative's version would never move again and stale
+//!   claims would validate forever.
+//! * **Writer-side exactness** — [`DynamicForest::find_root_node`] is the
+//!   reader-style climb used by protocol-critical paths (per-component lock
+//!   acquisition, the published-removal handshake) and must never consult
+//!   hints; [`DynamicForest::component_root`] is the writer-exact
+//!   representative, valid under the component's lock even inside a
+//!   prepared-cut window.
+//!
+//! # Epoch pinning
+//!
+//! Backends that recycle nodes (the ETT retires tour edge nodes) must make
+//! every internal read-side traversal safe by pinning their reclamation
+//! domain; [`DynamicForest::pin`] exposes the same pin to callers composing
+//! multi-step traversals. Backends whose nodes are permanent (the LCT's
+//! per-vertex nodes) still expose a domain so the call is meaningful, but
+//! their pin bounds nothing — [`DynamicForest::node_occupancy`] is the
+//! portable way to assert storage stays bounded under churn.
+//!
+//! # Prepared cuts
+//!
+//! [`DynamicForest::prepare_cut`] physically separates the two would-be
+//! pieces while readers still observe one component (the detached piece's
+//! representative keeps a stale reader-visible parent into the retained
+//! piece). Between prepare and commit the caller may traverse both pieces
+//! ([`DynamicForest::visit_marked_vertices`], sizes, writer roots) and may
+//! [`DynamicForest::link`] across them (the replacement-found path, which
+//! closes the window); [`DynamicForest::commit_cut`] makes the split
+//! reader-visible with the rule-1/rule-2 bump order proven in `DESIGN.md`.
+//! Every prepared cut must be finished by exactly one of
+//! [`DynamicForest::commit_cut`] or [`DynamicForest::retire_cut_nodes`].
+//!
+//! # Scratch reuse
+//!
+//! The bulk doors ([`DynamicForest::connected_many_into`] and the scalar
+//! oracle) are expected to reuse per-thread scratch so steady-state calls
+//! allocate nothing beyond the output vector's own growth — both shipped
+//! backends route through thread-local scratch buffers.
+
+use crate::node::Mark;
+use dc_sync::{EpochGuard, RawRwLock};
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::ops::ControlFlow;
+
+use crate::arena::NodeRef;
+use crate::forest::EulerForest;
+
+/// A concurrent single-writer-per-component, multi-reader spanning forest
+/// usable as the per-level structure of the HDT core. See the module
+/// documentation for the full contract.
+pub trait DynamicForest: Send + Sync + Sized + 'static {
+    /// Opaque component representative handle. For the ETT this is the tour
+    /// treap root node; for the LCT it is the apex vertex. Only meaningful
+    /// for as long as the component is not restructured (the HDT's
+    /// climb–lock–recheck loop tolerates it going stale).
+    type Root: Copy + Eq + Ord + Hash + Debug + Send + Sync + 'static;
+
+    /// Opaque prepared-cut description returned by
+    /// [`DynamicForest::prepare_cut`].
+    type Prepared;
+
+    /// Short lowercase backend label used in test failure messages, bench
+    /// cells and registry knobs (`"ett"`, `"lct"`).
+    const BACKEND: &'static str;
+
+    /// Creates a forest of `n` isolated vertices with a deterministic seed
+    /// (the ETT derives treap priorities from it; backends without random
+    /// structure may ignore it).
+    fn with_seed(n: usize, seed: u64) -> Self;
+
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of spanning edges currently in the forest.
+    fn num_tree_edges(&self) -> usize;
+
+    /// Whether the spanning edge `(u, v)` is currently in the forest.
+    fn has_tree_edge(&self, u: u32, v: u32) -> bool;
+
+    // ----- lock-free reads --------------------------------------------------
+
+    /// Linearizable, non-blocking connectivity check (paper Listing 1 with
+    /// the root-hint fast path).
+    fn connected(&self, u: u32, v: u32) -> bool;
+
+    /// Resolves `v`'s component root as a *validated* `(root_vertex,
+    /// version)` claim — simultaneously current at some instant — consulting
+    /// the hint cache first and double-walking on a miss (installing the
+    /// fresh hint on the way out). Exactly one hit or miss is recorded per
+    /// call while hints are enabled.
+    fn resolve_root_validated(&self, v: u32) -> (u32, u64);
+
+    /// Answers a run of connectivity queries, appending to `out` in pair
+    /// order; each answer is individually linearizable. Backends with an
+    /// interleaved read engine route through it when enabled; others may
+    /// always take their scalar memo path.
+    fn connected_many_into(&self, pairs: &[(u32, u32)], out: &mut Vec<bool>);
+
+    /// The scalar memoized bulk read path (the differential oracle the
+    /// interleaved engines are tested against).
+    fn connected_many_scalar_into(&self, pairs: &[(u32, u32)], out: &mut Vec<bool>);
+
+    /// The current representative of `v`'s component by an exact
+    /// reader-style climb — **never** through the hint cache (the hint path
+    /// carries the 32-bit wraparound caveat, acceptable for one stale query
+    /// answer but not for mutual exclusion or the removal handshake).
+    fn find_root_node(&self, v: u32) -> Self::Root;
+
+    /// Whether `r` is still a current component representative (the
+    /// lock-acquisition recheck: lock first, then confirm the component did
+    /// not move).
+    fn is_current_root(&self, r: Self::Root) -> bool;
+
+    /// The per-component lock of representative `r` (level-0 only; lock
+    /// tables materialize lazily).
+    fn root_lock(&self, r: Self::Root) -> &RawRwLock;
+
+    /// Pins the backend's reclamation domain (see the module docs on epoch
+    /// pinning).
+    fn pin(&self) -> EpochGuard<'_>;
+
+    /// Node-storage slots currently allocated. Epoch-reclaiming backends
+    /// grow and shrink this with churn (soak tests gate on it staying
+    /// proportional to the live structure); permanent-node backends report a
+    /// constant.
+    fn node_occupancy(&self) -> usize;
+
+    // ----- writer-side (under the component lock) ---------------------------
+
+    /// Writer-exact component representative of `v` (valid under the
+    /// component's lock, including inside a prepared-cut window).
+    fn component_root(&self, v: u32) -> Self::Root;
+
+    /// Root comparison for callers already holding the locks covering both
+    /// components.
+    fn same_tree_locked(&self, u: u32, v: u32) -> bool;
+
+    /// Number of vertices in the tree rooted at `root`.
+    fn tree_size(&self, root: Self::Root) -> u32;
+
+    /// Number of vertices in `v`'s component (writer-side).
+    fn component_size(&self, v: u32) -> u32;
+
+    /// Adds the spanning edge `(u, v)`, merging two trees. The endpoints
+    /// must be in different trees (or different prepared pieces) and the
+    /// caller must be the unique writer for both.
+    fn link(&self, u: u32, v: u32);
+
+    /// Physically splits around spanning edge `(u, v)` without logically
+    /// disconnecting the pieces (see the module docs).
+    fn prepare_cut(&self, u: u32, v: u32) -> Self::Prepared;
+
+    /// Logically applies a prepared cut — the linearization point of a
+    /// spanning-edge removal without replacement.
+    fn commit_cut(&self, cut: &Self::Prepared);
+
+    /// Finishes a prepared cut whose pieces were re-linked instead of split
+    /// (the replacement-found path): releases whatever the cut still owns
+    /// without committing it.
+    fn retire_cut_nodes(&self, cut: &Self::Prepared);
+
+    /// `prepare_cut` + `commit_cut`.
+    fn cut(&self, u: u32, v: u32);
+
+    /// The representative and size of the smaller prepared piece (the HDT
+    /// promotes/scans the smaller side first, per the level-size invariant).
+    fn smaller_piece(&self, cut: &Self::Prepared) -> (Self::Root, u32);
+
+    // ----- subtree marks ----------------------------------------------------
+
+    /// Sets the self-contribution of `mark` on vertex `v`.
+    fn set_vertex_self_mark(&self, v: u32, mark: Mark, value: bool);
+
+    /// Reads the self-contribution of `mark` on vertex `v`.
+    fn vertex_self_mark(&self, v: u32, mark: Mark) -> bool;
+
+    /// Marks vertex `v` as having adjacent edges of kind `mark`, raising
+    /// whatever summaries the backend keeps so a subsequent
+    /// [`DynamicForest::visit_marked_vertices`] over `v`'s component finds
+    /// it. Lock-free: may race with restructuring (conservative extra
+    /// visibility is always safe).
+    fn mark_path_upward(&self, v: u32, mark: Mark);
+
+    /// Visits vertices of the tree rooted at `root`, guided by `mark`:
+    /// `f` is called **at least** for every vertex whose self-mark of kind
+    /// `mark` is set (it may be called for unmarked vertices too — callers
+    /// treat a visit as "look at this vertex's slots", which is harmless
+    /// when empty). `ControlFlow::Break` aborts the walk immediately.
+    /// Backends with aggregate summaries repair them along the walk (and
+    /// skip the repair of pending ancestors on an abort — the summaries stay
+    /// conservative, which is the safe direction). Writer-side: caller must
+    /// be the unique writer of `root`'s tree.
+    fn visit_marked_vertices(
+        &self,
+        root: Self::Root,
+        mark: Mark,
+        f: &mut dyn FnMut(u32) -> ControlFlow<()>,
+    );
+
+    /// Visits every spanning edge currently in the forest, normalized
+    /// `u < v`, in unspecified order (writer-quiescent callers only).
+    fn for_each_tree_edge(&self, f: &mut dyn FnMut(u32, u32));
+
+    // ----- hint & interleave knobs ------------------------------------------
+
+    /// Enables/disables the root-hint fast path on this forest.
+    fn set_read_hints(&self, enabled: bool);
+
+    /// Whether the hint fast path is active.
+    fn read_hints_enabled(&self) -> bool;
+
+    /// `(hits, misses)` of the forest's hint cache (zeros while the table
+    /// was never materialized).
+    fn read_hint_stats(&self) -> (u64, u64);
+
+    /// Whether the lazy hint table has materialized (diagnostics).
+    fn hints_materialized(&self) -> bool;
+
+    /// Diagnostics/tests: does `v` currently hold a hint that validates?
+    fn hint_valid(&self, v: u32) -> bool;
+
+    /// Routes bulk reads through the interleaved engine (advisory: backends
+    /// without one keep taking their scalar path).
+    fn set_interleaved_reads(&self, enabled: bool);
+
+    /// Whether bulk reads are routed through an interleaved engine.
+    fn interleaved_reads_enabled(&self) -> bool;
+
+    /// Sets the interleaved engine's walk width (advisory, clamped).
+    fn set_interleave_width(&self, width: usize);
+
+    /// The interleaved engine's current walk width.
+    fn interleave_width(&self) -> usize;
+
+    // ----- validation -------------------------------------------------------
+
+    /// Exhaustively checks the backend's structural invariants, panicking on
+    /// any violation (tests; writer-quiescent callers only).
+    fn validate(&self);
+}
+
+thread_local! {
+    /// Reusable two-phase DFS stack of the ETT's mark-guided walk
+    /// (`(node, children_done)` frames), kept per-thread so steady-state
+    /// replacement searches allocate nothing.
+    static ETT_WALK_STACK: Cell<Vec<(NodeRef, bool)>> = const { Cell::new(Vec::new()) };
+}
+
+impl DynamicForest for EulerForest {
+    type Root = NodeRef;
+    type Prepared = crate::forest::PreparedCut;
+
+    const BACKEND: &'static str = "ett";
+
+    fn with_seed(n: usize, seed: u64) -> Self {
+        EulerForest::with_seed(n, seed)
+    }
+
+    fn num_vertices(&self) -> usize {
+        EulerForest::num_vertices(self)
+    }
+
+    fn num_tree_edges(&self) -> usize {
+        EulerForest::num_tree_edges(self)
+    }
+
+    fn has_tree_edge(&self, u: u32, v: u32) -> bool {
+        EulerForest::has_tree_edge(self, u, v)
+    }
+
+    fn connected(&self, u: u32, v: u32) -> bool {
+        EulerForest::connected(self, u, v)
+    }
+
+    fn resolve_root_validated(&self, v: u32) -> (u32, u64) {
+        EulerForest::resolve_root_validated(self, v)
+    }
+
+    fn connected_many_into(&self, pairs: &[(u32, u32)], out: &mut Vec<bool>) {
+        EulerForest::connected_many_into(self, pairs, out)
+    }
+
+    fn connected_many_scalar_into(&self, pairs: &[(u32, u32)], out: &mut Vec<bool>) {
+        EulerForest::connected_many_scalar_into(self, pairs, out)
+    }
+
+    fn find_root_node(&self, v: u32) -> NodeRef {
+        EulerForest::find_root_node(self, v)
+    }
+
+    fn is_current_root(&self, r: NodeRef) -> bool {
+        self.node(r).parent().is_none()
+    }
+
+    fn root_lock(&self, r: NodeRef) -> &RawRwLock {
+        EulerForest::root_lock(self, r)
+    }
+
+    fn pin(&self) -> EpochGuard<'_> {
+        EulerForest::pin(self)
+    }
+
+    fn node_occupancy(&self) -> usize {
+        self.arena_occupancy()
+    }
+
+    fn component_root(&self, v: u32) -> NodeRef {
+        EulerForest::component_root(self, v)
+    }
+
+    fn same_tree_locked(&self, u: u32, v: u32) -> bool {
+        EulerForest::same_tree_locked(self, u, v)
+    }
+
+    fn tree_size(&self, root: NodeRef) -> u32 {
+        EulerForest::tree_size(self, root)
+    }
+
+    fn component_size(&self, v: u32) -> u32 {
+        EulerForest::component_size(self, v)
+    }
+
+    fn link(&self, u: u32, v: u32) {
+        EulerForest::link(self, u, v)
+    }
+
+    fn prepare_cut(&self, u: u32, v: u32) -> crate::forest::PreparedCut {
+        EulerForest::prepare_cut(self, u, v)
+    }
+
+    fn commit_cut(&self, cut: &crate::forest::PreparedCut) {
+        EulerForest::commit_cut(self, cut)
+    }
+
+    fn retire_cut_nodes(&self, cut: &crate::forest::PreparedCut) {
+        EulerForest::retire_cut_nodes(self, cut)
+    }
+
+    fn cut(&self, u: u32, v: u32) {
+        let _ = EulerForest::cut(self, u, v);
+    }
+
+    fn smaller_piece(&self, cut: &crate::forest::PreparedCut) -> (NodeRef, u32) {
+        cut.smaller_piece()
+    }
+
+    fn set_vertex_self_mark(&self, v: u32, mark: Mark, value: bool) {
+        EulerForest::set_vertex_self_mark(self, v, mark, value)
+    }
+
+    fn vertex_self_mark(&self, v: u32, mark: Mark) -> bool {
+        EulerForest::vertex_self_mark(self, v, mark)
+    }
+
+    fn mark_path_upward(&self, v: u32, mark: Mark) {
+        EulerForest::mark_path_upward(self, v, mark)
+    }
+
+    /// The aggregate-pruned two-phase walk (paper Listing 6): subtrees whose
+    /// aggregate flag is clear are skipped entirely, every visited node's
+    /// aggregate is recomputed post-order with the Lemma C.1 re-check, and
+    /// an abort leaves pending ancestors' aggregates untouched — the
+    /// conservative (safe) direction.
+    fn visit_marked_vertices(
+        &self,
+        root: NodeRef,
+        mark: Mark,
+        f: &mut dyn FnMut(u32) -> ControlFlow<()>,
+    ) {
+        let mut stack = ETT_WALK_STACK.with(|s| s.take());
+        stack.clear();
+        stack.push((root, false));
+        'walk: while let Some((r, children_done)) = stack.pop() {
+            if children_done {
+                // Post-order repair: recompute this node's aggregate now
+                // that both children carry exact flags.
+                self.recalculate_mark(r, mark);
+                continue;
+            }
+            if !self.subtree_has_mark(r, mark) {
+                continue;
+            }
+            if let Some(vertex) = self.node(r).vertex() {
+                if f(vertex).is_break() {
+                    // Abort without repairing pending ancestors: their
+                    // aggregates stay conservatively raised.
+                    break 'walk;
+                }
+            }
+            stack.push((r, true));
+            let node = self.node(r);
+            for child in [node.left(), node.right()] {
+                if child.is_some() {
+                    stack.push((child, false));
+                }
+            }
+        }
+        stack.clear();
+        ETT_WALK_STACK.with(|s| s.set(stack));
+    }
+
+    fn for_each_tree_edge(&self, f: &mut dyn FnMut(u32, u32)) {
+        EulerForest::for_each_tree_edge(self, f)
+    }
+
+    fn set_read_hints(&self, enabled: bool) {
+        EulerForest::set_read_hints(self, enabled)
+    }
+
+    fn read_hints_enabled(&self) -> bool {
+        EulerForest::read_hints_enabled(self)
+    }
+
+    fn read_hint_stats(&self) -> (u64, u64) {
+        EulerForest::read_hint_stats(self)
+    }
+
+    fn hints_materialized(&self) -> bool {
+        EulerForest::hints_materialized(self)
+    }
+
+    fn hint_valid(&self, v: u32) -> bool {
+        EulerForest::hint_valid(self, v)
+    }
+
+    fn set_interleaved_reads(&self, enabled: bool) {
+        EulerForest::set_interleaved_reads(self, enabled)
+    }
+
+    fn interleaved_reads_enabled(&self) -> bool {
+        EulerForest::interleaved_reads_enabled(self)
+    }
+
+    fn set_interleave_width(&self, width: usize) {
+        EulerForest::set_interleave_width(self, width)
+    }
+
+    fn interleave_width(&self) -> usize {
+        EulerForest::interleave_width(self)
+    }
+
+    fn validate(&self) {
+        EulerForest::validate(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<F: DynamicForest>() {
+        let f = F::with_seed(8, 42);
+        assert_eq!(f.num_vertices(), 8);
+        assert!(!DynamicForest::connected(&f, 0, 2));
+        f.link(0, 1);
+        f.link(1, 2);
+        assert!(DynamicForest::connected(&f, 0, 2));
+        assert!(f.has_tree_edge(0, 1));
+        assert_eq!(f.num_tree_edges(), 2);
+        assert_eq!(f.component_size(0), 3);
+        let root = f.find_root_node(0);
+        assert!(f.is_current_root(root));
+        assert_eq!(f.find_root_node(2), root);
+        DynamicForest::cut(&f, 1, 2);
+        assert!(!DynamicForest::connected(&f, 0, 2));
+        let mut edges = Vec::new();
+        f.for_each_tree_edge(&mut |u, v| edges.push((u, v)));
+        assert_eq!(edges, vec![(0, 1)]);
+        f.validate();
+    }
+
+    #[test]
+    fn euler_forest_satisfies_the_contract() {
+        exercise::<EulerForest>();
+        assert_eq!(EulerForest::BACKEND, "ett");
+    }
+
+    #[test]
+    fn marked_visit_reaches_self_marked_vertices() {
+        let f = EulerForest::with_seed(6, 7);
+        f.link(0, 1);
+        f.link(1, 2);
+        f.link(2, 3);
+        f.mark_path_upward(2, Mark::NonSpanning);
+        let root = f.component_root(0);
+        let mut seen = Vec::new();
+        DynamicForest::visit_marked_vertices(&f, root, Mark::NonSpanning, &mut |v| {
+            seen.push(v);
+            ControlFlow::Continue(())
+        });
+        assert!(seen.contains(&2), "marked vertex must be visited: {seen:?}");
+        // Break aborts immediately.
+        let mut first = None;
+        DynamicForest::visit_marked_vertices(&f, root, Mark::NonSpanning, &mut |v| {
+            first = Some(v);
+            ControlFlow::Break(())
+        });
+        assert!(first.is_some());
+    }
+}

@@ -1,0 +1,342 @@
+//! Concurrency tests for the link-cut-tree backend, mirroring the Euler
+//! Tour Tree suites (`forest_concurrent.rs`, `root_hints.rs`): lock-free
+//! readers run `connected` while a single writer restructures the forest
+//! through splays, and every invariant the §12 bump-discipline argument
+//! promises is asserted from the readers' side.
+
+use dc_ett::{DynamicForest, LctForest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Readers must never observe two vertices of a *permanently linked* pair as
+/// disconnected, no matter what the writer does elsewhere — the splay
+/// restructuring deposes O(log n) apexes per operation and every deposition
+/// must be covered by a bump before any reader can act on the stale root.
+#[test]
+fn readers_never_see_connected_pair_split_by_unrelated_churn() {
+    let n = 64u32;
+    let forest = Arc::new(LctForest::new(n as usize));
+    // Backbone path 0-1-2-...-15 stays in place for the whole test.
+    for v in 0..15 {
+        forest.link(v, v + 1);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        // Readers: vertices 0 and 15 are connected for the entire duration.
+        for reader_id in 0..3u64 {
+            let forest = Arc::clone(&forest);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(reader_id);
+                let mut checks = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let a = rng.gen_range(0..15u32);
+                    let b = rng.gen_range(0..15u32);
+                    assert!(
+                        forest.connected(a, b),
+                        "backbone pair ({a}, {b}) reported disconnected"
+                    );
+                    // Vertex 63 is never linked to anything in this test.
+                    assert!(
+                        !forest.connected(0, 63),
+                        "vertex 63 must stay isolated from the backbone"
+                    );
+                    checks += 1;
+                }
+                assert!(checks > 0);
+            });
+        }
+        // Writer: churn a random tree over 16..40 and a bridge (15, 16).
+        let forest_w = Arc::clone(&forest);
+        let stop_w = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xBEEF);
+            for _ in 0..1_000 {
+                forest_w.link(15, 16);
+                let mut attached = vec![16u32];
+                for v in 17..40u32 {
+                    let parent = attached[rng.gen_range(0..attached.len())];
+                    forest_w.link(parent, v);
+                    attached.push(v);
+                }
+                for v in (17..40u32).rev() {
+                    for p in attached.iter().copied() {
+                        if p != v && forest_w.has_tree_edge(p, v) {
+                            forest_w.cut(p, v);
+                            break;
+                        }
+                    }
+                }
+                forest_w.cut(15, 16);
+            }
+            stop_w.store(true, Ordering::Relaxed);
+        });
+    });
+    forest.validate();
+}
+
+/// Two stable paths and a toggling bridge: intra-side pairs stay connected,
+/// cross-universe pairs stay disconnected, the bridged pair may be either.
+#[test]
+fn readers_observe_only_legal_states_of_a_toggling_bridge() {
+    let forest = Arc::new(LctForest::new(32));
+    for v in 0..7 {
+        forest.link(v, v + 1);
+    }
+    for v in 8..15 {
+        forest.link(v, v + 1);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let forest = Arc::clone(&forest);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    assert!(forest.connected(2, 6));
+                    assert!(forest.connected(9, 14));
+                    let _ = forest.connected(0, 15);
+                    assert!(!forest.connected(0, 31));
+                }
+            });
+        }
+        let forest_w = Arc::clone(&forest);
+        let stop_w = Arc::clone(&stop);
+        s.spawn(move || {
+            for _ in 0..20_000 {
+                forest_w.link(3, 12);
+                forest_w.cut(3, 12);
+            }
+            stop_w.store(true, Ordering::Relaxed);
+        });
+    });
+    assert!(!forest.connected(0, 15));
+    forest.validate();
+}
+
+/// A prepared-but-uncommitted cut must be invisible to concurrent readers:
+/// the detached apex keeps its stale up word (plus the sink flag for the
+/// writer), so climbs from the detached piece still end at the retained
+/// root. The writer here always "finds a replacement" — relinking the same
+/// endpoints, whose `link` epilogue closes the window.
+#[test]
+fn prepared_cut_is_invisible_to_concurrent_readers() {
+    let forest = Arc::new(LctForest::new(16));
+    for v in 0..15 {
+        forest.link(v, v + 1);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let forest = Arc::clone(&forest);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    assert!(forest.connected(0, 15), "prepared cut leaked to readers");
+                }
+            });
+        }
+        let forest_w = Arc::clone(&forest);
+        let stop_w = Arc::clone(&stop);
+        s.spawn(move || {
+            for i in 0..2_000u32 {
+                let cut_at = 3 + (i % 9);
+                let cut = forest_w.prepare_cut(cut_at, cut_at + 1);
+                std::hint::black_box(&cut);
+                forest_w.link(cut_at, cut_at + 1);
+            }
+            stop_w.store(true, Ordering::Relaxed);
+        });
+    });
+    assert!(forest.connected(0, 15));
+    forest.validate();
+}
+
+/// The full window lifecycle under concurrent readers: between `prepare_cut`
+/// and `commit_cut` every reader sees one component; once the commit's
+/// bump–store–bump sequence runs, every reader that starts after it sees
+/// two. Both directions need real-time ordering to be assertable: the
+/// writer only commits after every reader has acknowledged draining its
+/// in-flight window-phase query (so those queries provably preceded the
+/// commit), and the committed phase is only published after `commit_cut`
+/// returns (so a reader observing it is ordered after the split and a
+/// `true` answer would be non-linearizable).
+#[test]
+fn committed_cut_becomes_visible_exactly_at_commit() {
+    let forest = Arc::new(LctForest::new(8));
+    forest.link(0, 1);
+    forest.link(1, 2);
+    forest.link(2, 3);
+    // 0 = window open, 1 = drain (stop querying, ack), 2 = committed,
+    // 3 = stop.
+    let phase = Arc::new(AtomicU8::new(0));
+    let drained = Arc::new(AtomicUsize::new(0));
+    let readers = 3usize;
+    let cut = forest.prepare_cut(1, 2);
+    std::thread::scope(|s| {
+        for _ in 0..readers {
+            let forest = Arc::clone(&forest);
+            let phase = Arc::clone(&phase);
+            let drained = Arc::clone(&drained);
+            s.spawn(move || {
+                let mut acked = false;
+                loop {
+                    match phase.load(Ordering::Acquire) {
+                        0 => assert!(
+                            forest.connected(0, 3),
+                            "prepared window leaked a disconnect"
+                        ),
+                        1 => {
+                            if !acked {
+                                drained.fetch_add(1, Ordering::AcqRel);
+                                acked = true;
+                            }
+                            std::hint::spin_loop();
+                        }
+                        2 => assert!(
+                            !forest.connected(0, 3),
+                            "committed cut still answered connected"
+                        ),
+                        _ => break,
+                    }
+                }
+            });
+        }
+        // Let the readers hammer the open window for a while.
+        for _ in 0..10_000 {
+            std::hint::spin_loop();
+        }
+        phase.store(1, Ordering::Release);
+        while drained.load(Ordering::Acquire) < readers {
+            std::hint::spin_loop();
+        }
+        forest.commit_cut(&cut);
+        phase.store(2, Ordering::Release);
+        for _ in 0..10_000 {
+            std::hint::spin_loop();
+        }
+        phase.store(3, Ordering::Release);
+    });
+    assert!(forest.connected(0, 1));
+    assert!(forest.connected(2, 3));
+    assert!(!forest.connected(0, 3));
+    forest.validate();
+}
+
+/// Epoch-reclaim soak with an occupancy gate: readers hold epoch pins while
+/// the writer performs a long link/cut stream. The LCT's nodes are permanent
+/// (vertex-indexed, never freed), so `node_occupancy` must stay exactly `n`
+/// through any amount of churn — a backend-visible leak or double-retire
+/// would move it.
+#[test]
+fn reclaim_soak_keeps_node_occupancy_constant() {
+    let n = 96usize;
+    let forest = Arc::new(LctForest::new(n));
+    let stop = Arc::new(AtomicBool::new(false));
+    assert_eq!(forest.node_occupancy(), n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let forest = Arc::clone(&forest);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(t);
+                    let mut completed = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let _pin = forest.pin();
+                        let a = rng.gen_range(0..n as u32);
+                        let b = rng.gen_range(0..n as u32);
+                        let _ = forest.connected(a, b);
+                        completed += 1;
+                    }
+                    completed
+                })
+            })
+            .collect();
+        let forest_w = Arc::clone(&forest);
+        let stop_w = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut edges: Vec<(u32, u32)> = Vec::new();
+            for step in 0..20_000 {
+                if edges.is_empty() || rng.gen_bool(0.55) {
+                    let u = rng.gen_range(0..n as u32);
+                    let v = rng.gen_range(0..n as u32);
+                    if u != v && !forest_w.connected(u, v) {
+                        forest_w.link(u, v);
+                        edges.push((u, v));
+                    }
+                } else {
+                    let i = rng.gen_range(0..edges.len());
+                    let (u, v) = edges.swap_remove(i);
+                    let prepared = forest_w.prepare_cut(u, v);
+                    forest_w.commit_cut(&prepared);
+                    forest_w.retire_cut_nodes(&prepared);
+                }
+                if step % 1_024 == 0 {
+                    assert_eq!(forest_w.node_occupancy(), n, "occupancy drifted");
+                }
+            }
+            stop_w.store(true, Ordering::Relaxed);
+        });
+        for h in handles {
+            let completed = h.join().unwrap();
+            assert!(completed > 0, "reader made no progress");
+        }
+    });
+    assert_eq!(forest.node_occupancy(), n);
+    forest.validate();
+}
+
+/// Hint-cache mirror of the ETT's churn test: the stable half's reads stay
+/// exact (and keep hitting) while the writer's bumps continuously invalidate
+/// the churned half's hints.
+#[test]
+fn concurrent_readers_stay_exact_while_another_component_churns() {
+    let forest = LctForest::new(16);
+    forest.set_read_hints(true);
+    for v in 8..15 {
+        forest.link(v, v + 1);
+    }
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for t in 0..3u64 {
+            let forest = &forest;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut x = 0x9E3779B97F4A7C15u64.wrapping_mul(t + 1);
+                let mut rand = move || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    let a = 8 + (rand() % 8) as u32;
+                    let b = 8 + (rand() % 8) as u32;
+                    assert!(forest.connected(a, b), "stable component split?!");
+                    let c = (rand() % 8) as u32;
+                    assert!(
+                        !forest.connected(a, c),
+                        "phantom edge between the churned and stable halves"
+                    );
+                    assert!(forest.connected(c, c));
+                }
+            });
+        }
+        for round in 0..2_000u32 {
+            let u = round % 7;
+            forest.link(u, u + 1);
+            forest.cut(u, u + 1);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let (hits, misses) = forest.read_hint_stats();
+    assert!(
+        hits > 0,
+        "stable-component reads must hit ({hits}/{misses})"
+    );
+    forest.validate();
+}
