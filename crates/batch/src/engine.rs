@@ -38,15 +38,89 @@
 //! two queries only ever collapse to their net edge set, which is the only
 //! thing the next query run can observe. See `DESIGN.md` §5 for the full
 //! argument.
+//!
+//! # Fault containment
+//!
+//! Batch leadership is an unwind boundary. A panic anywhere on the leader's
+//! drain → plan → apply → commit-hook path (a structural invariant trip, an
+//! exhausted arena mid-removal, a chaos injection from `dc_faults`) does
+//! *not* propagate into the other waiters' stacks or leave them spinning on
+//! claimed slots: the panicking leadership transitions the engine to a
+//! terminal **poisoned** state, sweeps the intake array releasing every
+//! open slot with [`EngineError::Poisoned`], dumps the `dc_obs` flight
+//! recorder, and only then gives up the leader lock. From that point every
+//! door fails fast — the `try_*` doors with a typed error, the
+//! [`DynamicConnectivity`] adapter by panicking on the caller's own thread.
+//! Recovery is a *rebuild from durable state* (`dc_durable`), never an
+//! in-place resume: the in-memory structure is assumed arbitrarily damaged.
+//!
+//! Waiting is bounded, not faith-based: the adapter's intake wait runs a
+//! spin → yield → park ladder ([`dc_sync::WaitPolicy`]) whose optional
+//! deadline turns a wedged leader into [`EngineError::Timeout`] on the
+//! waiter's thread — the publication is withdrawn race-free
+//! ([`dc_sync::IntakeArray::retract`]) so no later batch can observe a
+//! half-abandoned operation. See `DESIGN.md` §13 for the failure model.
 
 use crate::plan::UpdatePlan;
 use dc_ett::{DynamicForest, EulerForest};
+use dc_faults::InjectionPoint;
 use dc_graph::Edge;
-use dc_sync::{waitstats, IntakeArray, RawSpinLock, SlotPoll};
+use dc_sync::{waitstats, IntakeArray, RawSpinLock, SlotPoll, WaitLadder, WaitPolicy, WaitStep};
 use dynconn::{BatchConnectivity, BatchOp, DynamicConnectivity, Hdt, QueryResult};
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Typed failure of the engine's fallible doors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// A batch leader panicked and the engine is permanently poisoned: the
+    /// in-memory structure may be arbitrarily damaged, so every subsequent
+    /// operation is refused. Recover by rebuilding from durable state (the
+    /// `dc_durable` layer's recovery door) — the poison message is kept in
+    /// [`BatchEngine::poison_note`] for the post-mortem, and the flight
+    /// recorder was dumped at the moment of the panic.
+    Poisoned,
+    /// The calling thread's bounded intake wait ([`WaitPolicy::max_wait`])
+    /// expired before any leader resolved its operation. The operation was
+    /// withdrawn and had no effect; the caller may retry. Never returned
+    /// under the default (unbounded) policy.
+    Timeout,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Poisoned => {
+                write!(
+                    f,
+                    "engine poisoned by a leader panic; rebuild from durable state"
+                )
+            }
+            EngineError::Timeout => write!(f, "bounded intake wait expired"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+const STATE_RUNNING: u8 = 0;
+const STATE_POISONED: u8 = 1;
+
+/// Best-effort text of a panic payload (`panic!` with a message covers the
+/// `&str` / `String` cases; anything else stays opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "non-string panic payload"
+    }
+}
 
 /// Minimum number of distinct query pairs each fanned-out thread must
 /// receive: a scoped-thread spawn costs more than a few hundred lock-free
@@ -80,6 +154,9 @@ struct EngineCounters {
     submitted_queries: AtomicU64,
     /// Duplicate queries answered by one shared read (bulk door).
     coalesced_queries: AtomicU64,
+    /// Additions the forest refused for capacity (surfaced through
+    /// [`BatchEngine::drain_rejected`], excluded from the commit hook).
+    rejected_updates: AtomicU64,
 }
 
 /// A point-in-time copy of the engine counters.
@@ -97,6 +174,9 @@ pub struct BatchStats {
     pub submitted_queries: u64,
     /// Duplicate queries answered by one shared read (bulk door).
     pub coalesced_queries: u64,
+    /// Additions the forest refused for capacity (see
+    /// [`BatchEngine::drain_rejected`]).
+    pub rejected_updates: u64,
 }
 
 impl BatchStats {
@@ -120,6 +200,7 @@ struct Scratch {
     query_slots: Vec<usize>,
     adds: Vec<Edge>,
     removes: Vec<Edge>,
+    rejected: Vec<Edge>,
     queries: QueryScratch,
 }
 
@@ -138,12 +219,20 @@ struct QueryScratch {
 /// [`DynamicForest`] backend (ETT by default). See the module docs.
 pub struct BatchEngine<F: DynamicForest = EulerForest> {
     hdt: Hdt<F>,
-    intake: IntakeArray<BatchOp, ()>,
+    intake: IntakeArray<BatchOp, Result<(), EngineError>>,
     leader: RawSpinLock,
     scratch: UnsafeCell<Scratch>,
     counters: EngineCounters,
     query_threads: usize,
     commit_hook: Option<CommitHook<F>>,
+    /// `STATE_RUNNING` until a leader panics, then `STATE_POISONED` forever.
+    state: AtomicU8,
+    /// The first poisoning panic's message (later panics don't overwrite).
+    poison_note: Mutex<Option<String>>,
+    /// Capacity-rejected additions awaiting [`BatchEngine::drain_rejected`].
+    rejected: Mutex<Vec<Edge>>,
+    /// How adapter callers wait on their intake slots.
+    wait_policy: WaitPolicy,
 }
 
 // SAFETY: `scratch` is only accessed while `leader` is held (the bulk door
@@ -178,7 +267,11 @@ impl<F: DynamicForest> BatchEngine<F> {
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);
-        Self::with_options_on(n, IntakeArray::<BatchOp, ()>::DEFAULT_SLOTS, threads)
+        Self::with_options_on(
+            n,
+            IntakeArray::<BatchOp, Result<(), EngineError>>::DEFAULT_SLOTS,
+            threads,
+        )
     }
 
     /// Creates an engine on backend `F` with explicit intake capacity (max
@@ -200,7 +293,19 @@ impl<F: DynamicForest> BatchEngine<F> {
             counters: EngineCounters::default(),
             query_threads: query_threads.max(1),
             commit_hook: None,
+            state: AtomicU8::new(STATE_RUNNING),
+            poison_note: Mutex::new(None),
+            rejected: Mutex::new(Vec::new()),
+            wait_policy: WaitPolicy::default(),
         }
+    }
+
+    /// Sets how adapter callers wait on their intake slots (spin / yield
+    /// budget, park backoff, optional deadline — see [`WaitPolicy`]). Takes
+    /// `&mut self` like [`BatchEngine::set_commit_hook`]: the policy must be
+    /// in place before the engine is shared.
+    pub fn set_wait_policy(&mut self, policy: WaitPolicy) {
+        self.wait_policy = policy;
     }
 
     /// Installs the commit hook (see [`CommitHook`]). Takes `&mut self` on
@@ -236,25 +341,81 @@ impl<F: DynamicForest> BatchEngine<F> {
             applied_updates: self.counters.applied_updates.load(Ordering::Relaxed),
             submitted_queries: self.counters.submitted_queries.load(Ordering::Relaxed),
             coalesced_queries: self.counters.coalesced_queries.load(Ordering::Relaxed),
+            rejected_updates: self.counters.rejected_updates.load(Ordering::Relaxed),
         }
+    }
+
+    // ----- fault containment -------------------------------------------------
+
+    /// Whether a leader panic poisoned the engine (see [`EngineError::Poisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.state.load(Ordering::Acquire) == STATE_POISONED
+    }
+
+    /// The first poisoning panic's message, if the engine is poisoned.
+    pub fn poison_note(&self) -> Option<String> {
+        self.poison_note
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Drains the additions the forest refused for capacity since the last
+    /// call. A rejected addition was *not* applied and *not* reported to the
+    /// commit hook — callers that must not lose writes re-submit them after
+    /// raising capacity (or route them elsewhere). Tallied on
+    /// [`BatchStats::rejected_updates`] and
+    /// [`dc_obs::Counter::CapacityRejections`].
+    pub fn drain_rejected(&self) -> Vec<Edge> {
+        std::mem::take(&mut *self.rejected.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Terminal transition after a leader panic. Runs under the leader lock
+    /// the panicking leadership still holds: records the note, flips the
+    /// state, releases every open intake slot with
+    /// [`EngineError::Poisoned`], and dumps the flight recorder for the
+    /// post-mortem before the caller gives up the lock.
+    fn poison(&self, door: &str, payload: &(dyn std::any::Any + Send)) {
+        let note = format!("{door}: {}", panic_message(payload));
+        if self.state.swap(STATE_POISONED, Ordering::AcqRel) == STATE_RUNNING {
+            *self.poison_note.lock().unwrap_or_else(|e| e.into_inner()) = Some(note);
+        }
+        // Release everyone *after* the state flip: a waiter that misses the
+        // sweep (publishes later) observes the flag and retracts itself.
+        let released = self.intake.sweep_open(|| Err(EngineError::Poisoned));
+        dc_obs::counter_add(dc_obs::Counter::EnginePoisons, 1);
+        dc_obs::gauge_set(dc_obs::Gauge::EnginePoisoned, 1);
+        dc_obs::event(
+            dc_obs::EventKind::EnginePoison,
+            self.counters.batches.load(Ordering::Relaxed)
+                + self.counters.bulk_batches.load(Ordering::Relaxed),
+            released as u64,
+        );
+        dc_obs::auto_dump("engine-poisoned");
     }
 
     // ----- the single-op adapter door ----------------------------------------
 
     /// Publishes one operation and blocks until it is resolved, combining it
     /// with every concurrently published operation. Returns the answer for
-    /// queries, `None` for updates.
-    fn execute_op(&self, op: BatchOp) -> Option<bool> {
+    /// queries, `None` for updates; fails fast on a poisoned engine and
+    /// types out an expired bounded wait.
+    fn execute_op(&self, op: BatchOp) -> Result<Option<bool>, EngineError> {
+        if self.is_poisoned() {
+            return Err(EngineError::Poisoned);
+        }
+        dc_faults::maybe_stall(InjectionPoint::IntakeStall);
         let idx = self.intake.publish(op);
         // Time blocked in the intake (waiting for a leader to resolve the
         // slot) counts as lock-wait for the active-time-rate statistic;
         // leading a batch is work, so the timer pauses around it.
         let mut timer = waitstats::WaitTimer::start();
+        let mut ladder = WaitLadder::new(self.wait_policy);
         loop {
             match self.intake.poll(idx) {
-                SlotPoll::Done(()) => {
+                SlotPoll::Done(res) => {
                     timer.finish();
-                    return None;
+                    return res.map(|()| None);
                 }
                 SlotPoll::HandedBack(op) => {
                     timer.finish();
@@ -262,20 +423,61 @@ impl<F: DynamicForest> BatchEngine<F> {
                     // query back: answer it here, in parallel with the rest
                     // of the batch's queries, against the post-batch state.
                     let (u, v) = op.endpoints();
-                    return Some(self.hdt.connected(u, v));
+                    return Ok(Some(self.hdt.connected(u, v)));
+                }
+                SlotPoll::Pending if self.is_poisoned() => {
+                    // Withdraw: either nobody ever saw the op (retract wins)
+                    // or a leadership claimed it, in which case the poison
+                    // sweep resolves the slot imminently — keep polling.
+                    if self.intake.retract(idx).is_some() {
+                        timer.finish();
+                        return Err(EngineError::Poisoned);
+                    }
+                    std::hint::spin_loop();
                 }
                 SlotPoll::Pending => {
                     if self.leader.try_lock() {
                         timer.finish();
-                        self.run_adapter_batch();
+                        self.lead_adapter_batch();
                         self.leader.unlock();
                         timer = waitstats::WaitTimer::start();
+                        // Leading was forward progress: restart the ladder's
+                        // cheap phase (the deadline, if any, keeps running).
+                        ladder.reset_phase();
                     } else {
-                        std::hint::spin_loop();
-                        std::thread::yield_now();
+                        match ladder.step() {
+                            WaitStep::Continue => {}
+                            WaitStep::TimedOut => {
+                                if self.intake.retract(idx).is_some() {
+                                    timer.finish();
+                                    dc_obs::counter_add(dc_obs::Counter::WaitTimeouts, 1);
+                                    return Err(EngineError::Timeout);
+                                }
+                                // A leader claimed the op after the deadline
+                                // expired; it resolves the slot imminently.
+                                std::hint::spin_loop();
+                            }
+                        }
                     }
                 }
             }
+        }
+    }
+
+    /// One adapter leadership: runs the batch behind the unwind boundary,
+    /// poisoning the engine if it panics. Must hold the leader lock; never
+    /// unwinds.
+    fn lead_adapter_batch(&self) {
+        if self.is_poisoned() {
+            // A previous leadership poisoned the engine; sweep anything
+            // published since (late publishers also self-retract, but the
+            // sweep is cheap and releases them without waiting for their
+            // next poll).
+            self.intake.sweep_open(|| Err(EngineError::Poisoned));
+            return;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| self.run_adapter_batch())) {
+            self.poison("adapter batch leader panicked", payload.as_ref());
         }
     }
 
@@ -313,11 +515,20 @@ impl<F: DynamicForest> BatchEngine<F> {
                 BatchOp::Query(_, _) => unreachable!("queries are never in the update list"),
             }
         }
-        self.flush_plan(&mut scratch.plan, &mut scratch.adds, &mut scratch.removes);
+        self.flush_plan(
+            &mut scratch.plan,
+            &mut scratch.adds,
+            &mut scratch.removes,
+            &mut scratch.rejected,
+        );
 
-        // Fan out: updates are done, wake their callers...
+        // Fan out: updates are done, wake their callers. (A capacity-
+        // rejected addition still completes with `Ok` — per-edge rejection
+        // is reported out-of-band through `drain_rejected`, because the
+        // owner of an annihilated duplicate can't be told apart from the
+        // owner of the rejected survivor.)
         for &idx in &scratch.update_slots {
-            self.intake.complete(idx, ());
+            self.intake.complete(idx, Ok(()));
         }
         // ...and hand every query back, to run on its owner's thread against
         // the consistent post-batch state (including the leader's own query,
@@ -332,35 +543,72 @@ impl<F: DynamicForest> BatchEngine<F> {
 
     /// Compacts `plan` and applies the surviving updates in one combined
     /// pass. Must hold the leader lock (the single-writer role).
-    fn flush_plan(&self, plan: &mut UpdatePlan, adds: &mut Vec<Edge>, removes: &mut Vec<Edge>) {
+    ///
+    /// Additions the forest refuses for capacity land in `rejected` (and
+    /// the engine's [`BatchEngine::drain_rejected`] buffer) and are filtered
+    /// out of `adds` *before* the commit hook runs, so the durable log only
+    /// ever records updates that actually applied. A panic anywhere in here
+    /// (including the two chaos injection points) unwinds into the calling
+    /// leadership's boundary and poisons the engine.
+    fn flush_plan(
+        &self,
+        plan: &mut UpdatePlan,
+        adds: &mut Vec<Edge>,
+        removes: &mut Vec<Edge>,
+        rejected: &mut Vec<Edge>,
+    ) {
         if plan.is_empty() {
             return;
         }
         adds.clear();
         removes.clear();
+        rejected.clear();
         let _span = dc_obs::span(dc_obs::SpanId::BatchFlush);
         let hdt = &self.hdt;
         let survivors = plan.compact_into(|e| hdt.has_edge(e.u(), e.v()), adds, removes);
         self.counters
             .submitted_updates
             .fetch_add(plan.submitted() as u64, Ordering::Relaxed);
-        self.counters
-            .applied_updates
-            .fetch_add(survivors as u64, Ordering::Relaxed);
-        dc_obs::counter_add(dc_obs::Counter::BatchUpdatesApplied, survivors as u64);
         dc_obs::event(
             dc_obs::EventKind::BatchFlush,
             survivors as u64,
             (plan.submitted() - survivors) as u64,
         );
-        self.hdt.apply_compacted_batch_locked(adds, removes);
+        // Chaos: die with the batch compacted but *nothing* applied — the
+        // whole batch must be invisible to both the structure and the log.
+        if dc_faults::should_inject(InjectionPoint::LeaderPanicBeforeApply) {
+            panic!("chaos injection: leader panic before apply");
+        }
+        self.hdt
+            .try_apply_compacted_batch_locked(adds, removes, rejected);
+        if !rejected.is_empty() {
+            self.counters
+                .rejected_updates
+                .fetch_add(rejected.len() as u64, Ordering::Relaxed);
+            adds.retain(|e| !rejected.contains(e));
+            self.rejected
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend_from_slice(rejected);
+        }
+        let applied = survivors - rejected.len();
+        self.counters
+            .applied_updates
+            .fetch_add(applied as u64, Ordering::Relaxed);
+        dc_obs::counter_add(dc_obs::Counter::BatchUpdatesApplied, applied as u64);
         // The batch is applied but none of its callers have been released:
         // the commit hook observes every batch at its linearization point,
-        // with the structure quiescent. Fully annihilated batches changed
-        // nothing and are invisible to recovery, so they are not reported.
-        if survivors > 0 {
+        // with the structure quiescent. Fully annihilated (or fully
+        // rejected) batches changed nothing and are invisible to recovery,
+        // so they are not reported.
+        if !adds.is_empty() || !removes.is_empty() {
             if let Some(hook) = &self.commit_hook {
                 hook(&self.hdt, adds, removes);
+            }
+            // Chaos: die with the batch applied *and* logged — recovery must
+            // replay it; the callers were never acked.
+            if dc_faults::should_inject(InjectionPoint::LeaderPanicAfterCommit) {
+                panic!("chaos injection: leader panic after commit hook");
             }
         }
         plan.clear();
@@ -455,46 +703,70 @@ impl<F: DynamicForest> BatchEngine<F> {
     }
 }
 
-impl<F: DynamicForest> DynamicConnectivity for BatchEngine<F> {
-    fn add_edge(&self, u: u32, v: u32) {
+impl<F: DynamicForest> BatchEngine<F> {
+    // ----- the typed (fallible) doors ----------------------------------------
+
+    /// [`DynamicConnectivity::add_edge`] with engine faults surfaced as
+    /// values instead of panics.
+    pub fn try_add_edge(&self, u: u32, v: u32) -> Result<(), EngineError> {
         if u == v {
-            return;
+            return Ok(());
         }
-        self.execute_op(BatchOp::Add(u, v));
+        self.execute_op(BatchOp::Add(u, v)).map(|_| ())
     }
 
-    fn remove_edge(&self, u: u32, v: u32) {
+    /// [`DynamicConnectivity::remove_edge`] with engine faults surfaced as
+    /// values instead of panics.
+    pub fn try_remove_edge(&self, u: u32, v: u32) -> Result<(), EngineError> {
         if u == v {
-            return;
+            return Ok(());
         }
-        self.execute_op(BatchOp::Remove(u, v));
+        self.execute_op(BatchOp::Remove(u, v)).map(|_| ())
     }
 
-    fn connected(&self, u: u32, v: u32) -> bool {
+    /// [`DynamicConnectivity::connected`] with engine faults surfaced as
+    /// values instead of panics.
+    pub fn try_connected(&self, u: u32, v: u32) -> Result<bool, EngineError> {
         if u == v {
-            return true;
+            return Ok(true);
         }
-        self.execute_op(BatchOp::Query(u, v))
-            .expect("a query always resolves to an answer")
+        Ok(self
+            .execute_op(BatchOp::Query(u, v))?
+            .expect("a query always resolves to an answer"))
     }
 
-    fn num_vertices(&self) -> usize {
-        self.hdt.num_vertices()
-    }
-
-    fn read_hint_counters(&self) -> Option<(u64, u64)> {
-        let stats = self.hdt.stats();
-        Some((stats.read_hint_hits, stats.read_hint_misses))
-    }
-}
-
-impl<F: DynamicForest> BatchConnectivity for BatchEngine<F> {
-    fn apply_batch(&self, ops: &[BatchOp]) -> Vec<QueryResult> {
+    /// [`BatchConnectivity::apply_batch`] with engine faults surfaced as
+    /// values instead of panics. Never returns [`EngineError::Timeout`]:
+    /// the bulk door takes the leader lock blocking.
+    pub fn try_apply_batch(&self, ops: &[BatchOp]) -> Result<Vec<QueryResult>, EngineError> {
+        if self.is_poisoned() {
+            return Err(EngineError::Poisoned);
+        }
         // The bulk door takes the same leader lock as the adapter batches —
         // one combined writer at a time. The lock is held for the *whole*
         // bulk batch, so adapter callers wait out the full batch; bulk batch
         // size is therefore also the adapter's worst-case latency knob.
         self.leader.lock();
+        if self.is_poisoned() {
+            // Poisoned while we queued for leadership.
+            self.leader.unlock();
+            return Err(EngineError::Poisoned);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.run_bulk_batch(ops)));
+        let result = match outcome {
+            Ok(results) => Ok(results),
+            Err(payload) => {
+                self.poison("bulk batch leader panicked", payload.as_ref());
+                Err(EngineError::Poisoned)
+            }
+        };
+        self.leader.unlock();
+        result
+    }
+
+    /// The bulk batch body; runs behind [`BatchEngine::try_apply_batch`]'s
+    /// unwind boundary with the leader lock held.
+    fn run_bulk_batch(&self, ops: &[BatchOp]) -> Vec<QueryResult> {
         self.counters.bulk_batches.fetch_add(1, Ordering::Relaxed);
         // SAFETY: leader lock held — exclusive access to the scratch state.
         let scratch = unsafe { &mut *self.scratch.get() };
@@ -516,15 +788,114 @@ impl<F: DynamicForest> BatchConnectivity for BatchEngine<F> {
                     scratch.plan.record(false, u, v);
                 }
                 BatchOp::Query(u, v) => {
-                    self.flush_plan(&mut scratch.plan, &mut scratch.adds, &mut scratch.removes);
+                    self.flush_plan(
+                        &mut scratch.plan,
+                        &mut scratch.adds,
+                        &mut scratch.removes,
+                        &mut scratch.rejected,
+                    );
                     scratch.queries.run.push((op_index, u, v));
                 }
             }
         }
-        self.flush_plan(&mut scratch.plan, &mut scratch.adds, &mut scratch.removes);
+        self.flush_plan(
+            &mut scratch.plan,
+            &mut scratch.adds,
+            &mut scratch.removes,
+            &mut scratch.rejected,
+        );
         self.answer_query_run(&mut scratch.queries, &mut results);
-        self.leader.unlock();
         results
+    }
+}
+
+impl BatchEngine {
+    /// Spawns a [`dc_faults::Watchdog`] wired to this engine (ETT backend):
+    ///
+    /// * **`batch-leader`** — active while the leader lock is held; progress
+    ///   is the batch count. A leadership that holds the lock without
+    ///   finishing a batch for `stall_ticks` probe intervals flags
+    ///   [`dc_obs::Gauge::WatchdogStalledProbes`] and logs a
+    ///   [`dc_obs::EventKind::WatchdogStall`] flight event.
+    /// * **`ett-epoch`** — active while any reader pin is outstanding;
+    ///   progress is the reclamation epoch. A pin that wedges the epoch
+    ///   (a parked reader blocking every grace period) flags the same way.
+    ///
+    /// The handle stops and joins the thread on drop. Purely observational:
+    /// the watchdog never intervenes. (Other backends: build a
+    /// [`dc_faults::Watchdog`] by hand from whatever probes fit.)
+    pub fn spawn_watchdog(
+        self: &Arc<Self>,
+        interval: Duration,
+        stall_ticks: u32,
+    ) -> dc_faults::WatchdogHandle {
+        let leader = Arc::downgrade(self);
+        let epoch = Arc::downgrade(self);
+        dc_faults::Watchdog::new(interval, stall_ticks)
+            .probe(dc_faults::Probe::new("batch-leader", move || {
+                let engine = leader.upgrade()?;
+                if !engine.leader.is_locked() {
+                    return None;
+                }
+                Some(
+                    engine.counters.batches.load(Ordering::Relaxed)
+                        + engine.counters.bulk_batches.load(Ordering::Relaxed),
+                )
+            }))
+            .probe(dc_faults::Probe::new("ett-epoch", move || {
+                let engine = epoch.upgrade()?;
+                let domain = engine.hdt.forest(0).epoch_domain();
+                if domain.active_pins() == 0 {
+                    return None;
+                }
+                Some(domain.current_epoch())
+            }))
+            .spawn()
+    }
+}
+
+impl<F: DynamicForest> DynamicConnectivity for BatchEngine<F> {
+    fn add_edge(&self, u: u32, v: u32) {
+        if let Err(e) = self.try_add_edge(u, v) {
+            panic!("BatchEngine::add_edge: {e} (use the try_* doors to handle engine faults)");
+        }
+    }
+
+    fn remove_edge(&self, u: u32, v: u32) {
+        if let Err(e) = self.try_remove_edge(u, v) {
+            panic!("BatchEngine::remove_edge: {e} (use the try_* doors to handle engine faults)");
+        }
+    }
+
+    fn connected(&self, u: u32, v: u32) -> bool {
+        match self.try_connected(u, v) {
+            Ok(answer) => answer,
+            Err(e) => {
+                panic!("BatchEngine::connected: {e} (use the try_* doors to handle engine faults)")
+            }
+        }
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.hdt.num_vertices()
+    }
+
+    fn read_hint_counters(&self) -> Option<(u64, u64)> {
+        let stats = self.hdt.stats();
+        Some((stats.read_hint_hits, stats.read_hint_misses))
+    }
+}
+
+impl<F: DynamicForest> BatchConnectivity for BatchEngine<F> {
+    fn apply_batch(&self, ops: &[BatchOp]) -> Vec<QueryResult> {
+        match self.try_apply_batch(ops) {
+            Ok(results) => results,
+            Err(e) => {
+                panic!(
+                    "BatchEngine::apply_batch: {e} (use try_apply_batch to handle engine faults)"
+                )
+            }
+        }
     }
 }
 
@@ -688,6 +1059,183 @@ mod tests {
             sequential_apply_batch(&oracle, &ops)
         );
         engine.hdt().validate();
+    }
+
+    #[test]
+    fn leader_panic_poisons_instead_of_hanging() {
+        let _guard = dc_faults::test_guard();
+        let mut engine = BatchEngine::new(8);
+        engine.set_commit_hook(Box::new(|_, _, _| panic!("hook exploded")));
+        let engine = Arc::new(engine);
+        // The first update batch trips the hook on our own leadership; the
+        // unwind boundary converts it into the typed poison.
+        assert_eq!(engine.try_add_edge(0, 1), Err(EngineError::Poisoned));
+        assert!(engine.is_poisoned());
+        let note = engine.poison_note().expect("poison note recorded");
+        assert!(note.contains("hook exploded"), "{note}");
+        // Every door fails fast, from any thread.
+        assert_eq!(engine.try_remove_edge(0, 1), Err(EngineError::Poisoned));
+        assert_eq!(engine.try_connected(0, 1), Err(EngineError::Poisoned));
+        assert_eq!(
+            engine.try_apply_batch(&[BatchOp::Add(2, 3)]),
+            Err(EngineError::Poisoned)
+        );
+        let remote = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            assert_eq!(remote.try_add_edge(4, 5), Err(EngineError::Poisoned));
+        })
+        .join()
+        .unwrap();
+        // The infallible trait doors panic on the caller's thread instead.
+        let trait_door = catch_unwind(AssertUnwindSafe(|| engine.add_edge(6, 7)));
+        assert!(trait_door.is_err());
+    }
+
+    #[test]
+    fn poison_releases_every_blocked_waiter() {
+        let _guard = dc_faults::test_guard();
+        let mut engine = BatchEngine::new(64);
+        engine.set_commit_hook(Box::new(|_, _, _| {
+            // Let waiters pile up behind this leadership before dying.
+            std::thread::sleep(Duration::from_millis(50));
+            panic!("hook exploded mid-batch");
+        }));
+        let engine = Arc::new(engine);
+        let mut outcomes = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..6u32 {
+                let engine = Arc::clone(&engine);
+                handles.push(s.spawn(move || engine.try_add_edge(t * 2, t * 2 + 1)));
+            }
+            for h in handles {
+                outcomes.push(h.join().unwrap());
+            }
+        });
+        // No waiter hung (the scope joined) and no waiter was acked: the
+        // first leadership panicked before completing any slot, later
+        // publishers saw the poison flag or were swept.
+        assert!(engine.is_poisoned());
+        assert!(outcomes.iter().all(|r| *r == Err(EngineError::Poisoned)));
+    }
+
+    #[test]
+    fn chaos_injection_panics_and_poisons_before_apply() {
+        let _guard = dc_faults::test_guard();
+        dc_faults::install(Arc::new(dc_faults::ChaosSchedule::from_config(
+            dc_faults::ChaosConfig {
+                horizon: 1,
+                faults_per_point: {
+                    let mut f = [0; dc_faults::InjectionPoint::COUNT];
+                    f[InjectionPoint::LeaderPanicBeforeApply as usize] = 1;
+                    f
+                },
+                ..Default::default()
+            },
+        )));
+        let engine = BatchEngine::new(8);
+        let result = engine.try_add_edge(0, 1);
+        dc_faults::uninstall();
+        assert_eq!(result, Err(EngineError::Poisoned));
+        assert!(engine.is_poisoned());
+        let note = engine.poison_note().unwrap();
+        assert!(note.contains("chaos injection"), "{note}");
+        // The panic fired before the apply: the structure never saw the add.
+        assert!(!engine.hdt().has_edge(0, 1));
+    }
+
+    #[test]
+    fn bounded_wait_times_out_under_a_stalled_leader() {
+        let _guard = dc_faults::test_guard();
+        waitstats::set_enabled(true);
+        waitstats::reset();
+        let mut engine = BatchEngine::new(8);
+        engine.set_wait_policy(WaitPolicy::with_deadline(Duration::from_millis(25)));
+        let engine = Arc::new(engine);
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|s| {
+            let staller = Arc::clone(&engine);
+            s.spawn(move || {
+                staller.with_exclusive(|_| {
+                    tx.send(()).unwrap();
+                    std::thread::sleep(Duration::from_millis(200));
+                });
+            });
+            rx.recv().unwrap();
+            let t0 = std::time::Instant::now();
+            assert_eq!(engine.try_add_edge(0, 1), Err(EngineError::Timeout));
+            assert!(
+                t0.elapsed() < Duration::from_millis(190),
+                "the deadline must fire while the leader is still stalled"
+            );
+        });
+        // The parked wait was accounted (satellite: the ladder feeds the
+        // waitstats active-time-rate statistic).
+        assert!(waitstats::wait_events() > 0);
+        assert!(waitstats::total_wait_nanos() > 0);
+        waitstats::set_enabled(false);
+        // The withdrawn op had no effect; the engine is healthy.
+        assert!(!engine.is_poisoned());
+        assert!(!engine.connected(0, 1));
+    }
+
+    #[test]
+    fn capacity_rejected_adds_are_drained_not_applied() {
+        let _guard = dc_faults::test_guard();
+        let engine = BatchEngine::new(8);
+        engine.add_edge(0, 1);
+        // Cap the arena: the next spanning link's bump allocation must fail.
+        engine.hdt().forest(0).set_node_limit(Some(0));
+        engine.add_edge(2, 3); // trait door still acks; rejection is out-of-band
+        assert!(!engine.connected(2, 3));
+        assert!(
+            !engine.is_poisoned(),
+            "capacity is a rejection, not a fault"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.rejected_updates, 1);
+        assert_eq!(engine.drain_rejected(), vec![dc_graph::Edge::new(2, 3)]);
+        assert!(
+            engine.drain_rejected().is_empty(),
+            "drain empties the buffer"
+        );
+        // Raising the cap heals the path; nothing was poisoned or lost.
+        engine.hdt().forest(0).set_node_limit(None);
+        engine.add_edge(2, 3);
+        assert!(engine.connected(2, 3));
+    }
+
+    #[test]
+    fn rejected_adds_never_reach_the_commit_hook() {
+        let _guard = dc_faults::test_guard();
+        let logged: Arc<std::sync::Mutex<Vec<Edge>>> = Arc::default();
+        let mut engine = BatchEngine::new(8);
+        let sink = Arc::clone(&logged);
+        engine.set_commit_hook(Box::new(move |_, adds, _| {
+            sink.lock().unwrap().extend_from_slice(adds);
+        }));
+        engine.hdt().forest(0).set_node_limit(Some(0));
+        // One rejected spanning add and one applied non-spanning no-op
+        // batch: only applied updates may reach the log.
+        let results = engine
+            .try_apply_batch(&[BatchOp::Add(0, 1), BatchOp::Query(0, 1)])
+            .unwrap();
+        assert!(!results[0].connected);
+        assert_eq!(engine.stats().rejected_updates, 1);
+        assert!(logged.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn watchdog_flags_a_stuck_leader() {
+        let engine = Arc::new(BatchEngine::new(8));
+        let watchdog = engine.spawn_watchdog(Duration::from_millis(5), 3);
+        engine.with_exclusive(|_| std::thread::sleep(Duration::from_millis(120)));
+        let stalls = watchdog.stall_count();
+        watchdog.stop();
+        assert!(
+            stalls >= 1,
+            "holding the leader lock for 120ms against 5ms probes must flag a stall"
+        );
     }
 
     #[test]

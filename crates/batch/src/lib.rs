@@ -53,8 +53,12 @@
 pub mod engine;
 pub mod plan;
 
-pub use engine::{BatchEngine, BatchStats, CommitHook};
+pub use engine::{BatchEngine, BatchStats, CommitHook, EngineError};
 pub use plan::UpdatePlan;
+
+// The wait policy is configured through the engine but lives with the wait
+// ladder in `dc_sync`; re-export it so callers need not name both crates.
+pub use dc_sync::WaitPolicy;
 
 // Re-export the operation vocabulary so users of this crate need not also
 // name `dynconn` for the common path.

@@ -9,10 +9,11 @@
 
 use dc_bench::runner::run_adjacency_baseline;
 use dc_bench::{
-    run_backends_bench, run_batch_bench, run_durability_bench, run_ett_bench, run_latency_bench,
-    run_obs_bench, run_read_bench, run_throughput, run_workload_bench, BackendsBenchConfig,
-    BatchBenchConfig, BenchConfig, DurabilityBenchConfig, EttBenchConfig, LatencyBenchConfig,
-    ObsBenchConfig, ReadBenchConfig, Scenario, Workload, WorkloadBenchConfig,
+    run_backends_bench, run_batch_bench, run_durability_bench, run_ett_bench, run_faults_bench,
+    run_latency_bench, run_obs_bench, run_read_bench, run_throughput, run_workload_bench,
+    BackendsBenchConfig, BatchBenchConfig, BenchConfig, DurabilityBenchConfig, EttBenchConfig,
+    FaultsBenchConfig, LatencyBenchConfig, ObsBenchConfig, ReadBenchConfig, Scenario, Workload,
+    WorkloadBenchConfig,
 };
 use dc_graph::GraphSpec;
 use dynconn::Variant;
@@ -82,6 +83,13 @@ fn main() {
         emit_backends_baseline();
         return;
     }
+    if std::env::var("DC_BENCH_FAULTS_ONLY")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        emit_faults_baseline();
+        return;
+    }
     let threads = *config.thread_counts.last().unwrap_or(&1);
     let catalog = config.catalog();
     for read_percent in [80u32, 99u32] {
@@ -130,6 +138,38 @@ fn main() {
     emit_latency_baseline();
     emit_obs_baseline();
     emit_backends_baseline();
+    emit_faults_baseline();
+}
+
+/// Measures the fault-harness tier (the batch-engine adapter workload with
+/// chaos injection uninstalled, armed and disabled again, plus the
+/// recovery-from-poison latency of `DurableConnectivity::rebuild`), writes
+/// `BENCH_faults.json` and gates on the harness's core promise: disabled
+/// injection checks cost at most 3% of adapter throughput.
+fn emit_faults_baseline() {
+    let config = FaultsBenchConfig::from_env();
+    let baseline = run_faults_bench(&config);
+    print!("{}", baseline.render_text());
+    let path = "BENCH_faults.json";
+    match std::fs::write(path, baseline.to_json()) {
+        Ok(()) => println!("faults baseline written to {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    if baseline.gate_passes() {
+        println!(
+            "gate: disabled injection checks cost {:.2}% of adapter throughput (ceiling {:.1}%)",
+            baseline.disabled_overhead_percent,
+            dc_bench::faultsbench::GATE_MAX_DISABLED_OVERHEAD_PERCENT
+        );
+    } else {
+        eprintln!(
+            "gate FAILED: disabled injection checks cost {:.2}% of adapter throughput, \
+             ceiling is {:.1}%",
+            baseline.disabled_overhead_percent,
+            dc_bench::faultsbench::GATE_MAX_DISABLED_OVERHEAD_PERCENT
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Measures the backend-shootout tier (every supported `(forest backend,

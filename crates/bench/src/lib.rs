@@ -31,6 +31,11 @@
 //!   `dc_obs` disabled, metrics-only and metrics+tracing against an
 //!   untouched baseline, gating the disabled overhead, emitted as
 //!   `BENCH_obs.json` ([`obsbench`]);
+//! * the fault-harness tier — the batch-engine adapter workload with the
+//!   `dc_faults` injection checks uninstalled, armed and disabled again
+//!   (gating the disabled overhead), plus the recovery-from-poison
+//!   latency of `DurableConnectivity::rebuild`, emitted as
+//!   `BENCH_faults.json` ([`faultsbench`]);
 //! * a multi-threaded throughput harness with warm-up, lock-wait accounting
 //!   and ops/ms reporting ([`throughput`]);
 //! * the statistics collector behind Tables 3 and 4 ([`stats`]);
@@ -43,13 +48,15 @@
 //! The machine-readable artifacts (`BENCH_adjacency.json`, `BENCH_ett.json`,
 //! `BENCH_batch.json`, `BENCH_workloads.json`, `BENCH_reads.json`,
 //! `BENCH_durability.json`, `BENCH_latency.json`, `BENCH_obs.json`,
-//! `BENCH_backends.json`) are documented in `docs/bench-schema.md`.
+//! `BENCH_backends.json`, `BENCH_faults.json`) are documented in
+//! `docs/bench-schema.md`.
 
 pub mod backendsbench;
 pub mod batchbench;
 pub mod config;
 pub mod durabilitybench;
 pub mod ettbench;
+pub mod faultsbench;
 pub mod latencybench;
 pub mod obsbench;
 pub mod readbench;
@@ -65,6 +72,7 @@ pub use batchbench::{run_batch_bench, BatchBaseline, BatchBenchConfig};
 pub use config::BenchConfig;
 pub use durabilitybench::{run_durability_bench, DurabilityBaseline, DurabilityBenchConfig};
 pub use ettbench::{run_ett_bench, EttBaseline, EttBenchConfig};
+pub use faultsbench::{run_faults_bench, FaultsBaseline, FaultsBenchConfig};
 pub use latencybench::{run_latency_bench, LatencyBaseline, LatencyBenchConfig};
 pub use obsbench::{run_obs_bench, ObsBaseline, ObsBenchConfig};
 pub use readbench::{run_read_bench, ReadBaseline, ReadBenchConfig};

@@ -458,6 +458,49 @@ impl<F: DynamicForest> Hdt<F> {
         true
     }
 
+    /// Fallible [`Hdt::add_edge_locked`]: a spanning insert that cannot get
+    /// forest node storage — arena exhaustion, real or chaos-injected —
+    /// returns `Err(ArenaExhausted)` with the structure untouched, instead
+    /// of aborting the process. Non-spanning inserts allocate no forest
+    /// nodes and cannot fail this way.
+    ///
+    /// Only the *add* path is fallible: an addition is the one operation a
+    /// service can meaningfully reject at capacity. Removals (whose
+    /// replacement searches may also link, via promotions) stay on the
+    /// infallible path — failing a removal halfway would strand the level
+    /// structure, so genuine exhaustion there is handled by the batch
+    /// engine's unwind boundary and poison discipline (`DESIGN.md` §13).
+    pub fn try_add_edge_locked(&self, u: u32, v: u32) -> Result<bool, dc_ett::ArenaExhausted> {
+        if u == v {
+            return Ok(false);
+        }
+        let edge = Edge::new(u, v);
+        if self.has_edge(u, v) {
+            return Ok(false);
+        }
+        if self.connected_locked(u, v) {
+            self.stats.additions.fetch_add(1, Ordering::Relaxed);
+            dc_obs::counter_add(dc_obs::Counter::HdtAdditions, 1);
+            self.stats
+                .non_spanning_additions
+                .fetch_add(1, Ordering::Relaxed);
+            dc_obs::counter_add(dc_obs::Counter::HdtNonSpanningAdditions, 1);
+            self.add_nonspanning_info(0, edge);
+            self.states
+                .insert(edge, EdgeState::new(Status::NonSpanning, 0));
+        } else {
+            // The add path always links at level 0 only, so one fallible
+            // link covers the whole operation: failure leaves no partial
+            // multi-level state behind.
+            self.try_make_spanning_level0(edge)?;
+            self.stats.additions.fetch_add(1, Ordering::Relaxed);
+            dc_obs::counter_add(dc_obs::Counter::HdtAdditions, 1);
+            self.states
+                .insert(edge, EdgeState::new(Status::Spanning, 0));
+        }
+        Ok(true)
+    }
+
     /// Removes edge `(u, v)`. Returns `false` if it was not present.
     ///
     /// Same synchronization contract as [`Hdt::add_edge_locked`].
@@ -584,6 +627,38 @@ impl<F: DynamicForest> Hdt<F> {
         for e in adds {
             if self.add_edge_locked(e.u(), e.v()) {
                 changed += 1;
+            }
+        }
+        for e in removes {
+            if self.remove_edge_locked(e.u(), e.v()) {
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Fallible [`Hdt::apply_compacted_batch_locked`]: additions that the
+    /// forest rejects for capacity ([`Hdt::try_add_edge_locked`]) are
+    /// appended to `rejected` (and tallied on
+    /// [`dc_obs::Counter::CapacityRejections`]) instead of aborting; every
+    /// other update applies normally. Returns the number of updates that
+    /// changed the edge set — rejected adds don't count, and the caller is
+    /// expected to drop them from whatever it logs or acks downstream.
+    pub fn try_apply_compacted_batch_locked(
+        &self,
+        adds: &[Edge],
+        removes: &[Edge],
+        rejected: &mut Vec<Edge>,
+    ) -> usize {
+        let mut changed = 0;
+        for e in adds {
+            match self.try_add_edge_locked(e.u(), e.v()) {
+                Ok(true) => changed += 1,
+                Ok(false) => {}
+                Err(dc_ett::ArenaExhausted) => {
+                    dc_obs::counter_add(dc_obs::Counter::CapacityRejections, 1);
+                    rejected.push(*e);
+                }
             }
         }
         for e in removes {
@@ -769,6 +844,22 @@ impl<F: DynamicForest> Hdt<F> {
     /// Makes `edge` a spanning edge at `level`: links it into forests
     /// `0..=level`, records it in the exact-level spanning adjacency and
     /// raises the spanning subtree flags. Caller must hold the locks.
+    /// Fallible [`Hdt::make_spanning`] for the add path (always level 0):
+    /// the single forest link is attempted through the backend's
+    /// `try_link`, and on rejection nothing — no adjacency record, no mark,
+    /// no event — has happened yet.
+    fn try_make_spanning_level0(&self, edge: Edge) -> Result<(), dc_ett::ArenaExhausted> {
+        let (u, v) = edge.endpoints();
+        self.forest(0).try_link(u, v)?;
+        dc_obs::event(dc_obs::EventKind::Link, 0, dc_obs::pack_edge(u, v));
+        let forest = self.forest(0);
+        for x in [u, v] {
+            self.tree_adj.add(0, x, edge);
+            forest.mark_path_upward(x, Mark::Spanning);
+        }
+        Ok(())
+    }
+
     fn make_spanning(&self, edge: Edge, level: usize) {
         let (u, v) = edge.endpoints();
         dc_obs::event(

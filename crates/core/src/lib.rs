@@ -44,6 +44,7 @@ pub use api::{
     sequential_apply_batch, BatchConnectivity, BatchOp, DynamicConnectivity, QueryResult,
 };
 pub use baseline::{RecomputeOracle, UnionFind};
+pub use dc_ett::ArenaExhausted;
 pub use hdt::{Hdt, StatsSnapshot};
 pub use state::{EdgeState, Status};
 pub use variants::{

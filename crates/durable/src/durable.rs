@@ -528,6 +528,42 @@ impl DurableConnectivity {
     pub fn is_poisoned(&self) -> bool {
         self.wal.inner.lock().unwrap().poisoned
     }
+
+    /// Tears this instance down and reconstructs it from its own durable
+    /// state — the recovery door out of *both* poison states: an engine
+    /// poisoned by a leader panic ([`dc_batch::EngineError::Poisoned`]) and
+    /// a WAL poisoned by a write failure. The in-memory structure is
+    /// discarded wholesale (after a leader panic it is assumed arbitrarily
+    /// damaged, never patched in place); the rebuilt instance is exactly
+    /// what [`recover`](Self::recover) would produce after a crash at the
+    /// last committed batch — the newest checkpoint plus the WAL tail, with
+    /// logging resumed in a fresh segment. Because the commit hook runs
+    /// before any caller of its batch is released, every acked update is in
+    /// the log and therefore in the rebuilt structure.
+    ///
+    /// The segment is synced first (best-effort — on a WAL-poisoned store
+    /// the tail past the failure is already gone, which is the documented
+    /// contract of the fsync policy) and closed before recovery re-reads
+    /// the directory.
+    pub fn rebuild(self) -> Result<(Self, RecoveryReport), DurableError> {
+        let dir = self.wal.dir.clone();
+        let opts = self.wal.opts;
+        let fs = Arc::clone(&self.wal.fs);
+        {
+            let mut inner = self.wal.inner.lock().unwrap();
+            if let Some(segment) = inner.segment.as_mut() {
+                let _ = WalShared::timed_sync(segment);
+            }
+            // Close the segment writer before recovery re-reads (and
+            // possibly truncates) the files it wrote.
+            inner.segment = None;
+        }
+        drop(self);
+        let recovered = Self::recover_with_fs(dir, opts, fs)?;
+        // The poison condition is gone with the old engine.
+        dc_obs::gauge_set(dc_obs::Gauge::EnginePoisoned, 0);
+        Ok(recovered)
+    }
 }
 
 impl DynamicConnectivity for DurableConnectivity {

@@ -41,6 +41,21 @@ use parking_lot::Mutex;
 use std::alloc::Layout;
 use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
 
+/// Typed arena-capacity error: the allocation could not be satisfied
+/// without exceeding the arena's slot budget (or a chaos schedule injected
+/// that condition — see `dc_faults`). Callers surface this as a rejected
+/// operation instead of aborting; see `DESIGN.md` §13.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArenaExhausted;
+
+impl std::fmt::Display for ArenaExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "arena exhausted: node slot budget exceeded")
+    }
+}
+
+impl std::error::Error for ArenaExhausted {}
+
 /// Index of a node inside the arena. `NodeRef::NONE` is the null reference.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeRef(pub u32);
@@ -113,6 +128,10 @@ pub struct Arena {
     limbo: Limbo<u32>,
     /// The reclamation domain readers pin while traversing.
     domain: EpochDomain,
+    /// Bump-path slot budget (`u32::MAX` = only the chunk directory
+    /// bounds growth). A tiny limit is the test door for exercising the
+    /// [`ArenaExhausted`] path without allocating 268M nodes.
+    node_limit: AtomicU32,
 }
 
 impl Arena {
@@ -129,7 +148,16 @@ impl Arena {
             free_count: AtomicU32::new(0),
             limbo: Limbo::new(),
             domain: EpochDomain::new(),
+            node_limit: AtomicU32::new(u32::MAX),
         }
+    }
+
+    /// Caps the bump path at `limit` total slots (`None` removes the cap).
+    /// Recycled slots stay allocatable — the cap bounds arena *growth*, so
+    /// a capped arena keeps serving a churn workload whose live set fits.
+    pub fn set_node_limit(&self, limit: Option<u32>) {
+        self.node_limit
+            .store(limit.unwrap_or(u32::MAX), Ordering::Relaxed);
     }
 
     /// Number of slots backed by arena memory (the high-water mark — the
@@ -223,6 +251,38 @@ impl Arena {
     /// zero priority); the caller initializes its fields before publishing
     /// the reference to other threads.
     pub fn alloc(&self) -> NodeRef {
+        match self.try_alloc_capacity() {
+            Ok(r) => r,
+            Err(ArenaExhausted) => panic!(
+                "arena exhausted: more than {} nodes requested",
+                self.node_limit
+                    .load(Ordering::Relaxed)
+                    .min((MAX_CHUNKS * CHUNK_SIZE) as u32)
+            ),
+        }
+    }
+
+    /// Fallible allocation: [`Arena::alloc`] semantics, but capacity
+    /// exhaustion (chunk directory full, or past a [`Arena::set_node_limit`]
+    /// cap) comes back as a typed [`ArenaExhausted`] instead of a panic,
+    /// and an installed `dc_faults` chaos schedule can inject that failure
+    /// on its [`dc_faults::InjectionPoint::ArenaAlloc`] ordinals.
+    ///
+    /// Forest `try_link` doors allocate through this entry so an
+    /// over-capacity insert degrades to a rejected operation; interior
+    /// restructuring (which must not fail halfway) stays on the infallible
+    /// [`Arena::alloc`], whose failure is handled by the engine's unwind
+    /// boundary instead (`DESIGN.md` §13).
+    pub fn try_alloc(&self) -> Result<NodeRef, ArenaExhausted> {
+        if dc_faults::should_inject(dc_faults::InjectionPoint::ArenaAlloc) {
+            return Err(ArenaExhausted);
+        }
+        self.try_alloc_capacity()
+    }
+
+    /// Capacity-checked allocation shared by [`Arena::alloc`] (which panics
+    /// on `Err`) and [`Arena::try_alloc`] (which also consults chaos).
+    fn try_alloc_capacity(&self) -> Result<NodeRef, ArenaExhausted> {
         // Fast path: a recycled slot (skips even the mutex while the free
         // list is empty, so bump allocation stays lock-free with respect to
         // other allocators).
@@ -231,8 +291,18 @@ impl Arena {
             None => match self.collect_for_alloc() {
                 Some(idx) => idx,
                 None => {
+                    let limit = self.node_limit.load(Ordering::Relaxed);
                     let idx = self.len.fetch_add(1, Ordering::AcqRel);
-                    assert!(idx != u32::MAX, "arena index space exhausted");
+                    if idx == u32::MAX || idx >= limit || (idx >> CHUNK_BITS) as usize >= MAX_CHUNKS
+                    {
+                        // Undo our own increment. Concurrent failers each
+                        // undo exactly their own, so the counter conserves;
+                        // a racing success may be rejected spuriously during
+                        // the transient overshoot, which is safe (rejection
+                        // is always a legal outcome at capacity).
+                        self.len.fetch_sub(1, Ordering::AcqRel);
+                        return Err(ArenaExhausted);
+                    }
                     self.ensure_chunk((idx >> CHUNK_BITS) as usize);
                     idx
                 }
@@ -243,7 +313,17 @@ impl Arena {
         // survived two grace periods since retirement.
         // SAFETY: the slot is backed by an existing chunk and unaliased.
         unsafe { std::ptr::write(self.slot_ptr(idx), Node::new_unlinked()) };
-        NodeRef(idx)
+        Ok(NodeRef(idx))
+    }
+
+    /// Returns a slot obtained from [`Arena::try_alloc`] that was **never
+    /// published** (no other thread ever saw its index) straight to the
+    /// free list — no grace period needed. This is the cleanup door for a
+    /// multi-node operation whose later allocation failed.
+    pub fn release_unpublished(&self, r: NodeRef) {
+        debug_assert!(r.is_some(), "released NodeRef::NONE");
+        self.free.lock().push(r.0);
+        self.free_count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Slow path of [`Arena::alloc`]: tries to graduate retired slots whose
@@ -289,6 +369,11 @@ impl Arena {
     /// Runs one collect with the free mutex held only for the final splice,
     /// not across the epoch advance and bin drain.
     fn drain_limbo_into_free(&self) -> usize {
+        // Chaos: hold the epoch advance back, as if a pinned reader were
+        // parked mid-walk — limbo keeps growing and allocation falls through
+        // to the bump path, exactly the pattern the watchdog's epoch probe
+        // and the capacity-rejection machinery must absorb.
+        dc_faults::maybe_stall(dc_faults::InjectionPoint::EpochAdvanceDelay);
         let mut drained: Vec<u32> = Vec::new();
         self.limbo
             .try_collect(&self.domain, |idx| drained.push(idx));
@@ -538,6 +623,73 @@ mod tests {
         all.dedup();
         assert_eq!(all.len(), threads * per_thread);
         assert_eq!(arena.len(), threads * per_thread);
+    }
+
+    #[test]
+    fn tiny_arena_exhaustion_is_typed_and_survivable() {
+        let arena = Arena::new();
+        arena.set_node_limit(Some(2));
+        let a = arena.try_alloc().expect("slot 0");
+        let b = arena.try_alloc().expect("slot 1");
+        // The cap binds: growth is rejected with the typed error, repeatedly
+        // and without damaging the arena.
+        assert_eq!(arena.try_alloc(), Err(ArenaExhausted));
+        assert_eq!(arena.try_alloc(), Err(ArenaExhausted));
+        assert_eq!(arena.len(), 2);
+        // Existing slots still work.
+        arena.node(a).set_priority(5);
+        assert_eq!(arena.node(a).priority(), 5);
+        // Recycling still works at the cap: a retired slot graduates and is
+        // allocatable again even though the bump path is closed.
+        arena.retire(b);
+        let mut recycled = None;
+        for _ in 0..8 {
+            if let Ok(r) = arena.try_alloc() {
+                recycled = Some(r);
+                break;
+            }
+        }
+        assert_eq!(recycled, Some(b), "capped arena failed to recycle");
+        // Lifting the cap restores growth.
+        arena.set_node_limit(None);
+        assert!(arena.try_alloc().is_ok());
+    }
+
+    #[test]
+    fn release_unpublished_returns_the_slot_immediately() {
+        let arena = Arena::new();
+        let a = arena.try_alloc().unwrap();
+        arena.release_unpublished(a);
+        assert_eq!(arena.free_len(), 1);
+        // The very next allocation reuses it — no grace period.
+        assert_eq!(arena.try_alloc().unwrap(), a);
+    }
+
+    #[test]
+    fn chaos_schedule_injects_try_alloc_failures_but_not_alloc() {
+        let _g = dc_faults::test_guard();
+        let schedule = std::sync::Arc::new(dc_faults::ChaosSchedule::from_config(
+            dc_faults::ChaosConfig {
+                seed: 11,
+                horizon: 1,
+                // Only the ArenaAlloc point, firing at ordinal 0.
+                faults_per_point: [0, 0, 1, 0, 0],
+                stall: std::time::Duration::from_micros(1),
+            },
+        ));
+        dc_faults::install(schedule.clone());
+        let arena = Arena::new();
+        assert_eq!(arena.try_alloc(), Err(ArenaExhausted));
+        assert!(arena.try_alloc().is_ok(), "only ordinal 0 should fire");
+        // The infallible path never consults the schedule.
+        let _ = arena.alloc();
+        dc_faults::uninstall();
+        assert_eq!(
+            schedule.fired(dc_faults::InjectionPoint::ArenaAlloc),
+            1,
+            "alloc() must not consume chaos ordinals"
+        );
+        assert_eq!(schedule.checks(dc_faults::InjectionPoint::ArenaAlloc), 2);
     }
 
     #[test]

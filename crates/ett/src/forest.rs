@@ -305,6 +305,13 @@ impl EulerForest {
         self.arena.free_len()
     }
 
+    /// Caps (or uncaps) the node arena's bump growth — the test door for
+    /// exercising the typed [`crate::arena::ArenaExhausted`] path through
+    /// [`EulerForest::try_link`] without allocating millions of slots.
+    pub fn set_node_limit(&self, limit: Option<u32>) {
+        self.arena.set_node_limit(limit);
+    }
+
     /// Pins the calling thread against the forest's reclamation domain: no
     /// node the thread can reach is recycled until the guard drops. The
     /// lock-free read operations pin internally; this is for tests and for
@@ -1075,8 +1082,7 @@ impl EulerForest {
 
     // ----- structural operations (single writer per component) -------------
 
-    fn new_edge_node(&self, from: u32, to: u32, initial_parent: NodeRef) -> NodeRef {
-        let r = self.arena.alloc();
+    fn init_edge_node(&self, r: NodeRef, from: u32, to: u32, initial_parent: NodeRef) -> NodeRef {
         let node = self.arena.node(r);
         node.set_endpoints(from, to);
         // Edge nodes live in the lower priority band: they can never become a
@@ -1100,6 +1106,34 @@ impl EulerForest {
     /// hold whatever synchronization makes it the unique writer for both
     /// components.
     pub fn link(&self, u: u32, v: u32) {
+        let e_a = self.arena.alloc();
+        let e_b = self.arena.alloc();
+        self.link_with_nodes(u, v, e_a, e_b);
+    }
+
+    /// Fallible [`EulerForest::link`]: the two tour edge nodes are reserved
+    /// through [`crate::arena::Arena::try_alloc`] **before** any version
+    /// bump or structural change, so arena exhaustion (real or
+    /// chaos-injected) comes back as `Err(ArenaExhausted)` with the forest
+    /// bit-for-bit untouched — the caller degrades the insert to a rejected
+    /// operation instead of aborting (`DESIGN.md` §13).
+    pub fn try_link(&self, u: u32, v: u32) -> Result<(), crate::arena::ArenaExhausted> {
+        let e_a = self.arena.try_alloc()?;
+        let e_b = match self.arena.try_alloc() {
+            Ok(r) => r,
+            Err(err) => {
+                // Never published: straight back to the free list.
+                self.arena.release_unpublished(e_a);
+                return Err(err);
+            }
+        };
+        self.link_with_nodes(u, v, e_a, e_b);
+        Ok(())
+    }
+
+    /// The link body, with the two tour edge nodes already reserved
+    /// (uninitialized) by the caller.
+    fn link_with_nodes(&self, u: u32, v: u32, e_a: NodeRef, e_b: NodeRef) {
         debug_assert!(u != v, "self-loops cannot be spanning edges");
         let ru = self.component_root(u);
         let rv = self.component_root(v);
@@ -1135,8 +1169,8 @@ impl EulerForest {
         // and concatenate them with the two new Euler-tour edge nodes.
         let tu = self.reroot(u);
         let tv = self.reroot(v);
-        let e_uv = self.new_edge_node(u, v, hi);
-        let e_vu = self.new_edge_node(v, u, hi);
+        let e_uv = self.init_edge_node(e_a, u, v, hi);
+        let e_vu = self.init_edge_node(e_b, v, u, hi);
         let (key_u, _key_v) = (norm(u, v).0, norm(u, v).1);
         let stored = if key_u == u {
             (e_uv, e_vu)

@@ -958,6 +958,18 @@ impl DynamicForest for LctForest {
         LctForest::link(self, u, v)
     }
 
+    fn try_link(&self, u: u32, v: u32) -> Result<(), crate::arena::ArenaExhausted> {
+        // LCT nodes are permanent and vertex-indexed — link allocates
+        // nothing, so genuine exhaustion cannot happen here. The injection
+        // point is still consulted so a chaos soak exercises the typed
+        // rejection path on this backend too.
+        if dc_faults::should_inject(dc_faults::InjectionPoint::ArenaAlloc) {
+            return Err(crate::arena::ArenaExhausted);
+        }
+        LctForest::link(self, u, v);
+        Ok(())
+    }
+
     fn prepare_cut(&self, u: u32, v: u32) -> PreparedLctCut {
         LctForest::prepare_cut(self, u, v)
     }

@@ -49,7 +49,7 @@ pub mod node;
 pub mod traits;
 mod treap;
 
-pub use arena::NodeRef;
+pub use arena::{ArenaExhausted, NodeRef};
 pub use forest::{EulerForest, PreparedCut, ReadScratch, MAX_INTERLEAVE_WIDTH};
 pub use hints::{default_read_hints, set_default_read_hints, HintCache};
 pub use lct::{LctForest, PreparedLctCut};

@@ -171,6 +171,16 @@ pub trait DynamicForest: Send + Sync + Sized + 'static {
     /// caller must be the unique writer for both.
     fn link(&self, u: u32, v: u32);
 
+    /// Fallible [`DynamicForest::link`]: any node storage the merge needs
+    /// is reserved fallibly **before** the first version bump or structural
+    /// store, so capacity exhaustion — real, or injected by an installed
+    /// `dc_faults` chaos schedule — returns `Err(ArenaExhausted)` with the
+    /// forest untouched and the caller degrades the insert to a rejected
+    /// operation (`DESIGN.md` §13). Backends whose link allocates nothing
+    /// still consult the injection point so chaos soaks exercise the
+    /// rejection path on every backend.
+    fn try_link(&self, u: u32, v: u32) -> Result<(), crate::arena::ArenaExhausted>;
+
     /// Physically splits around spanning edge `(u, v)` without logically
     /// disconnecting the pieces (see the module docs).
     fn prepare_cut(&self, u: u32, v: u32) -> Self::Prepared;
@@ -347,6 +357,10 @@ impl DynamicForest for EulerForest {
 
     fn link(&self, u: u32, v: u32) {
         EulerForest::link(self, u, v)
+    }
+
+    fn try_link(&self, u: u32, v: u32) -> Result<(), crate::arena::ArenaExhausted> {
+        EulerForest::try_link(self, u, v)
     }
 
     fn prepare_cut(&self, u: u32, v: u32) -> crate::forest::PreparedCut {

@@ -1,0 +1,279 @@
+//! A lightweight stall watchdog: periodic probes over progress counters,
+//! surfacing "active but not advancing" conditions as `dc_obs` metrics and
+//! flight events.
+//!
+//! A probe is a closure returning `Option<u64>`:
+//!
+//! * `None` — the probed subsystem is idle (nothing to watch); any
+//!   previously flagged stall is cleared.
+//! * `Some(progress)` — the subsystem is *active*; if `progress` stays
+//!   bit-identical for the configured number of consecutive ticks the
+//!   probe is flagged as stalled ([`dc_obs::Counter::WatchdogStalls`] is
+//!   bumped, [`dc_obs::Gauge::WatchdogStalledProbes`] raised, an
+//!   [`dc_obs::EventKind::WatchdogStall`] event recorded). The flag clears
+//!   — gauge lowered, clearing event recorded — the moment progress moves
+//!   or the subsystem goes idle.
+//!
+//! The canonical probes are built by `dc_batch::BatchEngine::spawn_watchdog`:
+//! "leader lock held but the drained-batches counter is frozen" (a stuck or
+//! panicked-without-poisoning leader) and "nodes are retired but the
+//! reclamation epoch never advances" (a leaked pin). The watchdog only
+//! *observes* — recovery is the poison/rebuild path's job — so a false
+//! positive costs a metric, never a wedge.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One named progress probe.
+pub struct Probe {
+    /// Shown nowhere hot: used for debugging and the flight event payload
+    /// is the probe's spawn-order index, not this string.
+    pub name: &'static str,
+    /// Returns `Some(progress)` while the subsystem is active, `None` while
+    /// idle. Called from the watchdog thread only.
+    pub probe: Box<dyn Fn() -> Option<u64> + Send>,
+}
+
+impl Probe {
+    /// Convenience constructor.
+    pub fn new(name: &'static str, probe: impl Fn() -> Option<u64> + Send + 'static) -> Probe {
+        Probe {
+            name,
+            probe: Box::new(probe),
+        }
+    }
+}
+
+/// Builder for a watchdog thread.
+pub struct Watchdog {
+    interval: Duration,
+    stall_ticks: u32,
+    probes: Vec<Probe>,
+}
+
+impl Watchdog {
+    /// A watchdog ticking every `interval`; a probe unchanged-while-active
+    /// for `stall_ticks` consecutive ticks is flagged as stalled.
+    pub fn new(interval: Duration, stall_ticks: u32) -> Watchdog {
+        Watchdog {
+            interval,
+            stall_ticks: stall_ticks.max(1),
+            probes: Vec::new(),
+        }
+    }
+
+    /// Adds a probe (builder-style).
+    pub fn probe(mut self, probe: Probe) -> Watchdog {
+        self.probes.push(probe);
+        self
+    }
+
+    /// Spawns the watchdog thread and returns its handle. The thread exits
+    /// when the handle is stopped or dropped.
+    pub fn spawn(self) -> WatchdogHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stall_events = Arc::new(AtomicU64::new(0));
+        let stalled_now = Arc::new(AtomicUsize::new(0));
+        let join = {
+            let stop = Arc::clone(&stop);
+            let stall_events = Arc::clone(&stall_events);
+            let stalled_now = Arc::clone(&stalled_now);
+            std::thread::Builder::new()
+                .name("dc-watchdog".into())
+                .spawn(move || {
+                    run(
+                        self.interval,
+                        self.stall_ticks,
+                        self.probes,
+                        &stop,
+                        &stall_events,
+                        &stalled_now,
+                    )
+                })
+                .expect("spawning the watchdog thread failed")
+        };
+        WatchdogHandle {
+            stop,
+            join: Some(join),
+            stall_events,
+            stalled_now,
+        }
+    }
+}
+
+struct ProbeState {
+    last: Option<u64>,
+    unchanged_ticks: u32,
+    flagged: bool,
+}
+
+fn run(
+    interval: Duration,
+    stall_ticks: u32,
+    probes: Vec<Probe>,
+    stop: &AtomicBool,
+    stall_events: &AtomicU64,
+    stalled_now: &AtomicUsize,
+) {
+    let mut states: Vec<ProbeState> = probes
+        .iter()
+        .map(|_| ProbeState {
+            last: None,
+            unchanged_ticks: 0,
+            flagged: false,
+        })
+        .collect();
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(interval);
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        for (idx, (probe, state)) in probes.iter().zip(states.iter_mut()).enumerate() {
+            let now = (probe.probe)();
+            let stalled = match (now, state.last) {
+                (Some(v), Some(prev)) if v == prev => {
+                    state.unchanged_ticks = state.unchanged_ticks.saturating_add(1);
+                    state.unchanged_ticks >= stall_ticks
+                }
+                _ => {
+                    state.unchanged_ticks = 0;
+                    false
+                }
+            };
+            state.last = now;
+            if stalled && !state.flagged {
+                state.flagged = true;
+                stall_events.fetch_add(1, Ordering::Relaxed);
+                let n = stalled_now.fetch_add(1, Ordering::Relaxed) + 1;
+                dc_obs::counter_add(dc_obs::Counter::WatchdogStalls, 1);
+                dc_obs::gauge_set(dc_obs::Gauge::WatchdogStalledProbes, n as u64);
+                dc_obs::event(dc_obs::EventKind::WatchdogStall, idx as u64, 1);
+            } else if !stalled && state.flagged {
+                state.flagged = false;
+                let n = stalled_now.fetch_sub(1, Ordering::Relaxed) - 1;
+                dc_obs::gauge_set(dc_obs::Gauge::WatchdogStalledProbes, n as u64);
+                dc_obs::event(dc_obs::EventKind::WatchdogStall, idx as u64, 0);
+            }
+        }
+    }
+    // Leave the gauge clean: this watchdog's flags die with it.
+    let still = states.iter().filter(|s| s.flagged).count();
+    if still > 0 {
+        let n = stalled_now.fetch_sub(still, Ordering::Relaxed) - still;
+        dc_obs::gauge_set(dc_obs::Gauge::WatchdogStalledProbes, n as u64);
+    }
+}
+
+/// Handle to a running watchdog; stopping (or dropping) it joins the
+/// thread.
+pub struct WatchdogHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+    stall_events: Arc<AtomicU64>,
+    stalled_now: Arc<AtomicUsize>,
+}
+
+impl WatchdogHandle {
+    /// Total stall *onsets* observed (a probe stalling, recovering and
+    /// stalling again counts twice).
+    pub fn stall_count(&self) -> u64 {
+        self.stall_events.load(Ordering::Relaxed)
+    }
+
+    /// Probes currently flagged as stalled.
+    pub fn currently_stalled(&self) -> usize {
+        self.stalled_now.load(Ordering::Relaxed)
+    }
+
+    /// Stops the watchdog and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for WatchdogHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frozen_active_probe_is_flagged_then_cleared() {
+        let progress = Arc::new(AtomicU64::new(0));
+        let active = Arc::new(AtomicBool::new(true));
+        let handle = {
+            let progress = Arc::clone(&progress);
+            let active = Arc::clone(&active);
+            Watchdog::new(Duration::from_millis(1), 3)
+                .probe(Probe::new("test", move || {
+                    active
+                        .load(Ordering::Relaxed)
+                        .then(|| progress.load(Ordering::Relaxed))
+                }))
+                .spawn()
+        };
+        // Active + frozen: must flag within a few ticks.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while handle.stall_count() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "watchdog never flagged a frozen active probe"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(handle.currently_stalled(), 1);
+        // Progress resumes: the flag must clear.
+        progress.fetch_add(1, Ordering::Relaxed);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while handle.currently_stalled() != 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "watchdog never cleared after progress"
+            );
+            progress.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(handle.stall_count(), 1);
+        handle.stop();
+    }
+
+    #[test]
+    fn idle_probe_never_flags() {
+        let handle = Watchdog::new(Duration::from_millis(1), 2)
+            .probe(Probe::new("idle", || None))
+            .spawn();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(handle.stall_count(), 0);
+        assert_eq!(handle.currently_stalled(), 0);
+        handle.stop();
+    }
+
+    #[test]
+    fn moving_progress_never_flags() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let ticks = Arc::clone(&ticks);
+            Watchdog::new(Duration::from_millis(1), 2)
+                .probe(Probe::new("moving", move || {
+                    Some(ticks.fetch_add(1, Ordering::Relaxed))
+                }))
+                .spawn()
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(handle.stall_count(), 0);
+        handle.stop();
+    }
+}

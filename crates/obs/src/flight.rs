@@ -93,6 +93,17 @@ pub enum EventKind {
     /// Root-version bump on vertex `a`'s component root (hint
     /// invalidation), new version `b`.
     HintInvalidation = 12,
+    /// A batch engine poisoned itself after a leader panic: `a` = batches
+    /// drained before the poison, `b` = intake waiters released with a
+    /// typed error. See `DESIGN.md` §13.
+    EnginePoison = 13,
+    /// A watchdog probe flagged (`b` = 1) or cleared (`b` = 0) a stall;
+    /// `a` = the probe's index in spawn order.
+    WatchdogStall = 14,
+    /// A chaos injection point fired: `a` = the
+    /// `dc_faults::InjectionPoint` discriminant, `b` = that point's
+    /// fire ordinal (1-based).
+    ChaosInject = 15,
 }
 
 impl EventKind {
@@ -110,6 +121,9 @@ impl EventKind {
             10 => EventKind::RecoveryStep,
             11 => EventKind::EpochAdvance,
             12 => EventKind::HintInvalidation,
+            13 => EventKind::EnginePoison,
+            14 => EventKind::WatchdogStall,
+            15 => EventKind::ChaosInject,
             _ => return None,
         })
     }
@@ -129,6 +143,9 @@ impl EventKind {
             EventKind::RecoveryStep => "recovery_step",
             EventKind::EpochAdvance => "epoch_advance",
             EventKind::HintInvalidation => "hint_invalidation",
+            EventKind::EnginePoison => "engine_poison",
+            EventKind::WatchdogStall => "watchdog_stall",
+            EventKind::ChaosInject => "chaos_inject",
         }
     }
 }

@@ -138,6 +138,19 @@ metric_enum! {
         WalSegmentRolls => "wal_segment_rolls",
         /// Checkpoints written.
         Checkpoints => "checkpoints",
+        /// Batch engines poisoned by a leader panic (DESIGN.md §13).
+        EnginePoisons => "engine_poisons",
+        /// Bounded waits that expired before their condition held
+        /// (`EngineError::Timeout` returned to a caller).
+        WaitTimeouts => "wait_timeouts",
+        /// Stall conditions flagged by a watchdog probe (stuck leader,
+        /// stalled epoch advance).
+        WatchdogStalls => "watchdog_stalls",
+        /// Chaos-schedule injection points that actually fired.
+        ChaosInjections => "chaos_injections",
+        /// Operations rejected with a typed capacity error (arena
+        /// exhaustion surfaced through `try_link` instead of an abort).
+        CapacityRejections => "capacity_rejections",
     }
 }
 
@@ -149,6 +162,12 @@ metric_enum! {
         /// Operations claimed from the intake array by the most recent
         /// batch leader (the drained batch's size).
         IntakeDepth => "intake_depth",
+        /// 1 while any batch engine in the process is poisoned, 0 after the
+        /// last `rebuild()`; service health checks scrape this.
+        EnginePoisoned => "engine_poisoned",
+        /// Number of watchdog probes currently reporting a stall (returns
+        /// to 0 when progress resumes).
+        WatchdogStalledProbes => "watchdog_stalled_probes",
     }
 }
 

@@ -44,6 +44,11 @@ const SLOT_PENDING: u8 = 1;
 const SLOT_CLAIMED: u8 = 2;
 const SLOT_HANDBACK: u8 = 3;
 const SLOT_DONE: u8 = 4;
+/// Owner-side withdrawal in progress ([`IntakeArray::retract`]). A distinct
+/// state (not `CLAIMED`) so a leader sweeping the array on the poison path
+/// can tell "a leader claimed this and must resolve it" from "the owner is
+/// taking it back right now" — the sweep must leave the latter alone.
+const SLOT_RETRACTING: u8 = 5;
 
 /// What the owning thread observes when polling its slot.
 #[derive(Debug)]
@@ -293,6 +298,92 @@ impl<Op, Res> IntakeArray<Op, Res> {
         debug_assert_eq!(slot.state.load(Ordering::Relaxed), SLOT_CLAIMED);
         slot.state.store(SLOT_HANDBACK, Ordering::Release);
     }
+
+    /// Owner-side: attempts to withdraw this thread's still-`PENDING`
+    /// publication at `idx`, returning the operation if no leader claimed it
+    /// first.
+    ///
+    /// This is the escape hatch for bounded waits: a waiter whose deadline
+    /// expired (or who observed the engine poisoned) must not simply walk
+    /// away from a PENDING slot — a later leader would claim the op and
+    /// deposit a result nobody ever polls, wedging the slot forever. The
+    /// CAS PENDING→RETRACTING makes withdrawal race-free: either the owner
+    /// wins and the op was never observed by any leader, or a leader already
+    /// claimed it and the owner must keep polling (the leader resolves the
+    /// slot imminently — every claim is followed by `complete`/`hand_back`
+    /// before the batch ends, even on the poison path, where
+    /// [`IntakeArray::sweep_open`] finishes it).
+    pub fn retract(&self, idx: usize) -> Option<Op> {
+        let slot = &self.slots[idx];
+        if slot
+            .state
+            .compare_exchange(
+                SLOT_PENDING,
+                SLOT_RETRACTING,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return None;
+        }
+        // SAFETY: the CAS moved the slot to RETRACTING, which no leader ever
+        // touches; the op was written by this very thread.
+        let op = unsafe { (*slot.op.get()).take() };
+        slot.state.store(SLOT_EMPTY, Ordering::Release);
+        Some(op.expect("retracted slot without an op"))
+    }
+
+    /// Leader-side: resolves every slot the calling leadership is still
+    /// responsible for — its own `CLAIMED` slots (an abandoned batch) and
+    /// every `PENDING` publication — by depositing `res()` and waking the
+    /// owner. Slots whose owners are concurrently retracting are left alone
+    /// (they resolve themselves). Returns the number of waiters released.
+    ///
+    /// This is the poison path: a leader whose batch panicked must not walk
+    /// away from slots it claimed (their owners would wait forever), so it
+    /// sweeps the array once — under the leadership it still holds — before
+    /// dropping the leader lock. Any operation still in a swept slot is
+    /// discarded; it was never applied.
+    ///
+    /// Must only be called while holding the engine's leader election, so
+    /// that every `CLAIMED` slot belongs to the caller's own abandoned batch.
+    pub fn sweep_open(&self, mut res: impl FnMut() -> Res) -> usize {
+        let mut released = 0;
+        let limit = self
+            .registered
+            .load(Ordering::Relaxed)
+            .min(self.slots.len());
+        for slot in self.slots[..limit].iter() {
+            let ours = match slot.state.load(Ordering::Acquire) {
+                SLOT_PENDING => slot
+                    .state
+                    .compare_exchange(
+                        SLOT_PENDING,
+                        SLOT_CLAIMED,
+                        Ordering::Acquire,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok(),
+                // Our own abandoned claim (see the contract above).
+                SLOT_CLAIMED => true,
+                _ => false,
+            };
+            if !ours {
+                continue;
+            }
+            // SAFETY: CLAIMED — this thread is (or just became) the slot's
+            // leader. The abandoned batch may already have taken the op;
+            // drop it if still present so the slot comes back clean.
+            unsafe {
+                (*slot.op.get()).take();
+                *slot.res.get() = Some(res());
+            }
+            slot.state.store(SLOT_DONE, Ordering::Release);
+            released += 1;
+        }
+        released
+    }
 }
 
 impl<Op, Res> Default for IntakeArray<Op, Res> {
@@ -414,6 +505,55 @@ mod tests {
             .join()
             .unwrap();
         }
+    }
+
+    #[test]
+    fn retract_withdraws_pending_but_not_claimed_ops() {
+        let intake: IntakeArray<u32, u32> = IntakeArray::with_capacity(4);
+        // Pending op: the owner can take it back, leaving the slot EMPTY and
+        // reusable.
+        let idx = intake.publish(9);
+        assert_eq!(intake.retract(idx), Some(9));
+        assert_eq!(intake.claim_pending(|_, _| {}), 0);
+        let idx2 = intake.publish(10);
+        assert_eq!(idx, idx2, "retract must leave the slot reusable");
+        // Claimed op: retract loses the race and returns None; the normal
+        // complete/poll path still works.
+        intake.claim_pending(|_, _| {});
+        assert_eq!(intake.retract(idx2), None);
+        let op = intake.take(idx2);
+        intake.complete(idx2, op + 1);
+        match intake.poll(idx2) {
+            SlotPoll::Done(res) => assert_eq!(res, 11),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_open_releases_claimed_and_pending_slots() {
+        let intake: IntakeArray<u32, Result<u32, &'static str>> = IntakeArray::with_capacity(4);
+        // An abandoned claim: the "leader" claimed the slot, took the op,
+        // then its batch died. The sweep must resolve it.
+        let idx = intake.publish(1);
+        intake.claim_pending(|_, _| {});
+        let _abandoned = intake.take(idx);
+        assert_eq!(intake.sweep_open(|| Err("poisoned")), 1);
+        match intake.poll(idx) {
+            SlotPoll::Done(Err("poisoned")) => {}
+            other => panic!("expected the sweep's result, got {other:?}"),
+        }
+        // A publication no leader ever saw: the sweep claims and resolves
+        // it, discarding the op.
+        assert_eq!(intake.publish(2), idx);
+        assert_eq!(intake.sweep_open(|| Err("poisoned")), 1);
+        match intake.poll(idx) {
+            SlotPoll::Done(Err("poisoned")) => {}
+            other => panic!("expected the sweep's result, got {other:?}"),
+        }
+        // The swept slot stays reusable, and an empty array sweeps to zero.
+        assert_eq!(intake.publish(3), idx);
+        assert_eq!(intake.retract(idx), Some(3));
+        assert_eq!(intake.sweep_open(|| Err("poisoned")), 0);
     }
 
     #[test]

@@ -32,6 +32,9 @@
 //!   `DESIGN.md` §4.
 //! * [`waitstats`] — global lock-wait accounting used to reproduce the
 //!   "active time rate" plots (Figures 7, 8, 11, 12).
+//! * [`wait`] — the bounded spin→yield→park wait ladder
+//!   ([`wait::WaitPolicy`] / [`wait::WaitLadder`]) that replaced the
+//!   unbounded busy-wait loops; see `DESIGN.md` §13.
 //! * [`wire`] — shared LEB128-varint and FNV-1a checksum primitives, the
 //!   single byte-level definition under both the `dc_workloads` trace
 //!   format and the `dc_durable` WAL / checkpoint files.
@@ -47,6 +50,7 @@ pub mod multiset;
 pub mod prefetch;
 pub mod rwspinlock;
 pub mod spinlock;
+pub mod wait;
 pub mod waitstats;
 pub mod wire;
 
@@ -61,4 +65,5 @@ pub use multiset::ConcurrentMultiSet;
 pub use prefetch::prefetch_read;
 pub use rwspinlock::RawRwLock;
 pub use spinlock::RawSpinLock;
+pub use wait::{WaitLadder, WaitPolicy, WaitStep};
 pub use wire::Fnv64;

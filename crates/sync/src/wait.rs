@@ -1,0 +1,212 @@
+//! Bounded waiting: a spin→yield→park ladder with a configurable deadline.
+//!
+//! Every busy-wait loop in the workspace used to be unbounded — fine while
+//! the thread being waited on is guaranteed to make progress, fatal the
+//! moment it isn't (a panicked batch leader, a wedged allocator). This
+//! module centralizes the waiting discipline so callers can bound it:
+//!
+//! * a **spin phase** (`spin_iters` iterations of [`std::hint::spin_loop`])
+//!   keeps the short, common waits as cheap as the old raw spin;
+//! * a **yield phase** (same length) gives up the core without yet paying
+//!   for a timed sleep, covering the "leader is running, just slow" window;
+//! * a **park phase** sleeps with exponential backoff (starting at
+//!   [`WaitPolicy::backoff`], doubling, capped at 1ms) so a long wait burns
+//!   microwatts instead of a core.
+//!
+//! A deadline ([`WaitPolicy::max_wait`]) is only materialized once the
+//! ladder leaves the spin phase — the fast path never calls
+//! [`std::time::Instant::now`]. When the deadline expires, [`WaitLadder::step`]
+//! returns [`WaitStep::TimedOut`] and the caller decides what that means
+//! (the `dc_batch` engine surfaces it as `EngineError::Timeout`).
+//!
+//! Time spent in the ladder counts as lock wait when the caller wraps the
+//! loop in a [`crate::waitstats::WaitTimer`] — parked time is wall time, and
+//! wall time is exactly what the timer measures.
+
+use std::time::{Duration, Instant};
+
+/// The longest single park; backoff doubles up to this cap so a waiter
+/// notices leader recovery within ~1ms even after a long stall.
+const MAX_PARK: Duration = Duration::from_millis(1);
+
+/// How a caller should bound one wait loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitPolicy {
+    /// Iterations of pure [`std::hint::spin_loop`] before anything heavier.
+    pub spin_iters: u32,
+    /// Iterations of [`std::thread::yield_now`] after the spin phase and
+    /// before the ladder starts parking.
+    pub yield_iters: u32,
+    /// Total wall-clock budget for the wait; `None` waits forever (the
+    /// pre-hardening behaviour, still the right default for bulk doors that
+    /// legitimately run long batches).
+    pub max_wait: Option<Duration>,
+    /// First park duration; subsequent parks double up to 1ms.
+    pub backoff: Duration,
+}
+
+impl Default for WaitPolicy {
+    fn default() -> Self {
+        WaitPolicy {
+            spin_iters: 64,
+            yield_iters: 64,
+            max_wait: None,
+            backoff: Duration::from_micros(10),
+        }
+    }
+}
+
+impl WaitPolicy {
+    /// A policy with a deadline and default spin/backoff shape.
+    pub fn with_deadline(max_wait: Duration) -> Self {
+        WaitPolicy {
+            max_wait: Some(max_wait),
+            ..WaitPolicy::default()
+        }
+    }
+}
+
+/// Outcome of one ladder step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitStep {
+    /// Keep polling: the ladder spun, yielded or parked once.
+    Continue,
+    /// The policy's `max_wait` budget is exhausted.
+    TimedOut,
+}
+
+/// Progress state for one wait loop. Create it before the loop, call
+/// [`WaitLadder::step`] every time the polled condition is still false.
+#[derive(Debug)]
+pub struct WaitLadder {
+    policy: WaitPolicy,
+    iters: u32,
+    /// Materialized lazily on leaving the spin phase.
+    deadline: Option<Instant>,
+    park: Duration,
+}
+
+impl WaitLadder {
+    /// Starts a ladder governed by `policy`. Cheap: no clock read.
+    pub fn new(policy: WaitPolicy) -> Self {
+        WaitLadder {
+            policy,
+            iters: 0,
+            deadline: None,
+            park: policy.backoff,
+        }
+    }
+
+    /// Waits once (spin, yield or park depending on how long we have been
+    /// here) and reports whether the caller's budget still stands.
+    pub fn step(&mut self) -> WaitStep {
+        let i = self.iters;
+        self.iters = self.iters.saturating_add(1);
+        if i < self.policy.spin_iters {
+            std::hint::spin_loop();
+            return WaitStep::Continue;
+        }
+        // Leaving the spin phase: now (and only now) pay for a clock read
+        // if a deadline was requested.
+        if let (Some(max), None) = (self.policy.max_wait, self.deadline) {
+            self.deadline = Some(Instant::now() + max);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return WaitStep::TimedOut;
+            }
+        }
+        if i < self
+            .policy
+            .spin_iters
+            .saturating_add(self.policy.yield_iters)
+        {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(self.park);
+            self.park = (self.park * 2).min(MAX_PARK);
+        }
+        WaitStep::Continue
+    }
+
+    /// Resets the ladder to the spin phase, keeping the original deadline.
+    /// Call after observable progress (e.g. this thread just ran a batch as
+    /// leader) so the next wait starts cheap again.
+    pub fn reset_phase(&mut self) {
+        self.iters = 0;
+        self.park = self.policy.backoff;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_policy_never_times_out() {
+        let mut ladder = WaitLadder::new(WaitPolicy::default());
+        for _ in 0..200 {
+            assert_eq!(ladder.step(), WaitStep::Continue);
+        }
+    }
+
+    #[test]
+    fn deadline_expires_as_timeout() {
+        let mut ladder = WaitLadder::new(WaitPolicy {
+            spin_iters: 4,
+            yield_iters: 4,
+            max_wait: Some(Duration::from_millis(5)),
+            backoff: Duration::from_micros(50),
+        });
+        let start = Instant::now();
+        let mut timed_out = false;
+        for _ in 0..100_000 {
+            if ladder.step() == WaitStep::TimedOut {
+                timed_out = true;
+                break;
+            }
+        }
+        assert!(timed_out, "deadline never fired");
+        // Generous upper bound: the ladder must not overshoot wildly (parks
+        // are capped at 1ms, so expiry is noticed within ~1ms + scheduling).
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn spin_phase_never_reads_the_clock_or_parks() {
+        // Indirect check: spin_iters steps complete far faster than a
+        // single park would take.
+        let mut ladder = WaitLadder::new(WaitPolicy {
+            spin_iters: 1_000,
+            yield_iters: 0,
+            max_wait: Some(Duration::from_secs(3600)),
+            backoff: Duration::from_millis(1),
+        });
+        let start = Instant::now();
+        for _ in 0..1_000 {
+            assert_eq!(ladder.step(), WaitStep::Continue);
+        }
+        assert!(start.elapsed() < Duration::from_millis(500));
+        assert!(
+            ladder.deadline.is_none(),
+            "spin phase materialized a deadline"
+        );
+    }
+
+    #[test]
+    fn reset_phase_returns_to_spinning() {
+        let mut ladder = WaitLadder::new(WaitPolicy {
+            spin_iters: 2,
+            yield_iters: 0,
+            max_wait: None,
+            backoff: Duration::from_micros(10),
+        });
+        for _ in 0..10 {
+            ladder.step();
+        }
+        assert!(ladder.park > ladder.policy.backoff, "backoff never grew");
+        ladder.reset_phase();
+        assert_eq!(ladder.park, ladder.policy.backoff);
+        assert_eq!(ladder.iters, 0);
+    }
+}

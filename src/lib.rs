@@ -29,7 +29,12 @@
 //! * [`durable`] — crash-safe persistence (`dc_durable`): a group-committed
 //!   write-ahead log under the batch engine, atomic checkpoints of the
 //!   level structure, torn-tail-tolerant recovery and a fault-injection
-//!   harness (`DESIGN.md` §9).
+//!   harness (`DESIGN.md` §9);
+//! * [`faults`] — the cross-layer chaos harness (`dc_faults`): deterministic
+//!   seed-driven injection points (leader panics, allocation failures,
+//!   intake stalls, delayed epoch advances) plus the observational watchdog
+//!   that surfaces stuck leaders and wedged reclamation epochs
+//!   (`DESIGN.md` §13).
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -65,12 +70,13 @@
 pub use dc_batch as batch;
 pub use dc_durable as durable;
 pub use dc_ett as ett;
+pub use dc_faults as faults;
 pub use dc_graph as graph;
 pub use dc_sync as sync;
 pub use dc_workloads as workloads;
 pub use dynconn;
 
-pub use dc_batch::BatchEngine;
+pub use dc_batch::{BatchEngine, EngineError, WaitPolicy};
 pub use dc_durable::{DurableConnectivity, DurableOptions, FsyncPolicy};
 pub use dc_ett::{set_default_read_hints, DynamicForest, EulerForest, LctForest};
 pub use dc_graph::{Edge, Graph};
